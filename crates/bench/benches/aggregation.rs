@@ -1,0 +1,75 @@
+//! Criterion bench: aggregate-partial algebra and end-to-end aggregation
+//! rounds in the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dat_chord::{ChordConfig, IdPolicy, IdSpace, RoutingScheme, StaticRing};
+use dat_core::{AggPartial, AggregationMode, DatConfig};
+use dat_sim::harness::prestabilized_dat;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_partial_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agg_partial");
+    g.bench_function("absorb", |b| {
+        let mut p = AggPartial::identity();
+        let mut x = 0.5f64;
+        b.iter(|| {
+            x = (x * 1.1) % 100.0;
+            p.absorb(black_box(x));
+        });
+    });
+    g.bench_function("merge_scalar", |b| {
+        let a = AggPartial::of(1.0);
+        let mut acc = AggPartial::identity();
+        b.iter(|| acc.merge(black_box(&a)));
+    });
+    g.bench_function("merge_histogram_64", |b| {
+        let mut a = AggPartial::identity_with_histogram(0.0, 100.0, 64);
+        a.absorb(42.0);
+        let mut acc = AggPartial::identity_with_histogram(0.0, 100.0, 64);
+        b.iter(|| acc.merge(black_box(&a)));
+    });
+    g.finish();
+}
+
+fn bench_epoch_round(c: &mut Criterion) {
+    let space = IdSpace::new(32);
+    let mut g = c.benchmark_group("sim_epoch_round");
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
+            let ccfg = ChordConfig {
+                space,
+                stabilize_ms: 600_000,
+                fix_fingers_ms: 600_000,
+                check_pred_ms: 600_000,
+                ..ChordConfig::default()
+            };
+            let dcfg = DatConfig {
+                scheme: RoutingScheme::Balanced,
+                epoch_ms: 1_000,
+                d0_hint: Some(ring.d0()),
+                ..DatConfig::default()
+            };
+            let mut net = prestabilized_dat(&ring, ccfg, dcfg, 1);
+            net.set_record_upcalls(false);
+            for addr in net.addrs() {
+                let node = net.node_mut(addr).unwrap();
+                let k = node.register("cpu-usage", AggregationMode::Continuous);
+                node.set_local(k, 50.0);
+            }
+            // One full aggregation epoch per iteration.
+            b.iter(|| {
+                net.run_for(black_box(1_000));
+                net.pending_events()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partial_merge, bench_epoch_round);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench: per-hop routing decisions — greedy vs balanced parent
+//! computation, finger-limit evaluation, and full route walks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dat_chord::{
+    finger_limit, parent_balanced, parent_basic, Id, IdPolicy, IdSpace, StaticRing,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_parent_decision(c: &mut Criterion) {
+    let space = IdSpace::new(40);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let ring = StaticRing::build(space, 4096, IdPolicy::Probed, &mut rng);
+    let table = ring.table_of(ring.ids()[1000], 8);
+    let d0 = ring.d0();
+    let key = Id(999_999_999);
+    let mut g = c.benchmark_group("parent_decision");
+    g.bench_function("basic", |b| {
+        b.iter(|| parent_basic(black_box(&table), black_box(key)));
+    });
+    g.bench_function("balanced", |b| {
+        b.iter(|| parent_balanced(black_box(&table), black_box(key), black_box(d0)));
+    });
+    g.finish();
+}
+
+fn bench_finger_limit(c: &mut Criterion) {
+    c.bench_function("finger_limit_g_of_x", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            finger_limit(black_box(x >> 24), black_box(1 << 20))
+        });
+    });
+}
+
+fn bench_full_routes(c: &mut Criterion) {
+    let space = IdSpace::new(40);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let ring = StaticRing::build(space, 4096, IdPolicy::Probed, &mut rng);
+    let mut g = c.benchmark_group("finger_route_walk");
+    for n_idx in [0usize, 2048] {
+        let from = ring.ids()[n_idx];
+        g.bench_with_input(BenchmarkId::from_parameter(n_idx), &from, |b, &from| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E3779B97F4A7C15);
+                ring.finger_route(black_box(from), Id(k & space.mask()))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_successor_lookup(c: &mut Criterion) {
+    let space = IdSpace::new(40);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let ring = StaticRing::build(space, 8192, IdPolicy::Random, &mut rng);
+    c.bench_function("static_ring_successor", |b| {
+        let mut k = 1u64;
+        b.iter(|| {
+            k = k.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ring.successor(Id(black_box(k) & space.mask()))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parent_decision,
+    bench_finger_limit,
+    bench_full_routes,
+    bench_successor_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: DAT tree construction cost (basic vs balanced) and
+//! ring building under the three identifier policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dat_chord::{Id, IdPolicy, IdSpace, RoutingScheme, StaticRing};
+use dat_core::DatTree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_tree_build(c: &mut Criterion) {
+    let space = IdSpace::new(40);
+    let mut g = c.benchmark_group("dat_tree_build");
+    for n in [256usize, 1024, 8192] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
+        for scheme in [RoutingScheme::Greedy, RoutingScheme::Balanced] {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.label(), n),
+                &ring,
+                |b, ring| {
+                    b.iter(|| DatTree::build(black_box(ring), Id(12345), scheme));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_ring_build(c: &mut Criterion) {
+    let space = IdSpace::new(40);
+    let mut g = c.benchmark_group("ring_build");
+    g.sample_size(10);
+    for policy in [IdPolicy::Random, IdPolicy::Even, IdPolicy::Probed] {
+        g.bench_function(BenchmarkId::new(policy.label(), 1024), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                StaticRing::build(space, black_box(1024), policy, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_materialisation(c: &mut Criterion) {
+    let space = IdSpace::new(40);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let ring = StaticRing::build(space, 1024, IdPolicy::Probed, &mut rng);
+    let id = ring.ids()[500];
+    c.bench_function("finger_table_of", |b| {
+        b.iter(|| ring.table_of(black_box(id), 8));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tree_build,
+    bench_ring_build,
+    bench_table_materialisation
+);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Churn overhead: implicit DAT vs explicit-membership trees.
+//!
+//! The paper's abstract claims the DAT scheme "has very low overhead
+//! during node arrival and departure" *because* it maintains no explicit
+//! parent-child membership — the Chord stabilization both schemes already
+//! pay for is all the repair the implicit tree ever needs (§2.3). This
+//! experiment runs the same churn schedule against (a) a DAT overlay and
+//! (b) the explicit-membership tree of [`dat_core::explicit`], and counts
+//! *tree-maintenance* messages (join/adopt/heartbeat/leave) separately
+//! from ring maintenance and aggregation payload.
+
+use dat_chord::{ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
+use dat_core::{AggregationMode, DatConfig, DatNode, ExplicitConfig, ExplicitTreeNode};
+use dat_sim::harness::{addr_book, prestabilized_dat, prestabilized_explicit};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{f, Table};
+
+/// Per-scheme churn accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChurnCosts {
+    /// Tree *membership repair* messages sent (joins/adoptions/leave
+    /// notices/re-join storms). Zero by construction for implicit DATs —
+    /// the paper's central claim.
+    pub tree_maintenance: u64,
+    /// Tree liveness probing (DAT parent pings; explicit heartbeats+acks).
+    pub liveness: u64,
+    /// Chord ring maintenance messages sent (both schemes pay these).
+    pub ring_maintenance: u64,
+    /// Aggregation payload messages sent.
+    pub payload: u64,
+}
+
+/// Experiment output.
+pub struct Churn {
+    /// Network size at start.
+    pub n: usize,
+    /// Number of leave events injected.
+    pub leaves: u64,
+    /// Number of join events injected.
+    pub joins: u64,
+    /// Virtual duration of the churn phase, ms.
+    pub duration_ms: u64,
+    /// Costs of the implicit (DAT) scheme.
+    pub dat: ChurnCosts,
+    /// Costs of the explicit-membership scheme.
+    pub explicit: ChurnCosts,
+    /// Whether the DAT root still produced reports after churn.
+    pub dat_reports_after_churn: bool,
+}
+
+const BITS: u8 = 32;
+const RING_KINDS: [&str; 11] = [
+    "find_successor",
+    "found_successor",
+    "get_neighbors",
+    "neighbors",
+    "notify",
+    "ping",
+    "pong",
+    "probe_join",
+    "probe_join_reply",
+    "leave_to_pred",
+    "leave_to_succ",
+];
+const EXP_MEMBERSHIP_KINDS: [&str; 3] = ["exp_join_tree", "exp_adopt", "exp_leave_tree"];
+const EXP_LIVENESS_KINDS: [&str; 2] = ["exp_heartbeat", "exp_heartbeat_ack"];
+
+/// Run the churn comparison: `n` initial nodes, one churn event (alternate
+/// graceful leave / fresh join) every `event_gap_ms` for `duration_ms`.
+pub fn run(n: usize, event_gap_ms: u64, duration_ms: u64, seed: u64) -> Churn {
+    let space = IdSpace::new(BITS);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
+    let ccfg = ChordConfig {
+        space,
+        stabilize_ms: 2_000,
+        fix_fingers_ms: 1_000,
+        check_pred_ms: 2_000,
+        req_timeout_ms: 3_000,
+        ..ChordConfig::default()
+    };
+    let key = dat_chord::hash_to_id(space, b"cpu-usage");
+    let book = addr_book(&ring);
+    let root_id = ring.successor(key);
+    let root_addr = book[&root_id];
+
+    // ---- DAT side -------------------------------------------------------
+    let dcfg = DatConfig {
+        scheme: RoutingScheme::Balanced,
+        epoch_ms: 1_000,
+        ..DatConfig::default()
+    };
+    let mut dat_net = prestabilized_dat(&ring, ccfg, dcfg, seed);
+    dat_net.set_record_upcalls(false);
+    for addr in dat_net.addrs() {
+        let node = dat_net.node_mut(addr).unwrap();
+        let k = node.register("cpu-usage", AggregationMode::Continuous);
+        node.set_local(k, 25.0);
+    }
+    dat_net.run_for(3_000); // warm-up
+    for addr in dat_net.addrs() {
+        dat_net.node_mut(addr).unwrap().reset_metrics();
+    }
+
+    // ---- explicit side ---------------------------------------------------
+    let ecfg = ExplicitConfig {
+        epoch_ms: 1_000,
+        heartbeat_ms: 1_000,
+        ..ExplicitConfig::default()
+    };
+    let mut exp_net = prestabilized_explicit(&ring, ccfg, ecfg, key, seed);
+    exp_net.set_record_upcalls(false);
+    for addr in exp_net.addrs() {
+        exp_net.node_mut(addr).unwrap().set_local(25.0);
+    }
+    exp_net.run_for(3_000); // warm-up: tree forms
+    for addr in exp_net.addrs() {
+        exp_net.node_mut(addr).unwrap().reset_metrics();
+    }
+
+    // ---- identical churn schedule ----------------------------------------
+    let mut next_addr = n as u64;
+    let mut leaves = 0u64;
+    let mut joins = 0u64;
+    let mut rng_events = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut elapsed = 0u64;
+    let mut leave_next = true;
+    while elapsed < duration_ms {
+        dat_net.run_for(event_gap_ms);
+        exp_net.run_for(event_gap_ms);
+        elapsed += event_gap_ms;
+        if leave_next {
+            // Pick a live non-root node present in both networks.
+            let candidates: Vec<NodeAddr> = dat_net
+                .addrs()
+                .into_iter()
+                .filter(|&a| a != root_addr && exp_net.node(a).is_some())
+                .collect();
+            if candidates.len() > 4 {
+                let victim = candidates[rng_events.random_range(0..candidates.len())];
+                dat_net.with_node(victim, |node| ((), node.leave()));
+                exp_net.with_node(victim, |node| ((), node.leave()));
+                leaves += 1;
+            }
+        } else {
+            // A fresh node joins both networks through the root.
+            let id = space.random(&mut rng_events);
+            let addr = NodeAddr(next_addr);
+            next_addr += 1;
+            let bootstrap = dat_net.node(root_addr).unwrap().me();
+            let chord = ChordNode::new(ccfg, id, addr);
+            let mut dn = DatNode::from_chord(chord, dcfg);
+            let k = dn.register("cpu-usage", AggregationMode::Continuous);
+            dn.set_local(k, 25.0);
+            let outs = dn.start_join(bootstrap);
+            dat_net.add_node(dn);
+            dat_net.apply(addr, outs);
+
+            let mut en = ExplicitTreeNode::new(ccfg, ecfg, key, id, addr);
+            en.set_local(25.0);
+            let boot2 = exp_net.node(root_addr).unwrap().me();
+            let outs = en.start_join(boot2);
+            exp_net.add_node(en);
+            exp_net.apply(addr, outs);
+            joins += 1;
+        }
+        leave_next = !leave_next;
+    }
+    // Settle.
+    dat_net.run_for(5_000);
+    exp_net.run_for(5_000);
+
+    // ---- accounting -------------------------------------------------------
+    let mut dat = ChurnCosts::default();
+    for addr in dat_net.addrs() {
+        let node = dat_net.node(addr).unwrap();
+        dat.ring_maintenance += node.chord().metrics().sent_of_kinds(&RING_KINDS);
+        dat.liveness += 2 * node.metrics().sent_of("dat_parent_ping"); // ping + pong
+        dat.payload += node.metrics().sent_of("dat_update");
+        // tree_maintenance stays 0: the DAT never repairs membership.
+    }
+    let mut explicit = ChurnCosts::default();
+    for addr in exp_net.addrs() {
+        let node = exp_net.node(addr).unwrap();
+        explicit.ring_maintenance += node.chord().metrics().sent_of_kinds(&RING_KINDS);
+        explicit.tree_maintenance += node.metrics().sent_of_kinds(&EXP_MEMBERSHIP_KINDS);
+        explicit.liveness += node.metrics().sent_of_kinds(&EXP_LIVENESS_KINDS);
+        explicit.payload += node.metrics().sent_of("exp_update");
+    }
+    // Did aggregation survive on the DAT side?
+    let dat_reports_after_churn = dat_net
+        .node_mut(root_addr)
+        .map(|root| !root.take_events().is_empty())
+        .unwrap_or(false);
+
+    Churn {
+        n,
+        leaves,
+        joins,
+        duration_ms,
+        dat,
+        explicit,
+        dat_reports_after_churn,
+    }
+}
+
+impl Churn {
+    /// The cost table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Churn overhead — n = {}, {} leaves + {} joins over {}s",
+                self.n,
+                self.leaves,
+                self.joins,
+                self.duration_ms / 1000
+            ),
+            &["cost (messages sent)", "implicit DAT", "explicit tree"],
+        );
+        t.row(vec![
+            "tree membership repair".into(),
+            self.dat.tree_maintenance.to_string(),
+            self.explicit.tree_maintenance.to_string(),
+        ]);
+        t.row(vec![
+            "tree liveness probing".into(),
+            self.dat.liveness.to_string(),
+            self.explicit.liveness.to_string(),
+        ]);
+        t.row(vec![
+            "ring maintenance (shared substrate)".into(),
+            self.dat.ring_maintenance.to_string(),
+            self.explicit.ring_maintenance.to_string(),
+        ]);
+        t.row(vec![
+            "aggregation payload".into(),
+            self.dat.payload.to_string(),
+            self.explicit.payload.to_string(),
+        ]);
+        let per_event = |c: &ChurnCosts| {
+            let events = (self.leaves + self.joins).max(1);
+            c.tree_maintenance as f64 / events as f64
+        };
+        t.row(vec![
+            "membership msgs per churn event".into(),
+            f(per_event(&self.dat)),
+            f(per_event(&self.explicit)),
+        ]);
+        t
+    }
+
+    /// Qualitative checks.
+    pub fn check(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        if self.dat.tree_maintenance != 0 {
+            bad.push(format!(
+                "implicit DAT sent {} membership messages (must be 0)",
+                self.dat.tree_maintenance
+            ));
+        }
+        if self.explicit.tree_maintenance == 0 {
+            bad.push("explicit tree sent no membership traffic?!".into());
+        }
+        if !self.dat_reports_after_churn {
+            bad.push("DAT root stopped reporting after churn".into());
+        }
+        if self.leaves == 0 || self.joins == 0 {
+            bad.push("churn schedule produced no events".into());
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_beats_explicit_under_churn() {
+        let c = run(48, 1_000, 12_000, 5);
+        let bad = c.check();
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(c.explicit.tree_maintenance > 50);
+        assert!(c.table().to_markdown().contains("membership"));
+    }
+}

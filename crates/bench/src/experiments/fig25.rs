@@ -1,0 +1,110 @@
+//! Fig. 2 / Fig. 5 — the paper's 16-node worked example.
+//!
+//! Regenerates the two illustration figures exactly: the basic DAT built
+//! from Chord finger routes toward N0 on the full 4-bit ring (Fig. 2b) and
+//! the balanced DAT produced by the finger-limited routing (Fig. 5b),
+//! including the N8 → N12 re-parenting the balanced scheme introduces (the
+//! paper's prose calls that node "N1" — a typo its own Fig. 5 contradicts).
+//! Also emits Graphviz DOT for both trees.
+
+use dat_chord::{Id, IdPolicy, IdSpace, RoutingScheme, StaticRing};
+use dat_core::viz::tree_to_dot;
+use dat_core::DatTree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::table::Table;
+
+/// The two 16-node trees plus their DOT renderings.
+pub struct Fig25 {
+    /// The basic DAT of Fig. 2b.
+    pub basic: DatTree,
+    /// The balanced DAT of Fig. 5b.
+    pub balanced: DatTree,
+}
+
+/// Build both trees on the full 16-node, 4-bit ring with root N0.
+pub fn run() -> Fig25 {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let ring = StaticRing::build(IdSpace::new(4), 16, IdPolicy::Even, &mut rng);
+    Fig25 {
+        basic: DatTree::build(&ring, Id(0), RoutingScheme::Greedy),
+        balanced: DatTree::build(&ring, Id(0), RoutingScheme::Balanced),
+    }
+}
+
+impl Fig25 {
+    /// Side-by-side parent table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig 2b / Fig 5b — parents on the 16-node ring, root N0",
+            &["node", "basic parent (Fig 2)", "balanced parent (Fig 5)"],
+        );
+        for v in 1..16u64 {
+            t.row(vec![
+                format!("N{v}"),
+                format!("N{}", self.basic.parent(Id(v)).unwrap()),
+                format!("N{}", self.balanced.parent(Id(v)).unwrap()),
+            ]);
+        }
+        t
+    }
+
+    /// DOT renderings `(basic, balanced)`.
+    pub fn dot(&self) -> (String, String) {
+        (tree_to_dot(&self.basic), tree_to_dot(&self.balanced))
+    }
+
+    /// The exact structural facts the paper's figures state.
+    pub fn check(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        // Fig 2: N0's children are N8, N12, N14, N15.
+        if self.basic.children(Id(0)) != [Id(8), Id(12), Id(14), Id(15)] {
+            bad.push(format!(
+                "Fig 2 root children {:?}",
+                self.basic.children(Id(0))
+            ));
+        }
+        // Fig 2: the finger route from N1 is <N1, N9, N13, N15, N0>.
+        if self.basic.path_to_root(Id(1)) != [Id(1), Id(9), Id(13), Id(15), Id(0)] {
+            bad.push(format!(
+                "Fig 2 N1 path {:?}",
+                self.basic.path_to_root(Id(1))
+            ));
+        }
+        // Fig 5: N8 re-parents to N12; every branching ≤ 2; height 4.
+        if self.balanced.parent(Id(8)) != Some(Id(12)) {
+            bad.push(format!(
+                "Fig 5 parent(N8) = {:?} (expected N12)",
+                self.balanced.parent(Id(8))
+            ));
+        }
+        let max_b = (0..16u64)
+            .map(|v| self.balanced.branching(Id(v)))
+            .max()
+            .unwrap();
+        if max_b > 2 {
+            bad.push(format!("Fig 5 max branching {max_b} > 2"));
+        }
+        if self.balanced.height() != 4 {
+            bad.push(format!("Fig 5 height {} != log2(16)", self.balanced.height()));
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example_matches_both_figures() {
+        let f = run();
+        let bad = f.check();
+        assert!(bad.is_empty(), "{bad:?}");
+        let (d1, d2) = f.dot();
+        assert!(d1.contains("\"N8\" -> \"N0\";"), "Fig 2: N8 is the root's child");
+        assert!(d2.contains("\"N8\" -> \"N12\";"), "Fig 5: N8 re-parents to N12");
+        assert!(f.table().to_markdown().contains("N15"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Fig. 7 — DAT tree properties vs network size.
+//!
+//! Reproduces both panels of the paper's Fig. 7 ("Comparison of tree
+//! properties for different DAT schemes", §5.2):
+//!
+//! * **(a)** maximum branching factor as a function of network size
+//!   (16..8192), for basic and balanced DATs with random and probed
+//!   identifiers. Expected shape: basic grows on a log scale (≈43 at 8192
+//!   random, ≈16 probed); balanced+probing is a small constant (≈4);
+//!   balanced without probing still grows logarithmically because the
+//!   gap ratio of random identifiers is O(log n);
+//! * **(b)** average branching factor (over interior nodes): ≈2 constant
+//!   with probing, ≈3–3.2 constant without.
+
+use dat_chord::{Id, IdPolicy, IdSpace, RoutingScheme, StaticRing};
+use dat_core::{DatTree, TreeStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{f, Table};
+
+/// One measured configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig7Row {
+    /// Network size.
+    pub n: usize,
+    /// Identifier policy.
+    pub policy: IdPolicy,
+    /// Routing scheme.
+    pub scheme: RoutingScheme,
+    /// Max branching factor, averaged over seeds/keys.
+    pub max_branching: f64,
+    /// Average branching factor (interior nodes), averaged over seeds/keys.
+    pub avg_branching: f64,
+    /// Tree height, averaged over seeds/keys.
+    pub height: f64,
+}
+
+/// Experiment output.
+pub struct Fig7 {
+    /// All measured rows.
+    pub rows: Vec<Fig7Row>,
+    /// Sizes measured.
+    pub sizes: Vec<usize>,
+}
+
+const BITS: u8 = 40;
+
+/// Run the experiment: sizes 16..=`max_n` (powers of two), `seeds`
+/// independent rings each, `keys` rendezvous keys per ring.
+pub fn run(max_n: usize, seeds: u64, keys: usize) -> Fig7 {
+    let space = IdSpace::new(BITS);
+    let mut sizes = Vec::new();
+    let mut n = 16usize;
+    while n <= max_n {
+        sizes.push(n);
+        n *= 2;
+    }
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        for policy in [IdPolicy::Random, IdPolicy::Probed] {
+            for scheme in [RoutingScheme::Greedy, RoutingScheme::Balanced] {
+                let mut max_b = 0.0;
+                let mut avg_b = 0.0;
+                let mut height = 0.0;
+                let mut count = 0.0;
+                for seed in 0..seeds {
+                    let mut rng = SmallRng::seed_from_u64(seed * 7919 + n as u64);
+                    let ring = StaticRing::build(space, n, policy, &mut rng);
+                    for _ in 0..keys {
+                        let key = Id(rng.random::<u64>() & space.mask());
+                        let tree = DatTree::build(&ring, key, scheme);
+                        let s = TreeStats::of(&tree);
+                        max_b += s.max_branching as f64;
+                        avg_b += s.avg_branching;
+                        height += s.height as f64;
+                        count += 1.0;
+                    }
+                }
+                rows.push(Fig7Row {
+                    n,
+                    policy,
+                    scheme,
+                    max_branching: max_b / count,
+                    avg_branching: avg_b / count,
+                    height: height / count,
+                });
+            }
+        }
+    }
+    Fig7 { rows, sizes }
+}
+
+impl Fig7 {
+    fn find(&self, n: usize, policy: IdPolicy, scheme: RoutingScheme) -> &Fig7Row {
+        self.rows
+            .iter()
+            .find(|r| r.n == n && r.policy == policy && r.scheme == scheme)
+            .expect("row exists")
+    }
+
+    /// Fig. 7a table: max branching factor vs n.
+    pub fn table_a(&self) -> Table {
+        let mut t = Table::new(
+            "Fig 7a — maximum branching factor vs network size",
+            &[
+                "n",
+                "basic/random",
+                "basic/probed",
+                "balanced/random",
+                "balanced/probed",
+            ],
+        );
+        for &n in &self.sizes {
+            t.row(vec![
+                n.to_string(),
+                f(self.find(n, IdPolicy::Random, RoutingScheme::Greedy).max_branching),
+                f(self.find(n, IdPolicy::Probed, RoutingScheme::Greedy).max_branching),
+                f(self.find(n, IdPolicy::Random, RoutingScheme::Balanced).max_branching),
+                f(self.find(n, IdPolicy::Probed, RoutingScheme::Balanced).max_branching),
+            ]);
+        }
+        t
+    }
+
+    /// Fig. 7b table: average branching factor vs n.
+    pub fn table_b(&self) -> Table {
+        let mut t = Table::new(
+            "Fig 7b — average branching factor (interior nodes) vs network size",
+            &[
+                "n",
+                "basic/random",
+                "basic/probed",
+                "balanced/random",
+                "balanced/probed",
+            ],
+        );
+        for &n in &self.sizes {
+            t.row(vec![
+                n.to_string(),
+                f(self.find(n, IdPolicy::Random, RoutingScheme::Greedy).avg_branching),
+                f(self.find(n, IdPolicy::Probed, RoutingScheme::Greedy).avg_branching),
+                f(self.find(n, IdPolicy::Random, RoutingScheme::Balanced).avg_branching),
+                f(self.find(n, IdPolicy::Probed, RoutingScheme::Balanced).avg_branching),
+            ]);
+        }
+        t
+    }
+
+    /// Qualitative checks matching the paper's claims. Returns violations.
+    pub fn check(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        let last = *self.sizes.last().unwrap();
+        let first = self.sizes[0];
+        // Balanced + probing: small constant max branching.
+        for &n in &self.sizes {
+            let r = self.find(n, IdPolicy::Probed, RoutingScheme::Balanced);
+            if r.max_branching > 6.5 {
+                bad.push(format!(
+                    "balanced/probed max branching {} at n={n} (expect ~4)",
+                    f(r.max_branching)
+                ));
+            }
+        }
+        // Basic grows with n.
+        let b_small = self.find(first, IdPolicy::Random, RoutingScheme::Greedy);
+        let b_large = self.find(last, IdPolicy::Random, RoutingScheme::Greedy);
+        if b_large.max_branching <= b_small.max_branching + 2.0 {
+            bad.push("basic/random max branching does not grow with n".into());
+        }
+        // Probing reduces the basic max branching at scale.
+        let b_probed = self.find(last, IdPolicy::Probed, RoutingScheme::Greedy);
+        if b_probed.max_branching >= b_large.max_branching {
+            bad.push(format!(
+                "probing does not reduce basic max branching ({} vs {})",
+                f(b_probed.max_branching),
+                f(b_large.max_branching)
+            ));
+        }
+        // Avg branching: ~2 probed, 2..4 random, both ~constant.
+        for &n in &self.sizes {
+            let r = self.find(n, IdPolicy::Probed, RoutingScheme::Balanced);
+            if !(1.5..=2.6).contains(&r.avg_branching) {
+                bad.push(format!(
+                    "balanced/probed avg branching {} at n={n} (expect ~2)",
+                    f(r.avg_branching)
+                ));
+            }
+            let r = self.find(n, IdPolicy::Random, RoutingScheme::Balanced);
+            if !(1.5..=4.2).contains(&r.avg_branching) {
+                bad.push(format!(
+                    "balanced/random avg branching {} at n={n} (expect ~3)",
+                    f(r.avg_branching)
+                ));
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_matches_paper_shape() {
+        let fig = run(256, 2, 2);
+        assert_eq!(fig.sizes, vec![16, 32, 64, 128, 256]);
+        assert_eq!(fig.rows.len(), 5 * 4);
+        let bad = fig.check();
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let fig = run(64, 1, 1);
+        let a = fig.table_a().to_markdown();
+        assert!(a.contains("Fig 7a"));
+        assert!(a.contains("balanced/probed"));
+        let b = fig.table_b().to_markdown();
+        assert!(b.contains("Fig 7b"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Tree-height claims of §3.3 and §3.5.
+//!
+//! The paper proves the basic DAT's height is `O(log n)` (the longest
+//! finger route) and the balanced DAT's height is *at most* `log2 n` on
+//! evenly spaced identifiers. This experiment measures both across sizes
+//! and identifier policies — it is the latency side of the
+//! scalability story (an aggregation traverses at most `height` hops).
+
+use dat_chord::{Id, IdPolicy, IdSpace, RoutingScheme, StaticRing};
+use dat_core::{DatTree, TreeStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{f, Table};
+
+/// One measured size.
+#[derive(Clone, Copy, Debug)]
+pub struct HeightRow {
+    /// Network size.
+    pub n: usize,
+    /// log2(n) reference.
+    pub log2n: f64,
+    /// Basic DAT height (random ids).
+    pub basic_random: f64,
+    /// Basic DAT height (probed ids).
+    pub basic_probed: f64,
+    /// Balanced DAT height (random ids).
+    pub balanced_random: f64,
+    /// Balanced DAT height (probed ids).
+    pub balanced_probed: f64,
+    /// Balanced DAT height (perfectly even ids — the §3.5 bound case).
+    pub balanced_even: f64,
+}
+
+/// Experiment output.
+pub struct Heights {
+    /// Per-size rows.
+    pub rows: Vec<HeightRow>,
+}
+
+/// Measure heights for power-of-two sizes up to `max_n`, `seeds` rings each.
+pub fn run(max_n: usize, seeds: u64) -> Heights {
+    let space = IdSpace::new(40);
+    let mut rows = Vec::new();
+    let mut n = 16usize;
+    while n <= max_n {
+        let mut acc = [0.0f64; 5];
+        let mut count = 0.0;
+        for seed in 0..seeds {
+            let mut rng = SmallRng::seed_from_u64(seed * 31 + n as u64);
+            let key = Id(rng.random::<u64>() & space.mask());
+            let random = StaticRing::build(space, n, IdPolicy::Random, &mut rng);
+            let probed = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
+            let even = StaticRing::build(space, n, IdPolicy::Even, &mut rng);
+            let h = |ring: &StaticRing, s| TreeStats::of(&DatTree::build(ring, key, s)).height as f64;
+            acc[0] += h(&random, RoutingScheme::Greedy);
+            acc[1] += h(&probed, RoutingScheme::Greedy);
+            acc[2] += h(&random, RoutingScheme::Balanced);
+            acc[3] += h(&probed, RoutingScheme::Balanced);
+            acc[4] += h(&even, RoutingScheme::Balanced);
+            count += 1.0;
+        }
+        rows.push(HeightRow {
+            n,
+            log2n: (n as f64).log2(),
+            basic_random: acc[0] / count,
+            basic_probed: acc[1] / count,
+            balanced_random: acc[2] / count,
+            balanced_probed: acc[3] / count,
+            balanced_even: acc[4] / count,
+        });
+        n *= 2;
+    }
+    Heights { rows }
+}
+
+impl Heights {
+    /// The height table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Tree heights vs network size (§3.3 / §3.5 claims)",
+            &[
+                "n",
+                "log2(n)",
+                "basic/random",
+                "basic/probed",
+                "balanced/random",
+                "balanced/probed",
+                "balanced/even",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.n.to_string(),
+                f(r.log2n),
+                f(r.basic_random),
+                f(r.basic_probed),
+                f(r.balanced_random),
+                f(r.balanced_probed),
+                f(r.balanced_even),
+            ]);
+        }
+        t
+    }
+
+    /// Qualitative checks.
+    pub fn check(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for r in &self.rows {
+            // §3.5: balanced height ≤ log2 n on even rings (exact bound).
+            if r.balanced_even > r.log2n + 1e-9 {
+                bad.push(format!(
+                    "balanced/even height {} exceeds log2(n) = {} at n={}",
+                    f(r.balanced_even),
+                    f(r.log2n),
+                    r.n
+                ));
+            }
+            // O(log n) heights throughout (generous constant).
+            for (name, v) in [
+                ("basic/random", r.basic_random),
+                ("basic/probed", r.basic_probed),
+                ("balanced/random", r.balanced_random),
+                ("balanced/probed", r.balanced_probed),
+            ] {
+                if v > 3.0 * r.log2n + 3.0 {
+                    bad.push(format!("{name} height {} not O(log n) at n={}", f(v), r.n));
+                }
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_small_sweep() {
+        let h = run(256, 2);
+        assert_eq!(h.rows.len(), 5);
+        let bad = h.check();
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(h.table().to_markdown().contains("balanced/even"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Paper experiments (one module per figure/table — see DESIGN.md §3).
+
+pub mod ablation;
+pub mod churn;
+pub mod crosscheck;
+pub mod fig25;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod gossip_exp;
+pub mod heights;
+pub mod maan_exp;
+pub mod wan;

@@ -1,0 +1,26 @@
+//! # dat-bench — experiment harness for the DAT paper reproduction
+//!
+//! One module per figure/table of the paper's evaluation (§5), each with a
+//! `run(...)` entry point, markdown table rendering, and a `check()`
+//! returning qualitative violations (used both by `repro --check` and the
+//! test suite as regression guards on the paper's claims):
+//!
+//! | module | paper result |
+//! |--------|--------------|
+//! | [`experiments::fig7`] | tree properties (max/avg branching) vs size |
+//! | [`experiments::fig8`] | message distribution & imbalance factor |
+//! | [`experiments::fig9`] | accuracy of trace aggregation, 512 nodes |
+//! | [`experiments::heights`] | §3.3/§3.5 height claims |
+//! | [`experiments::churn`] | implicit vs explicit maintenance overhead |
+//! | [`experiments::crosscheck`] | live protocol ≡ static analysis (§5.1) |
+//!
+//! Run everything via the `repro` binary:
+//! `cargo run --release -p dat-bench --bin repro -- all`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,109 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A printable experiment table: header row plus data rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (printed above).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n### {}\n\n", self.title));
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Format a float compactly.
+pub fn f(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == v.trunc() && v.abs() < 1e6 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["n", "value"]);
+        t.row(vec!["16".into(), "4.00".into()]);
+        t.row(vec!["8192".into(), "13.10".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| n    | value |"));
+        assert!(md.contains("| 8192 | 13.10 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(4.0), "4");
+        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(512.3), "512.3");
+        assert_eq!(f(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,417 @@
+//! Finger tables, successor lists and fingers-of-fingers (FOF) state.
+//!
+//! Each Chord node keeps `b` fingers spaced exponentially in the identifier
+//! space: `FINGER(v, j)` is the first node succeeding `v + 2^(j-1)`
+//! (paper §3.1). The DAT prototype additionally keeps "the information of
+//! its *fingers of finger* (FOF)" (§4) — we store each finger's predecessor
+//! and successor as learned during finger fixing, which is what identifier
+//! probing and local child computation consume.
+
+use crate::{Id, IdSpace};
+
+/// An opaque transport endpoint for a node. The simulator uses the node's
+/// index; the UDP transport maps it to a socket address via an address book.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct NodeAddr(pub u64);
+
+/// A reference to a remote node: its ring identifier plus how to reach it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct NodeRef {
+    /// Ring identifier of the node.
+    pub id: Id,
+    /// Transport endpoint of the node.
+    pub addr: NodeAddr,
+}
+
+impl NodeRef {
+    /// Convenience constructor.
+    pub fn new(id: Id, addr: NodeAddr) -> Self {
+        NodeRef { id, addr }
+    }
+}
+
+/// Neighborhood information about one finger: the finger itself plus the
+/// FOF data (its predecessor and first successor) learned when the finger
+/// was last fixed. `gap` — the arc `(pred, node]` — is what identifier
+/// probing ranks candidates by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FingerInfo {
+    /// The finger node.
+    pub node: NodeRef,
+    /// The finger's predecessor at fix time, if known.
+    pub pred: Option<NodeRef>,
+    /// The finger's first successor at fix time, if known.
+    pub succ: Option<NodeRef>,
+}
+
+impl FingerInfo {
+    /// A finger with no FOF data yet.
+    pub fn bare(node: NodeRef) -> Self {
+        FingerInfo {
+            node,
+            pred: None,
+            succ: None,
+        }
+    }
+
+    /// Size of the identifier gap owned by this finger, when its
+    /// predecessor is known: `dist(pred, node)`.
+    pub fn gap(&self, space: IdSpace) -> Option<u64> {
+        self.pred.map(|p| space.dist_cw(p.id, self.node.id))
+    }
+}
+
+/// The per-node routing state: predecessor, successor list and the finger
+/// table proper.
+#[derive(Clone, Debug)]
+pub struct FingerTable {
+    space: IdSpace,
+    me: NodeRef,
+    /// `fingers[j-1]` holds `FINGER(me, j)`, `j = 1..=b`. Entry 0 is the
+    /// immediate successor.
+    fingers: Vec<Option<FingerInfo>>,
+    /// Successor list for fault tolerance (first entry mirrors finger 1).
+    successors: Vec<NodeRef>,
+    /// Maximum successor-list length.
+    succ_list_len: usize,
+    predecessor: Option<NodeRef>,
+}
+
+impl FingerTable {
+    /// Create an empty table for node `me` in `space`, keeping a successor
+    /// list of `succ_list_len` entries.
+    pub fn new(space: IdSpace, me: NodeRef, succ_list_len: usize) -> Self {
+        FingerTable {
+            space,
+            me,
+            fingers: vec![None; space.bits() as usize],
+            successors: Vec::new(),
+            succ_list_len: succ_list_len.max(1),
+            predecessor: None,
+        }
+    }
+
+    /// The identifier space this table lives in.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// The owning node.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// Current predecessor, if known.
+    pub fn predecessor(&self) -> Option<NodeRef> {
+        self.predecessor
+    }
+
+    /// Set/replace the predecessor unconditionally.
+    pub fn set_predecessor(&mut self, p: Option<NodeRef>) {
+        self.predecessor = p;
+    }
+
+    /// Adopt `candidate` as predecessor if it is closer than the current one
+    /// (the Chord `notify` rule). Returns `true` if the predecessor changed.
+    pub fn notify(&mut self, candidate: NodeRef) -> bool {
+        if candidate.id == self.me.id {
+            return false;
+        }
+        let adopt = match self.predecessor {
+            None => true,
+            Some(p) => self.space.in_open_open(candidate.id, p.id, self.me.id),
+        };
+        if adopt {
+            self.predecessor = Some(candidate);
+        }
+        adopt
+    }
+
+    /// Immediate successor (finger 1 / head of the successor list).
+    pub fn successor(&self) -> Option<NodeRef> {
+        self.successors
+            .first()
+            .copied()
+            .or_else(|| self.fingers[0].map(|f| f.node))
+    }
+
+    /// Full successor list, nearest first.
+    pub fn successor_list(&self) -> &[NodeRef] {
+        &self.successors
+    }
+
+    /// Replace the successor list with `succs` (already orderered nearest
+    /// first), truncating to the configured length, and mirror the head into
+    /// finger 1.
+    pub fn set_successor_list(&mut self, succs: Vec<NodeRef>) {
+        let mut list: Vec<NodeRef> = Vec::with_capacity(self.succ_list_len);
+        for s in succs {
+            if s.id != self.me.id && !list.iter().any(|o| o.id == s.id) {
+                list.push(s);
+            }
+            if list.len() == self.succ_list_len {
+                break;
+            }
+        }
+        if let Some(&head) = list.first() {
+            self.set_finger(1, FingerInfo::bare(head));
+        }
+        self.successors = list;
+    }
+
+    /// Set the immediate successor, pushing the old list down.
+    pub fn set_successor(&mut self, s: NodeRef) {
+        if s.id == self.me.id {
+            self.successors.clear();
+            self.fingers[0] = None;
+            return;
+        }
+        let mut list = Vec::with_capacity(self.succ_list_len);
+        list.push(s);
+        for &old in &self.successors {
+            if old.id != s.id && old.id != self.me.id {
+                list.push(old);
+            }
+        }
+        list.truncate(self.succ_list_len);
+        self.successors = list;
+        self.fingers[0] = Some(FingerInfo::bare(s));
+    }
+
+    /// Drop a failed node from every slot it occupies. Returns `true` if
+    /// anything changed.
+    pub fn evict(&mut self, dead: Id) -> bool {
+        let mut changed = false;
+        if self.predecessor.map(|p| p.id) == Some(dead) {
+            self.predecessor = None;
+            changed = true;
+        }
+        let before = self.successors.len();
+        self.successors.retain(|s| s.id != dead);
+        changed |= self.successors.len() != before;
+        for f in self.fingers.iter_mut() {
+            if f.map(|fi| fi.node.id) == Some(dead) {
+                *f = None;
+                changed = true;
+            }
+        }
+        // Keep finger 1 mirroring the successor list head.
+        if let Some(&head) = self.successors.first() {
+            if self.fingers[0].map(|f| f.node.id) != Some(head.id) {
+                self.fingers[0] = Some(FingerInfo::bare(head));
+            }
+        }
+        changed
+    }
+
+    /// `FINGER(me, j)` for `j = 1..=b`.
+    pub fn finger(&self, j: u8) -> Option<FingerInfo> {
+        assert!((1..=self.space.bits()).contains(&j));
+        self.fingers[(j - 1) as usize]
+    }
+
+    /// Install finger `j`.
+    pub fn set_finger(&mut self, j: u8, info: FingerInfo) {
+        assert!((1..=self.space.bits()).contains(&j));
+        if info.node.id == self.me.id {
+            self.fingers[(j - 1) as usize] = None;
+            return;
+        }
+        self.fingers[(j - 1) as usize] = Some(info);
+        if j == 1 {
+            // Mirror into the successor list head.
+            if self.successors.first().map(|s| s.id) != Some(info.node.id) {
+                let mut list = vec![info.node];
+                list.extend(self.successors.iter().copied().filter(|s| s.id != info.node.id));
+                list.truncate(self.succ_list_len);
+                self.successors = list;
+            }
+        }
+    }
+
+    /// Iterate `(j, FingerInfo)` over the populated fingers, ascending `j`.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, FingerInfo)> + '_ {
+        self.fingers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|fi| ((i + 1) as u8, fi)))
+    }
+
+    /// The distinct nodes known to this table (fingers + successors +
+    /// predecessor), deduplicated by id.
+    pub fn known_nodes(&self) -> Vec<NodeRef> {
+        let mut out: Vec<NodeRef> = Vec::new();
+        let mut push = |n: NodeRef| {
+            if n.id != self.me.id && !out.iter().any(|o| o.id == n.id) {
+                out.push(n);
+            }
+        };
+        for (_, f) in self.iter() {
+            push(f.node);
+        }
+        for &s in &self.successors {
+            push(s);
+        }
+        if let Some(p) = self.predecessor {
+            push(p);
+        }
+        out
+    }
+
+    /// Closest known node preceding-or-at `key` (the greedy routing helper,
+    /// paper §3.1): the populated finger in `(me, key]` that maximises
+    /// clockwise progress. A finger sitting exactly at `key` owns the key
+    /// and is therefore the best possible hop (this is how N8 reaches N0
+    /// directly in the paper's Fig. 2). Falls back over successors too.
+    pub fn closest_preceding(&self, key: Id) -> Option<NodeRef> {
+        let mut best: Option<NodeRef> = None;
+        let mut best_dist = u64::MAX;
+        let consider = |n: NodeRef, best: &mut Option<NodeRef>, best_dist: &mut u64| {
+            if self.space.in_open_closed(n.id, self.me.id, key) {
+                let d = self.space.dist_cw(n.id, key);
+                if d < *best_dist {
+                    *best_dist = d;
+                    *best = Some(n);
+                }
+            }
+        };
+        // Fingers only: this is what defines the paper's finger routes and
+        // hence the basic-DAT tree shape (e.g. node 13's parent toward key 0
+        // on the Fig. 2 ring is its finger 15, even if its successor list
+        // happens to contain the root).
+        for (_, f) in self.iter() {
+            consider(f.node, &mut best, &mut best_dist);
+        }
+        if best.is_some() {
+            return best;
+        }
+        // Degraded table: fall back on the successor list so routing still
+        // makes progress while fingers are being fixed.
+        for &s in &self.successors {
+            consider(s, &mut best, &mut best_dist);
+        }
+        best
+    }
+
+    /// Number of populated fingers.
+    pub fn populated(&self) -> usize {
+        self.fingers.iter().filter(|f| f.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nr(id: u64) -> NodeRef {
+        NodeRef::new(Id(id), NodeAddr(id))
+    }
+
+    fn table() -> FingerTable {
+        FingerTable::new(IdSpace::new(4), nr(8), 3)
+    }
+
+    #[test]
+    fn successor_mirrors_finger_one() {
+        let mut t = table();
+        t.set_successor(nr(9));
+        assert_eq!(t.successor().unwrap().id, Id(9));
+        assert_eq!(t.finger(1).unwrap().node.id, Id(9));
+        t.set_finger(1, FingerInfo::bare(nr(10)));
+        assert_eq!(t.successor().unwrap().id, Id(10));
+        assert_eq!(t.successor_list()[0].id, Id(10));
+    }
+
+    #[test]
+    fn successor_list_truncated_and_deduped() {
+        let mut t = table();
+        t.set_successor_list(vec![nr(9), nr(10), nr(9), nr(12), nr(14)]);
+        let ids: Vec<u64> = t.successor_list().iter().map(|s| s.id.raw()).collect();
+        assert_eq!(ids, vec![9, 10, 12]);
+    }
+
+    #[test]
+    fn self_references_rejected() {
+        let mut t = table();
+        t.set_successor(nr(8));
+        assert!(t.successor().is_none());
+        t.set_finger(2, FingerInfo::bare(nr(8)));
+        assert!(t.finger(2).is_none());
+        t.set_successor_list(vec![nr(8), nr(9)]);
+        assert_eq!(t.successor().unwrap().id, Id(9));
+    }
+
+    #[test]
+    fn notify_rule() {
+        let mut t = table();
+        assert!(t.notify(nr(3)));
+        assert_eq!(t.predecessor().unwrap().id, Id(3));
+        // 5 ∈ (3, 8): closer predecessor, adopt.
+        assert!(t.notify(nr(5)));
+        assert_eq!(t.predecessor().unwrap().id, Id(5));
+        // 3 ∉ (5, 8): keep 5.
+        assert!(!t.notify(nr(3)));
+        assert_eq!(t.predecessor().unwrap().id, Id(5));
+        // Self is never a predecessor.
+        assert!(!t.notify(nr(8)));
+    }
+
+    #[test]
+    fn closest_preceding_picks_max_progress() {
+        let mut t = table();
+        t.set_finger(1, FingerInfo::bare(nr(9)));
+        t.set_finger(2, FingerInfo::bare(nr(10)));
+        t.set_finger(3, FingerInfo::bare(nr(12)));
+        t.set_finger(4, FingerInfo::bare(nr(0)));
+        // Toward key 0: finger 0 IS the key (and thus owns it) — take it
+        // directly, as N8 does in the paper's Fig. 2.
+        assert_eq!(t.closest_preceding(Id(0)).unwrap().id, Id(0));
+        // Toward key 11: best in (8, 11] is 10.
+        assert_eq!(t.closest_preceding(Id(11)).unwrap().id, Id(10));
+        // Toward key 9: the successor 9 sits exactly at the key.
+        assert_eq!(t.closest_preceding(Id(9)).unwrap().id, Id(9));
+        // Toward key 8 (our own id): the whole ring precedes it; max
+        // progress is the finger just before 8, i.e. 0... none closer than
+        // 12? 12 is at distance 12 from key 8; 0 is at distance 8 — best.
+        assert_eq!(t.closest_preceding(Id(8)).unwrap().id, Id(0));
+    }
+
+    #[test]
+    fn evict_clears_everywhere() {
+        let mut t = table();
+        t.set_successor_list(vec![nr(9), nr(10), nr(12)]);
+        t.set_finger(3, FingerInfo::bare(nr(9)));
+        t.set_predecessor(Some(nr(9)));
+        assert!(t.evict(Id(9)));
+        assert!(t.predecessor().is_none());
+        assert_eq!(t.successor().unwrap().id, Id(10));
+        assert!(t.finger(3).is_none());
+        assert_eq!(t.finger(1).unwrap().node.id, Id(10));
+        assert!(!t.evict(Id(9)));
+    }
+
+    #[test]
+    fn known_nodes_dedup() {
+        let mut t = table();
+        t.set_successor_list(vec![nr(9), nr(10)]);
+        t.set_finger(3, FingerInfo::bare(nr(12)));
+        t.set_predecessor(Some(nr(5)));
+        let mut ids: Vec<u64> = t.known_nodes().iter().map(|n| n.id.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![5, 9, 10, 12]);
+    }
+
+    #[test]
+    fn finger_gap_uses_fof() {
+        let space = IdSpace::new(4);
+        let fi = FingerInfo {
+            node: nr(12),
+            pred: Some(nr(9)),
+            succ: Some(nr(14)),
+        };
+        assert_eq!(fi.gap(space), Some(3));
+        assert_eq!(FingerInfo::bare(nr(12)).gap(space), None);
+    }
+}

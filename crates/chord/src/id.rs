@@ -1,0 +1,367 @@
+//! Circular b-bit identifier space arithmetic.
+//!
+//! Chord structures its identifier space as a cycle of `2^b` (paper §3.1).
+//! All node and key identifiers live in `[0, 2^b)` and every arithmetic
+//! operation is taken modulo `2^b`. This module provides [`Id`] (a thin
+//! newtype over `u64`) and [`IdSpace`], which carries the bit width `b` and
+//! implements the modular operations every other layer builds on.
+//!
+//! The paper writes `DIST(i1, i2) = (i1 + 2^b - i2) mod 2^b`; we expose the
+//! same quantity as [`IdSpace::dist_cw`]`(i2, i1)` — the clockwise distance
+//! travelled when walking from the first argument to the second. Keeping a
+//! single orientation ("from, to") avoids the sign confusions that the
+//! paper's own Fig. 5 narration trips over.
+
+use core::fmt;
+
+/// An identifier in a circular b-bit space.
+///
+/// `Id` deliberately does not implement `Add`/`Sub`: all modular arithmetic
+/// must go through an [`IdSpace`] so the bit width is always explicit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Id(pub u64);
+
+impl Id {
+    /// The zero identifier.
+    pub const ZERO: Id = Id(0);
+
+    /// Raw value of the identifier.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({})", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Id {
+    fn from(v: u64) -> Self {
+        Id(v)
+    }
+}
+
+/// A circular identifier space of `2^bits` identifiers, `1 <= bits <= 64`.
+///
+/// The paper's prototype uses SHA-1 (160-bit) identifiers; we default to a
+/// 64-bit space, which is plenty for up to millions of nodes while letting
+/// arithmetic stay in native integers. All experiments in the paper
+/// (≤ 8192 nodes) are unaffected by the width as long as `2^bits >> n`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct IdSpace {
+    bits: u8,
+}
+
+impl Default for IdSpace {
+    fn default() -> Self {
+        IdSpace::new(64)
+    }
+}
+
+impl IdSpace {
+    /// Create a space of `2^bits` identifiers. Panics unless `1 <= bits <= 64`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=64).contains(&bits), "id space bits must be in 1..=64");
+        IdSpace { bits }
+    }
+
+    /// Bit width `b` of the space.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Number of identifiers `2^b` as `u128` (avoids overflow at b = 64).
+    #[inline]
+    pub fn size(self) -> u128 {
+        1u128 << self.bits
+    }
+
+    /// Bit mask selecting the low `b` bits.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Truncate an arbitrary value into the space.
+    #[inline]
+    pub fn id(self, v: u64) -> Id {
+        Id(v & self.mask())
+    }
+
+    /// `(a + delta) mod 2^b`.
+    #[inline]
+    pub fn add(self, a: Id, delta: u64) -> Id {
+        self.id(a.0.wrapping_add(delta))
+    }
+
+    /// `(a - delta) mod 2^b`.
+    #[inline]
+    pub fn sub(self, a: Id, delta: u64) -> Id {
+        self.id(a.0.wrapping_sub(delta))
+    }
+
+    /// Clockwise distance from `from` to `to`: the number of steps walked in
+    /// increasing-identifier direction to reach `to` from `from`.
+    ///
+    /// Equals the paper's `DIST(to, from)` under its
+    /// `DIST(i1, i2) = (i1 + 2^b − i2) mod 2^b` convention.
+    #[inline]
+    pub fn dist_cw(self, from: Id, to: Id) -> u64 {
+        self.id(to.0.wrapping_sub(from.0)).0
+    }
+
+    /// `true` iff `x ∈ (a, b]` walking clockwise from `a`.
+    ///
+    /// When `a == b` the interval is the whole circle (everything but `a`
+    /// itself is strictly inside, and `b == a` is included), matching the
+    /// Chord paper's conventions for successor checks on a 1-node ring.
+    #[inline]
+    pub fn in_open_closed(self, x: Id, a: Id, b: Id) -> bool {
+        if a == b {
+            return true;
+        }
+        self.dist_cw(a, x) <= self.dist_cw(a, b) && x != a
+    }
+
+    /// `true` iff `x ∈ [a, b)` walking clockwise from `a`.
+    #[inline]
+    pub fn in_closed_open(self, x: Id, a: Id, b: Id) -> bool {
+        if a == b {
+            return true;
+        }
+        x == a || self.dist_cw(a, x) < self.dist_cw(a, b)
+    }
+
+    /// `true` iff `x ∈ (a, b)` walking clockwise from `a`.
+    #[inline]
+    pub fn in_open_open(self, x: Id, a: Id, b: Id) -> bool {
+        if a == b {
+            // Whole circle minus the endpoint.
+            return x != a;
+        }
+        x != a && x != b && self.dist_cw(a, x) < self.dist_cw(a, b)
+    }
+
+    /// Nominal start of the `j`-th finger interval of `v` (1-based):
+    /// `v + 2^(j-1) mod 2^b`. `FINGER(v, j)` is the first node that succeeds
+    /// this point (paper §3.1). Panics unless `1 <= j <= b`.
+    #[inline]
+    pub fn finger_start(self, v: Id, j: u8) -> Id {
+        assert!(
+            (1..=self.bits).contains(&j),
+            "finger index {j} out of range 1..={}",
+            self.bits
+        );
+        self.add(v, 1u64 << (j - 1))
+    }
+
+    /// Nominal offset of the `j`-th finger: `2^(j-1)`.
+    #[inline]
+    pub fn finger_offset(self, j: u8) -> u64 {
+        assert!((1..=self.bits).contains(&j));
+        1u64 << (j - 1)
+    }
+
+    /// Midpoint of the clockwise arc from `a` to `b` — used by identifier
+    /// probing to split the largest gap. For a zero-length arc returns `a`.
+    #[inline]
+    pub fn midpoint(self, a: Id, b: Id) -> Id {
+        let d = self.dist_cw(a, b);
+        self.add(a, d / 2)
+    }
+
+    /// Draw a uniformly random identifier from the space.
+    pub fn random<R: rand::Rng + ?Sized>(self, rng: &mut R) -> Id {
+        self.id(rng.random::<u64>())
+    }
+}
+
+/// Exact integer `⌈log2(x)⌉` for `x >= 1`. `ceil_log2(1) == 0`.
+#[inline]
+pub fn ceil_log2(x: u128) -> u32 {
+    assert!(x >= 1, "ceil_log2 of zero");
+    if x == 1 {
+        0
+    } else {
+        128 - (x - 1).leading_zeros()
+    }
+}
+
+/// Exact integer `⌈log2(num/den)⌉` for a positive rational `num/den`:
+/// the minimal `k >= 0` with `den * 2^k >= num`. Requires `num >= den`
+/// callers wanting non-negative results; for `num < den` returns 0 (the
+/// identifier-space quantities the paper feeds in are always >= 1).
+#[inline]
+pub fn ceil_log2_ratio(num: u128, den: u128) -> u32 {
+    assert!(den > 0, "ceil_log2_ratio with zero denominator");
+    assert!(num > 0, "ceil_log2_ratio with zero numerator");
+    if num <= den {
+        return 0;
+    }
+    // Minimal k with den << k >= num. num/den <= 2^127 always holds for the
+    // id-space magnitudes we use (num <= 3 * 2^64), so the shift is safe.
+    let q = num.div_ceil(den);
+    ceil_log2(q).min(127) // ⌈log2⌈num/den⌉⌉ == ⌈log2(num/den)⌉ for integers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_and_truncation() {
+        let s = IdSpace::new(4);
+        assert_eq!(s.mask(), 0xF);
+        assert_eq!(s.id(16), Id(0));
+        assert_eq!(s.id(31), Id(15));
+        let s64 = IdSpace::new(64);
+        assert_eq!(s64.mask(), u64::MAX);
+        assert_eq!(s64.size(), 1u128 << 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_rejected() {
+        IdSpace::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_bits_rejected() {
+        IdSpace::new(65);
+    }
+
+    #[test]
+    fn add_sub_wrap() {
+        let s = IdSpace::new(4);
+        assert_eq!(s.add(Id(15), 1), Id(0));
+        assert_eq!(s.add(Id(15), 17), Id(0));
+        assert_eq!(s.sub(Id(0), 1), Id(15));
+        assert_eq!(s.sub(Id(3), 19), Id(0));
+    }
+
+    #[test]
+    fn dist_cw_matches_paper_examples() {
+        let s = IdSpace::new(4);
+        // Walking clockwise from 8 to 0 in a 16-id space covers 8 steps —
+        // the x = 8 of the paper's N8 example (§3.4).
+        assert_eq!(s.dist_cw(Id(8), Id(0)), 8);
+        assert_eq!(s.dist_cw(Id(0), Id(8)), 8);
+        assert_eq!(s.dist_cw(Id(1), Id(0)), 15);
+        assert_eq!(s.dist_cw(Id(5), Id(5)), 0);
+    }
+
+    #[test]
+    fn dist_cw_full_width() {
+        let s = IdSpace::new(64);
+        assert_eq!(s.dist_cw(Id(u64::MAX), Id(0)), 1);
+        assert_eq!(s.dist_cw(Id(0), Id(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn interval_open_closed() {
+        let s = IdSpace::new(4);
+        assert!(s.in_open_closed(Id(5), Id(4), Id(5)));
+        assert!(!s.in_open_closed(Id(4), Id(4), Id(5)));
+        // Wrapping interval (14, 2]
+        assert!(s.in_open_closed(Id(15), Id(14), Id(2)));
+        assert!(s.in_open_closed(Id(0), Id(14), Id(2)));
+        assert!(s.in_open_closed(Id(2), Id(14), Id(2)));
+        assert!(!s.in_open_closed(Id(14), Id(14), Id(2)));
+        assert!(!s.in_open_closed(Id(3), Id(14), Id(2)));
+        // Degenerate a == b: whole circle except a.
+        assert!(s.in_open_closed(Id(9), Id(3), Id(3)));
+        assert!(s.in_open_closed(Id(3), Id(3), Id(3))); // b itself included
+    }
+
+    #[test]
+    fn interval_closed_open_and_open_open() {
+        let s = IdSpace::new(4);
+        assert!(s.in_closed_open(Id(4), Id(4), Id(5)));
+        assert!(!s.in_closed_open(Id(5), Id(4), Id(5)));
+        assert!(s.in_open_open(Id(15), Id(14), Id(2)));
+        assert!(!s.in_open_open(Id(2), Id(14), Id(2)));
+        assert!(!s.in_open_open(Id(14), Id(14), Id(2)));
+        assert!(s.in_open_open(Id(9), Id(3), Id(3)));
+        assert!(!s.in_open_open(Id(3), Id(3), Id(3)));
+    }
+
+    #[test]
+    fn finger_starts() {
+        let s = IdSpace::new(4);
+        // N8's finger interval starts: 9, 10, 12, 0 (paper Fig. 2).
+        assert_eq!(s.finger_start(Id(8), 1), Id(9));
+        assert_eq!(s.finger_start(Id(8), 2), Id(10));
+        assert_eq!(s.finger_start(Id(8), 3), Id(12));
+        assert_eq!(s.finger_start(Id(8), 4), Id(0));
+    }
+
+    #[test]
+    fn midpoint_splits_gaps() {
+        let s = IdSpace::new(4);
+        assert_eq!(s.midpoint(Id(0), Id(8)), Id(4));
+        assert_eq!(s.midpoint(Id(14), Id(2)), Id(0));
+        assert_eq!(s.midpoint(Id(5), Id(5)), Id(5));
+        assert_eq!(s.midpoint(Id(5), Id(6)), Id(5));
+    }
+
+    #[test]
+    fn ceil_log2_small_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 40), 40);
+        assert_eq!(ceil_log2((1 << 40) + 1), 41);
+    }
+
+    #[test]
+    fn ceil_log2_ratio_matches_paper_g_of_x() {
+        // g(x) = ceil(log2((x + 2 d0) / 3)) with d0 = 1:
+        // x = 8 -> ceil(log2(10/3)) = 2 (paper's N8 example).
+        assert_eq!(ceil_log2_ratio(8 + 2, 3), 2);
+        // x = 1 -> ceil(log2(3/3)) = 0.
+        assert_eq!(ceil_log2_ratio(1 + 2, 3), 0);
+        // x = 2 -> ceil(log2(4/3)) = 1.
+        assert_eq!(ceil_log2_ratio(2 + 2, 3), 1);
+        // x = 4 -> ceil(log2(6/3)) = 1.
+        assert_eq!(ceil_log2_ratio(4 + 2, 3), 1);
+        // x = 5 -> ceil(log2(7/3)) = 2.
+        assert_eq!(ceil_log2_ratio(5 + 2, 3), 2);
+    }
+
+    #[test]
+    fn ceil_log2_ratio_degenerate() {
+        assert_eq!(ceil_log2_ratio(1, 5), 0);
+        assert_eq!(ceil_log2_ratio(5, 5), 0);
+        assert_eq!(ceil_log2_ratio(6, 5), 1);
+    }
+
+    #[test]
+    fn random_ids_in_space() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let s = IdSpace::new(10);
+        for _ in 0..1000 {
+            let id = s.random(&mut rng);
+            assert!(id.raw() < 1024);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-node message counters.
+//!
+//! The paper's evaluation is largely message-count based: the distribution
+//! of aggregation messages across nodes (Fig. 8a), imbalance factors
+//! (Fig. 8b) and maintenance overhead during churn. [`Metrics`] tallies
+//! sends and receives per message kind so experiments can slice traffic by
+//! category without instrumenting transports.
+
+use std::collections::HashMap;
+
+use crate::msg::ChordMsg;
+
+/// Message counters kept by every protocol node.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    sent: HashMap<&'static str, u64>,
+    received: HashMap<&'static str, u64>,
+    /// Requests that expired in the pending table.
+    pub timeouts: u64,
+    /// Messages dropped (hop budget, inactive node, empty table).
+    pub dropped: u64,
+}
+
+impl Metrics {
+    /// Record an outgoing message.
+    pub fn count_sent(&mut self, msg: &ChordMsg) {
+        *self.sent.entry(msg.kind()).or_insert(0) += 1;
+    }
+
+    /// Record an incoming message.
+    pub fn count_received(&mut self, msg: &ChordMsg) {
+        *self.received.entry(msg.kind()).or_insert(0) += 1;
+    }
+
+    /// Record an outgoing message by kind label (for layers above Chord).
+    pub fn count_sent_kind(&mut self, kind: &'static str) {
+        *self.sent.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record an incoming message by kind label (for layers above Chord).
+    pub fn count_received_kind(&mut self, kind: &'static str) {
+        *self.received.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Total messages sent.
+    pub fn sent_total(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total messages received.
+    pub fn received_total(&self) -> u64 {
+        self.received.values().sum()
+    }
+
+    /// Messages sent of a given kind.
+    pub fn sent_of(&self, kind: &str) -> u64 {
+        self.sent.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages received of a given kind.
+    pub fn received_of(&self, kind: &str) -> u64 {
+        self.received.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Sum of sent counts over `kinds`.
+    pub fn sent_of_kinds(&self, kinds: &[&str]) -> u64 {
+        kinds.iter().map(|k| self.sent_of(k)).sum()
+    }
+
+    /// Sum of received counts over `kinds`.
+    pub fn received_of_kinds(&self, kinds: &[&str]) -> u64 {
+        kinds.iter().map(|k| self.received_of(k)).sum()
+    }
+
+    /// Iterate `(kind, sent, received)` over every kind seen.
+    pub fn by_kind(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut kinds: Vec<&'static str> = self
+            .sent
+            .keys()
+            .chain(self.received.keys())
+            .copied()
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+            .into_iter()
+            .map(|k| (k, self.sent_of(k), self.received_of(k)))
+            .collect()
+    }
+
+    /// Merge another metrics snapshot into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.sent {
+            *self.sent.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.received {
+            *self.received.entry(k).or_insert(0) += v;
+        }
+        self.timeouts += other.timeouts;
+        self.dropped += other.dropped;
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&mut self) {
+        self.sent.clear();
+        self.received.clear();
+        self.timeouts = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finger::{NodeAddr, NodeRef};
+    use crate::id::Id;
+
+    fn ping() -> ChordMsg {
+        ChordMsg::Ping {
+            req: 1,
+            sender: NodeRef::new(Id(0), NodeAddr(0)),
+        }
+    }
+
+    #[test]
+    fn counting_and_totals() {
+        let mut m = Metrics::default();
+        m.count_sent(&ping());
+        m.count_sent(&ping());
+        m.count_received(&ping());
+        assert_eq!(m.sent_total(), 2);
+        assert_eq!(m.received_total(), 1);
+        assert_eq!(m.sent_of("ping"), 2);
+        assert_eq!(m.sent_of("pong"), 0);
+    }
+
+    #[test]
+    fn custom_kinds_and_merge() {
+        let mut a = Metrics::default();
+        a.count_sent_kind("dat_update");
+        a.count_received_kind("dat_update");
+        let mut b = Metrics::default();
+        b.count_sent_kind("dat_update");
+        b.timeouts = 3;
+        a.merge(&b);
+        assert_eq!(a.sent_of("dat_update"), 2);
+        assert_eq!(a.received_of("dat_update"), 1);
+        assert_eq!(a.timeouts, 3);
+    }
+
+    #[test]
+    fn by_kind_sorted() {
+        let mut m = Metrics::default();
+        m.count_sent_kind("zeta");
+        m.count_received_kind("alpha");
+        let rows = m.by_kind();
+        assert_eq!(rows[0].0, "alpha");
+        assert_eq!(rows[1].0, "zeta");
+        assert_eq!(rows, vec![("alpha", 0, 1), ("zeta", 1, 0)]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Metrics::default();
+        m.count_sent(&ping());
+        m.dropped = 2;
+        m.reset();
+        assert_eq!(m.sent_total(), 0);
+        assert_eq!(m.dropped, 0);
+    }
+}

@@ -1,0 +1,1419 @@
+//! The sans-io Chord protocol node.
+//!
+//! [`ChordNode`] implements ring creation, joining (optionally with
+//! identifier probing, §3.5/§4), recursive greedy lookup routing,
+//! stabilization, finger fixing with FOF refresh, predecessor liveness
+//! checking, graceful departure, application payload routing and ring
+//! broadcast. It performs no I/O: hosts feed [`Input`]s and interpret the
+//! returned [`Output`]s, which is what lets the identical protocol code run
+//! over both the discrete-event simulator and the UDP RPC transport, as in
+//! the paper's prototype (§4).
+
+use std::collections::HashMap;
+
+use crate::finger::{FingerInfo, FingerTable, NodeAddr, NodeRef};
+use crate::id::{Id, IdSpace};
+use crate::metrics::Metrics;
+use crate::msg::{ChordMsg, Input, Output, ReqId, TimerKind, Upcall};
+
+/// Tunables for the Chord layer. Times are in host milliseconds (virtual
+/// milliseconds under simulation).
+#[derive(Clone, Copy, Debug)]
+pub struct ChordConfig {
+    /// Identifier space width.
+    pub space: IdSpace,
+    /// Successor-list length (fault tolerance).
+    pub succ_list_len: usize,
+    /// Stabilization period.
+    pub stabilize_ms: u64,
+    /// Finger-fixing period (one finger per firing, round-robin).
+    pub fix_fingers_ms: u64,
+    /// Predecessor liveness-check period.
+    pub check_pred_ms: u64,
+    /// Per-request timeout.
+    pub req_timeout_ms: u64,
+    /// Hop budget for recursive routing (loop protection during churn).
+    pub max_hops: u32,
+    /// Use identifier probing at join time (§3.5).
+    pub probe_on_join: bool,
+    /// Give up joining after this many attempts.
+    pub max_join_retries: u32,
+    /// Refresh the FOF data of one finger every `fof_refresh_every`-th
+    /// finger-fix firing (0 disables FOF refresh).
+    pub fof_refresh_every: u32,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            space: IdSpace::new(64),
+            succ_list_len: 8,
+            stabilize_ms: 500,
+            fix_fingers_ms: 250,
+            check_pred_ms: 1_000,
+            req_timeout_ms: 2_000,
+            max_hops: 160,
+            probe_on_join: false,
+            max_join_retries: 8,
+            fof_refresh_every: 4,
+        }
+    }
+}
+
+/// Lifecycle of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeStatus {
+    /// Constructed, not yet started.
+    Created,
+    /// Join protocol in progress.
+    Joining,
+    /// Full ring member.
+    Active,
+    /// Gracefully departed; ignores all traffic.
+    Departed,
+}
+
+/// What an outstanding request is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pending {
+    /// Probe-join phase 1: find the successor of a random anchor id.
+    JoinFindAnchor,
+    /// Probe-join phase 2: waiting for the designated identifier.
+    ProbeJoin,
+    /// Final join phase: find the successor of our own identifier.
+    JoinFindSuccessor,
+    /// Stabilization round: `GetNeighbors` to our successor.
+    Stabilize,
+    /// Fixing finger `j`.
+    FixFinger(u8),
+    /// Refreshing the FOF data of finger `j`.
+    FofRefresh(u8),
+    /// Application lookup.
+    Lookup,
+    /// Predecessor liveness ping.
+    PingPred,
+    /// Generic liveness ping to an arbitrary node (evicted on timeout).
+    PingNode,
+}
+
+/// The Chord protocol state machine.
+pub struct ChordNode {
+    cfg: ChordConfig,
+    table: FingerTable,
+    status: NodeStatus,
+    bootstrap: Option<NodeRef>,
+    next_req: ReqId,
+    next_finger: u8,
+    fix_round: u32,
+    join_attempts: u32,
+    pending: HashMap<ReqId, Pending>,
+    /// The node each outstanding request was sent to — evicted from the
+    /// table if the request times out (failure suspicion).
+    pending_targets: HashMap<ReqId, Id>,
+    /// Consecutive timeout strikes per suspected node; eviction needs two,
+    /// so one lost datagram on a lossy network does not tear down a live
+    /// neighbor. Any reply from the node clears its strikes.
+    strikes: HashMap<Id, u8>,
+    metrics: Metrics,
+}
+
+impl ChordNode {
+    /// Create a node with identifier `id` reachable at `addr`.
+    pub fn new(cfg: ChordConfig, id: Id, addr: NodeAddr) -> Self {
+        let me = NodeRef::new(cfg.space.id(id.raw()), addr);
+        let table = FingerTable::new(cfg.space, me, cfg.succ_list_len);
+        ChordNode {
+            cfg,
+            table,
+            status: NodeStatus::Created,
+            bootstrap: None,
+            // Seed request ids with the address so traces are readable;
+            // only local uniqueness matters.
+            next_req: addr.0 << 20,
+            next_finger: 2,
+            fix_round: 0,
+            join_attempts: 0,
+            pending: HashMap::new(),
+            pending_targets: HashMap::new(),
+            strikes: HashMap::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// This node's reference (id may change during a probing join).
+    pub fn me(&self) -> NodeRef {
+        self.table.me()
+    }
+
+    /// Identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.cfg.space
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    /// The routing state (read-only).
+    pub fn table(&self) -> &FingerTable {
+        &self.table
+    }
+
+    /// Message counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to counters (hosts may fold transport-level stats in).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &ChordConfig {
+        &self.cfg
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    /// Does this node currently own `key`?
+    pub fn owns(&self, key: Id) -> bool {
+        match self.table.predecessor() {
+            Some(p) => self.cfg.space.in_open_closed(key, p.id, self.me().id),
+            // Alone on the ring: owner of everything.
+            None => self.table.successor().is_none(),
+        }
+    }
+
+    fn send(&mut self, out: &mut Vec<Output>, to: NodeRef, msg: ChordMsg) {
+        self.metrics.count_sent(&msg);
+        out.push(Output::Send { to, msg });
+    }
+
+    fn arm(&self, out: &mut Vec<Output>, kind: TimerKind, delay_ms: u64) {
+        out.push(Output::SetTimer { kind, delay_ms });
+    }
+
+    fn track(&mut self, out: &mut Vec<Output>, req: ReqId, kind: Pending) {
+        self.pending.insert(req, kind);
+        self.arm(out, TimerKind::ReqTimeout(req), self.cfg.req_timeout_ms);
+    }
+
+    /// Track a request and remember its direct target, which will be
+    /// suspected (evicted from the table) if the request times out.
+    fn track_to(&mut self, out: &mut Vec<Output>, req: ReqId, kind: Pending, target: NodeRef) {
+        self.pending_targets.insert(req, target.id);
+        self.track(out, req, kind);
+    }
+
+    fn untrack(&mut self, req: ReqId) -> Option<Pending> {
+        self.pending_targets.remove(&req);
+        self.pending.remove(&req)
+    }
+
+    /// Start as the first node of a new ring.
+    pub fn start_create(&mut self) -> Vec<Output> {
+        assert_eq!(self.status, NodeStatus::Created, "already started");
+        let mut out = Vec::new();
+        self.status = NodeStatus::Active;
+        self.arm_periodic(&mut out);
+        out.push(Output::Upcall(Upcall::Joined { id: self.me().id }));
+        out
+    }
+
+    /// Start with a fully materialised routing table (e.g. produced by
+    /// [`crate::ring::StaticRing::table_of`]) and become active immediately,
+    /// skipping the join protocol. Experiment harnesses use this to build
+    /// large pre-stabilized overlays in O(n log n) without simulating
+    /// thousands of joins.
+    pub fn start_with_table(&mut self, table: FingerTable) -> Vec<Output> {
+        assert_eq!(self.status, NodeStatus::Created, "already started");
+        assert_eq!(
+            table.me().id,
+            self.me().id,
+            "table belongs to a different node"
+        );
+        self.table = table;
+        self.status = NodeStatus::Active;
+        let mut out = Vec::new();
+        self.arm_periodic(&mut out);
+        out.push(Output::Upcall(Upcall::Joined { id: self.me().id }));
+        out
+    }
+
+    /// Start joining an existing ring through `bootstrap`.
+    pub fn start_join(&mut self, bootstrap: NodeRef) -> Vec<Output> {
+        assert_eq!(self.status, NodeStatus::Created, "already started");
+        self.status = NodeStatus::Joining;
+        self.bootstrap = Some(bootstrap);
+        let mut out = Vec::new();
+        self.begin_join_attempt(&mut out);
+        out
+    }
+
+    fn begin_join_attempt(&mut self, out: &mut Vec<Output>) {
+        let bootstrap = self.bootstrap.expect("join without bootstrap");
+        let req = self.fresh_req();
+        let kind = if self.cfg.probe_on_join {
+            Pending::JoinFindAnchor
+        } else {
+            Pending::JoinFindSuccessor
+        };
+        let msg = ChordMsg::FindSuccessor {
+            req,
+            key: self.me().id,
+            origin: self.me(),
+            hops: 0,
+        };
+        self.send(out, bootstrap, msg);
+        self.track(out, req, kind);
+    }
+
+    fn arm_periodic(&self, out: &mut Vec<Output>) {
+        self.arm(out, TimerKind::Stabilize, self.cfg.stabilize_ms);
+        self.arm(out, TimerKind::FixFingers, self.cfg.fix_fingers_ms);
+        self.arm(out, TimerKind::CheckPredecessor, self.cfg.check_pred_ms);
+    }
+
+    /// Issue an application lookup for `key`. Completion is reported via
+    /// [`Upcall::LookupDone`] / [`Upcall::LookupFailed`] carrying the
+    /// returned request id.
+    pub fn lookup(&mut self, key: Id) -> (ReqId, Vec<Output>) {
+        let mut out = Vec::new();
+        let req = self.fresh_req();
+        if self.owns(key) {
+            out.push(Output::Upcall(Upcall::LookupDone {
+                req,
+                owner: self.me(),
+                owner_pred: self.table.predecessor(),
+                hops: 0,
+            }));
+            return (req, out);
+        }
+        let msg = ChordMsg::FindSuccessor {
+            req,
+            key,
+            origin: self.me(),
+            hops: 0,
+        };
+        match self.next_hop(key) {
+            Some(next) => {
+                self.send(&mut out, next, msg);
+                self.track_to(&mut out, req, Pending::Lookup, next);
+            }
+            None => out.push(Output::Upcall(Upcall::LookupFailed { req })),
+        }
+        (req, out)
+    }
+
+    /// Route an opaque payload to the owner of `key`
+    /// ([`Upcall::Routed`] fires there).
+    pub fn route(&mut self, key: Id, payload: Vec<u8>) -> Vec<Output> {
+        let mut out = Vec::new();
+        if self.owns(key) {
+            out.push(Output::Upcall(Upcall::Routed {
+                key,
+                payload,
+                origin: self.me(),
+                hops: 0,
+            }));
+            return out;
+        }
+        let msg = ChordMsg::Route {
+            key,
+            payload,
+            origin: self.me(),
+            hops: 0,
+        };
+        if let Some(next) = self.next_hop(key) {
+            self.send(&mut out, next, msg);
+        }
+        out
+    }
+
+    /// Broadcast a payload to every ring member (the `broadcast` primitive
+    /// of §4). The local upcall fires immediately; remote nodes receive
+    /// [`Upcall::Broadcast`] exactly once on a stable ring.
+    pub fn broadcast(&mut self, payload: Vec<u8>) -> Vec<Output> {
+        let mut out = Vec::new();
+        let me = self.me();
+        out.push(Output::Upcall(Upcall::Broadcast {
+            payload: payload.clone(),
+            origin: me,
+            depth: 0,
+            limit: me.id,
+        }));
+        self.fan_out(&mut out, me.id, &payload, me, 0);
+        out
+    }
+
+    /// Probe an arbitrary node's liveness. If no pong arrives within the
+    /// request timeout the node is evicted from the routing table (failure
+    /// suspicion) — upper layers use this to detect dead DAT parents.
+    pub fn ping_node(&mut self, target: NodeRef) -> Vec<Output> {
+        let mut out = Vec::new();
+        if target.id == self.me().id || self.status != NodeStatus::Active {
+            return out;
+        }
+        let req = self.fresh_req();
+        let msg = ChordMsg::Ping {
+            req,
+            sender: self.me(),
+        };
+        self.send(&mut out, target, msg);
+        self.track_to(&mut out, req, Pending::PingNode, target);
+        out
+    }
+
+    /// Send a direct application-layer message to `to` (single hop, no
+    /// routing). The remote side receives [`Upcall::AppMessage`].
+    pub fn send_app(&mut self, to: NodeRef, proto: u8, payload: Vec<u8>) -> Output {
+        let msg = ChordMsg::App {
+            proto,
+            from: self.me(),
+            payload,
+        };
+        self.metrics.count_sent(&msg);
+        Output::Send { to, msg }
+    }
+
+    /// Arm an application-layer timer (surfaces as [`Upcall::AppTimer`]).
+    pub fn app_timer(&self, sub: u64, delay_ms: u64) -> Output {
+        Output::SetTimer {
+            kind: TimerKind::App(sub),
+            delay_ms,
+        }
+    }
+
+    /// Gracefully leave the ring.
+    pub fn leave(&mut self) -> Vec<Output> {
+        let mut out = Vec::new();
+        if self.status != NodeStatus::Active {
+            self.status = NodeStatus::Departed;
+            return out;
+        }
+        let me = self.me();
+        if let Some(p) = self.table.predecessor() {
+            let msg = ChordMsg::LeaveToPred {
+                leaver: me,
+                succ_list: self.table.successor_list().to_vec(),
+            };
+            self.send(&mut out, p, msg);
+        }
+        if let Some(s) = self.table.successor() {
+            let msg = ChordMsg::LeaveToSucc {
+                leaver: me,
+                pred: self.table.predecessor(),
+            };
+            self.send(&mut out, s, msg);
+        }
+        self.status = NodeStatus::Departed;
+        self.pending.clear();
+        out
+    }
+
+    /// Greedy next hop toward `key`; `None` when the table is empty.
+    fn next_hop(&self, key: Id) -> Option<NodeRef> {
+        let space = self.cfg.space;
+        let succ = self.table.successor()?;
+        if space.in_open_closed(key, self.me().id, succ.id) {
+            return Some(succ);
+        }
+        self.table.closest_preceding(key).or(Some(succ))
+    }
+
+    /// Drive one input through the state machine.
+    pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        let mut out = Vec::new();
+        if self.status == NodeStatus::Departed {
+            return out;
+        }
+        match input {
+            Input::Timer(kind) => self.on_timer(kind, &mut out),
+            Input::Message { from, msg } => {
+                self.metrics.count_received(&msg);
+                self.on_message(from, msg, &mut out);
+            }
+        }
+        out
+    }
+
+    fn on_timer(&mut self, kind: TimerKind, out: &mut Vec<Output>) {
+        match kind {
+            TimerKind::Stabilize => {
+                if self.status == NodeStatus::Active {
+                    if let Some(s) = self.table.successor() {
+                        let req = self.fresh_req();
+                        let msg = ChordMsg::GetNeighbors {
+                            req,
+                            sender: self.me(),
+                        };
+                        self.send(out, s, msg);
+                        self.track_to(out, req, Pending::Stabilize, s);
+                    }
+                }
+                self.arm(out, TimerKind::Stabilize, self.cfg.stabilize_ms);
+            }
+            TimerKind::FixFingers => {
+                if self.status == NodeStatus::Active {
+                    self.fix_next_finger(out);
+                }
+                self.arm(out, TimerKind::FixFingers, self.cfg.fix_fingers_ms);
+            }
+            TimerKind::CheckPredecessor => {
+                if self.status == NodeStatus::Active {
+                    if let Some(p) = self.table.predecessor() {
+                        let req = self.fresh_req();
+                        let msg = ChordMsg::Ping {
+                            req,
+                            sender: self.me(),
+                        };
+                        self.send(out, p, msg);
+                        self.track_to(out, req, Pending::PingPred, p);
+                    }
+                }
+                self.arm(out, TimerKind::CheckPredecessor, self.cfg.check_pred_ms);
+            }
+            TimerKind::ReqTimeout(req) => self.on_req_timeout(req, out),
+            TimerKind::App(sub) => out.push(Output::Upcall(Upcall::AppTimer(sub))),
+        }
+    }
+
+    fn fix_next_finger(&mut self, out: &mut Vec<Output>) {
+        self.fix_round = self.fix_round.wrapping_add(1);
+        // Periodically refresh FOF data of an existing finger instead of
+        // re-looking one up; probing and child computation depend on it.
+        if self.cfg.fof_refresh_every > 0 && self.fix_round % self.cfg.fof_refresh_every == 0 {
+            let target = self
+                .table
+                .iter()
+                .map(|(j, f)| (j, f))
+                .nth((self.fix_round / self.cfg.fof_refresh_every) as usize % self.table.populated().max(1));
+            if let Some((j, f)) = target {
+                let req = self.fresh_req();
+                let msg = ChordMsg::GetNeighbors {
+                    req,
+                    sender: self.me(),
+                };
+                self.send(out, f.node, msg);
+                self.track_to(out, req, Pending::FofRefresh(j), f.node);
+                return;
+            }
+        }
+        let bits = self.cfg.space.bits();
+        let j = self.next_finger;
+        self.next_finger = if self.next_finger >= bits {
+            2
+        } else {
+            self.next_finger + 1
+        };
+        let target = self.cfg.space.finger_start(self.me().id, j);
+        if self.owns(target) {
+            // The finger interval wraps back to ourselves: no such finger.
+            return;
+        }
+        let req = self.fresh_req();
+        let msg = ChordMsg::FindSuccessor {
+            req,
+            key: target,
+            origin: self.me(),
+            hops: 0,
+        };
+        if let Some(next) = self.next_hop(target) {
+            self.send(out, next, msg);
+            self.track_to(out, req, Pending::FixFinger(j), next);
+        }
+    }
+
+    fn on_req_timeout(&mut self, req: ReqId, out: &mut Vec<Output>) {
+        // Capture the direct target before untracking clears it.
+        let suspect = self.pending_targets.get(&req).copied();
+        let Some(kind) = self.untrack(req) else {
+            return; // answered in time
+        };
+        // Suspect the node that failed to answer. Two consecutive strikes
+        // are required before eviction so a single lost datagram on a lossy
+        // network cannot tear down a live neighbor; finger fixing relearns
+        // genuinely-alive nodes either way.
+        if let Some(dead) = suspect {
+            let s = self.strikes.entry(dead).or_insert(0);
+            *s += 1;
+            if *s >= 2 {
+                self.strikes.remove(&dead);
+                if self.table.evict(dead) {
+                    out.push(Output::Upcall(Upcall::NeighborhoodChanged));
+                }
+            }
+        }
+        self.metrics.timeouts += 1;
+        match kind {
+            Pending::JoinFindAnchor | Pending::ProbeJoin | Pending::JoinFindSuccessor => {
+                self.join_attempts += 1;
+                if self.join_attempts >= self.cfg.max_join_retries {
+                    out.push(Output::Upcall(Upcall::JoinFailed));
+                } else {
+                    self.begin_join_attempt(out);
+                }
+            }
+            // Stabilize / predecessor-ping targets were already evicted by
+            // the generic suspicion above (they were tracked with
+            // `track_to`); the successor list/notify machinery re-links.
+            Pending::Stabilize | Pending::PingPred => {}
+            Pending::Lookup => out.push(Output::Upcall(Upcall::LookupFailed { req })),
+            // The generic suspect-eviction above already handled the target.
+            Pending::PingNode => {}
+            Pending::FixFinger(_) | Pending::FofRefresh(_) => {}
+        }
+    }
+
+    fn on_message(&mut self, from: NodeAddr, msg: ChordMsg, out: &mut Vec<Output>) {
+        let _ = from;
+        match msg {
+            ChordMsg::FindSuccessor {
+                req,
+                key,
+                origin,
+                hops,
+            } => self.on_find_successor(req, key, origin, hops, out),
+            ChordMsg::FoundSuccessor {
+                req,
+                owner,
+                owner_pred,
+                owner_succ,
+                hops,
+            } => self.on_found_successor(req, owner, owner_pred, owner_succ, hops, out),
+            ChordMsg::GetNeighbors { req, sender } => {
+                let reply = ChordMsg::Neighbors {
+                    req,
+                    me: self.me(),
+                    pred: self.table.predecessor(),
+                    succ_list: self.table.successor_list().to_vec(),
+                };
+                self.send(out, sender, reply);
+            }
+            ChordMsg::Neighbors {
+                req,
+                me: responder,
+                pred,
+                succ_list,
+            } => self.on_neighbors(req, responder, pred, succ_list, out),
+            ChordMsg::Notify { sender } => {
+                let mut changed = self.table.notify(sender);
+                // Bootstrap case: a lone ring creator adopts its first
+                // notifier as successor.
+                if self.table.successor().is_none() {
+                    self.table.set_successor(sender);
+                    changed = true;
+                }
+                if changed {
+                    out.push(Output::Upcall(Upcall::NeighborhoodChanged));
+                }
+            }
+            ChordMsg::Ping { req, sender } => {
+                let reply = ChordMsg::Pong {
+                    req,
+                    sender: self.me(),
+                };
+                self.send(out, sender, reply);
+            }
+            ChordMsg::Pong { req, sender } => {
+                self.strikes.remove(&sender.id);
+                self.untrack(req);
+            }
+            ChordMsg::ProbeJoin { req, origin } => {
+                let designated = self.designate_id();
+                let reply = ChordMsg::ProbeJoinReply { req, designated };
+                self.send(out, origin, reply);
+            }
+            ChordMsg::ProbeJoinReply { req, designated } => {
+                if self.untrack(req) != Some(Pending::ProbeJoin) {
+                    return;
+                }
+                self.adopt_id(designated);
+                let bootstrap = self.bootstrap.expect("probing join without bootstrap");
+                let req = self.fresh_req();
+                let msg = ChordMsg::FindSuccessor {
+                    req,
+                    key: self.me().id,
+                    origin: self.me(),
+                    hops: 0,
+                };
+                self.send(out, bootstrap, msg);
+                self.track(out, req, Pending::JoinFindSuccessor);
+            }
+            ChordMsg::LeaveToPred { leaver, succ_list } => {
+                if self.table.successor().map(|s| s.id) == Some(leaver.id) {
+                    self.table.evict(leaver.id);
+                    self.table.set_successor_list(succ_list);
+                    out.push(Output::Upcall(Upcall::NeighborhoodChanged));
+                } else {
+                    self.table.evict(leaver.id);
+                }
+            }
+            ChordMsg::LeaveToSucc { leaver, pred } => {
+                if self.table.predecessor().map(|p| p.id) == Some(leaver.id) {
+                    self.table.evict(leaver.id);
+                    self.table.set_predecessor(pred.filter(|p| p.id != self.me().id));
+                    out.push(Output::Upcall(Upcall::NeighborhoodChanged));
+                } else {
+                    self.table.evict(leaver.id);
+                }
+            }
+            ChordMsg::Route {
+                key,
+                payload,
+                origin,
+                hops,
+            } => {
+                if hops >= self.cfg.max_hops {
+                    self.metrics.dropped += 1;
+                    return;
+                }
+                if self.owns(key) {
+                    out.push(Output::Upcall(Upcall::Routed {
+                        key,
+                        payload,
+                        origin,
+                        hops,
+                    }));
+                } else if let Some(next) = self.next_hop(key) {
+                    let fwd = ChordMsg::Route {
+                        key,
+                        payload,
+                        origin,
+                        hops: hops + 1,
+                    };
+                    self.send(out, next, fwd);
+                } else {
+                    self.metrics.dropped += 1;
+                }
+            }
+            ChordMsg::App {
+                proto,
+                from,
+                payload,
+            } => {
+                out.push(Output::Upcall(Upcall::AppMessage {
+                    proto,
+                    from,
+                    payload,
+                }));
+            }
+            ChordMsg::Broadcast {
+                limit,
+                payload,
+                origin,
+                depth,
+            } => {
+                out.push(Output::Upcall(Upcall::Broadcast {
+                    payload: payload.clone(),
+                    origin,
+                    depth,
+                    limit,
+                }));
+                self.fan_out(out, limit, &payload, origin, depth + 1);
+            }
+        }
+    }
+
+    fn on_find_successor(
+        &mut self,
+        req: ReqId,
+        key: Id,
+        origin: NodeRef,
+        hops: u32,
+        out: &mut Vec<Output>,
+    ) {
+        if hops >= self.cfg.max_hops {
+            self.metrics.dropped += 1;
+            return;
+        }
+        if self.status != NodeStatus::Active {
+            // Joining nodes cannot serve lookups; origin will retry.
+            self.metrics.dropped += 1;
+            return;
+        }
+        if self.owns(key) {
+            let reply = ChordMsg::FoundSuccessor {
+                req,
+                owner: self.me(),
+                owner_pred: self.table.predecessor(),
+                owner_succ: self.table.successor(),
+                hops,
+            };
+            self.send(out, origin, reply);
+            return;
+        }
+        match self.next_hop(key) {
+            Some(next) => {
+                let fwd = ChordMsg::FindSuccessor {
+                    req,
+                    key,
+                    origin,
+                    hops: hops + 1,
+                };
+                self.send(out, next, fwd);
+            }
+            None => self.metrics.dropped += 1,
+        }
+    }
+
+    fn on_found_successor(
+        &mut self,
+        req: ReqId,
+        owner: NodeRef,
+        owner_pred: Option<NodeRef>,
+        owner_succ: Option<NodeRef>,
+        hops: u32,
+        out: &mut Vec<Output>,
+    ) {
+        self.strikes.remove(&owner.id);
+        let Some(kind) = self.untrack(req) else {
+            return; // late reply, already timed out
+        };
+        match kind {
+            Pending::JoinFindAnchor => {
+                // Probe the anchor's owner for a designated identifier.
+                let req = self.fresh_req();
+                let msg = ChordMsg::ProbeJoin {
+                    req,
+                    origin: self.me(),
+                };
+                self.send(out, owner, msg);
+                self.track(out, req, Pending::ProbeJoin);
+            }
+            Pending::JoinFindSuccessor => {
+                if owner.id == self.me().id {
+                    // Identifier collision: re-draw by perturbing ours.
+                    let new_id = self.cfg.space.add(self.me().id, 1);
+                    self.adopt_id(new_id);
+                    self.join_attempts += 1;
+                    if self.join_attempts >= self.cfg.max_join_retries {
+                        out.push(Output::Upcall(Upcall::JoinFailed));
+                    } else {
+                        self.begin_join_attempt(out);
+                    }
+                    return;
+                }
+                self.table.set_successor(owner);
+                if let Some(p) = owner_pred {
+                    // Tentative predecessor hint; stabilization will verify.
+                    self.table.notify(p);
+                }
+                let _ = owner_succ;
+                self.status = NodeStatus::Active;
+                self.arm_periodic(out);
+                let notify = ChordMsg::Notify { sender: self.me() };
+                self.send(out, owner, notify);
+                out.push(Output::Upcall(Upcall::Joined { id: self.me().id }));
+            }
+            Pending::FixFinger(j) => {
+                let info = FingerInfo {
+                    node: owner,
+                    pred: owner_pred,
+                    succ: owner_succ,
+                };
+                self.table.set_finger(j, info);
+            }
+            Pending::Lookup => {
+                out.push(Output::Upcall(Upcall::LookupDone {
+                    req,
+                    owner,
+                    owner_pred,
+                    hops,
+                }));
+            }
+            // A FoundSuccessor can never answer these.
+            Pending::ProbeJoin
+            | Pending::Stabilize
+            | Pending::FofRefresh(_)
+            | Pending::PingPred
+            | Pending::PingNode => {}
+        }
+    }
+
+    fn on_neighbors(
+        &mut self,
+        req: ReqId,
+        responder: NodeRef,
+        pred: Option<NodeRef>,
+        succ_list: Vec<NodeRef>,
+        out: &mut Vec<Output>,
+    ) {
+        self.strikes.remove(&responder.id);
+        let Some(kind) = self.untrack(req) else {
+            return;
+        };
+        match kind {
+            Pending::Stabilize => {
+                let space = self.cfg.space;
+                let me = self.me();
+                let mut changed = false;
+                // Rule: if succ.pred ∈ (me, succ) it is a closer successor.
+                if let Some(x) = pred {
+                    if x.id != me.id
+                        && self
+                            .table
+                            .successor()
+                            .is_some_and(|s| space.in_open_open(x.id, me.id, s.id))
+                    {
+                        self.table.set_successor(x);
+                        changed = true;
+                    }
+                }
+                if self.table.successor().map(|s| s.id) == Some(responder.id) {
+                    // Adopt the responder's list shifted under it.
+                    let mut list = vec![responder];
+                    list.extend(succ_list);
+                    self.table.set_successor_list(list);
+                }
+                if let Some(s) = self.table.successor() {
+                    let notify = ChordMsg::Notify { sender: me };
+                    self.send(out, s, notify);
+                }
+                if changed {
+                    out.push(Output::Upcall(Upcall::NeighborhoodChanged));
+                }
+            }
+            Pending::FofRefresh(j) => {
+                if self.table.finger(j).map(|f| f.node.id) == Some(responder.id) {
+                    let info = FingerInfo {
+                        node: responder,
+                        pred,
+                        succ: succ_list.first().copied(),
+                    };
+                    self.table.set_finger(j, info);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Identifier-probing designation (§3.5): inspect ourselves plus our
+    /// fingers, pick the node owning the largest identifier gap, and hand
+    /// out that gap's midpoint.
+    fn designate_id(&self) -> Id {
+        let space = self.cfg.space;
+        let me = self.me().id;
+        // Candidate gaps: (pred(candidate), candidate].
+        let mut best_start = self.table.predecessor().map(|p| p.id).unwrap_or(me);
+        let mut best_end = me;
+        let mut best_gap = match self.table.predecessor() {
+            Some(p) => space.dist_cw(p.id, me),
+            None => return space.add(me, (space.size() / 2) as u64),
+        };
+        for (_, fi) in self.table.iter() {
+            if let Some(p) = fi.pred {
+                let gap = space.dist_cw(p.id, fi.node.id);
+                if gap > best_gap {
+                    best_gap = gap;
+                    best_start = p.id;
+                    best_end = fi.node.id;
+                }
+            }
+        }
+        let _ = best_end;
+        space.add(best_start, best_gap / 2)
+    }
+
+    fn adopt_id(&mut self, id: Id) {
+        let addr = self.me().addr;
+        let me = NodeRef::new(self.cfg.space.id(id.raw()), addr);
+        self.table = FingerTable::new(self.cfg.space, me, self.cfg.succ_list_len);
+    }
+
+    /// Forward a broadcast to every finger responsible for a sub-range of
+    /// `(me, limit)`.
+    fn fan_out(
+        &mut self,
+        out: &mut Vec<Output>,
+        limit: Id,
+        payload: &[u8],
+        origin: NodeRef,
+        depth: u32,
+    ) {
+        let space = self.cfg.space;
+        let me = self.me().id;
+        // Distinct finger nodes strictly inside (me, limit), ordered by
+        // clockwise distance from me.
+        let mut targets: Vec<NodeRef> = Vec::new();
+        for (_, fi) in self.table.iter() {
+            let n = fi.node;
+            let inside = if limit == me {
+                n.id != me
+            } else {
+                space.in_open_open(n.id, me, limit)
+            };
+            if inside && !targets.iter().any(|t| t.id == n.id) {
+                targets.push(n);
+            }
+        }
+        targets.sort_by_key(|t| space.dist_cw(me, t.id));
+        for i in 0..targets.len() {
+            let sub_limit = if i + 1 < targets.len() {
+                targets[i + 1].id
+            } else {
+                limit
+            };
+            let msg = ChordMsg::Broadcast {
+                limit: sub_limit,
+                payload: payload.to_vec(),
+                origin,
+                depth,
+            };
+            self.send(out, targets[i], msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg4() -> ChordConfig {
+        ChordConfig {
+            space: IdSpace::new(4),
+            succ_list_len: 3,
+            ..ChordConfig::default()
+        }
+    }
+
+    fn node(id: u64) -> ChordNode {
+        ChordNode::new(cfg4(), Id(id), NodeAddr(id))
+    }
+
+    fn sends(out: &[Output]) -> Vec<(&NodeRef, &ChordMsg)> {
+        out.iter()
+            .filter_map(|o| match o {
+                Output::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn upcalls(out: &[Output]) -> Vec<&Upcall> {
+        out.iter()
+            .filter_map(|o| match o {
+                Output::Upcall(u) => Some(u),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_becomes_active_root_of_everything() {
+        let mut n = node(5);
+        let out = n.start_create();
+        assert_eq!(n.status(), NodeStatus::Active);
+        assert!(matches!(upcalls(&out)[0], Upcall::Joined { id } if *id == Id(5)));
+        assert!(n.owns(Id(0)));
+        assert!(n.owns(Id(15)));
+        // Three periodic timers armed.
+        let timers = out
+            .iter()
+            .filter(|o| matches!(o, Output::SetTimer { .. }))
+            .count();
+        assert_eq!(timers, 3);
+    }
+
+    #[test]
+    fn join_handshake_two_nodes() {
+        let mut a = node(2);
+        let _ = a.start_create();
+        let mut b = node(9);
+        let out = b.start_join(a.me());
+        let (to, msg) = sends(&out)[0];
+        assert_eq!(to.id, Id(2));
+        // a serves the lookup: b's key 9 ∈ (pred, a]? a is alone, owns all.
+        let reply_out = a.handle(Input::Message {
+            from: b.me().addr,
+            msg: msg.clone(),
+        });
+        let (to, reply) = sends(&reply_out)[0];
+        assert_eq!(to.id, Id(9));
+        assert!(matches!(reply, ChordMsg::FoundSuccessor { owner, .. } if owner.id == Id(2)));
+        // b completes the join and notifies a.
+        let out = b.handle(Input::Message {
+            from: a.me().addr,
+            msg: reply.clone(),
+        });
+        assert_eq!(b.status(), NodeStatus::Active);
+        assert_eq!(b.table().successor().unwrap().id, Id(2));
+        let notify = sends(&out)
+            .into_iter()
+            .find(|(_, m)| matches!(m, ChordMsg::Notify { .. }))
+            .unwrap();
+        // a adopts b as predecessor AND as first successor.
+        let _ = a.handle(Input::Message {
+            from: b.me().addr,
+            msg: notify.1.clone(),
+        });
+        assert_eq!(a.table().predecessor().unwrap().id, Id(9));
+        assert_eq!(a.table().successor().unwrap().id, Id(9));
+        // One stabilization round: a asks b for neighbors, then notifies b,
+        // which completes b's predecessor link.
+        let out = a.handle(Input::Timer(TimerKind::Stabilize));
+        let (to, gn) = sends(&out)
+            .into_iter()
+            .find(|(_, m)| matches!(m, ChordMsg::GetNeighbors { .. }))
+            .unwrap();
+        assert_eq!(to.id, Id(9));
+        let out = b.handle(Input::Message {
+            from: a.me().addr,
+            msg: gn.clone(),
+        });
+        let neighbors = sends(&out)[0].1.clone();
+        let out = a.handle(Input::Message {
+            from: b.me().addr,
+            msg: neighbors,
+        });
+        let notify_b = sends(&out)
+            .into_iter()
+            .find(|(_, m)| matches!(m, ChordMsg::Notify { .. }))
+            .unwrap()
+            .1
+            .clone();
+        let _ = b.handle(Input::Message {
+            from: a.me().addr,
+            msg: notify_b,
+        });
+        assert_eq!(b.table().predecessor().unwrap().id, Id(2));
+        // Ownership is now split.
+        assert!(a.owns(Id(0)));
+        assert!(!a.owns(Id(5)));
+        assert!(b.owns(Id(5)));
+    }
+
+    #[test]
+    fn find_successor_forwards_greedily() {
+        let mut n = node(0);
+        let _ = n.start_create();
+        // Give node 0 a populated table on the full 16-ring.
+        n.table.set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
+        for j in 1..=4u8 {
+            let t = n.cfg.space.finger_start(Id(0), j);
+            n.table.set_finger(j, FingerInfo::bare(NodeRef::new(t, NodeAddr(t.raw()))));
+        }
+        let out = n.handle(Input::Message {
+            from: NodeAddr(3),
+            msg: ChordMsg::FindSuccessor {
+                req: 77,
+                key: Id(13),
+                origin: NodeRef::new(Id(3), NodeAddr(3)),
+                hops: 1,
+            },
+        });
+        let (to, msg) = sends(&out)[0];
+        assert_eq!(to.id, Id(8)); // closest preceding finger of 13
+        assert!(matches!(msg, ChordMsg::FindSuccessor { hops: 2, .. }));
+    }
+
+    #[test]
+    fn owner_replies_with_fof_data() {
+        let mut n = node(10);
+        let _ = n.start_create();
+        n.table.set_predecessor(Some(NodeRef::new(Id(4), NodeAddr(4))));
+        n.table.set_successor(NodeRef::new(Id(14), NodeAddr(14)));
+        let out = n.handle(Input::Message {
+            from: NodeAddr(4),
+            msg: ChordMsg::FindSuccessor {
+                req: 5,
+                key: Id(7),
+                origin: NodeRef::new(Id(4), NodeAddr(4)),
+                hops: 2,
+            },
+        });
+        let (_, msg) = sends(&out)[0];
+        match msg {
+            ChordMsg::FoundSuccessor {
+                owner,
+                owner_pred,
+                owner_succ,
+                hops,
+                ..
+            } => {
+                assert_eq!(owner.id, Id(10));
+                assert_eq!(owner_pred.unwrap().id, Id(4));
+                assert_eq!(owner_succ.unwrap().id, Id(14));
+                assert_eq!(*hops, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stabilize_adopts_closer_successor() {
+        let mut n = node(0);
+        let _ = n.start_create();
+        n.table.set_successor(NodeRef::new(Id(8), NodeAddr(8)));
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        let (to, msg) = sends(&out)[0];
+        assert_eq!(to.id, Id(8));
+        let req = match msg {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        // 8 answers: its predecessor is 3 (∈ (0, 8)) — adopt.
+        let out = n.handle(Input::Message {
+            from: NodeAddr(8),
+            msg: ChordMsg::Neighbors {
+                req,
+                me: NodeRef::new(Id(8), NodeAddr(8)),
+                pred: Some(NodeRef::new(Id(3), NodeAddr(3))),
+                succ_list: vec![NodeRef::new(Id(12), NodeAddr(12))],
+            },
+        });
+        assert_eq!(n.table().successor().unwrap().id, Id(3));
+        // Notify goes to the *new* successor.
+        let notify = sends(&out)
+            .into_iter()
+            .find(|(_, m)| matches!(m, ChordMsg::Notify { .. }))
+            .unwrap();
+        assert_eq!(notify.0.id, Id(3));
+        assert!(upcalls(&out)
+            .iter()
+            .any(|u| matches!(u, Upcall::NeighborhoodChanged)));
+    }
+
+    #[test]
+    fn stabilize_timeout_fails_over_to_list() {
+        let mut n = node(0);
+        let _ = n.start_create();
+        n.table.set_successor_list(vec![
+            NodeRef::new(Id(4), NodeAddr(4)),
+            NodeRef::new(Id(8), NodeAddr(8)),
+        ]);
+        // First timeout: the successor is merely suspected (one strike) —
+        // a single lost datagram must not tear down a live neighbor.
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        let req = match sends(&out)[0].1 {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        let _ = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
+        assert_eq!(n.table().successor().unwrap().id, Id(4), "one strike keeps it");
+        // Second consecutive timeout: evicted, list fails over.
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        let req = match sends(&out)[0].1 {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        let out = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
+        assert_eq!(n.table().successor().unwrap().id, Id(8));
+        assert!(upcalls(&out)
+            .iter()
+            .any(|u| matches!(u, Upcall::NeighborhoodChanged)));
+        assert_eq!(n.metrics().timeouts, 2);
+    }
+
+    #[test]
+    fn reply_clears_suspicion_strikes() {
+        let mut n = node(0);
+        let _ = n.start_create();
+        n.table.set_successor_list(vec![
+            NodeRef::new(Id(4), NodeAddr(4)),
+            NodeRef::new(Id(8), NodeAddr(8)),
+        ]);
+        // Strike one.
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        let req = match sends(&out)[0].1 {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        let _ = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
+        // The node answers the next round: strikes reset.
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        let req = match sends(&out)[0].1 {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        let _ = n.handle(Input::Message {
+            from: NodeAddr(4),
+            msg: ChordMsg::Neighbors {
+                req,
+                me: NodeRef::new(Id(4), NodeAddr(4)),
+                pred: None,
+                succ_list: vec![NodeRef::new(Id(8), NodeAddr(8))],
+            },
+        });
+        // A later single timeout is again only one strike.
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        let req = match sends(&out)[0].1 {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        let _ = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
+        assert_eq!(n.table().successor().unwrap().id, Id(4), "strikes were cleared");
+    }
+
+    #[test]
+    fn route_delivers_locally_when_owner() {
+        let mut n = node(10);
+        let _ = n.start_create();
+        let out = n.route(Id(3), vec![1, 2, 3]);
+        assert!(matches!(
+            upcalls(&out)[0],
+            Upcall::Routed { key, payload, .. } if *key == Id(3) && payload == &vec![1, 2, 3]
+        ));
+    }
+
+    #[test]
+    fn route_hop_budget_drops() {
+        let mut n = node(0);
+        let _ = n.start_create();
+        n.table.set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
+        n.table.set_successor(NodeRef::new(Id(4), NodeAddr(4)));
+        let out = n.handle(Input::Message {
+            from: NodeAddr(15),
+            msg: ChordMsg::Route {
+                key: Id(6),
+                payload: vec![],
+                origin: NodeRef::new(Id(15), NodeAddr(15)),
+                hops: n.config().max_hops,
+            },
+        });
+        assert!(out.is_empty());
+        assert_eq!(n.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn broadcast_covers_disjoint_ranges() {
+        let mut n = node(0);
+        let _ = n.start_create();
+        n.table.set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
+        for j in 1..=4u8 {
+            let t = n.cfg.space.finger_start(Id(0), j);
+            n.table.set_finger(j, FingerInfo::bare(NodeRef::new(t, NodeAddr(t.raw()))));
+        }
+        let out = n.broadcast(vec![9]);
+        // Local delivery + one send per distinct finger (1, 2, 4, 8).
+        assert!(matches!(upcalls(&out)[0], Upcall::Broadcast { depth: 0, .. }));
+        let s = sends(&out);
+        assert_eq!(s.len(), 4);
+        // Ranges are disjoint and ordered: limits are the next finger.
+        let limits: Vec<u64> = s
+            .iter()
+            .map(|(_, m)| match m {
+                ChordMsg::Broadcast { limit, .. } => limit.raw(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(limits, vec![2, 4, 8, 0]);
+    }
+
+    #[test]
+    fn graceful_leave_bridges_neighbors() {
+        let mut n = node(8);
+        let _ = n.start_create();
+        n.table.set_predecessor(Some(NodeRef::new(Id(4), NodeAddr(4))));
+        n.table.set_successor_list(vec![
+            NodeRef::new(Id(12), NodeAddr(12)),
+            NodeRef::new(Id(15), NodeAddr(15)),
+        ]);
+        let out = n.leave();
+        assert_eq!(n.status(), NodeStatus::Departed);
+        let s = sends(&out);
+        assert_eq!(s.len(), 2);
+        // Departed nodes ignore everything.
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        assert!(out.is_empty());
+
+        // The predecessor bridges using the leaver's successor list.
+        let mut p = node(4);
+        let _ = p.start_create();
+        p.table.set_successor(NodeRef::new(Id(8), NodeAddr(8)));
+        let leave_msg = s
+            .iter()
+            .find(|(to, _)| to.id == Id(4))
+            .map(|(_, m)| (*m).clone())
+            .unwrap();
+        let _ = p.handle(Input::Message {
+            from: NodeAddr(8),
+            msg: leave_msg,
+        });
+        assert_eq!(p.table().successor().unwrap().id, Id(12));
+    }
+
+    #[test]
+    fn designate_id_splits_largest_known_gap() {
+        let mut n = node(8);
+        let _ = n.start_create();
+        n.table.set_predecessor(Some(NodeRef::new(Id(7), NodeAddr(7))));
+        // Finger 12 owns a gap of 4 (pred 8); finger 0 owns a gap of 2.
+        n.table.set_finger(
+            3,
+            FingerInfo {
+                node: NodeRef::new(Id(12), NodeAddr(12)),
+                pred: Some(NodeRef::new(Id(8), NodeAddr(8))),
+                succ: None,
+            },
+        );
+        n.table.set_finger(
+            4,
+            FingerInfo {
+                node: NodeRef::new(Id(0), NodeAddr(0)),
+                pred: Some(NodeRef::new(Id(14), NodeAddr(14))),
+                succ: None,
+            },
+        );
+        // Largest gap is (8, 12]: midpoint 10.
+        assert_eq!(n.designate_id(), Id(10));
+    }
+
+    #[test]
+    fn lookup_to_self_completes_immediately() {
+        let mut n = node(3);
+        let _ = n.start_create();
+        let (req, out) = n.lookup(Id(1));
+        match upcalls(&out)[0] {
+            Upcall::LookupDone { req: r, owner, hops, .. } => {
+                assert_eq!(*r, req);
+                assert_eq!(owner.id, Id(3));
+                assert_eq!(*hops, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collision_on_join_redraws() {
+        let mut b = node(2);
+        b.status = NodeStatus::Joining;
+        b.bootstrap = Some(NodeRef::new(Id(9), NodeAddr(9)));
+        b.pending.insert(42, Pending::JoinFindSuccessor);
+        let out = b.handle(Input::Message {
+            from: NodeAddr(9),
+            msg: ChordMsg::FoundSuccessor {
+                req: 42,
+                owner: NodeRef::new(Id(2), NodeAddr(7)), // same id, other node
+                owner_pred: None,
+                owner_succ: None,
+                hops: 3,
+            },
+        });
+        // Perturbed id and a fresh join attempt.
+        assert_eq!(b.me().id, Id(3));
+        assert!(sends(&out)
+            .iter()
+            .any(|(_, m)| matches!(m, ChordMsg::FindSuccessor { .. })));
+    }
+
+    #[test]
+    fn metrics_track_sent_and_received() {
+        let mut n = node(1);
+        let _ = n.start_create();
+        let _ = n.handle(Input::Message {
+            from: NodeAddr(5),
+            msg: ChordMsg::Ping {
+                req: 9,
+                sender: NodeRef::new(Id(5), NodeAddr(5)),
+            },
+        });
+        assert_eq!(n.metrics().received_total(), 1);
+        assert_eq!(n.metrics().sent_total(), 1); // the pong
+    }
+}

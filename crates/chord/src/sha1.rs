@@ -1,0 +1,220 @@
+//! A from-scratch SHA-1 implementation (FIPS 180-1).
+//!
+//! Chord and the DAT paper derive rendezvous keys as "the SHA1 hash value of
+//! the attribute name" (§2.3) and node identifiers as hashes of network
+//! addresses. We implement SHA-1 in-tree rather than pulling a crypto
+//! dependency: the overlay needs it only for *key derivation* — uniform
+//! spreading over the identifier space — not for any security property, so
+//! SHA-1's known collision weaknesses are irrelevant here.
+
+/// Output size of SHA-1 in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// Streaming SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finish the hash and return the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+        }
+        // Manual length append (update would change self.len, harmless but
+        // we bypass it for clarity).
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hash arbitrary bytes into an identifier of the given space: the top 64
+/// bits of SHA-1(data), truncated to the space's width. This is how
+/// rendezvous keys ("the SHA1 hash value of the attribute name", §2.3) and
+/// address-derived node ids are produced.
+pub fn hash_to_id(space: crate::IdSpace, data: &[u8]) -> crate::Id {
+    let d = sha1(data);
+    let hi = u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]);
+    // Use the top bits so small spaces still see the most-mixed output.
+    space.id(hi >> (64 - space.bits()) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn long_repeated_vector() {
+        // FIPS 180-1 vector: one million 'a'.
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for split in [0usize, 1, 63, 64, 65, 127, 5000, 9999, 10_000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha1(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths straddling the 55/56-byte padding boundary.
+        for len in 50..70usize {
+            let data = vec![0xAB; len];
+            let d = sha1(&data);
+            // Re-hash via awkward 1-byte streaming and compare.
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(core::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d, "len {len}");
+        }
+    }
+
+    #[test]
+    fn hash_to_id_respects_space() {
+        let s4 = crate::IdSpace::new(4);
+        for name in ["cpu-usage", "memory-size", "disk-free"] {
+            assert!(hash_to_id(s4, name.as_bytes()).raw() < 16);
+        }
+        let s64 = crate::IdSpace::new(64);
+        let a = hash_to_id(s64, b"cpu-usage");
+        let b = hash_to_id(s64, b"cpu-usagf");
+        assert_ne!(a, b);
+    }
+}

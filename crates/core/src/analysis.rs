@@ -1,0 +1,188 @@
+//! Tree-property analysis: the metrics of the paper's Fig. 7.
+//!
+//! *Maximum branching factor* bounds the worst per-node aggregation load;
+//! *average branching factor* (over interior nodes) characterises the tree
+//! shape; *height* bounds aggregation latency in hops. [`TreeStats`]
+//! computes all of them from a materialised [`crate::tree::DatTree`], and
+//! [`simulate_message_counts`] derives the per-node aggregation-message
+//! counts of one aggregation round (Fig. 8) *analytically* — each node
+//! receives exactly one message per child — which cross-validates the
+//! protocol-level measurements from the simulator.
+
+use dat_chord::{Id, StaticRing};
+
+use crate::tree::DatTree;
+
+/// Shape statistics of one DAT tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Number of member nodes.
+    pub nodes: usize,
+    /// Maximum branching factor over all nodes.
+    pub max_branching: usize,
+    /// Mean branching factor over *interior* nodes (the paper's "average
+    /// branching factor": leaves do not aggregate anything).
+    pub avg_branching: f64,
+    /// Tree height (max depth).
+    pub height: u32,
+    /// Mean node depth.
+    pub avg_depth: f64,
+    /// Number of leaves.
+    pub leaves: usize,
+}
+
+impl TreeStats {
+    /// Compute statistics for `tree`.
+    pub fn of(tree: &DatTree) -> Self {
+        let mut max_b = 0usize;
+        let mut interior = 0usize;
+        let mut edges = 0usize;
+        let mut depth_sum = 0u64;
+        let mut leaves = 0usize;
+        let mut count = 0usize;
+        for &v in tree.all_ids() {
+            count += 1;
+            let b = tree.branching(v);
+            max_b = max_b.max(b);
+            if b > 0 {
+                interior += 1;
+                edges += b;
+            } else {
+                leaves += 1;
+            }
+            depth_sum += tree.depth(v).unwrap_or(0) as u64;
+        }
+        TreeStats {
+            nodes: count,
+            max_branching: max_b,
+            avg_branching: if interior == 0 {
+                0.0
+            } else {
+                edges as f64 / interior as f64
+            },
+            height: tree.height(),
+            avg_depth: if count == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / count as f64
+            },
+            leaves,
+        }
+    }
+}
+
+/// Per-node aggregation-message counts for one round of tree aggregation:
+/// node `v` receives `branching(v)` messages (one per child). This is the
+/// analytic counterpart of the simulator measurement behind Fig. 8.
+pub fn simulate_message_counts(tree: &DatTree) -> Vec<(Id, u64)> {
+    tree.all_ids()
+        .map(|&v| (v, tree.branching(v) as u64))
+        .collect()
+}
+
+/// Per-node message counts for the *centralized* baseline: every node
+/// routes its raw value to the root along greedy finger routes, and a
+/// node's load is the number of messages it receives (its own forwarding
+/// burden plus, for the root, every value in the network) — the scheme
+/// Fig. 8a calls "centralized".
+pub fn centralized_message_counts(ring: &StaticRing, key: Id) -> Vec<(Id, u64)> {
+    let root = ring.successor(key);
+    let mut counts: std::collections::HashMap<Id, u64> =
+        ring.ids().iter().map(|&v| (v, 0)).collect();
+    for &v in ring.ids() {
+        if v == root {
+            continue;
+        }
+        let route = ring.finger_route(v, key);
+        // Every hop after the first receives the message once.
+        for w in route.iter().skip(1) {
+            *counts.get_mut(w).unwrap() += 1;
+        }
+    }
+    let mut out: Vec<(Id, u64)> = counts.into_iter().collect();
+    out.sort_unstable_by_key(|&(id, _)| id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DatTree;
+    use dat_chord::{IdPolicy, IdSpace, RoutingScheme};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn even_ring(bits: u8, n: usize) -> StaticRing {
+        StaticRing::build(
+            IdSpace::new(bits),
+            n,
+            IdPolicy::Even,
+            &mut SmallRng::seed_from_u64(0),
+        )
+    }
+
+    #[test]
+    fn stats_of_fig2_basic_tree() {
+        let ring = even_ring(4, 16);
+        let t = DatTree::build(&ring, Id(0), RoutingScheme::Greedy);
+        let s = TreeStats::of(&t);
+        assert_eq!(s.nodes, 16);
+        assert_eq!(s.max_branching, 4); // the root
+        assert_eq!(s.height, 4);
+        assert_eq!(s.leaves + (16 - s.leaves), 16);
+        // 15 edges over interior nodes.
+        assert!(s.avg_branching > 1.0);
+    }
+
+    #[test]
+    fn stats_of_fig5_balanced_tree() {
+        let ring = even_ring(4, 16);
+        let t = DatTree::build(&ring, Id(0), RoutingScheme::Balanced);
+        let s = TreeStats::of(&t);
+        assert_eq!(s.max_branching, 2);
+        assert_eq!(s.height, 4);
+        // Nearly-complete binary tree: avg branching ≈ 2 over interior.
+        assert!((1.5..=2.0).contains(&s.avg_branching), "{}", s.avg_branching);
+    }
+
+    #[test]
+    fn message_counts_sum_to_n_minus_1() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ring = StaticRing::build(IdSpace::new(24), 200, IdPolicy::Random, &mut rng);
+        for scheme in [RoutingScheme::Greedy, RoutingScheme::Balanced] {
+            let t = DatTree::build(&ring, Id(99), scheme);
+            let counts = simulate_message_counts(&t);
+            let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, 199, "each non-root sends exactly one message");
+        }
+    }
+
+    #[test]
+    fn centralized_root_receives_n_minus_1() {
+        let ring = even_ring(8, 64);
+        let counts = centralized_message_counts(&ring, Id(0));
+        let root_count = counts.iter().find(|&&(id, _)| id == Id(0)).unwrap().1;
+        // Fig. 8a: "the root node is the most loaded one with 511
+        // aggregation messages" in a 512-node network.
+        assert_eq!(root_count, 63);
+        let max = counts.iter().map(|&(_, c)| c).max().unwrap();
+        assert_eq!(max, root_count, "the root is the most loaded node");
+    }
+
+    #[test]
+    fn centralized_is_more_imbalanced_than_dat() {
+        let ring = even_ring(10, 256);
+        let central: Vec<u64> = centralized_message_counts(&ring, Id(0))
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
+        let t = DatTree::build(&ring, Id(0), RoutingScheme::Balanced);
+        let dat: Vec<u64> = simulate_message_counts(&t).iter().map(|&(_, c)| c).collect();
+        let imb = |v: &[u64]| {
+            let max = *v.iter().max().unwrap() as f64;
+            let mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
+            max / mean
+        };
+        assert!(imb(&central) > 10.0 * imb(&dat));
+    }
+}

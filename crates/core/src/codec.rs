@@ -1,0 +1,657 @@
+//! Binary wire codec for DAT-layer messages.
+//!
+//! DAT messages ride inside [`dat_chord::ChordMsg::App`] payloads (and over
+//! the UDP RPC transport), so they need a compact, self-describing binary
+//! form. The format is hand-rolled little-endian TLV-free framing: a 1-byte
+//! message tag followed by fixed-order fields. No serde on the wire — the
+//! format is stable, versioned by [`WIRE_VERSION`], and fuzzable.
+
+use dat_chord::{Id, NodeAddr, NodeRef};
+
+use crate::aggregate::{AggPartial, Histogram};
+use crate::sketch::Hll;
+
+/// Wire-format version, bumped on incompatible changes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Application-protocol discriminator for DAT messages inside
+/// [`dat_chord::ChordMsg::App`].
+pub const DAT_PROTO: u8 = 1;
+
+/// Decoding errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the field being read.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Unsupported wire version.
+    BadVersion(u8),
+    /// A length field exceeded sane bounds.
+    BadLength(u64),
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::BadLength(l) => write!(f, "implausible length {l}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::with_capacity(64) }
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64` (IEEE-754 bits, little-endian).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a ring identifier.
+    pub fn id(&mut self, v: Id) -> &mut Self {
+        self.u64(v.raw())
+    }
+
+    /// Append a node reference (id + transport address).
+    pub fn node_ref(&mut self, v: NodeRef) -> &mut Self {
+        self.id(v.id).u64(v.addr.0)
+    }
+
+    /// Append an optional node reference (presence byte).
+    pub fn opt_node_ref(&mut self, v: Option<NodeRef>) -> &mut Self {
+        match v {
+            Some(n) => self.u8(1).node_ref(n),
+            None => self.u8(0),
+        }
+    }
+
+    /// Append length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append an aggregate partial.
+    pub fn partial(&mut self, p: &AggPartial) -> &mut Self {
+        self.u64(p.count).f64(p.sum).f64(p.sum_sq).f64(p.min).f64(p.max);
+        match &p.histogram {
+            Some(h) => {
+                self.u8(1).f64(h.lo).f64(h.hi).u32(h.buckets.len() as u32);
+                for &b in &h.buckets {
+                    self.u64(b);
+                }
+            }
+            None => {
+                self.u8(0);
+            }
+        }
+        match &p.distinct {
+            Some(h) => {
+                self.u8(1).bytes(h.registers());
+            }
+            None => {
+                self.u8(0);
+            }
+        }
+        self
+    }
+}
+
+/// Cursor-based decoder.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a ring identifier.
+    pub fn id(&mut self) -> Result<Id, CodecError> {
+        Ok(Id(self.u64()?))
+    }
+
+    /// Read a node reference.
+    pub fn node_ref(&mut self) -> Result<NodeRef, CodecError> {
+        let id = self.id()?;
+        let addr = NodeAddr(self.u64()?);
+        Ok(NodeRef::new(id, addr))
+    }
+
+    /// Read an optional node reference.
+    pub fn opt_node_ref(&mut self) -> Result<Option<NodeRef>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            _ => Ok(Some(self.node_ref()?)),
+        }
+    }
+
+    /// Read length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        self.take(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string (lossy on invalid UTF-8).
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        Ok(String::from_utf8_lossy(self.bytes()?).into_owned())
+    }
+
+    /// Read an aggregate partial.
+    pub fn partial(&mut self) -> Result<AggPartial, CodecError> {
+        let count = self.u64()?;
+        let sum = self.f64()?;
+        let sum_sq = self.f64()?;
+        let min = self.f64()?;
+        let max = self.f64()?;
+        let histogram = match self.u8()? {
+            0 => None,
+            _ => {
+                let lo = self.f64()?;
+                let hi = self.f64()?;
+                let n = self.u32()? as usize;
+                if n == 0 || n > 1 << 20 || n * 8 > self.remaining() {
+                    return Err(CodecError::BadLength(n as u64));
+                }
+                let mut buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buckets.push(self.u64()?);
+                }
+                Some(Histogram { lo, hi, buckets })
+            }
+        };
+        let distinct = match self.u8()? {
+            0 => None,
+            _ => {
+                let regs = self.bytes()?.to_vec();
+                match Hll::from_registers(regs) {
+                    Some(h) => Some(h),
+                    None => return Err(CodecError::BadLength(0)),
+                }
+            }
+        };
+        Ok(AggPartial {
+            count,
+            sum,
+            sum_sq,
+            min,
+            max,
+            histogram,
+            distinct,
+        })
+    }
+
+    /// Assert the input is fully consumed.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The DAT-layer protocol messages (paper §4: on-demand and continuous
+/// aggregate modes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DatMsg {
+    /// Continuous mode: a child pushes its merged partial for `epoch` to
+    /// its current DAT parent.
+    Update {
+        /// Rendezvous key of the aggregation (the tree id).
+        key: Id,
+        /// Epoch (time slot) index the partial belongs to.
+        epoch: u64,
+        /// The merged partial (sender's subtree).
+        partial: AggPartial,
+        /// The pushing child (soft-state child registry key).
+        sender: NodeRef,
+    },
+    /// On-demand mode: fan-out query over finger sub-ranges. The receiver
+    /// is responsible for `(receiver, limit)` and must answer `parent`.
+    Query {
+        /// Request id, unique at the initiator.
+        reqid: u64,
+        /// Rendezvous key of the aggregation being queried.
+        key: Id,
+        /// Exclusive end of the receiver's responsibility range.
+        limit: Id,
+        /// The node awaiting this receiver's response.
+        parent: NodeRef,
+        /// Fan-out depth (diagnostics).
+        depth: u32,
+    },
+    /// On-demand mode: a subtree's merged partial flowing back up.
+    Response {
+        /// Request id of the query being answered.
+        reqid: u64,
+        /// Rendezvous key.
+        key: Id,
+        /// Merged partial of the responding subtree.
+        partial: AggPartial,
+        /// The responding node.
+        sender: NodeRef,
+    },
+    /// Final answer delivered to the query's requester.
+    Result {
+        /// Request id of the completed query.
+        reqid: u64,
+        /// Rendezvous key.
+        key: Id,
+        /// The global partial.
+        partial: AggPartial,
+    },
+    /// A request routed through Chord to the tree root, asking it to start
+    /// an on-demand aggregation on the requester's behalf.
+    Request {
+        /// Request id chosen by the requester.
+        reqid: u64,
+        /// Rendezvous key.
+        key: Id,
+        /// Where the final [`DatMsg::Result`] must be sent.
+        requester: NodeRef,
+    },
+    /// Continuous mode: the sender switched to a different parent; the
+    /// receiver must drop the sender's cached partial immediately (without
+    /// this, the old and new parent both forward the sender's subtree for
+    /// up to the soft-state TTL — duplicate counting that compounds per
+    /// tree level under heavy churn or loss).
+    Prune {
+        /// Rendezvous key.
+        key: Id,
+        /// The child that moved away.
+        sender: NodeRef,
+    },
+    /// Centralized-baseline sample: a raw local value sent (via Chord
+    /// routing) straight to the root, no in-network merging.
+    RawSample {
+        /// Rendezvous key.
+        key: Id,
+        /// Epoch the sample belongs to.
+        epoch: u64,
+        /// The raw local value.
+        value: f64,
+        /// The sampling node.
+        sender: NodeRef,
+    },
+}
+
+impl DatMsg {
+    /// Metrics label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DatMsg::Update { .. } => "dat_update",
+            DatMsg::Query { .. } => "dat_query",
+            DatMsg::Response { .. } => "dat_response",
+            DatMsg::Result { .. } => "dat_result",
+            DatMsg::Request { .. } => "dat_request",
+            DatMsg::Prune { .. } => "dat_prune",
+            DatMsg::RawSample { .. } => "dat_raw_sample",
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION);
+        match self {
+            DatMsg::Update {
+                key,
+                epoch,
+                partial,
+                sender,
+            } => {
+                w.u8(1).id(*key).u64(*epoch).partial(partial).node_ref(*sender);
+            }
+            DatMsg::Query {
+                reqid,
+                key,
+                limit,
+                parent,
+                depth,
+            } => {
+                w.u8(2)
+                    .u64(*reqid)
+                    .id(*key)
+                    .id(*limit)
+                    .node_ref(*parent)
+                    .u32(*depth);
+            }
+            DatMsg::Response {
+                reqid,
+                key,
+                partial,
+                sender,
+            } => {
+                w.u8(3).u64(*reqid).id(*key).partial(partial).node_ref(*sender);
+            }
+            DatMsg::Result { reqid, key, partial } => {
+                w.u8(4).u64(*reqid).id(*key).partial(partial);
+            }
+            DatMsg::Request {
+                reqid,
+                key,
+                requester,
+            } => {
+                w.u8(5).u64(*reqid).id(*key).node_ref(*requester);
+            }
+            DatMsg::RawSample {
+                key,
+                epoch,
+                value,
+                sender,
+            } => {
+                w.u8(6).id(*key).u64(*epoch).f64(*value).node_ref(*sender);
+            }
+            DatMsg::Prune { key, sender } => {
+                w.u8(7).id(*key).node_ref(*sender);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from wire bytes (must consume the whole input).
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let ver = r.u8()?;
+        if ver != WIRE_VERSION {
+            return Err(CodecError::BadVersion(ver));
+        }
+        let tag = r.u8()?;
+        let msg = match tag {
+            1 => DatMsg::Update {
+                key: r.id()?,
+                epoch: r.u64()?,
+                partial: r.partial()?,
+                sender: r.node_ref()?,
+            },
+            2 => DatMsg::Query {
+                reqid: r.u64()?,
+                key: r.id()?,
+                limit: r.id()?,
+                parent: r.node_ref()?,
+                depth: r.u32()?,
+            },
+            3 => DatMsg::Response {
+                reqid: r.u64()?,
+                key: r.id()?,
+                partial: r.partial()?,
+                sender: r.node_ref()?,
+            },
+            4 => DatMsg::Result {
+                reqid: r.u64()?,
+                key: r.id()?,
+                partial: r.partial()?,
+            },
+            5 => DatMsg::Request {
+                reqid: r.u64()?,
+                key: r.id()?,
+                requester: r.node_ref()?,
+            },
+            6 => DatMsg::RawSample {
+                key: r.id()?,
+                epoch: r.u64()?,
+                value: r.f64()?,
+                sender: r.node_ref()?,
+            },
+            7 => DatMsg::Prune {
+                key: r.id()?,
+                sender: r.node_ref()?,
+            },
+            t => return Err(CodecError::BadTag(t)),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nr(id: u64) -> NodeRef {
+        NodeRef::new(Id(id), NodeAddr(id + 1000))
+    }
+
+    fn sample_partial() -> AggPartial {
+        let mut p = AggPartial::identity_with_histogram(0.0, 100.0, 8);
+        p.absorb(42.0);
+        p.absorb(7.5);
+        p.distinct = Some(crate::sketch::Hll::new(6));
+        p.observe_item(b"site-a");
+        p.observe_item(b"site-b");
+        p
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            DatMsg::Update {
+                key: Id(77),
+                epoch: 9,
+                partial: sample_partial(),
+                sender: nr(3),
+            },
+            DatMsg::Query {
+                reqid: u64::MAX,
+                key: Id(0),
+                limit: Id(u64::MAX),
+                parent: nr(12),
+                depth: 4,
+            },
+            DatMsg::Response {
+                reqid: 5,
+                key: Id(1),
+                partial: AggPartial::identity(),
+                sender: nr(9),
+            },
+            DatMsg::Result {
+                reqid: 0,
+                key: Id(123),
+                partial: AggPartial::of(-1.25),
+            },
+            DatMsg::Request {
+                reqid: 42,
+                key: Id(55),
+                requester: nr(200),
+            },
+            DatMsg::RawSample {
+                key: Id(8),
+                epoch: 3,
+                value: 99.9,
+                sender: nr(4),
+            },
+            DatMsg::Prune {
+                key: Id(15),
+                sender: nr(6),
+            },
+        ];
+        for m in msgs {
+            let bytes = m.encode();
+            let back = DatMsg::decode(&bytes).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let m = DatMsg::Update {
+            key: Id(77),
+            epoch: 9,
+            partial: sample_partial(),
+            sender: nr(3),
+        };
+        let bytes = m.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                DatMsg::decode(&bytes[..cut]).is_err(),
+                "decode succeeded on {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = DatMsg::Result {
+            reqid: 1,
+            key: Id(2),
+            partial: AggPartial::identity(),
+        }
+        .encode();
+        bytes.push(0xFF);
+        assert_eq!(
+            DatMsg::decode(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn bad_tag_and_version() {
+        assert_eq!(
+            DatMsg::decode(&[WIRE_VERSION, 99]),
+            Err(CodecError::BadTag(99))
+        );
+        assert_eq!(DatMsg::decode(&[42, 1]), Err(CodecError::BadVersion(42)));
+        assert_eq!(DatMsg::decode(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn hostile_histogram_length_rejected() {
+        // Hand-craft an Update whose histogram claims 2^30 buckets.
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION).u8(1).id(Id(1)).u64(0);
+        w.u64(1).f64(1.0).f64(1.0).f64(1.0).f64(1.0); // partial scalars
+        w.u8(1).f64(0.0).f64(1.0).u32(1 << 30); // absurd bucket count
+        let bytes = w.finish();
+        assert!(matches!(
+            DatMsg::decode(&bytes),
+            Err(CodecError::BadLength(_)) | Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn nan_and_infinity_roundtrip() {
+        let mut p = AggPartial::identity();
+        // Empty partial has ±inf extremes — must survive the wire.
+        p.sum = f64::NAN;
+        let m = DatMsg::Response {
+            reqid: 1,
+            key: Id(1),
+            partial: p,
+            sender: nr(1),
+        };
+        let back = DatMsg::decode(&m.encode()).unwrap();
+        match back {
+            DatMsg::Response { partial, .. } => {
+                assert!(partial.sum.is_nan());
+                assert_eq!(partial.min, f64::INFINITY);
+                assert_eq!(partial.max, f64::NEG_INFINITY);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn writer_reader_primitives() {
+        let mut w = Writer::new();
+        w.u8(7).u32(1234).u64(u64::MAX).f64(2.5).str("cpu-usage");
+        w.opt_node_ref(None).opt_node_ref(Some(nr(9)));
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 1234);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.str().unwrap(), "cpu-usage");
+        assert_eq!(r.opt_node_ref().unwrap(), None);
+        assert_eq!(r.opt_node_ref().unwrap(), Some(nr(9)));
+        r.expect_end().unwrap();
+    }
+}

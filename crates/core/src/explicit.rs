@@ -1,0 +1,722 @@
+//! Explicit-membership aggregation tree — the baseline DAT argues against.
+//!
+//! The paper motivates implicit trees by the cost of the alternative
+//! (§2.3): "explicit tree construction has limited scalability … the
+//! parent-child maintenance overhead increases linearly with the number of
+//! trees [and] will be further exaggerated when nodes dynamically join or
+//! leave". To *quantify* that claim (the churn experiment in
+//! `repro churn`), this module implements a classic explicitly-maintained
+//! aggregation tree over the same Chord substrate:
+//!
+//! * a joining node routes a `JoinTree` request to the rendezvous root;
+//!   nodes with spare capacity adopt it, full nodes delegate to their
+//!   lowest-degree child (yielding a bounded-degree tree);
+//! * parents and children exchange periodic heartbeats; a missed heartbeat
+//!   dissolves the edge and forces the child to re-join;
+//! * every membership message (`join_tree`, `adopt`, `heartbeat`,
+//!   `heartbeat_ack`, `leave_tree`) is tallied separately from aggregation
+//!   payload traffic, so experiments can compare *maintenance* overhead
+//!   against the implicit DAT's zero.
+
+use std::collections::HashMap;
+
+use dat_chord::{
+    ChordConfig, ChordNode, Id, Input, Metrics, NodeAddr, NodeRef, NodeStatus, Output, Upcall,
+};
+
+use crate::aggregate::AggPartial;
+use crate::codec::{CodecError, Reader, Writer, WIRE_VERSION};
+
+/// Application-protocol discriminator for explicit-tree messages.
+pub const EXPLICIT_PROTO: u8 = 2;
+
+/// Explicit-tree wire messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExpMsg {
+    /// Routed to the root: `joiner` wants a tree parent.
+    JoinTree {
+        /// Tree rendezvous key.
+        key: Id,
+        /// The node seeking a parent.
+        joiner: NodeRef,
+    },
+    /// Adoption notice: sender is now the joiner's parent.
+    Adopt {
+        /// Tree rendezvous key.
+        key: Id,
+        /// The adopting parent.
+        parent: NodeRef,
+    },
+    /// Parent-liveness heartbeat (child → parent).
+    Heartbeat {
+        /// Tree rendezvous key.
+        key: Id,
+        /// The heartbeating child.
+        sender: NodeRef,
+    },
+    /// Heartbeat acknowledgement (parent → child).
+    HeartbeatAck {
+        /// Tree rendezvous key.
+        key: Id,
+        /// The acknowledging parent.
+        sender: NodeRef,
+    },
+    /// Graceful departure notice to parent and children.
+    LeaveTree {
+        /// Tree rendezvous key.
+        key: Id,
+        /// The departing node.
+        sender: NodeRef,
+    },
+    /// Aggregation payload pushed child → parent (same shape as DAT's).
+    Update {
+        /// Tree rendezvous key.
+        key: Id,
+        /// Epoch index.
+        epoch: u64,
+        /// Merged subtree partial.
+        partial: AggPartial,
+        /// The pushing child.
+        sender: NodeRef,
+    },
+}
+
+impl ExpMsg {
+    /// Metrics label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExpMsg::JoinTree { .. } => "exp_join_tree",
+            ExpMsg::Adopt { .. } => "exp_adopt",
+            ExpMsg::Heartbeat { .. } => "exp_heartbeat",
+            ExpMsg::HeartbeatAck { .. } => "exp_heartbeat_ack",
+            ExpMsg::LeaveTree { .. } => "exp_leave_tree",
+            ExpMsg::Update { .. } => "exp_update",
+        }
+    }
+
+    /// `true` for tree-membership maintenance (everything but `Update`).
+    pub fn is_membership(&self) -> bool {
+        !matches!(self, ExpMsg::Update { .. })
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION);
+        match self {
+            ExpMsg::JoinTree { key, joiner } => {
+                w.u8(1).id(*key).node_ref(*joiner);
+            }
+            ExpMsg::Adopt { key, parent } => {
+                w.u8(2).id(*key).node_ref(*parent);
+            }
+            ExpMsg::Heartbeat { key, sender } => {
+                w.u8(3).id(*key).node_ref(*sender);
+            }
+            ExpMsg::HeartbeatAck { key, sender } => {
+                w.u8(4).id(*key).node_ref(*sender);
+            }
+            ExpMsg::LeaveTree { key, sender } => {
+                w.u8(5).id(*key).node_ref(*sender);
+            }
+            ExpMsg::Update {
+                key,
+                epoch,
+                partial,
+                sender,
+            } => {
+                w.u8(6).id(*key).u64(*epoch).partial(partial).node_ref(*sender);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let ver = r.u8()?;
+        if ver != WIRE_VERSION {
+            return Err(CodecError::BadVersion(ver));
+        }
+        let tag = r.u8()?;
+        let m = match tag {
+            1 => ExpMsg::JoinTree {
+                key: r.id()?,
+                joiner: r.node_ref()?,
+            },
+            2 => ExpMsg::Adopt {
+                key: r.id()?,
+                parent: r.node_ref()?,
+            },
+            3 => ExpMsg::Heartbeat {
+                key: r.id()?,
+                sender: r.node_ref()?,
+            },
+            4 => ExpMsg::HeartbeatAck {
+                key: r.id()?,
+                sender: r.node_ref()?,
+            },
+            5 => ExpMsg::LeaveTree {
+                key: r.id()?,
+                sender: r.node_ref()?,
+            },
+            6 => ExpMsg::Update {
+                key: r.id()?,
+                epoch: r.u64()?,
+                partial: r.partial()?,
+                sender: r.node_ref()?,
+            },
+            t => return Err(CodecError::BadTag(t)),
+        };
+        r.expect_end()?;
+        Ok(m)
+    }
+}
+
+/// Tunables for the explicit tree.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplicitConfig {
+    /// Maximum children per node (bounded degree).
+    pub max_children: usize,
+    /// Heartbeat period, ms.
+    pub heartbeat_ms: u64,
+    /// Missed-heartbeat threshold before an edge is dissolved.
+    pub miss_limit: u32,
+    /// Aggregation epoch, ms (matches the DAT side for fair comparison).
+    pub epoch_ms: u64,
+}
+
+impl Default for ExplicitConfig {
+    fn default() -> Self {
+        ExplicitConfig {
+            max_children: 4,
+            heartbeat_ms: 1_000,
+            miss_limit: 3,
+            epoch_ms: 1_000,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExpTimer {
+    Heartbeat,
+    Epoch,
+}
+
+#[derive(Clone, Debug)]
+struct ChildState {
+    node: NodeRef,
+    missed: u32,
+    partial: Option<(AggPartial, u64)>,
+}
+
+/// A node of the explicit-membership aggregation tree for one rendezvous
+/// key, layered over Chord (used only as a router for `JoinTree`).
+pub struct ExplicitTreeNode {
+    chord: ChordNode,
+    cfg: ExplicitConfig,
+    key: Id,
+    parent: Option<NodeRef>,
+    /// Parent heartbeats missed (from the child's perspective).
+    parent_missed: u32,
+    children: HashMap<Id, ChildState>,
+    local: Option<f64>,
+    epoch: u64,
+    timers: HashMap<u64, ExpTimer>,
+    next_token: u64,
+    joining_tree: bool,
+    metrics: Metrics,
+    /// Root-side per-epoch reports.
+    reports: Vec<(u64, AggPartial)>,
+}
+
+impl ExplicitTreeNode {
+    /// Create an explicit-tree node for `key`.
+    pub fn new(
+        chord_cfg: ChordConfig,
+        cfg: ExplicitConfig,
+        key: Id,
+        id: Id,
+        addr: NodeAddr,
+    ) -> Self {
+        ExplicitTreeNode {
+            chord: ChordNode::new(chord_cfg, id, addr),
+            cfg,
+            key,
+            parent: None,
+            parent_missed: 0,
+            children: HashMap::new(),
+            local: None,
+            epoch: 0,
+            timers: HashMap::new(),
+            next_token: 1,
+            joining_tree: false,
+            metrics: Metrics::default(),
+        reports: Vec::new(),
+        }
+    }
+
+    /// This node's reference.
+    pub fn me(&self) -> NodeRef {
+        self.chord.me()
+    }
+
+    /// Underlying Chord node.
+    pub fn chord(&self) -> &ChordNode {
+        &self.chord
+    }
+
+    /// Tree-layer message counters (membership traffic is every kind except
+    /// `exp_update`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Reset both tree-layer and Chord-layer counters.
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+        self.chord.metrics_mut().reset();
+    }
+
+    /// Total membership-maintenance messages sent by this node.
+    pub fn membership_sent(&self) -> u64 {
+        self.metrics.sent_of_kinds(&[
+            "exp_join_tree",
+            "exp_adopt",
+            "exp_heartbeat",
+            "exp_heartbeat_ack",
+            "exp_leave_tree",
+        ])
+    }
+
+    /// Current tree parent.
+    pub fn tree_parent(&self) -> Option<NodeRef> {
+        self.parent
+    }
+
+    /// Current child count.
+    pub fn child_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Update the local observation.
+    pub fn set_local(&mut self, v: f64) {
+        self.local = Some(v);
+    }
+
+    /// Root-side per-epoch global partials.
+    pub fn reports(&self) -> &[(u64, AggPartial)] {
+        &self.reports
+    }
+
+    /// Start as the first ring member.
+    pub fn start_create(&mut self) -> Vec<Output> {
+        let outs = self.chord.start_create();
+        self.process(outs)
+    }
+
+    /// Join the ring, then the tree.
+    pub fn start_join(&mut self, bootstrap: NodeRef) -> Vec<Output> {
+        let outs = self.chord.start_join(bootstrap);
+        self.process(outs)
+    }
+
+    /// Start with a pre-materialised routing table (see
+    /// [`ChordNode::start_with_table`]); used by experiment harnesses.
+    pub fn start_with_table(&mut self, table: dat_chord::FingerTable) -> Vec<Output> {
+        let outs = self.chord.start_with_table(table);
+        self.process(outs)
+    }
+
+    /// Gracefully leave both tree and ring.
+    pub fn leave(&mut self) -> Vec<Output> {
+        let mut outs: Vec<Output> = Vec::new();
+        let me = self.me();
+        let leave = ExpMsg::LeaveTree {
+            key: self.key,
+            sender: me,
+        };
+        if let Some(p) = self.parent {
+            self.metrics.count_sent_kind(leave.kind());
+            outs.push(self.chord.send_app(p, EXPLICIT_PROTO, leave.encode()));
+        }
+        let kids: Vec<NodeRef> = self.children.values().map(|c| c.node).collect();
+        for c in kids {
+            self.metrics.count_sent_kind(leave.kind());
+            outs.push(self.chord.send_app(c, EXPLICIT_PROTO, leave.encode()));
+        }
+        let chord_outs = self.chord.leave();
+        outs.extend(self.process(chord_outs));
+        outs
+    }
+
+    /// Drive one input.
+    pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        let outs = self.chord.handle(input);
+        self.process(outs)
+    }
+
+    /// Am I the tree root (owner of the rendezvous key)?
+    pub fn is_root(&self) -> bool {
+        self.chord.owns(self.key)
+    }
+
+    fn process(&mut self, outs: Vec<Output>) -> Vec<Output> {
+        let mut pass = Vec::with_capacity(outs.len());
+        let mut scan: std::collections::VecDeque<Output> = outs.into();
+        while let Some(o) = scan.pop_front() {
+            match o {
+                Output::Upcall(Upcall::Joined { id }) => {
+                    self.arm_timer(ExpTimer::Heartbeat, self.cfg.heartbeat_ms, &mut scan);
+                    self.arm_timer(ExpTimer::Epoch, self.cfg.epoch_ms, &mut scan);
+                    if !self.is_root() {
+                        self.send_join_tree(&mut scan);
+                    }
+                    pass.push(Output::Upcall(Upcall::Joined { id }));
+                }
+                Output::Upcall(Upcall::AppTimer(token)) => {
+                    match self.timers.remove(&token) {
+                        Some(ExpTimer::Heartbeat) => {
+                            self.on_heartbeat_timer(&mut scan);
+                            self.arm_timer(ExpTimer::Heartbeat, self.cfg.heartbeat_ms, &mut scan);
+                        }
+                        Some(ExpTimer::Epoch) => {
+                            self.on_epoch(&mut scan);
+                            self.arm_timer(ExpTimer::Epoch, self.cfg.epoch_ms, &mut scan);
+                        }
+                        None => {}
+                    }
+                }
+                Output::Upcall(Upcall::AppMessage {
+                    proto,
+                    from: _,
+                    payload,
+                }) if proto == EXPLICIT_PROTO => match ExpMsg::decode(&payload) {
+                    Ok(m) => {
+                        self.metrics.count_received_kind(m.kind());
+                        self.on_msg(m, &mut scan);
+                    }
+                    Err(_) => self.metrics.dropped += 1,
+                },
+                Output::Upcall(Upcall::Routed { payload, .. }) => {
+                    match ExpMsg::decode(&payload) {
+                        Ok(m) => {
+                            self.metrics.count_received_kind(m.kind());
+                            self.on_msg(m, &mut scan);
+                        }
+                        Err(_) => self.metrics.dropped += 1,
+                    }
+                }
+                other => pass.push(other),
+            }
+        }
+        pass
+    }
+
+    fn arm_timer(
+        &mut self,
+        t: ExpTimer,
+        delay: u64,
+        outs: &mut std::collections::VecDeque<Output>,
+    ) {
+        self.next_token += 1;
+        let token = self.next_token;
+        self.timers.insert(token, t);
+        outs.push_back(self.chord.app_timer(token, delay));
+    }
+
+    fn send_join_tree(&mut self, outs: &mut std::collections::VecDeque<Output>) {
+        if self.joining_tree || self.is_root() {
+            return;
+        }
+        self.joining_tree = true;
+        let m = ExpMsg::JoinTree {
+            key: self.key,
+            joiner: self.me(),
+        };
+        self.metrics.count_sent_kind(m.kind());
+        let routed = self.chord.route(self.key, m.encode());
+        for o in self.process(routed) {
+            outs.push_back(o);
+        }
+    }
+
+    fn on_msg(&mut self, m: ExpMsg, outs: &mut std::collections::VecDeque<Output>) {
+        let me = self.me();
+        match m {
+            ExpMsg::JoinTree { key, joiner } => {
+                if joiner.id == me.id {
+                    return;
+                }
+                if self.children.len() < self.cfg.max_children {
+                    self.children.insert(
+                        joiner.id,
+                        ChildState {
+                            node: joiner,
+                            missed: 0,
+                            partial: None,
+                        },
+                    );
+                    let adopt = ExpMsg::Adopt { key, parent: me };
+                    self.metrics.count_sent_kind(adopt.kind());
+                    outs.push_back(self.chord.send_app(joiner, EXPLICIT_PROTO, adopt.encode()));
+                } else {
+                    // Delegate to the lowest-id child (deterministic,
+                    // keeps the tree bounded-degree and O(log n) deep
+                    // in expectation).
+                    let target = self
+                        .children
+                        .values()
+                        .map(|c| c.node)
+                        .min_by_key(|n| n.id)
+                        .expect("full node has children");
+                    let fwd = ExpMsg::JoinTree { key, joiner };
+                    self.metrics.count_sent_kind(fwd.kind());
+                    outs.push_back(self.chord.send_app(target, EXPLICIT_PROTO, fwd.encode()));
+                }
+            }
+            ExpMsg::Adopt { key: _, parent } => {
+                self.joining_tree = false;
+                self.parent = Some(parent);
+                self.parent_missed = 0;
+            }
+            ExpMsg::Heartbeat { key, sender } => {
+                if let Some(c) = self.children.get_mut(&sender.id) {
+                    c.missed = 0;
+                    let ack = ExpMsg::HeartbeatAck { key, sender: me };
+                    self.metrics.count_sent_kind(ack.kind());
+                    outs.push_back(self.chord.send_app(sender, EXPLICIT_PROTO, ack.encode()));
+                }
+                // Heartbeat from an unknown child: it was dropped; silence
+                // makes it re-join.
+            }
+            ExpMsg::HeartbeatAck { .. } => {
+                self.parent_missed = 0;
+            }
+            ExpMsg::LeaveTree { key: _, sender } => {
+                if self.parent.map(|p| p.id) == Some(sender.id) {
+                    self.parent = None;
+                    self.send_join_tree(outs);
+                }
+                self.children.remove(&sender.id);
+            }
+            ExpMsg::Update {
+                key: _,
+                epoch,
+                partial,
+                sender,
+            } => {
+                if let Some(c) = self.children.get_mut(&sender.id) {
+                    c.partial = Some((partial, epoch));
+                }
+            }
+        }
+    }
+
+    fn on_heartbeat_timer(&mut self, outs: &mut std::collections::VecDeque<Output>) {
+        if self.chord.status() != NodeStatus::Active {
+            return;
+        }
+        let me = self.me();
+        // Child side: heartbeat the parent, count misses.
+        if let Some(p) = self.parent {
+            self.parent_missed += 1;
+            if self.parent_missed > self.cfg.miss_limit {
+                self.parent = None;
+                self.send_join_tree(outs);
+            } else {
+                let hb = ExpMsg::Heartbeat {
+                    key: self.key,
+                    sender: me,
+                };
+                self.metrics.count_sent_kind(hb.kind());
+                outs.push_back(self.chord.send_app(p, EXPLICIT_PROTO, hb.encode()));
+            }
+        } else if !self.is_root() {
+            self.send_join_tree(outs);
+        }
+        // Parent side: age children.
+        let dead: Vec<Id> = self
+            .children
+            .iter_mut()
+            .filter_map(|(id, c)| {
+                c.missed += 1;
+                (c.missed > self.cfg.miss_limit).then_some(*id)
+            })
+            .collect();
+        for id in dead {
+            self.children.remove(&id);
+        }
+    }
+
+    fn on_epoch(&mut self, outs: &mut std::collections::VecDeque<Output>) {
+        if self.chord.status() != NodeStatus::Active {
+            return;
+        }
+        self.epoch += 1;
+        let mut acc = AggPartial::identity();
+        if let Some(x) = self.local {
+            acc.absorb(x);
+        }
+        for c in self.children.values() {
+            if let Some((p, e)) = &c.partial {
+                if self.epoch.saturating_sub(*e) <= 3 {
+                    acc.merge(p);
+                }
+            }
+        }
+        if self.is_root() {
+            self.reports.push((self.epoch, acc));
+        } else if let Some(p) = self.parent {
+            let m = ExpMsg::Update {
+                key: self.key,
+                epoch: self.epoch,
+                partial: acc,
+                sender: self.me(),
+            };
+            self.metrics.count_sent_kind(m.kind());
+            outs.push_back(self.chord.send_app(p, EXPLICIT_PROTO, m.encode()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::IdSpace;
+
+    fn nr(id: u64) -> NodeRef {
+        NodeRef::new(Id(id), NodeAddr(id))
+    }
+
+    fn mk(id: u64) -> ExplicitTreeNode {
+        let ccfg = ChordConfig {
+            space: IdSpace::new(8),
+            ..ChordConfig::default()
+        };
+        ExplicitTreeNode::new(ccfg, ExplicitConfig::default(), Id(0), Id(id), NodeAddr(id))
+    }
+
+    #[test]
+    fn exp_msg_roundtrip() {
+        let msgs = vec![
+            ExpMsg::JoinTree { key: Id(1), joiner: nr(2) },
+            ExpMsg::Adopt { key: Id(1), parent: nr(3) },
+            ExpMsg::Heartbeat { key: Id(1), sender: nr(4) },
+            ExpMsg::HeartbeatAck { key: Id(1), sender: nr(5) },
+            ExpMsg::LeaveTree { key: Id(1), sender: nr(6) },
+            ExpMsg::Update {
+                key: Id(1),
+                epoch: 7,
+                partial: AggPartial::of(1.5),
+                sender: nr(8),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(ExpMsg::decode(&m.encode()).unwrap(), m);
+            assert_eq!(m.is_membership(), !matches!(m, ExpMsg::Update { .. }));
+        }
+    }
+
+    #[test]
+    fn adoption_under_capacity() {
+        let mut root = mk(0);
+        let _ = root.start_create();
+        let mut outs = std::collections::VecDeque::new();
+        root.on_msg(
+            ExpMsg::JoinTree {
+                key: Id(0),
+                joiner: nr(10),
+            },
+            &mut outs,
+        );
+        assert_eq!(root.child_count(), 1);
+        // The adopt message went out.
+        let adopted = outs.iter().any(|o| matches!(o, Output::Send { .. }));
+        assert!(adopted);
+    }
+
+    #[test]
+    fn full_node_delegates_join() {
+        let mut root = mk(0);
+        let _ = root.start_create();
+        let mut outs = std::collections::VecDeque::new();
+        for i in 0..4 {
+            root.on_msg(
+                ExpMsg::JoinTree {
+                    key: Id(0),
+                    joiner: nr(10 + i),
+                },
+                &mut outs,
+            );
+        }
+        assert_eq!(root.child_count(), 4);
+        outs.clear();
+        root.on_msg(
+            ExpMsg::JoinTree {
+                key: Id(0),
+                joiner: nr(99),
+            },
+            &mut outs,
+        );
+        // Still 4 children; the join was forwarded to child 10.
+        assert_eq!(root.child_count(), 4);
+        match &outs[0] {
+            Output::Send { to, .. } => assert_eq!(to.id, Id(10)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(root.metrics().sent_of("exp_join_tree"), 1);
+    }
+
+    #[test]
+    fn adopt_sets_parent() {
+        let mut n = mk(50);
+        let _ = n.start_create();
+        let mut outs = std::collections::VecDeque::new();
+        n.joining_tree = true;
+        n.on_msg(
+            ExpMsg::Adopt {
+                key: Id(0),
+                parent: nr(3),
+            },
+            &mut outs,
+        );
+        assert_eq!(n.tree_parent().unwrap().id, Id(3));
+        assert!(!n.joining_tree);
+    }
+
+    #[test]
+    fn missed_heartbeats_dissolve_edges() {
+        let mut n = mk(50);
+        let _ = n.start_create();
+        n.parent = Some(nr(3));
+        n.children.insert(
+            Id(9),
+            ChildState {
+                node: nr(9),
+                missed: 0,
+                partial: None,
+            },
+        );
+        let mut outs = std::collections::VecDeque::new();
+        for _ in 0..5 {
+            n.on_heartbeat_timer(&mut outs);
+        }
+        // Edge to the silent child dissolved...
+        assert_eq!(n.child_count(), 0);
+        // ...and the silent parent was abandoned (rejoin attempted).
+        assert!(n.tree_parent().is_none());
+    }
+
+    #[test]
+    fn epoch_pushes_to_parent_and_root_reports() {
+        let mut n = mk(50);
+        let _ = n.start_create();
+        // A lone created node IS the root (owns everything).
+        n.set_local(42.0);
+        let mut outs = std::collections::VecDeque::new();
+        n.on_epoch(&mut outs);
+        assert_eq!(n.reports().len(), 1);
+        assert_eq!(n.reports()[0].1.sum, 42.0);
+    }
+}

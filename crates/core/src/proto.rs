@@ -1,0 +1,1282 @@
+//! The DAT protocol layer: a sans-io node wrapping [`ChordNode`].
+//!
+//! Implements both aggregate modes of the paper's prototype (§4):
+//!
+//! * **continuous** — epoch-based push along the implicit DAT tree. Every
+//!   epoch each node merges its local value with the freshest partial of
+//!   every (soft-state) child and pushes the result to its *current* parent,
+//!   recomputed from the live finger table — so the tree adapts to churn
+//!   with zero membership-repair messages, the paper's central claim.
+//! * **on-demand** — a query is routed to the rendezvous root, which fans
+//!   out over disjoint finger ranges (the `broadcast` primitive) and
+//!   convergecasts exact partials back up with per-node completion
+//!   tracking and a timeout window for lost branches.
+//!
+//! A third mode, **centralized**, reproduces the baseline of Fig. 8: every
+//! node routes its raw value to the root with no in-network merging.
+//!
+//! Like the Chord layer, `DatNode` performs no I/O: it consumes
+//! [`Input`]s, emits [`Output`]s, and surfaces application-level results as
+//! [`DatEvent`]s drained via [`DatNode::take_events`].
+
+use std::collections::HashMap;
+
+use dat_chord::{
+    estimate_d0, hash_to_id, parent_for, ChordConfig, ChordNode, Id, Input, Metrics, NodeAddr,
+    NodeRef, NodeStatus, Output, ParentDecision, RoutingScheme, Upcall,
+};
+
+use crate::aggregate::AggPartial;
+use crate::codec::{DatMsg, DAT_PROTO};
+
+/// How the global value of one aggregation is computed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggregationMode {
+    /// Epoch-based push along the implicit DAT tree (the paper's scheme).
+    Continuous,
+    /// Baseline: raw values routed to the root, no in-network merging.
+    Centralized,
+}
+
+/// DAT-layer tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct DatConfig {
+    /// Which routing scheme defines parents (basic vs balanced DAT).
+    pub scheme: RoutingScheme,
+    /// Epoch (time-slot) length for continuous aggregation, ms.
+    pub epoch_ms: u64,
+    /// A child's partial is kept for this many epochs before expiring
+    /// (soft-state churn adaptation).
+    pub child_ttl_epochs: u64,
+    /// How long an on-demand query waits for missing branches, ms.
+    pub query_window_ms: u64,
+    /// Continuous mode: after an epoch tick, wait at most this long for the
+    /// children's updates of the new epoch before pushing our merged
+    /// partial up (the "aggregation synchronization" of §4). Updates
+    /// cascade bottom-up within one slot, so the root's report reflects the
+    /// *current* epoch's values instead of lagging by the tree height.
+    pub hold_ms: u64,
+    /// Exact average inter-node gap, when globally known (experiments set
+    /// `2^b / n`); `None` means estimate from the local neighborhood.
+    pub d0_hint: Option<u64>,
+}
+
+impl Default for DatConfig {
+    fn default() -> Self {
+        DatConfig {
+            scheme: RoutingScheme::Balanced,
+            epoch_ms: 1_000,
+            child_ttl_epochs: 3,
+            query_window_ms: 500,
+            hold_ms: 250,
+            d0_hint: None,
+        }
+    }
+}
+
+/// Results surfaced to the host application.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DatEvent {
+    /// (Root only, continuous/centralized mode) the global partial computed
+    /// for one epoch.
+    Report {
+        /// Rendezvous key of the aggregation.
+        key: Id,
+        /// Epoch index the report belongs to.
+        epoch: u64,
+        /// The merged global partial.
+        partial: AggPartial,
+    },
+    /// (Requester side) an on-demand query completed.
+    QueryDone {
+        /// Request id returned by [`DatNode::query`].
+        reqid: u64,
+        /// Rendezvous key.
+        key: Id,
+        /// The merged global partial.
+        partial: AggPartial,
+    },
+}
+
+/// One registered aggregation (an entry of the §4 "aggregation table").
+#[derive(Clone, Debug)]
+pub struct AggregationEntry {
+    /// Rendezvous key (SHA-1 of the attribute name).
+    pub key: Id,
+    /// Attribute name, e.g. `"cpu-usage"`.
+    pub name: String,
+    /// Aggregation mode.
+    pub mode: AggregationMode,
+    /// Latest local observation, if any.
+    pub local: Option<f64>,
+    /// Histogram shape `(lo, hi, buckets)` to attach to partials, if any.
+    pub histogram: Option<(f64, f64, usize)>,
+    /// Distinct-count sketch precision to attach to partials, if any.
+    pub distinct_p: Option<u8>,
+    /// Identity items this node contributes to the distinct sketch
+    /// (e.g. its site name).
+    local_items: Vec<Vec<u8>>,
+    /// Freshest partial per child id, with the *local* epoch it arrived in.
+    children: HashMap<Id, (AggPartial, u64)>,
+    /// Last epoch whose partial has been pushed up / reported.
+    flushed_epoch: u64,
+    /// Root stickiness: we keep acting as the root through this epoch while
+    /// the predecessor link is unknown (transient evictions on lossy links
+    /// must not silence reports or push partials down-tree, which would
+    /// create counting cycles).
+    root_until: u64,
+    /// The parent the previous flush went to; a switch triggers a prune
+    /// notice so the old parent drops our cached partial at once.
+    last_parent: Option<NodeRef>,
+    /// Old parent still owed prune notices (sent on consecutive flushes —
+    /// prunes travel over the same lossy links as everything else).
+    prune_old: Option<(NodeRef, u8)>,
+    /// (Root, centralized mode) freshest raw sample per node id.
+    raw: HashMap<Id, (f64, u64)>,
+}
+
+impl AggregationEntry {
+    /// Children that delivered an update this epoch or the previous one —
+    /// the set an interior node waits on before cascading its own update.
+    pub fn active_children(&self, now_epoch: u64) -> Vec<Id> {
+        self.children
+            .iter()
+            .filter(|(_, (_, e))| now_epoch.saturating_sub(*e) <= 1)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of live (unexpired) children currently known.
+    pub fn live_children(&self, now_epoch: u64, ttl: u64) -> usize {
+        self.children
+            .values()
+            .filter(|(_, e)| now_epoch.saturating_sub(*e) <= ttl)
+            .count()
+    }
+
+    fn base_partial(&self) -> AggPartial {
+        let mut p = match self.histogram {
+            Some((lo, hi, n)) => AggPartial::identity_with_histogram(lo, hi, n),
+            None => AggPartial::identity(),
+        };
+        if let Some(prec) = self.distinct_p {
+            p.distinct = Some(crate::sketch::Hll::new(prec));
+            for item in &self.local_items {
+                p.observe_item(item);
+            }
+        }
+        p
+    }
+
+    /// Merge local value + fresh child partials (continuous mode).
+    /// `exclude` drops one cached child — the node we are about to push to.
+    /// Under heavy loss, parent decisions can flap so that two nodes
+    /// transiently treat each other as parent; reflecting a node's own
+    /// partial back at it creates an exponential counting cycle.
+    fn merged_partial(&self, now_epoch: u64, ttl: u64, exclude: Option<Id>) -> AggPartial {
+        let mut acc = self.base_partial();
+        if let Some(x) = self.local {
+            acc.absorb(x);
+        }
+        for (child, (p, e)) in self.children.iter() {
+            if Some(*child) == exclude {
+                continue;
+            }
+            if now_epoch.saturating_sub(*e) <= ttl {
+                acc.merge(p);
+            }
+        }
+        acc
+    }
+
+    /// Merge local value + fresh raw samples (centralized root).
+    fn merged_raw(&self, now_epoch: u64, ttl: u64) -> AggPartial {
+        let mut acc = self.base_partial();
+        if let Some(x) = self.local {
+            acc.absorb(x);
+        }
+        for (v, e) in self.raw.values() {
+            if now_epoch.saturating_sub(*e) <= ttl {
+                acc.absorb(*v);
+            }
+        }
+        acc
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DatTimer {
+    EpochTick,
+    QueryWindow(u64),
+    /// Flush the continuous partial of one aggregation for the current
+    /// epoch (armed at each tick; may be preempted by an early flush when
+    /// every recently-active child has already delivered).
+    HoldFlush(Id),
+}
+
+#[derive(Debug)]
+struct QueryState {
+    key: Id,
+    /// Who awaits our response (`None`: we are the fan-out origin).
+    parent: Option<NodeRef>,
+    /// (Origin only) who gets the final result.
+    requester: Option<NodeRef>,
+    awaiting: usize,
+    acc: AggPartial,
+    done: bool,
+}
+
+/// The DAT node: Chord + aggregation table + both aggregate modes.
+pub struct DatNode {
+    chord: ChordNode,
+    cfg: DatConfig,
+    aggs: HashMap<Id, AggregationEntry>,
+    epoch: u64,
+    queries: HashMap<u64, QueryState>,
+    timers: HashMap<u64, DatTimer>,
+    next_token: u64,
+    next_reqid: u64,
+    metrics: Metrics,
+    events: Vec<DatEvent>,
+    epoch_timer_armed: bool,
+    /// Last epoch in which the DAT parent was liveness-pinged.
+    parent_ping_epoch: u64,
+}
+
+impl DatNode {
+    /// Create a DAT node with the given Chord and DAT configurations.
+    pub fn new(chord_cfg: ChordConfig, dat_cfg: DatConfig, id: Id, addr: NodeAddr) -> Self {
+        DatNode {
+            chord: ChordNode::new(chord_cfg, id, addr),
+            cfg: dat_cfg,
+            aggs: HashMap::new(),
+            epoch: 0,
+            queries: HashMap::new(),
+            timers: HashMap::new(),
+            next_token: 1,
+            next_reqid: (addr.0 << 24) + 1,
+            metrics: Metrics::default(),
+            events: Vec::new(),
+            epoch_timer_armed: false,
+            parent_ping_epoch: 0,
+        }
+    }
+
+    /// Wrap an existing Chord node (e.g. one pre-loaded with a stabilized
+    /// table by an experiment harness).
+    pub fn from_chord(chord: ChordNode, dat_cfg: DatConfig) -> Self {
+        let addr = chord.me().addr;
+        DatNode {
+            chord,
+            cfg: dat_cfg,
+            aggs: HashMap::new(),
+            epoch: 0,
+            queries: HashMap::new(),
+            timers: HashMap::new(),
+            next_token: 1,
+            next_reqid: (addr.0 << 24) + 1,
+            metrics: Metrics::default(),
+            events: Vec::new(),
+            epoch_timer_armed: false,
+            parent_ping_epoch: 0,
+        }
+    }
+
+    /// This node's reference.
+    pub fn me(&self) -> NodeRef {
+        self.chord.me()
+    }
+
+    /// Lifecycle status of the underlying Chord node.
+    pub fn status(&self) -> NodeStatus {
+        self.chord.status()
+    }
+
+    /// The underlying Chord node (read-only).
+    pub fn chord(&self) -> &ChordNode {
+        &self.chord
+    }
+
+    /// DAT-layer message counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Reset both DAT-layer and Chord-layer counters (e.g. after a warm-up
+    /// phase, so experiments measure steady state only).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+        self.chord.metrics_mut().reset();
+    }
+
+    /// The DAT configuration.
+    pub fn config(&self) -> &DatConfig {
+        &self.cfg
+    }
+
+    /// Current epoch index.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Registered aggregations.
+    pub fn aggregations(&self) -> impl Iterator<Item = &AggregationEntry> {
+        self.aggs.values()
+    }
+
+    /// Look up one aggregation entry.
+    pub fn aggregation(&self, key: Id) -> Option<&AggregationEntry> {
+        self.aggs.get(&key)
+    }
+
+    /// Drain application events produced since the last call.
+    pub fn take_events(&mut self) -> Vec<DatEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Start as the first ring member.
+    pub fn start_create(&mut self) -> Vec<Output> {
+        let outs = self.chord.start_create();
+        self.process(outs)
+    }
+
+    /// Join through `bootstrap`.
+    pub fn start_join(&mut self, bootstrap: NodeRef) -> Vec<Output> {
+        let outs = self.chord.start_join(bootstrap);
+        self.process(outs)
+    }
+
+    /// Start with a pre-materialised routing table (see
+    /// [`ChordNode::start_with_table`]); used by experiment harnesses.
+    pub fn start_with_table(&mut self, table: dat_chord::FingerTable) -> Vec<Output> {
+        let outs = self.chord.start_with_table(table);
+        self.process(outs)
+    }
+
+    /// Gracefully leave the ring.
+    pub fn leave(&mut self) -> Vec<Output> {
+        let outs = self.chord.leave();
+        self.process(outs)
+    }
+
+    /// Register an aggregation for attribute `name`. The rendezvous key is
+    /// the SHA-1 hash of the name (paper §2.3). Returns the key.
+    pub fn register(&mut self, name: &str, mode: AggregationMode) -> Id {
+        self.register_with_histogram(name, mode, None)
+    }
+
+    /// Register an aggregation whose partials carry a histogram digest.
+    pub fn register_with_histogram(
+        &mut self,
+        name: &str,
+        mode: AggregationMode,
+        histogram: Option<(f64, f64, usize)>,
+    ) -> Id {
+        let key = hash_to_id(self.chord.space(), name.as_bytes());
+        self.aggs.entry(key).or_insert_with(|| AggregationEntry {
+            key,
+            name: name.to_string(),
+            mode,
+            local: None,
+            histogram,
+            distinct_p: None,
+            local_items: Vec::new(),
+            children: HashMap::new(),
+            flushed_epoch: 0,
+            root_until: 0,
+            last_parent: None,
+            prune_old: None,
+            raw: HashMap::new(),
+        });
+        key
+    }
+
+    /// Update this node's local value for an aggregation (sensor input).
+    pub fn set_local(&mut self, key: Id, value: f64) {
+        if let Some(e) = self.aggs.get_mut(&key) {
+            e.local = Some(value);
+        }
+    }
+
+    /// Register an aggregation whose partials carry a distinct-count
+    /// sketch of the given precision (see [`crate::sketch::Hll`]).
+    pub fn register_with_distinct(&mut self, name: &str, mode: AggregationMode, p: u8) -> Id {
+        let key = self.register(name, mode);
+        if let Some(e) = self.aggs.get_mut(&key) {
+            e.distinct_p = Some(p);
+        }
+        key
+    }
+
+    /// Record an identity-bearing item (site, user, job id …) this node
+    /// contributes to the aggregation's distinct-count sketch.
+    pub fn observe_local_item(&mut self, key: Id, item: &[u8]) {
+        if let Some(e) = self.aggs.get_mut(&key) {
+            if !e.local_items.iter().any(|i| i == item) {
+                e.local_items.push(item.to_vec());
+            }
+        }
+    }
+
+    /// The DAT parent this node currently computes for `key`.
+    pub fn parent_decision(&self, key: Id) -> ParentDecision {
+        parent_for(self.cfg.scheme, self.chord.table(), key, self.d0())
+    }
+
+    /// Issue an on-demand aggregate query for `key`. The answer arrives as
+    /// [`DatEvent::QueryDone`] with the returned request id.
+    pub fn query(&mut self, key: Id) -> (u64, Vec<Output>) {
+        self.next_reqid += 1;
+        let reqid = self.next_reqid;
+        let me = self.me();
+        let mut outs = Vec::new();
+        if self.chord.owns(key) {
+            // We are the root: fan out directly.
+            let mut q = std::collections::VecDeque::new();
+            self.begin_fanout(reqid, key, None, Some(me), &mut q);
+            outs.extend(q);
+        } else {
+            let req = DatMsg::Request {
+                reqid,
+                key,
+                requester: me,
+            };
+            self.metrics.count_sent_kind(req.kind());
+            let routed = self.chord.route(key, req.encode());
+            outs.extend(self.process(routed));
+        }
+        (reqid, outs)
+    }
+
+    /// Drive one input through the stack.
+    pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        let outs = self.chord.handle(input);
+        self.process(outs)
+    }
+
+    /// Intercept chord upcalls, dispatch DAT logic, pass the rest through.
+    fn process(&mut self, outs: Vec<Output>) -> Vec<Output> {
+        let mut pass = Vec::with_capacity(outs.len());
+        let mut scan: std::collections::VecDeque<Output> = outs.into();
+        while let Some(o) = scan.pop_front() {
+            match o {
+                Output::Upcall(Upcall::Joined { id }) => {
+                    self.ensure_epoch_timer(&mut scan);
+                    pass.push(Output::Upcall(Upcall::Joined { id }));
+                }
+                Output::Upcall(Upcall::AppTimer(token)) => {
+                    #[cfg(feature = "trace-flush")]
+                    eprintln!("[{:?}] AppTimer token={token} known={}", self.me().addr, self.timers.contains_key(&token));
+                    let Some(t) = self.timers.remove(&token) else {
+                        continue;
+                    };
+                    match t {
+                        DatTimer::EpochTick => {
+                            self.epoch_timer_armed = false;
+                            self.on_epoch(&mut scan);
+                            self.ensure_epoch_timer(&mut scan);
+                        }
+                        DatTimer::QueryWindow(reqid) => self.on_query_window(reqid, &mut scan),
+                        DatTimer::HoldFlush(key) => self.flush_continuous(key, &mut scan),
+                    }
+                }
+                Output::Upcall(Upcall::AppMessage {
+                    proto,
+                    from,
+                    payload,
+                }) if proto == DAT_PROTO => match DatMsg::decode(&payload) {
+                    Ok(msg) => {
+                        self.metrics.count_received_kind(msg.kind());
+                        self.on_dat_msg(from.addr, msg, &mut scan);
+                    }
+                    Err(_) => self.metrics.dropped += 1,
+                },
+                Output::Upcall(Upcall::Routed {
+                    key,
+                    payload,
+                    origin,
+                    ..
+                }) => match DatMsg::decode(&payload) {
+                    Ok(msg) => {
+                        self.metrics.count_received_kind(msg.kind());
+                        self.on_dat_msg(origin.addr, msg, &mut scan);
+                    }
+                    Err(_) => {
+                        // Not a DAT payload: surface to the host.
+                        pass.push(Output::Upcall(Upcall::Routed {
+                            key,
+                            payload,
+                            origin,
+                            hops: 0,
+                        }));
+                    }
+                },
+                other => pass.push(other),
+            }
+        }
+        pass
+    }
+
+    fn ensure_epoch_timer(&mut self, outs: &mut std::collections::VecDeque<Output>) {
+        if self.epoch_timer_armed || self.status() != NodeStatus::Active {
+            return;
+        }
+        self.next_token += 1;
+        let token = self.next_token;
+        self.timers.insert(token, DatTimer::EpochTick);
+        outs.push_back(self.chord.app_timer(token, self.cfg.epoch_ms));
+        self.epoch_timer_armed = true;
+    }
+
+    fn d0(&self) -> u64 {
+        self.cfg
+            .d0_hint
+            .unwrap_or_else(|| estimate_d0(self.chord.table()))
+    }
+
+    /// One epoch tick: push every continuous aggregation to its parent,
+    /// route centralized samples, emit root reports.
+    fn on_epoch(&mut self, outs: &mut std::collections::VecDeque<Output>) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let ttl = self.cfg.child_ttl_epochs;
+        let me = self.me();
+        let _ = me;
+        let keys: Vec<Id> = self.aggs.keys().copied().collect();
+        for key in keys {
+            let entry = &self.aggs[&key];
+            match entry.mode {
+                AggregationMode::Continuous => {
+                    // Aggregation synchronization (§4): schedule this
+                    // node's push within the slot by its estimated distance
+                    // to the root — leaves flush first, the root's children
+                    // last — so updates cascade bottom-up inside one epoch.
+                    // Nodes whose children have all delivered flush early
+                    // (see the Update handler); the timer is the bound.
+                    if entry.active_children(epoch).is_empty() {
+                        self.flush_continuous(key, outs);
+                    } else {
+                        let delay = self.flush_delay(key);
+                        #[cfg(feature = "trace-flush")]
+                        eprintln!("[{:?}] arm hold epoch={epoch} delay={delay}", me.addr);
+                        self.next_token += 1;
+                        let token = self.next_token;
+                        self.timers.insert(token, DatTimer::HoldFlush(key));
+                        outs.push_back(self.chord.app_timer(token, delay));
+                    }
+                }
+                AggregationMode::Centralized => {
+                    if self.chord.owns(key) {
+                        let partial = entry.merged_raw(epoch, ttl);
+                        self.events.push(DatEvent::Report {
+                            key,
+                            epoch,
+                            partial,
+                        });
+                    } else if let Some(v) = entry.local {
+                        let msg = DatMsg::RawSample {
+                            key,
+                            epoch,
+                            value: v,
+                            sender: me,
+                        };
+                        self.metrics.count_sent_kind(msg.kind());
+                        let routed = self.chord.route(key, msg.encode());
+                        for o in self.process(routed) {
+                            outs.push_back(o);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// When, within the hold window, this node should push its partial.
+    ///
+    /// Both routing schemes strictly shrink the clockwise distance `x` to
+    /// the rendezvous key on every hop (by at least half), so scheduling
+    /// flushes by `log2(x)` — large `x` (deep in the tree) first, small `x`
+    /// (near the root) last — guarantees every child's delay is strictly
+    /// smaller than its parent's by at least `hold_ms / b` milliseconds.
+    /// With the default 250 ms window over a 32-bit space that is ~8 ms per
+    /// level, comfortably above LAN latencies, so an epoch's updates
+    /// cascade all the way to the root within one slot (the paper's
+    /// "aggregation synchronization", §4).
+    fn flush_delay(&self, key: Id) -> u64 {
+        if self.chord.owns(key) {
+            // The root sits just past the key, so its clockwise distance to
+            // the key wraps the whole ring — special-case it to flush last.
+            return self.cfg.hold_ms;
+        }
+        let space = self.chord.space();
+        let x = space.dist_cw(self.me().id, key);
+        let b = space.bits() as f64;
+        // Spread the window over the ~log2(n) levels that actually exist
+        // (identifiers below d0 apart collapse into one level), so the gap
+        // between adjacent levels is hold/log2(n) rather than hold/b —
+        // comfortably above one-way latency even on WANs.
+        let d0_log = (self.d0().max(1) as f64).log2();
+        let span = (b - d0_log).max(1.0);
+        // frac = 1 just behind the key (the root's children), 0 at the far
+        // side of the ring (the deepest leaves).
+        let frac = 1.0 - ((((x as f64) + 1.0).log2() - d0_log).max(0.0) / span).clamp(0.0, 1.0);
+        // Children stay strictly below the root's full-hold flush.
+        (self.cfg.hold_ms as f64 * frac * span / (span + 1.0)).round() as u64
+    }
+
+    /// Push (or report, at the root) the merged continuous partial of
+    /// `key` for the current epoch. Idempotent per epoch.
+    fn flush_continuous(&mut self, key: Id, outs: &mut std::collections::VecDeque<Output>) {
+        let epoch = self.epoch;
+        let ttl = self.cfg.child_ttl_epochs;
+        let me = self.me();
+        let Some(entry) = self.aggs.get_mut(&key) else {
+            return;
+        };
+        if entry.mode != AggregationMode::Continuous || entry.flushed_epoch >= epoch {
+            #[cfg(feature = "trace-flush")]
+            eprintln!("[{:?}] flush skipped epoch={epoch} flushed={}", self.chord.me().addr, entry.flushed_epoch);
+            return;
+        }
+        #[cfg(feature = "trace-flush")]
+        {
+            let stamps: Vec<(u64, u64, f64)> = entry
+                .children
+                .iter()
+                .map(|(id, (p, e))| (id.raw() % 1000, *e, p.sum))
+                .collect();
+            eprintln!(
+                "[{:?}] flush epoch={epoch} local={:?} children={stamps:?}",
+                self.chord.me().addr,
+                entry.local
+            );
+        }
+        entry.flushed_epoch = epoch;
+        let mut decision = self.parent_decision(key);
+        // Root stickiness: a transiently evicted predecessor makes the ring
+        // position uncertain; a recent root keeps reporting rather than
+        // pushing its partial *down* the tree (which would both silence the
+        // report and create a counting cycle).
+        match decision {
+            ParentDecision::IAmRoot => {
+                if let Some(e) = self.aggs.get_mut(&key) {
+                    e.root_until = epoch + 2;
+                }
+            }
+            _ => {
+                let pred_unknown = self.chord.table().predecessor().is_none();
+                let sticky = self
+                    .aggs
+                    .get(&key)
+                    .map(|e| e.root_until >= epoch)
+                    .unwrap_or(false);
+                if pred_unknown && sticky {
+                    decision = ParentDecision::IAmRoot;
+                }
+            }
+        }
+        let partial = {
+            let entry = self.aggs.get(&key).expect("entry exists");
+            entry.merged_partial(epoch, ttl, decision.parent().map(|p| p.id))
+        };
+        // Parent switch: tell the old parent to forget our partial so the
+        // subtree is never counted along two paths at once. Prunes ride the
+        // same lossy links as updates, so each switch schedules two.
+        let new_parent = decision.parent();
+        if let Some(e) = self.aggs.get_mut(&key) {
+            if let Some(old) = e
+                .last_parent
+                .filter(|old| Some(old.id) != new_parent.map(|p| p.id))
+            {
+                e.prune_old = Some((old, 2));
+            }
+            e.last_parent = new_parent;
+            // Never prune the node we are about to push to.
+            if e.prune_old.map(|(o, _)| Some(o.id)) == Some(new_parent.map(|p| p.id)) {
+                e.prune_old = None;
+            }
+        }
+        let prune_to = self.aggs.get_mut(&key).and_then(|e| {
+            let (old, n) = e.prune_old?;
+            e.prune_old = (n > 1).then_some((old, n - 1));
+            Some(old)
+        });
+        if let Some(old) = prune_to {
+            let msg = DatMsg::Prune { key, sender: me };
+            self.metrics.count_sent_kind(msg.kind());
+            outs.push_back(self.chord.send_app(old, DAT_PROTO, msg.encode()));
+        }
+        match decision {
+            ParentDecision::IAmRoot => {
+                self.events.push(DatEvent::Report {
+                    key,
+                    epoch,
+                    partial,
+                });
+            }
+            ParentDecision::Parent(p) => {
+                let msg = DatMsg::Update {
+                    key,
+                    epoch,
+                    partial,
+                    sender: me,
+                };
+                self.metrics.count_sent_kind(msg.kind());
+                outs.push_back(self.chord.send_app(p, DAT_PROTO, msg.encode()));
+                // Updates are fire-and-forget; probe the parent's liveness
+                // once per epoch so a crashed or departed parent is evicted
+                // (via the Chord timeout machinery) and next epoch's parent
+                // computation routes around it.
+                if self.parent_ping_epoch < epoch {
+                    self.parent_ping_epoch = epoch;
+                    self.metrics.count_sent_kind("dat_parent_ping");
+                    for o in self.chord.ping_node(p) {
+                        outs.push_back(o);
+                    }
+                }
+            }
+            ParentDecision::Unknown => {
+                // Table still converging; try again next epoch.
+                entry_unknown_rollback(self.aggs.get_mut(&key), epoch);
+            }
+        }
+    }
+
+    fn on_dat_msg(
+        &mut self,
+        _from: NodeAddr,
+        msg: DatMsg,
+        outs: &mut std::collections::VecDeque<Output>,
+    ) {
+        match msg {
+            DatMsg::Update {
+                key,
+                epoch: _,
+                partial,
+                sender,
+            } => {
+                let now_epoch = self.epoch;
+                let ready = match self.aggs.get_mut(&key) {
+                    Some(e) => {
+                        // Stamp with OUR epoch counter: nodes that joined at
+                        // different times number epochs differently.
+                        e.children.insert(sender.id, (partial, now_epoch));
+                        e.flushed_epoch < now_epoch
+                            && e.active_children(now_epoch)
+                                .iter()
+                                .all(|c| e.children[c].1 == now_epoch)
+                    }
+                    None => false,
+                };
+                if ready {
+                    // Every recently-active child has delivered this
+                    // epoch's partial: cascade up without waiting for the
+                    // hold timer.
+                    self.flush_continuous(key, outs);
+                }
+            }
+            DatMsg::RawSample {
+                key,
+                epoch,
+                value,
+                sender,
+            } => {
+                if let Some(e) = self.aggs.get_mut(&key) {
+                    e.raw.insert(sender.id, (value, epoch.max(self.epoch)));
+                }
+            }
+            DatMsg::Request {
+                reqid,
+                key,
+                requester,
+            } => {
+                self.begin_fanout(reqid, key, None, Some(requester), outs);
+            }
+            DatMsg::Query {
+                reqid,
+                key,
+                limit,
+                parent,
+                depth,
+            } => {
+                self.on_query(reqid, key, limit, parent, depth, outs);
+            }
+            DatMsg::Response {
+                reqid,
+                key: _,
+                partial,
+                sender: _,
+            } => {
+                let complete = match self.queries.get_mut(&reqid) {
+                    Some(q) if !q.done => {
+                        q.acc.merge(&partial);
+                        q.awaiting = q.awaiting.saturating_sub(1);
+                        q.awaiting == 0
+                    }
+                    _ => false,
+                };
+                if complete {
+                    self.complete_query(reqid, outs);
+                }
+            }
+            DatMsg::Prune { key, sender } => {
+                if let Some(e) = self.aggs.get_mut(&key) {
+                    e.children.remove(&sender.id);
+                }
+            }
+            DatMsg::Result {
+                reqid,
+                key,
+                partial,
+            } => {
+                self.events.push(DatEvent::QueryDone {
+                    reqid,
+                    key,
+                    partial,
+                });
+            }
+        }
+    }
+
+    /// Root-side start of an on-demand aggregation: fan out over the whole
+    /// ring.
+    fn begin_fanout(
+        &mut self,
+        reqid: u64,
+        key: Id,
+        parent: Option<NodeRef>,
+        requester: Option<NodeRef>,
+        outs: &mut std::collections::VecDeque<Output>,
+    ) {
+        let me = self.me();
+        let acc = self.local_partial(key);
+        let sent = self.fan_out_query(reqid, key, me.id, 0, outs);
+        let st = QueryState {
+            key,
+            parent,
+            requester,
+            awaiting: sent,
+            acc,
+            done: false,
+        };
+        self.queries.insert(reqid, st);
+        if sent == 0 {
+            self.complete_query(reqid, outs);
+        } else {
+            self.arm_query_window(reqid, 0, outs);
+        }
+    }
+
+    /// Handle an incoming fan-out query for range `(me, limit)`.
+    fn on_query(
+        &mut self,
+        reqid: u64,
+        key: Id,
+        limit: Id,
+        parent: NodeRef,
+        depth: u32,
+        outs: &mut std::collections::VecDeque<Output>,
+    ) {
+        if self.queries.contains_key(&reqid) {
+            // Duplicate delivery during churn: answer with identity so the
+            // parent's counter still drains.
+            let msg = DatMsg::Response {
+                reqid,
+                key,
+                partial: AggPartial::identity(),
+                sender: self.me(),
+            };
+            self.metrics.count_sent_kind(msg.kind());
+            outs.push_back(self.chord.send_app(parent, DAT_PROTO, msg.encode()));
+            return;
+        }
+        let acc = self.local_partial(key);
+        let sent = self.fan_out_query(reqid, key, limit, depth + 1, outs);
+        let st = QueryState {
+            key,
+            parent: Some(parent),
+            requester: None,
+            awaiting: sent,
+            acc,
+            done: false,
+        };
+        self.queries.insert(reqid, st);
+        if sent == 0 {
+            self.complete_query(reqid, outs);
+        } else {
+            self.arm_query_window(reqid, depth + 1, outs);
+        }
+    }
+
+    fn local_partial(&self, key: Id) -> AggPartial {
+        match self.aggs.get(&key) {
+            Some(e) => {
+                let mut p = e.base_partial();
+                if let Some(x) = e.local {
+                    p.absorb(x);
+                }
+                p
+            }
+            None => AggPartial::identity(),
+        }
+    }
+
+    /// Send `Query` messages covering the disjoint finger sub-ranges of
+    /// `(me, limit)`. Returns the number of children queried.
+    fn fan_out_query(
+        &mut self,
+        reqid: u64,
+        key: Id,
+        limit: Id,
+        depth: u32,
+        outs: &mut std::collections::VecDeque<Output>,
+    ) -> usize {
+        let space = self.chord.space();
+        let me = self.me();
+        let mut targets: Vec<NodeRef> = Vec::new();
+        for (_, fi) in self.chord.table().iter() {
+            let n = fi.node;
+            let inside = if limit == me.id {
+                n.id != me.id
+            } else {
+                space.in_open_open(n.id, me.id, limit)
+            };
+            if inside && !targets.iter().any(|t| t.id == n.id) {
+                targets.push(n);
+            }
+        }
+        targets.sort_by_key(|t| space.dist_cw(me.id, t.id));
+        let count = targets.len();
+        for i in 0..count {
+            let sub_limit = if i + 1 < count {
+                targets[i + 1].id
+            } else {
+                limit
+            };
+            let msg = DatMsg::Query {
+                reqid,
+                key,
+                limit: sub_limit,
+                parent: me,
+                depth,
+            };
+            self.metrics.count_sent_kind(msg.kind());
+            outs.push_back(self.chord.send_app(targets[i], DAT_PROTO, msg.encode()));
+        }
+        count
+    }
+
+    /// Arm the lost-branch timeout for a query. Windows halve with fan-out
+    /// depth so that a deep subtree's timeout still fits inside every
+    /// ancestor's window — otherwise one lost message below would make the
+    /// root close before the (late but complete) deep responses arrive.
+    fn arm_query_window(
+        &mut self,
+        reqid: u64,
+        depth: u32,
+        outs: &mut std::collections::VecDeque<Output>,
+    ) {
+        self.next_token += 1;
+        let token = self.next_token;
+        self.timers.insert(token, DatTimer::QueryWindow(reqid));
+        let window = (self.cfg.query_window_ms >> depth.min(6)).max(40);
+        outs.push_back(self.chord.app_timer(token, window));
+    }
+
+    fn on_query_window(&mut self, reqid: u64, outs: &mut std::collections::VecDeque<Output>) {
+        let timed_out = matches!(self.queries.get(&reqid), Some(q) if !q.done);
+        if timed_out {
+            // Lost branches: answer with what we have.
+            self.complete_query(reqid, outs);
+        }
+    }
+
+    fn complete_query(&mut self, reqid: u64, outs: &mut std::collections::VecDeque<Output>) {
+        let me = self.me();
+        let Some(q) = self.queries.get_mut(&reqid) else {
+            return;
+        };
+        if q.done {
+            return;
+        }
+        q.done = true;
+        let key = q.key;
+        let partial = q.acc.clone();
+        let parent = q.parent;
+        let requester = q.requester;
+        match parent {
+            Some(p) => {
+                let msg = DatMsg::Response {
+                    reqid,
+                    key,
+                    partial,
+                    sender: me,
+                };
+                self.metrics.count_sent_kind(msg.kind());
+                outs.push_back(self.chord.send_app(p, DAT_PROTO, msg.encode()));
+            }
+            None => match requester {
+                Some(r) if r.id == me.id => {
+                    self.events.push(DatEvent::QueryDone {
+                        reqid,
+                        key,
+                        partial,
+                    });
+                }
+                Some(r) => {
+                    let msg = DatMsg::Result {
+                        reqid,
+                        key,
+                        partial,
+                    };
+                    self.metrics.count_sent_kind(msg.kind());
+                    outs.push_back(self.chord.send_app(r, DAT_PROTO, msg.encode()));
+                }
+                None => {}
+            },
+        }
+    }
+}
+
+/// Roll back a flush marker when the parent is still unknown, so the next
+/// epoch retries instead of silently dropping a slot.
+fn entry_unknown_rollback(entry: Option<&mut AggregationEntry>, epoch: u64) {
+    if let Some(e) = entry {
+        e.flushed_epoch = epoch.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::IdSpace;
+
+    fn mk(id: u64) -> DatNode {
+        let ccfg = ChordConfig {
+            space: IdSpace::new(8),
+            ..ChordConfig::default()
+        };
+        DatNode::new(ccfg, DatConfig::default(), Id(id), NodeAddr(id))
+    }
+
+    fn timer_outputs(outs: &[Output]) -> Vec<dat_chord::TimerKind> {
+        outs.iter()
+            .filter_map(|o| match o {
+                Output::SetTimer { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn register_derives_key_from_name() {
+        let mut n = mk(1);
+        let k1 = n.register("cpu-usage", AggregationMode::Continuous);
+        let k2 = n.register("cpu-usage", AggregationMode::Continuous);
+        assert_eq!(k1, k2);
+        let k3 = n.register("memory-size", AggregationMode::Continuous);
+        assert_ne!(k1, k3);
+        assert_eq!(n.aggregations().count(), 2);
+        assert_eq!(n.aggregation(k1).unwrap().name, "cpu-usage");
+    }
+
+    #[test]
+    fn create_arms_epoch_timer() {
+        let mut n = mk(1);
+        n.register("cpu-usage", AggregationMode::Continuous);
+        let outs = n.start_create();
+        let timers = timer_outputs(&outs);
+        assert!(
+            timers
+                .iter()
+                .any(|t| matches!(t, dat_chord::TimerKind::App(_))),
+            "epoch timer must be armed: {timers:?}"
+        );
+    }
+
+    #[test]
+    fn singleton_root_reports_own_value() {
+        let mut n = mk(1);
+        let key = n.register("cpu-usage", AggregationMode::Continuous);
+        let outs = n.start_create();
+        n.set_local(key, 55.0);
+        // Fire the epoch timer.
+        let app = timer_outputs(&outs)
+            .into_iter()
+            .find(|t| matches!(t, dat_chord::TimerKind::App(_)))
+            .unwrap();
+        let _ = n.handle(Input::Timer(app));
+        let evs = n.take_events();
+        assert_eq!(evs.len(), 1);
+        match &evs[0] {
+            DatEvent::Report { key: k, epoch, partial } => {
+                assert_eq!(*k, key);
+                assert_eq!(*epoch, 1);
+                assert_eq!(partial.finalize(crate::aggregate::AggFunc::Sum), 55.0);
+                assert_eq!(partial.count, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singleton_query_completes_instantly() {
+        let mut n = mk(1);
+        let key = n.register("cpu-usage", AggregationMode::Continuous);
+        let _ = n.start_create();
+        n.set_local(key, 7.0);
+        let (reqid, _) = n.query(key);
+        let evs = n.take_events();
+        assert_eq!(evs.len(), 1);
+        match &evs[0] {
+            DatEvent::QueryDone { reqid: r, partial, .. } => {
+                assert_eq!(*r, reqid);
+                assert_eq!(partial.sum, 7.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_message_absorbed_into_children() {
+        let mut root = mk(1);
+        let key = root.register("cpu-usage", AggregationMode::Continuous);
+        let _ = root.start_create();
+        root.set_local(key, 10.0);
+        // A fake child pushes a partial.
+        let child = NodeRef::new(Id(99), NodeAddr(99));
+        let upd = DatMsg::Update {
+            key,
+            epoch: 1,
+            partial: AggPartial::of(32.0),
+            sender: child,
+        };
+        let _ = root.handle(Input::Message {
+            from: NodeAddr(99),
+            msg: dat_chord::ChordMsg::App {
+                proto: DAT_PROTO,
+                from: child,
+                payload: upd.encode(),
+            },
+        });
+        assert_eq!(root.aggregation(key).unwrap().live_children(1, 3), 1);
+        // Next epoch the root report includes the child's value.
+        let outs = root.start_join_epoch_for_tests();
+        let _ = outs;
+        let evs = root.take_events();
+        let report = evs
+            .iter()
+            .find_map(|e| match e {
+                DatEvent::Report { partial, .. } => Some(partial.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(report.count, 2);
+        assert_eq!(report.sum, 42.0);
+    }
+
+    #[test]
+    fn stale_children_expire() {
+        let mut root = mk(1);
+        let key = root.register("cpu-usage", AggregationMode::Continuous);
+        let _ = root.start_create();
+        root.set_local(key, 1.0);
+        let child = NodeRef::new(Id(99), NodeAddr(99));
+        let upd = DatMsg::Update {
+            key,
+            epoch: 1,
+            partial: AggPartial::of(100.0),
+            sender: child,
+        };
+        let _ = root.handle(Input::Message {
+            from: NodeAddr(99),
+            msg: dat_chord::ChordMsg::App {
+                proto: DAT_PROTO,
+                from: child,
+                payload: upd.encode(),
+            },
+        });
+        // Advance well past the TTL (ttl = 3): 6 epochs.
+        for _ in 0..6 {
+            let _ = root.start_join_epoch_for_tests();
+        }
+        let evs = root.take_events();
+        let last = evs
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                DatEvent::Report { partial, .. } => Some(partial.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // Only the local value remains.
+        assert_eq!(last.count, 1);
+        assert_eq!(last.sum, 1.0);
+    }
+
+    #[test]
+    fn bad_payload_counted_dropped() {
+        let mut n = mk(1);
+        let _ = n.start_create();
+        let _ = n.handle(Input::Message {
+            from: NodeAddr(5),
+            msg: dat_chord::ChordMsg::App {
+                proto: DAT_PROTO,
+                from: NodeRef::new(Id(5), NodeAddr(5)),
+                payload: vec![0xde, 0xad],
+            },
+        });
+        assert_eq!(n.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn flush_delays_cascade_bottom_up() {
+        // Child delays must be strictly below their parent's, and the key
+        // owner (root) must flush last.
+        use dat_chord::{IdPolicy, StaticRing};
+        use rand::SeedableRng;
+        let space = IdSpace::new(16);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let ring = StaticRing::build(space, 64, IdPolicy::Probed, &mut rng);
+        let key = dat_chord::hash_to_id(space, b"cpu-usage");
+        let tree = crate::tree::DatTree::build(&ring, key, RoutingScheme::Balanced);
+        let delay_of = |id: Id| {
+            let ccfg = ChordConfig {
+                space,
+                ..ChordConfig::default()
+            };
+            let chord = dat_chord::ChordNode::new(ccfg, id, NodeAddr(id.raw()));
+            let mut node = DatNode::from_chord(chord, DatConfig::default());
+            let table = ring.table_of(id, 4);
+            let _ = node.start_with_table(table);
+            node.flush_delay(key)
+        };
+        let root_delay = delay_of(tree.root());
+        assert_eq!(root_delay, DatConfig::default().hold_ms, "root flushes last");
+        for (child, parent) in tree.edges() {
+            let dc = delay_of(child);
+            let dp = delay_of(parent);
+            assert!(
+                dc < dp || parent == tree.root(),
+                "child {child} delay {dc} !< parent {parent} delay {dp}"
+            );
+            if parent == tree.root() {
+                assert!(dc < root_delay, "child {child} !< root");
+            }
+        }
+    }
+
+    impl DatNode {
+        /// Test helper: fire one epoch synchronously, including any hold
+        /// flush the tick armed.
+        fn start_join_epoch_for_tests(&mut self) -> Vec<Output> {
+            let mut outs = std::collections::VecDeque::new();
+            self.on_epoch(&mut outs);
+            let keys: Vec<Id> = self.aggs.keys().copied().collect();
+            for key in keys {
+                self.flush_continuous(key, &mut outs);
+            }
+            outs.into_iter().collect()
+        }
+    }
+}

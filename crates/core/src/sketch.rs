@@ -1,0 +1,259 @@
+//! Mergeable cardinality sketches (HyperLogLog).
+//!
+//! Tree aggregation works for any *mergeable* summary, not just sums and
+//! extrema (§2.3's `f : X⁺ → X`). Counting **distinct** values — how many
+//! different users, jobs or sites touched the Grid this epoch — needs a
+//! sketch whose merge is associative, commutative and idempotent.
+//! [`Hll`] implements HyperLogLog (Flajolet et al. 2007) from scratch:
+//! fixed 2^p byte registers, SHA-1-based hashing (reusing the in-tree
+//! digest), register-wise max as the merge. Idempotence is exactly what a
+//! DAT needs under churn: a child's partial counted twice (stale + fresh
+//! path) cannot inflate the estimate.
+
+use dat_chord::sha1::sha1;
+
+/// HyperLogLog with `2^p` single-byte registers (`4 <= p <= 16`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Hll {
+    p: u8,
+    registers: Vec<u8>,
+}
+
+impl Hll {
+    /// An empty sketch with `2^p` registers. `p = 10` (1 KiB) gives ≈3%
+    /// standard error; panics unless `4 <= p <= 16`.
+    pub fn new(p: u8) -> Self {
+        assert!((4..=16).contains(&p), "p out of range");
+        Hll {
+            p,
+            registers: vec![0; 1 << p],
+        }
+    }
+
+    /// Precision parameter.
+    pub fn precision(&self) -> u8 {
+        self.p
+    }
+
+    /// Raw registers (for the wire codec).
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Rebuild from raw registers (wire decode). Returns `None` when the
+    /// register count is not a valid power of two in range.
+    pub fn from_registers(registers: Vec<u8>) -> Option<Self> {
+        let n = registers.len();
+        if !n.is_power_of_two() {
+            return None;
+        }
+        let p = n.trailing_zeros() as u8;
+        if !(4..=16).contains(&p) {
+            return None;
+        }
+        Some(Hll { p, registers })
+    }
+
+    /// Insert an item (hashed via SHA-1).
+    pub fn insert(&mut self, item: &[u8]) {
+        let d = sha1(item);
+        let h = u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]);
+        self.insert_hash(h);
+    }
+
+    /// Insert a pre-hashed 64-bit value (must be uniformly distributed).
+    pub fn insert_hash(&mut self, h: u64) {
+        let idx = (h >> (64 - self.p)) as usize;
+        let rest = h << self.p;
+        // Position of the leftmost 1-bit in the remaining 64-p bits, 1-based;
+        // all-zero rest maps to the maximum rank.
+        let rank = if rest == 0 {
+            (64 - self.p) + 1
+        } else {
+            rest.leading_zeros() as u8 + 1
+        };
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Merge another sketch of the same precision (register-wise max).
+    /// Associative, commutative and idempotent.
+    pub fn merge(&mut self, other: &Hll) {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Cardinality estimate (HLL estimator with small-range correction).
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-(r as i32)))
+            .sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting on empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// `true` when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = Hll::new(10);
+        assert!(h.is_empty());
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_cardinalities_are_nearly_exact() {
+        let mut h = Hll::new(12);
+        for i in 0..100u32 {
+            h.insert(format!("item-{i}").as_bytes());
+        }
+        let e = h.estimate();
+        assert!((90.0..=110.0).contains(&e), "estimate {e}");
+    }
+
+    #[test]
+    fn large_cardinalities_within_error_bound() {
+        let mut h = Hll::new(12); // σ ≈ 1.04/sqrt(4096) ≈ 1.6%
+        let n = 100_000u32;
+        for i in 0..n {
+            h.insert(&i.to_le_bytes());
+        }
+        let e = h.estimate();
+        let err = (e - n as f64).abs() / n as f64;
+        assert!(err < 0.05, "relative error {err} (estimate {e})");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = Hll::new(10);
+        for _ in 0..1000 {
+            h.insert(b"same-item");
+        }
+        let e = h.estimate();
+        assert!((0.5..=2.0).contains(&e), "estimate {e}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Hll::new(11);
+        let mut b = Hll::new(11);
+        let mut whole = Hll::new(11);
+        for i in 0..5_000u32 {
+            let item = i.to_le_bytes();
+            if i % 2 == 0 {
+                a.insert(&item);
+            } else {
+                b.insert(&item);
+            }
+            whole.insert(&item);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = Hll::new(8);
+        let mut b = Hll::new(8);
+        for i in 0..500u32 {
+            a.insert(&i.to_le_bytes());
+            b.insert(&(i + 250).to_le_bytes());
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Merging twice changes nothing.
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        assert_eq!(abb, ab);
+        // Self-merge is a no-op.
+        let mut aa = a.clone();
+        aa.merge(&a.clone());
+        assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn registers_roundtrip() {
+        let mut h = Hll::new(6);
+        for i in 0..50u32 {
+            h.insert(&i.to_le_bytes());
+        }
+        let regs = h.registers().to_vec();
+        let back = Hll::from_registers(regs).unwrap();
+        assert_eq!(back, h);
+        assert!(Hll::from_registers(vec![0; 12]).is_none()); // not a power of 2
+        assert!(Hll::from_registers(vec![0; 4]).is_none()); // p = 2 < 4
+        assert!(Hll::from_registers(vec![0; 1 << 17]).is_none()); // p = 17 > 16
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_mismatched_precision_panics() {
+        let mut a = Hll::new(8);
+        let b = Hll::new(9);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn tree_shaped_merge_matches_flat() {
+        // Simulate a 4-level aggregation tree: 16 leaves, pairwise merges.
+        let mut leaves: Vec<Hll> = (0..16u32)
+            .map(|leaf| {
+                let mut h = Hll::new(10);
+                for i in 0..200u32 {
+                    h.insert(&(leaf * 137 + i).to_le_bytes());
+                }
+                h
+            })
+            .collect();
+        let mut flat = Hll::new(10);
+        for leaf in 0..16u32 {
+            for i in 0..200u32 {
+                flat.insert(&(leaf * 137 + i).to_le_bytes());
+            }
+        }
+        while leaves.len() > 1 {
+            let mut next = Vec::new();
+            for pair in leaves.chunks(2) {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                next.push(m);
+            }
+            leaves = next;
+        }
+        assert_eq!(leaves[0], flat);
+    }
+}

@@ -1,0 +1,312 @@
+//! Explicit materialisation of implicit DAT trees (global view).
+//!
+//! A DAT tree never exists as a data structure in the live protocol — each
+//! node only knows its parent, computed from its own finger table (paper
+//! §3.2: "distributed nodes do not need to build DAT trees explicitly").
+//! For analysis and the Fig. 7 experiments we *do* materialise the tree a
+//! converged overlay implies: [`DatTree::build`] evaluates the chosen
+//! parent function for every member of a [`StaticRing`] and stores the
+//! child lists, depths and the root.
+
+use std::collections::HashMap;
+
+use dat_chord::{
+    ideal_parent_balanced, ideal_parent_basic, Id, RoutingScheme, StaticRing,
+};
+
+/// A fully materialised aggregation tree over a ring membership.
+#[derive(Clone, Debug)]
+pub struct DatTree {
+    scheme: RoutingScheme,
+    key: Id,
+    root: Id,
+    /// `parent[id]` for every non-root member.
+    parent: HashMap<Id, Id>,
+    /// `children[id]`, sorted, for members that have any.
+    children: HashMap<Id, Vec<Id>>,
+    /// Depth of every member (root = 0).
+    depth: HashMap<Id, u32>,
+    node_count: usize,
+}
+
+impl DatTree {
+    /// Build the tree that `scheme`-routing toward rendezvous key `key`
+    /// implies on `ring`. Uses the exact `d0 = 2^b / n` of the ring for the
+    /// balanced finger-limiting function, as Algorithm 1 does.
+    pub fn build(ring: &StaticRing, key: Id, scheme: RoutingScheme) -> Self {
+        let space = ring.space();
+        let root = ring.successor(key);
+        let d0 = ring.d0();
+        let succ_of = |x: Id| ring.successor(x);
+        let mut parent = HashMap::with_capacity(ring.len());
+        let mut children: HashMap<Id, Vec<Id>> = HashMap::new();
+        for &v in ring.ids() {
+            let p = match scheme {
+                RoutingScheme::Greedy => ideal_parent_basic(space, v, key, &succ_of),
+                RoutingScheme::Balanced => {
+                    ideal_parent_balanced(space, v, key, d0, &succ_of)
+                }
+            };
+            if let Some(p) = p {
+                parent.insert(v, p);
+                children.entry(p).or_default().push(v);
+            } else {
+                debug_assert_eq!(v, root, "only the root lacks a parent");
+            }
+        }
+        for c in children.values_mut() {
+            c.sort_unstable();
+        }
+        // Depths via BFS from the root.
+        let mut depth = HashMap::with_capacity(ring.len());
+        depth.insert(root, 0u32);
+        let mut frontier = vec![root];
+        while let Some(v) = frontier.pop() {
+            let d = depth[&v];
+            if let Some(kids) = children.get(&v) {
+                for &k in kids {
+                    depth.insert(k, d + 1);
+                    frontier.push(k);
+                }
+            }
+        }
+        debug_assert_eq!(
+            depth.len(),
+            ring.len(),
+            "parent pointers must form a single tree"
+        );
+        DatTree {
+            scheme,
+            key,
+            root,
+            parent,
+            children,
+            depth,
+            node_count: ring.len(),
+        }
+    }
+
+    /// The routing scheme that produced this tree.
+    pub fn scheme(&self) -> RoutingScheme {
+        self.scheme
+    }
+
+    /// The rendezvous key.
+    pub fn key(&self) -> Id {
+        self.key
+    }
+
+    /// The root (the key's successor).
+    pub fn root(&self) -> Id {
+        self.root
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.node_count
+    }
+
+    /// `true` when the tree has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.node_count == 0
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: Id) -> Option<Id> {
+        self.parent.get(&v).copied()
+    }
+
+    /// Children of `v` (empty slice for leaves).
+    pub fn children(&self, v: Id) -> &[Id] {
+        self.children.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Branching factor of `v`.
+    pub fn branching(&self, v: Id) -> usize {
+        self.children(v).len()
+    }
+
+    /// Depth of `v` (root = 0); `None` for non-members.
+    pub fn depth(&self, v: Id) -> Option<u32> {
+        self.depth.get(&v).copied()
+    }
+
+    /// Height of the tree: the maximum depth.
+    pub fn height(&self) -> u32 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+
+    /// Path from `v` up to the root, inclusive of both.
+    pub fn path_to_root(&self, v: Id) -> Vec<Id> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Iterate every member id (unordered).
+    pub fn all_ids(&self) -> impl Iterator<Item = &Id> + '_ {
+        self.depth.keys()
+    }
+
+    /// Iterate all `(node, parent)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (Id, Id)> + '_ {
+        self.parent.iter().map(|(&v, &p)| (v, p))
+    }
+
+    /// All member ids with a non-zero branching factor (interior nodes).
+    pub fn interior_nodes(&self) -> impl Iterator<Item = Id> + '_ {
+        self.children.keys().copied()
+    }
+
+    /// Verify structural invariants; returns a human-readable violation if
+    /// any. Used by property tests and the `repro --check` harness.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Exactly n-1 edges.
+        if self.parent.len() != self.node_count - 1 {
+            return Err(format!(
+                "edge count {} != n-1 = {}",
+                self.parent.len(),
+                self.node_count - 1
+            ));
+        }
+        // Every node reaches the root without cycles.
+        for (&v, _) in self.parent.iter() {
+            let mut cur = v;
+            let mut steps = 0usize;
+            while let Some(p) = self.parent(cur) {
+                cur = p;
+                steps += 1;
+                if steps > self.node_count {
+                    return Err(format!("cycle reachable from {v}"));
+                }
+            }
+            if cur != self.root {
+                return Err(format!("{v} does not reach root {}", self.root));
+            }
+        }
+        // Depth consistency.
+        for (&v, &p) in self.parent.iter() {
+            if self.depth[&v] != self.depth[&p] + 1 {
+                return Err(format!("depth({v}) != depth({p}) + 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::{IdPolicy, IdSpace};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn even_ring(bits: u8, n: usize) -> StaticRing {
+        StaticRing::build(
+            IdSpace::new(bits),
+            n,
+            IdPolicy::Even,
+            &mut SmallRng::seed_from_u64(0),
+        )
+    }
+
+    #[test]
+    fn basic_tree_matches_paper_fig2() {
+        // 16-node, 4-bit ring, root N0 (Fig. 2b).
+        let ring = even_ring(4, 16);
+        let t = DatTree::build(&ring, Id(0), RoutingScheme::Greedy);
+        assert_eq!(t.root(), Id(0));
+        // N0's children are N8, N12, N14, N15.
+        assert_eq!(t.children(Id(0)), &[Id(8), Id(12), Id(14), Id(15)]);
+        // The path from N1 mirrors the finger route <N1, N9, N13, N15, N0>.
+        assert_eq!(
+            t.path_to_root(Id(1)),
+            vec![Id(1), Id(9), Id(13), Id(15), Id(0)]
+        );
+        assert_eq!(t.height(), 4);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn balanced_tree_matches_paper_fig5() {
+        let ring = even_ring(4, 16);
+        let t = DatTree::build(&ring, Id(0), RoutingScheme::Balanced);
+        // N8's parent is N12 under balanced routing (Fig. 5; the paper's
+        // prose "N1" is a typo).
+        assert_eq!(t.parent(Id(8)), Some(Id(12)));
+        // Max branching 2, height log2(16) = 4.
+        let max_b = ring.ids().iter().map(|&v| t.branching(v)).max().unwrap();
+        assert_eq!(max_b, 2);
+        assert_eq!(t.height(), 4);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn root_follows_rendezvous_key() {
+        let ring = StaticRing::from_ids(IdSpace::new(6), vec![Id(10), Id(30), Id(50)]);
+        let t = DatTree::build(&ring, Id(31), RoutingScheme::Greedy);
+        assert_eq!(t.root(), Id(50));
+        let t = DatTree::build(&ring, Id(51), RoutingScheme::Balanced);
+        assert_eq!(t.root(), Id(10)); // wraps
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let ring = StaticRing::from_ids(IdSpace::new(8), vec![Id(3)]);
+        let t = DatTree::build(&ring, Id(200), RoutingScheme::Balanced);
+        assert_eq!(t.root(), Id(3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 0);
+        assert!(t.children(Id(3)).is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn every_nonroot_has_unique_parent_random_ring() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ring = StaticRing::build(IdSpace::new(32), 300, IdPolicy::Random, &mut rng);
+        for scheme in [RoutingScheme::Greedy, RoutingScheme::Balanced] {
+            let t = DatTree::build(&ring, Id(12345), scheme);
+            t.check_invariants().unwrap();
+            assert_eq!(t.len(), 300);
+        }
+    }
+
+    #[test]
+    fn balanced_even_ring_branching_bounded_by_two_many_sizes() {
+        for n in [4usize, 8, 16, 64, 256, 1024] {
+            let ring = even_ring(16, n);
+            let t = DatTree::build(&ring, Id(0), RoutingScheme::Balanced);
+            let max_b = ring.ids().iter().map(|&v| t.branching(v)).max().unwrap();
+            assert!(max_b <= 2, "n={n}: max branching {max_b} > 2");
+            assert!(
+                t.height() as usize <= n.ilog2() as usize + 1,
+                "n={n}: height {} > log2(n)+1",
+                t.height()
+            );
+        }
+    }
+
+    #[test]
+    fn basic_even_ring_root_branching_is_log2n() {
+        // §3.3: the root's branching factor is log2(n) on an even ring.
+        for n in [16usize, 64, 256] {
+            let ring = even_ring(16, n);
+            let t = DatTree::build(&ring, Id(0), RoutingScheme::Greedy);
+            assert_eq!(t.branching(t.root()), n.ilog2() as usize, "n={n}");
+        }
+    }
+
+    #[test]
+    fn edges_count() {
+        let ring = even_ring(8, 32);
+        let t = DatTree::build(&ring, Id(7), RoutingScheme::Balanced);
+        assert_eq!(t.edges().count(), 31);
+        assert_eq!(t.interior_nodes().count(), t.edges().map(|(_, p)| p).collect::<std::collections::HashSet<_>>().len());
+    }
+}

@@ -1,0 +1,45 @@
+//! # dat-maan — Multi-Attribute Addressable Network
+//!
+//! The indexing layer of the P-GMA architecture (paper §2.2): Grid
+//! resources are attribute-value lists; each value is stored on the Chord
+//! successor of its hash. Numeric attributes use a **locality-preserving
+//! hash**, so a range query `[l, u]` resolves by routing to
+//! `successor(H(l))` (`O(log n)` hops) and walking the arc to
+//! `successor(H(u))` (`k` more hops). Multi-attribute queries use the
+//! **single-attribute dominated** strategy — resolve only the most
+//! selective sub-query and filter the rest locally — for
+//! `O(log n + n × s_min)` total hops.
+//!
+//! ```
+//! use dat_chord::{IdSpace, IdPolicy, StaticRing};
+//! use dat_maan::{AttrSchema, MaanNetwork, Predicate, Resource};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let ring = StaticRing::build(IdSpace::new(32), 64, IdPolicy::Probed, &mut rng);
+//! let mut net = MaanNetwork::new(ring, vec![
+//!     AttrSchema::numeric("cpu-speed", 0.0, 8.0),
+//!     AttrSchema::keyword("os"),
+//! ]);
+//! let origin = net.ring().ids()[0];
+//! net.register(origin, &Resource::new("grid://m1").with("cpu-speed", 2.8).with("os", "linux"));
+//! let (hits, stats) = net.multi_query(origin, &[
+//!     Predicate::range("cpu-speed", 2.0, 3.0),
+//!     Predicate::exact("os", "linux"),
+//! ]);
+//! assert_eq!(hits.len(), 1);
+//! assert!(stats.total() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lph;
+pub mod network;
+pub mod store;
+pub mod types;
+
+pub use lph::{hash_value, lph_numeric, selectivity};
+pub use network::{MaanNetwork, OpStats};
+pub use store::{NodeStore, StoredEntry};
+pub use types::{AttrKind, AttrSchema, AttrValue, Constraint, Predicate, Resource};

@@ -1,0 +1,114 @@
+//! Locality-preserving hashing onto the Chord identifier space.
+//!
+//! MAAN's key trick (paper §2.2): "numeric attribute values … are mapped to
+//! the Chord identifier space by using a locality preserving hash function
+//! H, [so] numerically close values for the same attribute are stored on
+//! nearby nodes", which turns a range query into one contiguous walk along
+//! the ring. We implement `H` as the affine map of the attribute domain
+//! `[lo, hi]` onto `[0, 2^b)`, monotone by construction, and SHA-1 for
+//! keyword attributes (exact match only).
+
+use dat_chord::{hash_to_id, Id, IdSpace};
+
+use crate::types::{AttrKind, AttrSchema, AttrValue};
+
+/// Hash a numeric value in `[lo, hi]` onto the identifier space,
+/// preserving order: `a <= b  ⇒  H(a) <= H(b)` (as plain integers, not
+/// ring positions). Values outside the domain clamp to its ends.
+pub fn lph_numeric(space: IdSpace, lo: f64, hi: f64, v: f64) -> Id {
+    assert!(hi > lo, "empty domain");
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    // Scale into [0, 2^b - 1]; use u128 to stay exact at b = 64.
+    let max = (space.size() - 1) as f64;
+    space.id((t * max) as u64)
+}
+
+/// Hash any attribute value under its schema.
+pub fn hash_value(space: IdSpace, schema: &AttrSchema, v: &AttrValue) -> Id {
+    match (&schema.kind, v) {
+        (AttrKind::Numeric { lo, hi }, AttrValue::Num(x)) => lph_numeric(space, *lo, *hi, *x),
+        (AttrKind::Keyword, AttrValue::Str(s)) => {
+            // Salt with the attribute name so equal keywords of different
+            // attributes spread independently.
+            let salted = format!("{}={}", schema.name, s);
+            hash_to_id(space, salted.as_bytes())
+        }
+        (AttrKind::Numeric { lo, hi }, AttrValue::Str(s)) => {
+            // Tolerate numeric-looking strings.
+            let x = s.parse::<f64>().unwrap_or(*lo);
+            lph_numeric(space, *lo, *hi, x)
+        }
+        (AttrKind::Keyword, AttrValue::Num(x)) => {
+            let salted = format!("{}={}", schema.name, x);
+            hash_to_id(space, salted.as_bytes())
+        }
+    }
+}
+
+/// Selectivity of a numeric range `[l, u]` under a schema: the fraction of
+/// the identifier space its image covers — the `s_min` of the paper's
+/// multi-attribute complexity bound `O(log n + n × s_min)`.
+pub fn selectivity(lo: f64, hi: f64, l: f64, u: f64) -> f64 {
+    if u < l {
+        return 0.0;
+    }
+    let l = l.clamp(lo, hi);
+    let u = u.clamp(lo, hi);
+    ((u - l) / (hi - lo)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_over_domain() {
+        let s = IdSpace::new(32);
+        let mut prev = lph_numeric(s, 0.0, 100.0, 0.0);
+        for i in 1..=1000 {
+            let v = i as f64 / 10.0;
+            let h = lph_numeric(s, 0.0, 100.0, v);
+            assert!(h >= prev, "H not monotone at {v}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn endpoints_map_to_extremes() {
+        let s = IdSpace::new(16);
+        assert_eq!(lph_numeric(s, 0.0, 1.0, 0.0), Id(0));
+        assert_eq!(lph_numeric(s, 0.0, 1.0, 1.0), Id(65535));
+        // Clamping.
+        assert_eq!(lph_numeric(s, 0.0, 1.0, -5.0), Id(0));
+        assert_eq!(lph_numeric(s, 0.0, 1.0, 7.0), Id(65535));
+    }
+
+    #[test]
+    fn keyword_hashing_salted_by_attribute() {
+        let s = IdSpace::new(64);
+        let os = AttrSchema::keyword("os");
+        let arch = AttrSchema::keyword("arch");
+        let v = AttrValue::Str("linux".into());
+        assert_ne!(hash_value(s, &os, &v), hash_value(s, &arch, &v));
+        // Deterministic.
+        assert_eq!(hash_value(s, &os, &v), hash_value(s, &os, &v));
+    }
+
+    #[test]
+    fn numeric_schema_tolerates_string_values() {
+        let s = IdSpace::new(32);
+        let sch = AttrSchema::numeric("mem", 0.0, 64.0);
+        let a = hash_value(s, &sch, &AttrValue::Num(16.0));
+        let b = hash_value(s, &sch, &AttrValue::Str("16".into()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selectivity_fractions() {
+        assert_eq!(selectivity(0.0, 100.0, 0.0, 100.0), 1.0);
+        assert_eq!(selectivity(0.0, 100.0, 25.0, 75.0), 0.5);
+        assert_eq!(selectivity(0.0, 100.0, 90.0, 80.0), 0.0);
+        // Out-of-domain clamps.
+        assert_eq!(selectivity(0.0, 100.0, -50.0, 50.0), 0.5);
+    }
+}

@@ -1,0 +1,407 @@
+//! The MAAN network: registration and query resolution over a Chord ring.
+//!
+//! Implements the algorithms of paper §2.2 over a [`StaticRing`] global
+//! view with exact hop accounting:
+//!
+//! * **registration** — a resource with `m` attribute-value pairs is stored
+//!   on the successor of each hashed value, costing `O(m log n)` routing
+//!   hops;
+//! * **single-attribute range query** `[l, u]` — route to
+//!   `successor(H(l))` (`O(log n)` hops), then walk successors until
+//!   `successor(H(u))` (`k` hops for `k` responsible nodes);
+//! * **multi-attribute query** — the *single-attribute dominated* strategy:
+//!   resolve only the sub-query with minimal selectivity and filter the
+//!   full attribute lists (stored with every registration) locally,
+//!   costing `O(log n + n × s_min)`.
+
+use std::collections::HashMap;
+
+use dat_chord::{Id, StaticRing};
+
+use crate::lph::{hash_value, selectivity};
+use crate::store::NodeStore;
+use crate::types::{AttrKind, AttrSchema, Constraint, Predicate, Resource};
+
+/// Hop/visit accounting for one operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Chord routing hops spent reaching the first responsible node(s).
+    pub routing_hops: u64,
+    /// Nodes visited walking responsibility ranges (the `k` of
+    /// `O(log n + k)`).
+    pub visited_nodes: u64,
+}
+
+impl OpStats {
+    /// Total messages implied by the operation.
+    pub fn total(&self) -> u64 {
+        self.routing_hops + self.visited_nodes
+    }
+}
+
+/// A MAAN deployment over a ring membership.
+pub struct MaanNetwork {
+    ring: StaticRing,
+    schemas: HashMap<String, AttrSchema>,
+    stores: HashMap<Id, NodeStore>,
+}
+
+impl MaanNetwork {
+    /// Create a MAAN over `ring` with the given attribute schemas.
+    pub fn new(ring: StaticRing, schemas: Vec<AttrSchema>) -> Self {
+        let stores = ring.ids().iter().map(|&id| (id, NodeStore::new())).collect();
+        MaanNetwork {
+            ring,
+            schemas: schemas.into_iter().map(|s| (s.name.clone(), s)).collect(),
+            stores,
+        }
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &StaticRing {
+        &self.ring
+    }
+
+    /// Schema of `attr`, if registered.
+    pub fn schema(&self, attr: &str) -> Option<&AttrSchema> {
+        self.schemas.get(attr)
+    }
+
+    /// The store of node `id` (for load inspection).
+    pub fn store_of(&self, id: Id) -> Option<&NodeStore> {
+        self.stores.get(&id)
+    }
+
+    /// Entries stored per node, in ring order — the index-load distribution.
+    pub fn load_distribution(&self) -> Vec<(Id, usize)> {
+        self.ring
+            .ids()
+            .iter()
+            .map(|&id| (id, self.stores[&id].len()))
+            .collect()
+    }
+
+    /// Register `resource` from `origin`: one Chord routing per attribute
+    /// value (paper: `O(m log n)` hops).
+    pub fn register(&mut self, origin: Id, resource: &Resource) -> OpStats {
+        assert!(self.ring.contains(origin), "origin not a ring member");
+        let mut stats = OpStats::default();
+        let space = self.ring.space();
+        for (attr, value) in &resource.attrs {
+            let Some(schema) = self.schemas.get(attr) else {
+                continue; // unregistered attribute: not indexed
+            };
+            let vid = hash_value(space, schema, value);
+            let route = self.ring.finger_route(origin, vid);
+            stats.routing_hops += (route.len() - 1) as u64;
+            let target = *route.last().unwrap();
+            self.stores
+                .get_mut(&target)
+                .unwrap()
+                .insert(attr, vid, value.as_num(), resource.clone());
+        }
+        stats
+    }
+
+    /// Deregister every attribute entry of `uri` (walks the same targets a
+    /// registration would).
+    pub fn deregister(&mut self, origin: Id, resource: &Resource) -> OpStats {
+        let mut stats = OpStats::default();
+        let space = self.ring.space();
+        for (attr, value) in &resource.attrs {
+            let Some(schema) = self.schemas.get(attr) else {
+                continue;
+            };
+            let vid = hash_value(space, schema, value);
+            let route = self.ring.finger_route(origin, vid);
+            stats.routing_hops += (route.len() - 1) as u64;
+            let target = *route.last().unwrap();
+            self.stores.get_mut(&target).unwrap().remove(attr, &resource.uri);
+        }
+        stats
+    }
+
+    /// Single-attribute range query `attr ∈ [l, u]` issued at `origin`.
+    /// Returns matching resources (deduplicated by URI) and the hop stats
+    /// (`O(log n + k)`).
+    pub fn range_query(
+        &self,
+        origin: Id,
+        attr: &str,
+        l: f64,
+        u: f64,
+    ) -> (Vec<Resource>, OpStats) {
+        let pred = Predicate::range(attr, l, u);
+        self.resolve_dominated(origin, &pred, &[])
+    }
+
+    /// Exact keyword query `attr == value`.
+    pub fn exact_query(&self, origin: Id, attr: &str, value: &str) -> (Vec<Resource>, OpStats) {
+        let pred = Predicate::exact(attr, value);
+        self.resolve_dominated(origin, &pred, &[])
+    }
+
+    /// Multi-attribute range query: resolves the predicate with minimal
+    /// selectivity and filters the rest locally (paper's single-attribute
+    /// dominated strategy, §2.2).
+    pub fn multi_query(&self, origin: Id, preds: &[Predicate]) -> (Vec<Resource>, OpStats) {
+        assert!(!preds.is_empty(), "empty query");
+        // Pick the dominating (most selective) predicate.
+        let (dom_idx, _) = preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, self.pred_selectivity(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let rest: Vec<Predicate> = preds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != dom_idx)
+            .map(|(_, p)| p.clone())
+            .collect();
+        self.resolve_dominated(origin, &preds[dom_idx], &rest)
+    }
+
+    /// Fraction of the identifier space a predicate's image covers.
+    fn pred_selectivity(&self, p: &Predicate) -> f64 {
+        match (&p.constraint, self.schemas.get(&p.attr).map(|s| &s.kind)) {
+            (Constraint::Exact(_), _) => 0.0, // point query
+            (Constraint::Range { lo: l, hi: u }, Some(AttrKind::Numeric { lo, hi })) => {
+                selectivity(*lo, *hi, *l, *u)
+            }
+            // Unknown schema: pessimistic.
+            _ => 1.0,
+        }
+    }
+
+    fn resolve_dominated(
+        &self,
+        origin: Id,
+        dom: &Predicate,
+        rest: &[Predicate],
+    ) -> (Vec<Resource>, OpStats) {
+        assert!(self.ring.contains(origin), "origin not a ring member");
+        let space = self.ring.space();
+        let Some(schema) = self.schemas.get(&dom.attr) else {
+            return (Vec::new(), OpStats::default());
+        };
+        // Image of the dominating constraint in the id space.
+        let (lo_id, hi_id) = match (&dom.constraint, &schema.kind) {
+            (Constraint::Range { lo: l, hi: u }, AttrKind::Numeric { .. }) => {
+                let lo_id = hash_value(space, schema, &crate::types::AttrValue::Num(*l));
+                let hi_id = hash_value(space, schema, &crate::types::AttrValue::Num(*u));
+                (lo_id, hi_id)
+            }
+            (Constraint::Exact(s), _) => {
+                let vid = hash_value(space, schema, &crate::types::AttrValue::Str(s.clone()));
+                (vid, vid)
+            }
+            (Constraint::Range { .. }, AttrKind::Keyword) => {
+                return (Vec::new(), OpStats::default()); // ranges need numeric LPH
+            }
+        };
+        let mut stats = OpStats::default();
+        // Route to successor(H(l)): O(log n).
+        let route = self.ring.finger_route(origin, lo_id);
+        stats.routing_hops = (route.len() - 1) as u64;
+        let first = *route.last().unwrap();
+        let last = self.ring.successor(hi_id);
+        // When both endpoints resolve to the same owner, the range either
+        // fits inside that node's arc (visit one node) or spans the whole
+        // ring wrapping back to it (visit everyone) — e.g. a full-domain
+        // query whose `successor(H(hi))` wraps past the largest member.
+        let walk_all = first == last && {
+            let pred = self.ring.predecessor(first);
+            let gap = self.ring.gap_of(first) as u128;
+            let span = (hi_id.raw() - lo_id.raw()) as u128 + 1;
+            !(span <= gap
+                && space.in_open_closed(lo_id, pred, first)
+                && space.in_open_closed(hi_id, pred, first))
+        };
+        // Walk successors from `first` to `last` inclusive.
+        let mut out: Vec<Resource> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = first;
+        loop {
+            stats.visited_nodes += 1;
+            let store = &self.stores[&cur];
+            for e in store.scan(&dom.attr, lo_id, hi_id, Some(dom)) {
+                if rest.iter().all(|p| e.resource.matches(p))
+                    && seen.insert(e.resource.uri.clone())
+                {
+                    out.push(e.resource.clone());
+                }
+            }
+            if !walk_all && cur == last {
+                break;
+            }
+            cur = self.ring.successor(space.add(cur, 1));
+            if cur == first {
+                break; // full circle completed
+            }
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AttrValue;
+    use dat_chord::{IdPolicy, IdSpace};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn schemas() -> Vec<AttrSchema> {
+        vec![
+            AttrSchema::numeric("cpu-speed", 0.0, 8.0),
+            AttrSchema::numeric("cpu-usage", 0.0, 100.0),
+            AttrSchema::numeric("memory-size", 0.0, 64.0),
+            AttrSchema::keyword("os"),
+        ]
+    }
+
+    fn maan(n: usize, seed: u64) -> MaanNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ring = StaticRing::build(IdSpace::new(32), n, IdPolicy::Probed, &mut rng);
+        MaanNetwork::new(ring, schemas())
+    }
+
+    fn machine(i: u64, cpu: f64, usage: f64, os: &str) -> Resource {
+        Resource::new(&format!("grid://m{i}"))
+            .with("cpu-speed", cpu)
+            .with("cpu-usage", usage)
+            .with("memory-size", 16.0)
+            .with("os", os)
+    }
+
+    #[test]
+    fn register_costs_m_log_n_hops() {
+        let mut net = maan(128, 1);
+        let origin = net.ring().ids()[0];
+        let r = machine(1, 2.8, 95.0, "linux");
+        let stats = net.register(origin, &r);
+        // 4 attributes, log2(128) = 7: hops bounded by m * O(log n).
+        assert!(stats.routing_hops <= 4 * (7 + 2), "{stats:?}");
+        assert!(stats.routing_hops >= 1);
+        // Stored once per attribute somewhere.
+        let total: usize = net.load_distribution().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn range_query_finds_exactly_matching_resources() {
+        let mut net = maan(64, 2);
+        let origin = net.ring().ids()[5];
+        for i in 0..50u64 {
+            let cpu = 0.5 + (i as f64) * 0.15; // 0.5 .. 7.85
+            net.register(origin, &machine(i, cpu, 50.0, "linux"));
+        }
+        let (hits, stats) = net.range_query(origin, "cpu-speed", 2.0, 3.0);
+        let expect: Vec<u64> = (0..50)
+            .filter(|&i| {
+                let cpu = 0.5 + (i as f64) * 0.15;
+                (2.0..=3.0).contains(&cpu)
+            })
+            .collect();
+        assert_eq!(hits.len(), expect.len(), "{stats:?}");
+        for r in &hits {
+            let cpu = r.get("cpu-speed").unwrap().as_num().unwrap();
+            assert!((2.0..=3.0).contains(&cpu));
+        }
+        assert!(stats.routing_hops <= 8, "routing {stats:?}");
+    }
+
+    #[test]
+    fn exact_query_keyword() {
+        let mut net = maan(64, 3);
+        let origin = net.ring().ids()[0];
+        net.register(origin, &machine(1, 2.0, 10.0, "linux"));
+        net.register(origin, &machine(2, 2.0, 10.0, "freebsd"));
+        let (hits, stats) = net.exact_query(origin, "os", "freebsd");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].uri, "grid://m2");
+        assert_eq!(stats.visited_nodes, 1, "point query visits one node");
+    }
+
+    #[test]
+    fn multi_attribute_dominated_query() {
+        let mut net = maan(64, 4);
+        let origin = net.ring().ids()[1];
+        net.register(origin, &machine(1, 2.8, 95.0, "linux"));
+        net.register(origin, &machine(2, 2.8, 20.0, "linux"));
+        net.register(origin, &machine(3, 1.0, 95.0, "linux"));
+        net.register(origin, &machine(4, 2.8, 95.0, "freebsd"));
+        let preds = vec![
+            Predicate::range("cpu-speed", 2.5, 3.0),
+            Predicate::range("cpu-usage", 90.0, 100.0),
+            Predicate::exact("os", "linux"),
+        ];
+        let (hits, _) = net.multi_query(origin, &preds);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].uri, "grid://m1");
+    }
+
+    #[test]
+    fn dominated_choice_prefers_exact_predicate() {
+        let net = maan(32, 5);
+        // Exact predicates have selectivity 0 — they dominate.
+        let s_exact = net.pred_selectivity(&Predicate::exact("os", "linux"));
+        let s_wide = net.pred_selectivity(&Predicate::range("cpu-usage", 0.0, 100.0));
+        let s_narrow = net.pred_selectivity(&Predicate::range("cpu-usage", 10.0, 15.0));
+        assert!(s_exact < s_narrow && s_narrow < s_wide);
+        assert_eq!(s_wide, 1.0);
+    }
+
+    #[test]
+    fn deregister_removes_everywhere() {
+        let mut net = maan(32, 6);
+        let origin = net.ring().ids()[0];
+        let r = machine(1, 2.8, 95.0, "linux");
+        net.register(origin, &r);
+        assert_eq!(net.load_distribution().iter().map(|&(_, c)| c).sum::<usize>(), 4);
+        net.deregister(origin, &r);
+        assert_eq!(net.load_distribution().iter().map(|&(_, c)| c).sum::<usize>(), 0);
+        let (hits, _) = net.range_query(origin, "cpu-speed", 0.0, 8.0);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn visited_nodes_scale_with_selectivity() {
+        let mut net = maan(256, 7);
+        let origin = net.ring().ids()[0];
+        for i in 0..100u64 {
+            net.register(origin, &machine(i, (i as f64) * 0.08, 50.0, "linux"));
+        }
+        let (_, narrow) = net.range_query(origin, "cpu-usage", 49.0, 51.0);
+        let (_, wide) = net.range_query(origin, "cpu-speed", 0.0, 8.0);
+        // cpu-usage values are all 50 => narrow range still visits its arc,
+        // but a full-domain query must visit ~all 256 nodes.
+        assert!(wide.visited_nodes > narrow.visited_nodes);
+        assert!(wide.visited_nodes as usize >= 200, "{wide:?}");
+    }
+
+    #[test]
+    fn unknown_attribute_yields_empty() {
+        let net = maan(16, 8);
+        let origin = net.ring().ids()[0];
+        let (hits, stats) = net.range_query(origin, "nonexistent", 0.0, 1.0);
+        assert!(hits.is_empty());
+        assert_eq!(stats, OpStats::default());
+    }
+
+    #[test]
+    fn values_land_on_ordered_nodes() {
+        // Locality preservation: increasing values map to non-decreasing
+        // ring positions (the arc walk of a range query).
+        let net = maan(64, 9);
+        let space = net.ring().space();
+        let schema = net.schema("cpu-usage").unwrap().clone();
+        let mut prev = Id(0);
+        for i in 0..=100 {
+            let vid = hash_value(space, &schema, &AttrValue::Num(i as f64));
+            assert!(vid >= prev);
+            prev = vid;
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Resource and attribute types for the MAAN indexing layer.
+//!
+//! MAAN (paper §2.2) represents each Grid resource as "a list of
+//! attribute-value pairs, such as (<cpu-speed, 2.8GHz>, <memory-size, 1GB>,
+//! <cpu-usage, 95%>, …)". Numeric attributes are registered under a
+//! locality-preserving hash so range queries hit contiguous ring arcs;
+//! string attributes under SHA-1 for exact-match lookup.
+
+use std::collections::BTreeMap;
+
+/// An attribute value.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum AttrValue {
+    /// Numeric (range-queryable) value.
+    Num(f64),
+    /// Keyword (exact-match) value.
+    Str(String),
+}
+
+impl AttrValue {
+    /// Numeric view, if numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(v) => Some(*v),
+            AttrValue::Str(_) => None,
+        }
+    }
+
+    /// String view, if keyword.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            AttrValue::Num(_) => None,
+        }
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Num(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+/// Attribute kind, fixing how values hash onto the ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum AttrKind {
+    /// Numeric with a known domain `[lo, hi]` — uses the locality-
+    /// preserving hash, values outside the domain clamp to its ends.
+    Numeric {
+        /// Domain lower bound.
+        lo: f64,
+        /// Domain upper bound.
+        hi: f64,
+    },
+    /// Free-form keyword — uses SHA-1 (uniform, not order-preserving).
+    Keyword,
+}
+
+/// A registered attribute schema.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct AttrSchema {
+    /// Attribute name, e.g. `"cpu-speed"`.
+    pub name: String,
+    /// How values map onto the identifier space.
+    pub kind: AttrKind,
+}
+
+impl AttrSchema {
+    /// A numeric attribute over `[lo, hi]`.
+    pub fn numeric(name: &str, lo: f64, hi: f64) -> Self {
+        assert!(hi > lo, "empty numeric domain for {name}");
+        AttrSchema {
+            name: name.to_string(),
+            kind: AttrKind::Numeric { lo, hi },
+        }
+    }
+
+    /// A keyword attribute.
+    pub fn keyword(name: &str) -> Self {
+        AttrSchema {
+            name: name.to_string(),
+            kind: AttrKind::Keyword,
+        }
+    }
+}
+
+/// A Grid resource: a URI plus its attribute-value pairs.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Resource {
+    /// Unique resource identifier (e.g. a contact URI).
+    pub uri: String,
+    /// Attribute-value pairs, keyed by attribute name.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl Resource {
+    /// Create a resource with no attributes yet.
+    pub fn new(uri: &str) -> Self {
+        Resource {
+            uri: uri.to_string(),
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style attribute insertion.
+    pub fn with(mut self, name: &str, value: impl Into<AttrValue>) -> Self {
+        self.attrs.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Value of attribute `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.get(name)
+    }
+
+    /// Does this resource satisfy `pred`?
+    pub fn matches(&self, pred: &Predicate) -> bool {
+        match self.attrs.get(&pred.attr) {
+            None => false,
+            Some(v) => pred.matches_value(v),
+        }
+    }
+}
+
+/// A single-attribute predicate of a multi-attribute range query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// Attribute name.
+    pub attr: String,
+    /// Constraint on the value.
+    pub constraint: Constraint,
+}
+
+/// Value constraint kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Constraint {
+    /// Numeric range `[lo, hi]` (inclusive).
+    Range {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exact keyword match.
+    Exact(String),
+}
+
+impl Predicate {
+    /// `attr ∈ [lo, hi]`.
+    pub fn range(attr: &str, lo: f64, hi: f64) -> Self {
+        assert!(hi >= lo, "inverted range on {attr}");
+        Predicate {
+            attr: attr.to_string(),
+            constraint: Constraint::Range { lo, hi },
+        }
+    }
+
+    /// `attr == value`.
+    pub fn exact(attr: &str, value: &str) -> Self {
+        Predicate {
+            attr: attr.to_string(),
+            constraint: Constraint::Exact(value.to_string()),
+        }
+    }
+
+    /// Does `v` satisfy this predicate?
+    pub fn matches_value(&self, v: &AttrValue) -> bool {
+        match (&self.constraint, v) {
+            (Constraint::Range { lo, hi }, AttrValue::Num(x)) => *lo <= *x && *x <= *hi,
+            (Constraint::Exact(s), AttrValue::Str(t)) => s == t,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_builder_and_access() {
+        let r = Resource::new("grid://node1")
+            .with("cpu-speed", 2.8)
+            .with("os", "linux");
+        assert_eq!(r.get("cpu-speed").unwrap().as_num(), Some(2.8));
+        assert_eq!(r.get("os").unwrap().as_str(), Some("linux"));
+        assert!(r.get("missing").is_none());
+        assert_eq!(r.get("os").unwrap().as_num(), None);
+    }
+
+    #[test]
+    fn predicates() {
+        let r = Resource::new("grid://node1")
+            .with("cpu-usage", 95.0)
+            .with("os", "linux");
+        assert!(r.matches(&Predicate::range("cpu-usage", 90.0, 100.0)));
+        assert!(!r.matches(&Predicate::range("cpu-usage", 0.0, 50.0)));
+        assert!(r.matches(&Predicate::exact("os", "linux")));
+        assert!(!r.matches(&Predicate::exact("os", "freebsd")));
+        assert!(!r.matches(&Predicate::range("missing", 0.0, 1.0)));
+        // Type mismatches never match.
+        assert!(!r.matches(&Predicate::exact("cpu-usage", "95")));
+        assert!(!r.matches(&Predicate::range("os", 0.0, 1.0)));
+    }
+
+    #[test]
+    fn range_bounds_inclusive() {
+        let p = Predicate::range("x", 1.0, 2.0);
+        assert!(p.matches_value(&AttrValue::Num(1.0)));
+        assert!(p.matches_value(&AttrValue::Num(2.0)));
+        assert!(!p.matches_value(&AttrValue::Num(2.0000001)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_panics() {
+        Predicate::range("x", 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_panics() {
+        AttrSchema::numeric("x", 5.0, 5.0);
+    }
+}

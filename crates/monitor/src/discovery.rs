@@ -1,0 +1,133 @@
+//! Resource discovery — the consumer-facing face of P-GMA.
+//!
+//! Consumers "can directly search resources or monitor their status by
+//! issuing multi-attribute range queries to any nodes in the P2P indexing
+//! network" (paper §2.1). This module glues the MAAN indexing layer to the
+//! monitoring stack: producers register their machines' capability
+//! attributes; consumers run typed discovery queries (e.g. *find Linux
+//! boxes with ≥2 GHz CPUs that are under 50% load*).
+
+use dat_maan::{AttrSchema, MaanNetwork, OpStats, Predicate, Resource};
+
+/// A typed discovery front-end over a [`MaanNetwork`].
+pub struct DiscoveryService {
+    maan: MaanNetwork,
+}
+
+impl DiscoveryService {
+    /// Standard Grid schemas used by the examples and experiments.
+    pub fn standard_schemas() -> Vec<AttrSchema> {
+        vec![
+            AttrSchema::numeric("cpu-speed", 0.0, 16.0),
+            AttrSchema::numeric("cpu-usage", 0.0, 100.0),
+            AttrSchema::numeric("memory-size", 0.0, 1024.0),
+            AttrSchema::numeric("disk-free", 0.0, 100_000.0),
+            AttrSchema::keyword("os"),
+            AttrSchema::keyword("arch"),
+            AttrSchema::keyword("site"),
+        ]
+    }
+
+    /// Wrap an existing MAAN.
+    pub fn new(maan: MaanNetwork) -> Self {
+        DiscoveryService { maan }
+    }
+
+    /// The underlying index.
+    pub fn maan(&self) -> &MaanNetwork {
+        &self.maan
+    }
+
+    /// Mutable access to the underlying index.
+    pub fn maan_mut(&mut self) -> &mut MaanNetwork {
+        &mut self.maan
+    }
+
+    /// Register a machine's capability advertisement from `origin`.
+    pub fn advertise(&mut self, origin: dat_chord::Id, resource: &Resource) -> OpStats {
+        self.maan.register(origin, resource)
+    }
+
+    /// Find machines satisfying every predicate.
+    pub fn find(
+        &self,
+        origin: dat_chord::Id,
+        preds: &[Predicate],
+    ) -> (Vec<Resource>, OpStats) {
+        self.maan.multi_query(origin, preds)
+    }
+
+    /// Convenience: idle machines of a given OS at least `min_ghz` fast.
+    pub fn find_idle(
+        &self,
+        origin: dat_chord::Id,
+        os: &str,
+        min_ghz: f64,
+        max_usage: f64,
+    ) -> (Vec<Resource>, OpStats) {
+        self.find(
+            origin,
+            &[
+                Predicate::exact("os", os),
+                Predicate::range("cpu-speed", min_ghz, 16.0),
+                Predicate::range("cpu-usage", 0.0, max_usage),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::{IdPolicy, IdSpace, StaticRing};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn service(n: usize) -> DiscoveryService {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let ring = StaticRing::build(IdSpace::new(32), n, IdPolicy::Probed, &mut rng);
+        DiscoveryService::new(MaanNetwork::new(ring, DiscoveryService::standard_schemas()))
+    }
+
+    fn machine(i: u64, ghz: f64, usage: f64, os: &str) -> Resource {
+        Resource::new(&format!("grid://host{i}"))
+            .with("cpu-speed", ghz)
+            .with("cpu-usage", usage)
+            .with("memory-size", 32.0)
+            .with("os", os)
+            .with("arch", "x86_64")
+            .with("site", if i % 2 == 0 { "usc" } else { "isi" })
+    }
+
+    #[test]
+    fn end_to_end_discovery() {
+        let mut svc = service(64);
+        let origin = svc.maan().ring().ids()[0];
+        svc.advertise(origin, &machine(1, 2.8, 20.0, "linux"));
+        svc.advertise(origin, &machine(2, 2.8, 95.0, "linux"));
+        svc.advertise(origin, &machine(3, 1.2, 10.0, "linux"));
+        svc.advertise(origin, &machine(4, 3.2, 5.0, "freebsd"));
+        let (hits, stats) = svc.find_idle(origin, "linux", 2.0, 50.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].uri, "grid://host1");
+        assert!(stats.total() > 0);
+    }
+
+    #[test]
+    fn site_scoped_search() {
+        let mut svc = service(32);
+        let origin = svc.maan().ring().ids()[3];
+        for i in 0..10 {
+            svc.advertise(origin, &machine(i, 2.5, 30.0, "linux"));
+        }
+        let (hits, _) = svc.find(
+            origin,
+            &[
+                Predicate::exact("site", "usc"),
+                Predicate::range("memory-size", 16.0, 64.0),
+            ],
+        );
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|r| r.get("site").unwrap().as_str() == Some("usc")));
+    }
+}

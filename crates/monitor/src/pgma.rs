@@ -1,0 +1,368 @@
+//! P-GMA assembly: the full monitoring stack in one simulated Grid.
+//!
+//! Wires the layers of the paper's Fig. 1 together — sensors feed
+//! producers (the per-node [`dat_core::DatNode`] local values), the
+//! aggregation layer pushes partials along the DAT tree every epoch, and
+//! the consumer reads per-epoch global reports at the rendezvous root.
+//! [`GridMonitorSim`] is the engine behind the §5.4 accuracy experiment
+//! (Fig. 9): it tracks ground truth (the sum of every sensor's current
+//! value) against the root's aggregated view.
+
+use std::collections::HashMap;
+
+use dat_chord::{ChordConfig, Id, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
+use dat_core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
+use dat_sim::harness::{addr_book, prestabilized_dat};
+use dat_sim::{LatencyModel, SimNet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::sensor::Sensor;
+
+/// Configuration of a monitoring simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Number of Grid nodes (paper §5.4: 512).
+    pub nodes: usize,
+    /// Identifier-space width.
+    pub space_bits: u8,
+    /// Identifier placement policy.
+    pub id_policy: IdPolicy,
+    /// DAT routing scheme.
+    pub scheme: RoutingScheme,
+    /// Aggregation mode.
+    pub mode: AggregationMode,
+    /// Epoch length in virtual milliseconds.
+    pub epoch_ms: u64,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Override the DAT hold window (ms); `None` uses the DAT default.
+    pub hold_ms: Option<u64>,
+    /// Override the soft-state child TTL (epochs); `None` uses the default.
+    pub child_ttl_epochs: Option<u64>,
+    /// Use churn-grade ring maintenance (1 s stabilization, 0.5 s finger
+    /// fixing) instead of the relaxed static-overlay defaults. Required
+    /// when the run injects departures/failures and expects the trees to
+    /// re-form within seconds.
+    pub fast_maintenance: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            nodes: 512,
+            space_bits: 32,
+            id_policy: IdPolicy::Probed,
+            scheme: RoutingScheme::Balanced,
+            mode: AggregationMode::Continuous,
+            epoch_ms: 10_000,
+            latency: LatencyModel::Constant(2),
+            seed: 0xCA1,
+            hold_ms: None,
+            child_ttl_epochs: None,
+            fast_maintenance: false,
+        }
+    }
+}
+
+/// Ground truth vs aggregated view for one epoch (one point of Fig. 9).
+#[derive(Clone, Copy, Debug)]
+pub struct EpochRecord {
+    /// Root-side epoch index.
+    pub epoch: u64,
+    /// Wall (virtual) time of the record, seconds.
+    pub t_s: u64,
+    /// True sum of every node's current sensor value.
+    pub actual_total: f64,
+    /// True average.
+    pub actual_avg: f64,
+    /// Aggregated sum as reported at the root (None until the first report
+    /// reaches the root).
+    pub reported_total: Option<f64>,
+    /// Aggregated average.
+    pub reported_avg: Option<f64>,
+    /// Number of nodes contributing to the report.
+    pub reported_count: Option<u64>,
+}
+
+/// Accuracy summary over a run.
+#[derive(Clone, Copy, Debug)]
+pub struct AccuracyStats {
+    /// Epochs with a root report.
+    pub reported_epochs: usize,
+    /// Mean absolute percentage error of the reported total vs actual.
+    pub mape: f64,
+    /// Worst absolute percentage error.
+    pub max_ape: f64,
+    /// Mean node-count coverage (reported count / n).
+    pub coverage: f64,
+}
+
+/// The monitoring simulation: n nodes, one trace-driven sensor each,
+/// continuous aggregation of the configured attribute.
+pub struct GridMonitorSim {
+    net: SimNet<DatNode>,
+    sensors: HashMap<NodeAddr, Box<dyn Sensor>>,
+    current: HashMap<NodeAddr, f64>,
+    key: Id,
+    root_addr: NodeAddr,
+    cfg: MonitorConfig,
+    records: Vec<EpochRecord>,
+    epoch: u64,
+}
+
+impl GridMonitorSim {
+    /// Build the Grid: a pre-stabilized DAT overlay plus one sensor per
+    /// node produced by `make_sensor(index)`.
+    pub fn new<F>(cfg: MonitorConfig, attr: &str, mut make_sensor: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn Sensor>,
+    {
+        let space = IdSpace::new(cfg.space_bits);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let ring = StaticRing::build(space, cfg.nodes, cfg.id_policy, &mut rng);
+        let ccfg = if cfg.fast_maintenance {
+            ChordConfig {
+                space,
+                stabilize_ms: 1_000,
+                fix_fingers_ms: 500,
+                check_pred_ms: 1_500,
+                req_timeout_ms: 2_500,
+                ..ChordConfig::default()
+            }
+        } else {
+            ChordConfig {
+                space,
+                // The monitored overlay is pre-converged and static for the
+                // accuracy experiment: relax ring maintenance so simulated
+                // time is dominated by aggregation traffic.
+                stabilize_ms: 30_000,
+                fix_fingers_ms: 20_000,
+                check_pred_ms: 30_000,
+                ..ChordConfig::default()
+            }
+        };
+        let mut dcfg = DatConfig {
+            scheme: cfg.scheme,
+            epoch_ms: cfg.epoch_ms,
+            d0_hint: Some(ring.d0()),
+            ..DatConfig::default()
+        };
+        if let Some(h) = cfg.hold_ms {
+            dcfg.hold_ms = h;
+        }
+        if let Some(t) = cfg.child_ttl_epochs {
+            dcfg.child_ttl_epochs = t;
+        }
+        let mut net = prestabilized_dat(&ring, ccfg, dcfg, cfg.seed);
+        net.set_latency(cfg.latency);
+        net.set_record_upcalls(false);
+        // Phase-shift the sampling windows: every node's epoch tick fires at
+        // multiples of epoch_ms; by advancing `settle_ms` past the start we
+        // make each step_epoch window contain exactly one tick *plus* the
+        // full convergecast that follows it, so the root's report for epoch
+        // k is computed entirely from the sensor values set for epoch k.
+        let settle_ms = (2 * dcfg.hold_ms + 100).min(cfg.epoch_ms / 2).max(1);
+        net.run_for(settle_ms);
+
+        // Register the aggregation everywhere and attach sensors.
+        let book = addr_book(&ring);
+        let mut key = Id(0);
+        let mut sensors: HashMap<NodeAddr, Box<dyn Sensor>> = HashMap::new();
+        let mut current = HashMap::new();
+        for (i, &id) in ring.ids().iter().enumerate() {
+            let addr = book[&id];
+            let node = net.node_mut(addr).expect("node exists");
+            key = node.register(attr, cfg.mode);
+            sensors.insert(addr, make_sensor(i));
+            current.insert(addr, 0.0);
+        }
+        let root_addr = book[&ring.successor(key)];
+        GridMonitorSim {
+            net,
+            sensors,
+            current,
+            key,
+            root_addr,
+            cfg,
+            records: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The rendezvous key of the monitored attribute.
+    pub fn key(&self) -> Id {
+        self.key
+    }
+
+    /// The simulator address of the aggregation root.
+    pub fn root_addr(&self) -> NodeAddr {
+        self.root_addr
+    }
+
+    /// The simulation network (for ad-hoc inspection).
+    pub fn net(&self) -> &SimNet<DatNode> {
+        &self.net
+    }
+
+    /// Mutable network access (e.g. to inject churn mid-run).
+    pub fn net_mut(&mut self) -> &mut SimNet<DatNode> {
+        &mut self.net
+    }
+
+    /// Collected per-epoch records.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Advance one epoch: sample every sensor, publish local values, run
+    /// the network for one epoch, and record actual vs reported.
+    pub fn step_epoch(&mut self) {
+        let t_s = self.net.now().as_secs();
+        // Sensors → producers.
+        let key = self.key;
+        for (addr, sensor) in self.sensors.iter_mut() {
+            let v = sensor.sample(t_s);
+            self.current.insert(*addr, v);
+            if let Some(node) = self.net.node_mut(*addr) {
+                node.set_local(key, v);
+            }
+        }
+        // One epoch of protocol time.
+        self.net.run_for(self.cfg.epoch_ms);
+        self.epoch += 1;
+        // Ground truth.
+        let n = self.current.len() as f64;
+        let actual_total: f64 = self.current.values().sum();
+        // Root report (latest).
+        let report = self
+            .net
+            .node_mut(self.root_addr)
+            .map(|root| {
+                root.take_events()
+                    .into_iter()
+                    .filter_map(|e| match e {
+                        DatEvent::Report { key: k, partial, .. } if k == key => Some(partial),
+                        _ => None,
+                    })
+                    .next_back()
+            })
+            .unwrap_or(None);
+        self.records.push(EpochRecord {
+            epoch: self.epoch,
+            t_s,
+            actual_total,
+            actual_avg: actual_total / n,
+            reported_total: report.as_ref().map(|p| p.finalize(AggFunc::Sum)),
+            reported_avg: report.as_ref().map(|p| p.finalize(AggFunc::Avg)),
+            reported_count: report.as_ref().map(|p| p.count),
+        });
+    }
+
+    /// Run `epochs` epochs.
+    pub fn run_epochs(&mut self, epochs: u64) {
+        for _ in 0..epochs {
+            self.step_epoch();
+        }
+    }
+
+    /// Accuracy of the aggregated totals vs ground truth, skipping the
+    /// warm-up epochs before the first full report.
+    pub fn accuracy(&self) -> AccuracyStats {
+        let n = self.sensors.len() as f64;
+        let mut count = 0usize;
+        let mut ape_sum = 0.0;
+        let mut ape_max = 0.0f64;
+        let mut cov_sum = 0.0;
+        for r in &self.records {
+            let (Some(total), Some(c)) = (r.reported_total, r.reported_count) else {
+                continue;
+            };
+            // Skip partial warm-up reports.
+            if (c as f64) < 0.5 * n {
+                continue;
+            }
+            count += 1;
+            let ape = if r.actual_total == 0.0 {
+                0.0
+            } else {
+                ((total - r.actual_total) / r.actual_total).abs() * 100.0
+            };
+            ape_sum += ape;
+            ape_max = ape_max.max(ape);
+            cov_sum += c as f64 / n;
+        }
+        AccuracyStats {
+            reported_epochs: count,
+            mape: if count == 0 { f64::NAN } else { ape_sum / count as f64 },
+            max_ape: ape_max,
+            coverage: if count == 0 { 0.0 } else { cov_sum / count as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::ConstantSensor;
+    use crate::trace::{CpuTrace, TraceConfig};
+    use crate::TraceSensor;
+
+    #[test]
+    fn constant_signal_aggregates_exactly() {
+        let cfg = MonitorConfig {
+            nodes: 32,
+            epoch_ms: 1_000,
+            ..MonitorConfig::default()
+        };
+        let mut sim = GridMonitorSim::new(cfg, "cpu-usage", |_| {
+            Box::new(ConstantSensor::new("cpu-usage", 50.0))
+        });
+        sim.run_epochs(12);
+        let acc = sim.accuracy();
+        assert!(acc.reported_epochs >= 5, "reports: {acc:?}");
+        // A constant signal must aggregate exactly once converged.
+        assert!(acc.mape < 1e-6, "{acc:?}");
+        assert!((acc.coverage - 1.0).abs() < 1e-9, "{acc:?}");
+    }
+
+    #[test]
+    fn trace_signal_tracks_closely() {
+        let trace = CpuTrace::generate(TraceConfig {
+            duration_s: 600,
+            ..TraceConfig::default()
+        });
+        let cfg = MonitorConfig {
+            nodes: 64,
+            epoch_ms: 5_000,
+            ..MonitorConfig::default()
+        };
+        let mut sim = GridMonitorSim::new(cfg, "cpu-usage", |i| {
+            Box::new(TraceSensor::new("cpu-usage", trace.clone(), i as u64, 1.0))
+        });
+        sim.run_epochs(40);
+        let acc = sim.accuracy();
+        assert!(acc.reported_epochs >= 30, "{acc:?}");
+        // Pipelined aggregation lags the signal slightly; an
+        // autocorrelated trace should still track within a few percent.
+        assert!(acc.mape < 10.0, "{acc:?}");
+        assert!(acc.coverage > 0.95, "{acc:?}");
+    }
+
+    #[test]
+    fn records_have_monotone_epochs() {
+        let cfg = MonitorConfig {
+            nodes: 8,
+            epoch_ms: 500,
+            ..MonitorConfig::default()
+        };
+        let mut sim = GridMonitorSim::new(cfg, "cpu-usage", |_| {
+            Box::new(ConstantSensor::new("cpu-usage", 1.0))
+        });
+        sim.run_epochs(5);
+        let e: Vec<u64> = sim.records().iter().map(|r| r.epoch).collect();
+        assert_eq!(e, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Experiment harness: build whole overlays inside the simulator.
+//!
+//! Two construction paths, mirroring how the paper's experiments are run:
+//!
+//! * **live joins** ([`spawn_live_ring`]): every node executes the real
+//!   join + stabilization protocol — used for churn/convergence
+//!   experiments and to validate the protocol itself;
+//! * **pre-stabilized** ([`prestabilized_chord`], [`prestabilized_dat`]):
+//!   finger tables are materialised from a [`StaticRing`] global view, so
+//!   a 8192-node converged overlay exists in milliseconds — used for the
+//!   message-distribution experiments (Fig. 8) where only the converged
+//!   behavior matters.
+
+use dat_chord::{ChordConfig, ChordNode, Id, Input, NodeAddr, NodeStatus, Output, StaticRing};
+use dat_core::{DatConfig, DatNode, ExplicitConfig, ExplicitTreeNode, GossipConfig, GossipNode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::net::{Actor, SimNet};
+
+impl Actor for DatNode {
+    fn addr(&self) -> NodeAddr {
+        self.me().addr
+    }
+    fn on_input(&mut self, input: Input) -> Vec<Output> {
+        self.handle(input)
+    }
+}
+
+impl Actor for ExplicitTreeNode {
+    fn addr(&self) -> NodeAddr {
+        self.me().addr
+    }
+    fn on_input(&mut self, input: Input) -> Vec<Output> {
+        self.handle(input)
+    }
+}
+
+impl Actor for GossipNode {
+    fn addr(&self) -> NodeAddr {
+        self.me().addr
+    }
+    fn on_input(&mut self, input: Input) -> Vec<Output> {
+        self.handle(input)
+    }
+}
+
+/// Map ring identifiers to simulator addresses `0..n` (sorted-id order).
+pub fn addr_book(ring: &StaticRing) -> std::collections::HashMap<Id, NodeAddr> {
+    ring.ids()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, NodeAddr(i as u64)))
+        .collect()
+}
+
+/// Build a pre-stabilized Chord overlay: every node starts with the exact
+/// finger table a converged protocol would hold.
+pub fn prestabilized_chord(ring: &StaticRing, cfg: ChordConfig, seed: u64) -> SimNet<ChordNode> {
+    assert_eq!(cfg.space, ring.space(), "config/ring space mismatch");
+    let book = addr_book(ring);
+    let addr_of = |id: Id| book[&id];
+    let mut net = SimNet::new(seed);
+    for &id in ring.ids() {
+        let mut node = ChordNode::new(cfg, id, addr_of(id));
+        let table = ring.table_of_with(id, cfg.succ_list_len, &addr_of);
+        let outs = node.start_with_table(table);
+        let addr = node.me().addr;
+        net.add_node(node);
+        net.apply(addr, outs);
+    }
+    net
+}
+
+/// Build a pre-stabilized DAT overlay (Chord + aggregation layer).
+pub fn prestabilized_dat(
+    ring: &StaticRing,
+    ccfg: ChordConfig,
+    dcfg: DatConfig,
+    seed: u64,
+) -> SimNet<DatNode> {
+    assert_eq!(ccfg.space, ring.space(), "config/ring space mismatch");
+    let book = addr_book(ring);
+    let addr_of = |id: Id| book[&id];
+    let mut net = SimNet::new(seed);
+    for &id in ring.ids() {
+        let chord = ChordNode::new(ccfg, id, addr_of(id));
+        let mut node = DatNode::from_chord(chord, dcfg);
+        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
+        let outs = node.start_with_table(table);
+        let addr = node.me().addr;
+        net.add_node(node);
+        net.apply(addr, outs);
+    }
+    net
+}
+
+/// Build a pre-stabilized explicit-tree overlay (the churn baseline). Tree
+/// membership still forms via the live `JoinTree` protocol — only the
+/// Chord substrate is pre-converged, matching the DAT side for a fair
+/// comparison.
+pub fn prestabilized_explicit(
+    ring: &StaticRing,
+    ccfg: ChordConfig,
+    ecfg: ExplicitConfig,
+    key: Id,
+    seed: u64,
+) -> SimNet<ExplicitTreeNode> {
+    let book = addr_book(ring);
+    let addr_of = |id: Id| book[&id];
+    let mut net = SimNet::new(seed);
+    for &id in ring.ids() {
+        let mut node = ExplicitTreeNode::new(ccfg, ecfg, key, id, addr_of(id));
+        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
+        let outs = node.start_with_table(table);
+        let addr = node.me().addr;
+        net.add_node(node);
+        net.apply(addr, outs);
+    }
+    net
+}
+
+/// Build a pre-stabilized push-sum gossip overlay; node `i` contributes
+/// `value_of(i)`.
+pub fn prestabilized_gossip<F>(
+    ring: &StaticRing,
+    ccfg: ChordConfig,
+    gcfg: GossipConfig,
+    seed: u64,
+    mut value_of: F,
+) -> SimNet<GossipNode>
+where
+    F: FnMut(usize) -> f64,
+{
+    let book = addr_book(ring);
+    let addr_of = |id: Id| book[&id];
+    let mut net = SimNet::new(seed);
+    for (i, &id) in ring.ids().iter().enumerate() {
+        let mut node = GossipNode::new(ccfg, gcfg, id, addr_of(id), value_of(i));
+        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
+        let outs = node.start_with_table(table);
+        let addr = node.me().addr;
+        net.add_node(node);
+        net.apply(addr, outs);
+    }
+    net
+}
+
+/// Spawn an `n`-node overlay through real protocol joins. Nodes join
+/// sequentially (each given `join_gap_ms` of virtual time), then the
+/// network runs `settle_ms` longer for fingers to converge. Returns the
+/// network and the sorted final identifiers.
+pub fn spawn_live_ring(
+    n: usize,
+    cfg: ChordConfig,
+    seed: u64,
+    join_gap_ms: u64,
+    settle_ms: u64,
+) -> (SimNet<ChordNode>, Vec<Id>) {
+    assert!(n >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+    let mut net = SimNet::new(seed);
+    let first_id = cfg.space.random(&mut rng);
+    let mut first = ChordNode::new(cfg, first_id, NodeAddr(0));
+    let outs = first.start_create();
+    let bootstrap = first.me();
+    net.add_node(first);
+    net.apply(NodeAddr(0), outs);
+    for i in 1..n {
+        let id = cfg.space.random(&mut rng);
+        let mut node = ChordNode::new(cfg, id, NodeAddr(i as u64));
+        let outs = node.start_join(bootstrap);
+        net.add_node(node);
+        net.apply(NodeAddr(i as u64), outs);
+        net.run_for(join_gap_ms);
+    }
+    net.run_for(settle_ms);
+    let mut ids: Vec<Id> = net
+        .iter_nodes()
+        .filter(|(_, node)| node.status() == NodeStatus::Active)
+        .map(|(_, node)| node.me().id)
+        .collect();
+    ids.sort_unstable();
+    (net, ids)
+}
+
+/// Check that the live overlay's successor pointers form exactly the ring
+/// over the given sorted ids.
+pub fn ring_converged(net: &SimNet<ChordNode>, sorted_ids: &[Id]) -> bool {
+    if sorted_ids.len() <= 1 {
+        return true;
+    }
+    let pos: std::collections::HashMap<Id, usize> = sorted_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    for (_, node) in net.iter_nodes() {
+        if node.status() != NodeStatus::Active {
+            continue;
+        }
+        let Some(&i) = pos.get(&node.me().id) else {
+            return false;
+        };
+        let expect = sorted_ids[(i + 1) % sorted_ids.len()];
+        match node.table().successor() {
+            Some(s) if s.id == expect => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Fraction of finger entries across the overlay that match the ideal
+/// (fully converged) finger tables implied by the membership.
+pub fn finger_convergence(net: &SimNet<ChordNode>, sorted_ids: &[Id]) -> f64 {
+    let ring = StaticRing::from_ids(
+        net.iter_nodes()
+            .next()
+            .map(|(_, n)| n.space())
+            .unwrap_or_default(),
+        sorted_ids.to_vec(),
+    );
+    let mut total = 0usize;
+    let mut good = 0usize;
+    for (_, node) in net.iter_nodes() {
+        if node.status() != NodeStatus::Active {
+            continue;
+        }
+        let me = node.me().id;
+        let space = node.space();
+        for j in 1..=space.bits() {
+            let ideal = ring.successor(space.finger_start(me, j));
+            if ideal == me {
+                continue; // finger wraps to self: no entry expected
+            }
+            total += 1;
+            if node.table().finger(j).map(|f| f.node.id) == Some(ideal) {
+                good += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        good as f64 / total as f64
+    }
+}
+
+/// Pick `k` distinct random addresses of live nodes.
+pub fn sample_addrs<A: Actor>(net: &SimNet<A>, k: usize, rng: &mut SmallRng) -> Vec<NodeAddr> {
+    let mut addrs = net.addrs();
+    let k = k.min(addrs.len());
+    // Partial Fisher-Yates.
+    for i in 0..k {
+        let j = rng.random_range(i..addrs.len());
+        addrs.swap(i, j);
+    }
+    addrs.truncate(k);
+    addrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::{IdPolicy, IdSpace};
+
+    fn cfg(bits: u8) -> ChordConfig {
+        ChordConfig {
+            space: IdSpace::new(bits),
+            ..ChordConfig::default()
+        }
+    }
+
+    #[test]
+    fn prestabilized_ring_is_converged_from_t0() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let ring = StaticRing::build(IdSpace::new(24), 64, IdPolicy::Random, &mut rng);
+        let net = prestabilized_chord(&ring, cfg(24), 1);
+        assert!(ring_converged(&net, ring.ids()));
+        assert_eq!(finger_convergence(&net, ring.ids()), 1.0);
+    }
+
+    #[test]
+    fn prestabilized_lookup_resolves_in_log_hops() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let ring = StaticRing::build(IdSpace::new(24), 128, IdPolicy::Random, &mut rng);
+        let mut net = prestabilized_chord(&ring, cfg(24), 2);
+        net.take_upcalls();
+        let from = NodeAddr(0);
+        let key = Id(123_456);
+        let req = net.with_node(from, |n| n.lookup(key)).unwrap();
+        net.run_for(10_000);
+        let ups = net.take_upcalls();
+        let (owner, hops) = ups
+            .iter()
+            .find_map(|u| match &u.upcall {
+                dat_chord::Upcall::LookupDone {
+                    req: r,
+                    owner,
+                    hops,
+                    ..
+                } if *r == req => Some((owner.id, *hops)),
+                _ => None,
+            })
+            .expect("lookup completes");
+        assert_eq!(owner, ring.successor(key));
+        assert!(hops <= 2 * 7 + 2, "hops {hops} not O(log n)"); // log2(128)=7
+    }
+
+    #[test]
+    fn live_ring_converges_small() {
+        let (net, ids) = spawn_live_ring(8, cfg(32), 3, 3_000, 30_000);
+        assert_eq!(ids.len(), 8, "every node must join");
+        assert!(ring_converged(&net, &ids), "successor ring must close");
+        assert!(
+            finger_convergence(&net, &ids) > 0.9,
+            "fingers mostly converged: {}",
+            finger_convergence(&net, &ids)
+        );
+    }
+
+    #[test]
+    fn sample_addrs_distinct() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ring = StaticRing::build(IdSpace::new(24), 32, IdPolicy::Random, &mut rng);
+        let net = prestabilized_chord(&ring, cfg(24), 5);
+        let s = sample_addrs(&net, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10);
+        let all = sample_addrs(&net, 999, &mut rng);
+        assert_eq!(all.len(), 32);
+    }
+}

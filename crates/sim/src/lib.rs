@@ -1,0 +1,52 @@
+//! # dat-sim — discrete-event simulation engine
+//!
+//! The paper's prototype evaluates at scale by running the unmodified
+//! Chord/DAT layers over "a discrete event simulation engine [with] a
+//! heap-based event queue … to insert and fire those events in a
+//! chronological order" (§4). This crate is that engine:
+//!
+//! * [`queue::EventQueue`] — deterministic heap-based scheduler (ties fire
+//!   in insertion order, so a seed fully determines a run);
+//! * [`time::SimTime`] — virtual milliseconds, the same unit the sans-io
+//!   protocol uses for timer delays;
+//! * [`latency::LatencyModel`] / [`latency::LossModel`] — constant (LAN),
+//!   uniform-jitter and log-normal (WAN) one-way delays, plus i.i.d. loss
+//!   for fault injection;
+//! * [`net::SimNet`] — hosts any sans-io [`net::Actor`] (bare
+//!   [`dat_chord::ChordNode`], full [`dat_core::DatNode`], or the explicit
+//!   -tree baseline), interprets their outputs, counts transport traffic;
+//! * [`harness`] — builds whole overlays: live protocol joins, or
+//!   pre-stabilized 8192-node rings materialised from a global view;
+//! * [`stats`] — tallies, percentiles and the paper's imbalance factor.
+//!
+//! ```
+//! use dat_chord::{ChordConfig, IdSpace, IdPolicy, StaticRing};
+//! use dat_sim::harness::{prestabilized_chord, ring_converged};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let ring = StaticRing::build(IdSpace::new(24), 100, IdPolicy::Random, &mut rng);
+//! let cfg = ChordConfig { space: IdSpace::new(24), ..ChordConfig::default() };
+//! let net = prestabilized_chord(&ring, cfg, 7);
+//! assert!(ring_converged(&net, ring.ids()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod latency;
+pub mod net;
+pub mod queue;
+pub mod stats;
+pub mod time;
+
+pub use harness::{
+    finger_convergence, prestabilized_chord, prestabilized_dat, prestabilized_explicit,
+    ring_converged, spawn_live_ring,
+};
+pub use latency::{LatencyModel, LossModel};
+pub use net::{Actor, LinkStats, SimNet, UpcallRecord};
+pub use queue::EventQueue;
+pub use stats::{imbalance_factor, percentile, rank_order, Tally};
+pub use time::SimTime;

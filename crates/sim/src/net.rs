@@ -1,0 +1,423 @@
+//! The simulated network: hosts sans-io actors, delivers messages with
+//! modeled latency/loss, and fires timers — all in deterministic virtual
+//! time.
+
+use std::collections::HashMap;
+
+use dat_chord::{ChordMsg, ChordNode, Input, NodeAddr, Output, TimerKind, Upcall};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::latency::{LatencyModel, LossModel};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A protocol state machine the engine can host. Implemented for
+/// [`ChordNode`] here and for `dat_core::DatNode` in
+/// [`crate::harness`].
+pub trait Actor {
+    /// The transport endpoint this actor answers to.
+    fn addr(&self) -> NodeAddr;
+    /// Drive one input through the actor.
+    fn on_input(&mut self, input: Input) -> Vec<Output>;
+}
+
+impl Actor for ChordNode {
+    fn addr(&self) -> NodeAddr {
+        self.me().addr
+    }
+    fn on_input(&mut self, input: Input) -> Vec<Output> {
+        self.handle(input)
+    }
+}
+
+/// Events the engine schedules internally.
+#[derive(Clone, Debug)]
+enum SimEvent {
+    Deliver {
+        to: NodeAddr,
+        from: NodeAddr,
+        msg: ChordMsg,
+    },
+    Timer {
+        node: NodeAddr,
+        kind: TimerKind,
+    },
+}
+
+/// An upcall surfaced by some node, timestamped.
+#[derive(Clone, Debug)]
+pub struct UpcallRecord {
+    /// When it fired.
+    pub at: SimTime,
+    /// Which node surfaced it.
+    pub node: NodeAddr,
+    /// The upcall payload.
+    pub upcall: Upcall,
+}
+
+/// Per-node transport-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Messages this node handed to the transport.
+    pub sent: u64,
+    /// Messages delivered to this node.
+    pub delivered: u64,
+}
+
+/// The discrete-event network engine.
+///
+/// Generic over the hosted [`Actor`] so the same engine runs bare Chord
+/// overlays, DAT stacks, and the monitoring application — exactly the
+/// layering of the paper's prototype simulator (§4).
+pub struct SimNet<A: Actor> {
+    queue: EventQueue<SimEvent>,
+    nodes: HashMap<NodeAddr, A>,
+    rng: SmallRng,
+    latency: LatencyModel,
+    loss: LossModel,
+    upcalls: Vec<UpcallRecord>,
+    record_upcalls: bool,
+    stats: HashMap<NodeAddr, LinkStats>,
+    /// Messages dropped by the loss model or sent to dead nodes.
+    pub dropped: u64,
+    events_processed: u64,
+}
+
+impl<A: Actor> SimNet<A> {
+    /// A fresh engine with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        SimNet {
+            queue: EventQueue::new(),
+            nodes: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            latency: LatencyModel::default(),
+            loss: LossModel::NONE,
+            upcalls: Vec::new(),
+            record_upcalls: true,
+            stats: HashMap::new(),
+            dropped: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Replace the latency model.
+    pub fn set_latency(&mut self, model: LatencyModel) {
+        self.latency = model;
+    }
+
+    /// Replace the loss model.
+    pub fn set_loss(&mut self, model: LossModel) {
+        self.loss = model;
+    }
+
+    /// Stop/start recording upcalls (recording is on by default; long churn
+    /// runs may want it off to bound memory).
+    pub fn set_record_upcalls(&mut self, on: bool) {
+        self.record_upcalls = on;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of hosted (live) nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Pending events (messages in flight + armed timers).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Add a node. Panics if the address is taken.
+    pub fn add_node(&mut self, actor: A) {
+        let addr = actor.addr();
+        let prev = self.nodes.insert(addr, actor);
+        assert!(prev.is_none(), "duplicate node address {addr:?}");
+        self.stats.entry(addr).or_default();
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, addr: NodeAddr) -> Option<&A> {
+        self.nodes.get(&addr)
+    }
+
+    /// Mutable access to a node (does not process outputs — use
+    /// [`Self::with_node`] to run protocol actions).
+    pub fn node_mut(&mut self, addr: NodeAddr) -> Option<&mut A> {
+        self.nodes.get_mut(&addr)
+    }
+
+    /// All live node addresses (unordered).
+    pub fn addrs(&self) -> Vec<NodeAddr> {
+        let mut a: Vec<NodeAddr> = self.nodes.keys().copied().collect();
+        a.sort_unstable();
+        a
+    }
+
+    /// Iterate over live nodes.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (&NodeAddr, &A)> {
+        self.nodes.iter()
+    }
+
+    /// Run `f` against node `addr` and process the outputs it returns.
+    /// This is how hosts start joins, trigger aggregations, etc.
+    pub fn with_node<F, R>(&mut self, addr: NodeAddr, f: F) -> Option<R>
+    where
+        F: FnOnce(&mut A) -> (R, Vec<Output>),
+    {
+        let actor = self.nodes.get_mut(&addr)?;
+        let (r, out) = f(actor);
+        self.apply(addr, out);
+        Some(r)
+    }
+
+    /// Crash a node: remove it abruptly. In-flight traffic to it is lost;
+    /// peers discover the failure via timeouts (ungraceful churn).
+    pub fn crash(&mut self, addr: NodeAddr) -> Option<A> {
+        self.nodes.remove(&addr)
+    }
+
+    /// Process the outputs `from` produced.
+    pub fn apply(&mut self, from: NodeAddr, outputs: Vec<Output>) {
+        for o in outputs {
+            match o {
+                Output::Send { to, msg } => {
+                    self.stats.entry(from).or_default().sent += 1;
+                    if self.loss.drops(&mut self.rng) {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    let delay = self.latency.sample(&mut self.rng);
+                    self.queue.push_after(
+                        delay,
+                        SimEvent::Deliver {
+                            to: to.addr,
+                            from,
+                            msg,
+                        },
+                    );
+                }
+                Output::SetTimer { kind, delay_ms } => {
+                    self.queue
+                        .push_after(delay_ms, SimEvent::Timer { node: from, kind });
+                }
+                Output::Upcall(upcall) => {
+                    if self.record_upcalls {
+                        self.upcalls.push(UpcallRecord {
+                            at: self.queue.now(),
+                            node: from,
+                            upcall,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pop and process a single event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.events_processed += 1;
+        match ev.event {
+            SimEvent::Deliver { to, from, msg } => {
+                let Some(node) = self.nodes.get_mut(&to) else {
+                    self.dropped += 1; // destination crashed
+                    return true;
+                };
+                self.stats.entry(to).or_default().delivered += 1;
+                let out = node.on_input(Input::Message { from, msg });
+                self.apply(to, out);
+            }
+            SimEvent::Timer { node: addr, kind } => {
+                let Some(node) = self.nodes.get_mut(&addr) else {
+                    return true; // node gone; timer dies silently
+                };
+                let out = node.on_input(Input::Timer(kind));
+                self.apply(addr, out);
+            }
+        }
+        true
+    }
+
+    /// Run until virtual time reaches `t` (events at exactly `t` included)
+    /// or the queue drains.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        // Land exactly on the deadline so that back-to-back bounded runs
+        // cover contiguous, exact windows.
+        self.queue.advance_to(t);
+    }
+
+    /// Run for `ms` more virtual milliseconds.
+    pub fn run_for(&mut self, ms: u64) {
+        let deadline = self.now() + ms;
+        self.run_until(deadline);
+    }
+
+    /// Drain the recorded upcalls.
+    pub fn take_upcalls(&mut self) -> Vec<UpcallRecord> {
+        std::mem::take(&mut self.upcalls)
+    }
+
+    /// Transport counters for one node.
+    pub fn link_stats(&self, addr: NodeAddr) -> LinkStats {
+        self.stats.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Reset all transport counters (e.g. after warm-up).
+    pub fn reset_link_stats(&mut self) {
+        for s in self.stats.values_mut() {
+            *s = LinkStats::default();
+        }
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::{ChordConfig, Id, IdSpace};
+
+    fn cfg() -> ChordConfig {
+        ChordConfig {
+            space: IdSpace::new(16),
+            ..ChordConfig::default()
+        }
+    }
+
+    fn two_node_net() -> SimNet<ChordNode> {
+        let mut net = SimNet::new(7);
+        let mut a = ChordNode::new(cfg(), Id(100), NodeAddr(1));
+        let out = a.start_create();
+        net.add_node(a);
+        net.apply(NodeAddr(1), out);
+        let mut b = ChordNode::new(cfg(), Id(40_000), NodeAddr(2));
+        let bootstrap = net.node(NodeAddr(1)).unwrap().me();
+        let out = b.start_join(bootstrap);
+        net.add_node(b);
+        net.apply(NodeAddr(2), out);
+        net
+    }
+
+    #[test]
+    fn two_nodes_converge_to_a_ring() {
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        let a = net.node(NodeAddr(1)).unwrap();
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_eq!(a.table().successor().unwrap().id, Id(40_000));
+        assert_eq!(b.table().successor().unwrap().id, Id(100));
+        assert_eq!(a.table().predecessor().unwrap().id, Id(40_000));
+        assert_eq!(b.table().predecessor().unwrap().id, Id(100));
+    }
+
+    #[test]
+    fn joined_upcall_recorded() {
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        let ups = net.take_upcalls();
+        assert!(ups
+            .iter()
+            .any(|u| u.node == NodeAddr(2) && matches!(u.upcall, Upcall::Joined { .. })));
+        // Drained.
+        assert!(net.take_upcalls().is_empty());
+    }
+
+    #[test]
+    fn crash_is_discovered_by_timeout() {
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        net.crash(NodeAddr(2));
+        net.run_for(30_000);
+        let a = net.node(NodeAddr(1)).unwrap();
+        // Successor list purged; back alone in the ring.
+        assert!(a.table().successor().is_none());
+        assert!(a.table().predecessor().is_none());
+        assert!(net.dropped > 0);
+    }
+
+    #[test]
+    fn lookup_resolves_across_nodes() {
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        net.take_upcalls();
+        // From node 1, look up a key owned by node 2.
+        let req = net
+            .with_node(NodeAddr(1), |n| n.lookup(Id(20_000)))
+            .unwrap();
+        net.run_for(5_000);
+        let ups = net.take_upcalls();
+        let done = ups
+            .iter()
+            .find_map(|u| match &u.upcall {
+                Upcall::LookupDone { req: r, owner, .. } if *r == req => Some(owner.id),
+                _ => None,
+            })
+            .expect("lookup must complete");
+        assert_eq!(done, Id(40_000));
+    }
+
+    #[test]
+    fn loss_model_drops_messages() {
+        let mut net = two_node_net();
+        net.set_loss(LossModel::new(1.0));
+        net.run_for(10_000);
+        // With total loss nothing converges...
+        assert!(net.dropped > 0);
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_ne!(
+            b.status(),
+            dat_chord::NodeStatus::Active,
+            "node joined through a fully lossy network?!"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut net = two_node_net();
+            net.set_latency(LatencyModel::Uniform { lo: 5, hi: 50 });
+            net.run_for(60_000);
+            (
+                net.events_processed(),
+                net.link_stats(NodeAddr(1)).sent,
+                net.link_stats(NodeAddr(2)).delivered,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn link_stats_count_both_directions() {
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        let s1 = net.link_stats(NodeAddr(1));
+        let s2 = net.link_stats(NodeAddr(2));
+        assert!(s1.sent > 0 && s1.delivered > 0);
+        assert!(s2.sent > 0 && s2.delivered > 0);
+        net.reset_link_stats();
+        assert_eq!(net.link_stats(NodeAddr(1)).sent, 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The heap-based event queue.
+//!
+//! The paper's prototype uses "a heap-based event queue … to insert and
+//! fire those events in a chronological order" (§4). Ours additionally
+//! breaks timestamp ties with a monotone sequence number, which makes every
+//! simulation run fully deterministic for a given seed — equal-time events
+//! fire in insertion order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled at a point in virtual time.
+#[derive(Clone, Debug)]
+pub struct Scheduled<E> {
+    /// Firing time.
+    pub at: SimTime,
+    /// Insertion sequence number (tie breaker).
+    pub seq: u64,
+    /// The event itself.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-heap of timestamped events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the firing time of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` `delay_ms` after the current time.
+    pub fn push_after(&mut self, delay_ms: u64, event: E) {
+        self.push_at(self.now + delay_ms, event);
+    }
+
+    /// Schedule `event` at absolute time `at`. Events in the past fire
+    /// "now" (they are clamped to the current time) — the engine never
+    /// travels backwards.
+    pub fn push_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event, advancing virtual time to its firing time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// Firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Advance the clock to `t` without firing anything (used by
+    /// `run_until` so that consecutive bounded runs measure exact windows
+    /// instead of drifting to the last event's timestamp).
+    pub fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(
+            self.peek_time().is_none_or(|n| n >= t),
+            "advancing past pending events"
+        );
+        self.now = self.now.max(t);
+    }
+
+    /// Drop every pending event (used on teardown).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chronological_order() {
+        let mut q = EventQueue::new();
+        q.push_after(30, "c");
+        q.push_after(10, "a");
+        q.push_after(20, "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.now(), SimTime(10));
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime(30));
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(SimTime(5), i);
+        }
+        let fired: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(fired, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.push_after(10, "first");
+        q.pop();
+        q.push_after(10, "second"); // at t=20, not t=10
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, SimTime(20));
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.push_after(50, "later");
+        q.pop();
+        q.push_at(SimTime(10), "stale");
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, SimTime(50));
+        assert_eq!(e.event, "stale");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+        q.push_after(7, ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! Simulated time is a `u64` count of virtual milliseconds — the same unit
+//! the sans-io protocol uses for its timer delays, so no conversions happen
+//! at the boundary.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (milliseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Milliseconds since simulation start.
+    #[inline]
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Saturating difference in milliseconds.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, ms: u64) {
+        self.0 += ms;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000 {
+            write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + 1500;
+        assert_eq!(t.as_millis(), 1500);
+        assert_eq!(t.as_secs(), 1);
+        assert_eq!(t - SimTime(500), 1000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimTime(5).saturating_since(SimTime(10)), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(999).to_string(), "999ms");
+        assert_eq!(SimTime(61_250).to_string(), "61.250s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        let mut t = SimTime(1);
+        t += 5;
+        assert_eq!(t, SimTime(6));
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration: the Chord ring-broadcast primitive (§4's `broadcast`) —
+//! exactly-once coverage on stable rings, the mechanism beneath on-demand
+//! fan-out.
+
+use std::collections::HashMap;
+
+use libdat::chord::{ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, StaticRing, Upcall};
+use libdat::sim::harness::prestabilized_chord;
+use rand::SeedableRng;
+
+fn cfg(space: IdSpace) -> ChordConfig {
+    ChordConfig {
+        space,
+        stabilize_ms: 60_000,
+        fix_fingers_ms: 60_000,
+        check_pred_ms: 60_000,
+        ..ChordConfig::default()
+    }
+}
+
+#[test]
+fn broadcast_reaches_every_node_exactly_once() {
+    let space = IdSpace::new(32);
+    for (n, seed) in [(16usize, 1u64), (100, 2), (256, 3)] {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
+        let mut net = prestabilized_chord(&ring, cfg(space), seed);
+        net.take_upcalls(); // drop the Joined upcalls
+        let origin = NodeAddr(0);
+        net.with_node(origin, |node: &mut ChordNode| {
+            ((), node.broadcast(vec![7, 7, 7]))
+        });
+        net.run_for(30_000);
+        let mut seen: HashMap<NodeAddr, u32> = HashMap::new();
+        for u in net.take_upcalls() {
+            if let Upcall::Broadcast { payload, .. } = &u.upcall {
+                assert_eq!(payload, &vec![7, 7, 7]);
+                *seen.entry(u.node).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(seen.len(), n, "n={n}: every node must be reached");
+        assert!(
+            seen.values().all(|&c| c == 1),
+            "n={n}: exactly-once delivery violated: {:?}",
+            seen.values().filter(|&&c| c != 1).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn broadcast_message_count_is_n_minus_1() {
+    // The disjoint-range fan-out sends exactly one message per remote node.
+    let space = IdSpace::new(32);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+    let ring = StaticRing::build(space, 128, IdPolicy::Probed, &mut rng);
+    let mut net = prestabilized_chord(&ring, cfg(space), 9);
+    net.reset_link_stats();
+    net.with_node(NodeAddr(5), |node: &mut ChordNode| {
+        ((), node.broadcast(vec![1]))
+    });
+    net.run_for(30_000);
+    let total_sent: u64 = net
+        .addrs()
+        .iter()
+        .map(|&a| net.link_stats(a).sent)
+        .sum();
+    assert_eq!(total_sent, 127, "one broadcast frame per remote node");
+}
+
+#[test]
+fn ping_node_detects_crash_and_evicts() {
+    let space = IdSpace::new(32);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+    let ring = StaticRing::build(space, 24, IdPolicy::Probed, &mut rng);
+    let mut net = prestabilized_chord(&ring, cfg(space), 4);
+    net.take_upcalls();
+    // Pick a node and one of its fingers; crash the finger.
+    let me = NodeAddr(0);
+    let target = net
+        .node(me)
+        .unwrap()
+        .table()
+        .iter()
+        .map(|(_, f)| f.node)
+        .last()
+        .expect("has fingers");
+    let target_addr = target.addr;
+    net.crash(target_addr);
+    // Two ping rounds (two strikes) evict the dead finger.
+    for _ in 0..2 {
+        net.with_node(me, |node: &mut ChordNode| ((), node.ping_node(target)));
+        net.run_for(5_000);
+    }
+    let still_there = net
+        .node(me)
+        .unwrap()
+        .table()
+        .iter()
+        .any(|(_, f)| f.node.id == target.id);
+    assert!(!still_there, "dead finger must be evicted after two strikes");
+}
+
+#[test]
+fn ping_node_keeps_live_nodes() {
+    let space = IdSpace::new(32);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let ring = StaticRing::build(space, 24, IdPolicy::Probed, &mut rng);
+    let mut net = prestabilized_chord(&ring, cfg(space), 5);
+    let me = NodeAddr(0);
+    let target = net
+        .node(me)
+        .unwrap()
+        .table()
+        .iter()
+        .map(|(_, f)| f.node)
+        .last()
+        .unwrap();
+    for _ in 0..3 {
+        net.with_node(me, |node: &mut ChordNode| ((), node.ping_node(target)));
+        net.run_for(5_000);
+    }
+    let still_there = net
+        .node(me)
+        .unwrap()
+        .table()
+        .iter()
+        .any(|(_, f)| f.node.id == target.id);
+    assert!(still_there, "live nodes answer pings and stay");
+}

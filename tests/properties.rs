@@ -1,0 +1,195 @@
+//! Property-based tests over the core invariants (proptest).
+
+use libdat::chord::{
+    ceil_log2_ratio, finger_limit, hash_to_id, Id, IdPolicy, IdSpace, RoutingScheme, StaticRing,
+};
+use libdat::core::{AggFunc, AggPartial, DatMsg, DatTree};
+use proptest::prelude::*;
+
+fn arb_ring(max_nodes: usize) -> impl Strategy<Value = StaticRing> {
+    (2usize..=max_nodes, any::<u64>(), 0u8..3).prop_map(|(n, seed, policy)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let policy = match policy {
+            0 => IdPolicy::Random,
+            1 => IdPolicy::Even,
+            _ => IdPolicy::Probed,
+        };
+        StaticRing::build(IdSpace::new(24), n, policy, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trees_are_always_valid(ring in arb_ring(200), key: u64, balanced: bool) {
+        let key = Id(key & ring.space().mask());
+        let scheme = if balanced { RoutingScheme::Balanced } else { RoutingScheme::Greedy };
+        let tree = DatTree::build(&ring, key, scheme);
+        // Single root = successor(key), n-1 edges, acyclic, depths consistent.
+        prop_assert_eq!(tree.root(), ring.successor(key));
+        prop_assert!(tree.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn balanced_branching_bounded_on_even_rings(
+        pow in 1u32..9, key_idx: u64
+    ) {
+        // §3.5's max-branching-2 bound assumes the rendezvous key is on the
+        // even node grid (all distances multiples of d0) — pick a node id.
+        use rand::SeedableRng;
+        let n = 1usize << pow;
+        let space = IdSpace::new(24);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let ring = StaticRing::build(space, n, IdPolicy::Even, &mut rng);
+        let key = ring.ids()[(key_idx as usize) % n];
+        let tree = DatTree::build(&ring, key, RoutingScheme::Balanced);
+        for &v in ring.ids() {
+            prop_assert!(tree.branching(v) <= 2, "node {} has {} children", v, tree.branching(v));
+        }
+        prop_assert!(tree.height() <= pow);
+    }
+
+    #[test]
+    fn balanced_branching_within_three_for_offgrid_keys(
+        pow in 1u32..9, key: u64
+    ) {
+        // Off-grid keys shift every distance by a sub-d0 constant; the
+        // ceil-log boundaries can each move one node across, so the bound
+        // relaxes to 3 (still a constant, which is all Fig. 7a needs).
+        use rand::SeedableRng;
+        let n = 1usize << pow;
+        let space = IdSpace::new(24);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let ring = StaticRing::build(space, n, IdPolicy::Even, &mut rng);
+        let key = Id(key & space.mask());
+        let tree = DatTree::build(&ring, key, RoutingScheme::Balanced);
+        for &v in ring.ids() {
+            prop_assert!(tree.branching(v) <= 3, "node {} has {} children", v, tree.branching(v));
+        }
+        prop_assert!(tree.height() <= pow + 1);
+    }
+
+    #[test]
+    fn route_lengths_are_logarithmic(ring in arb_ring(256), key: u64) {
+        let key = Id(key & ring.space().mask());
+        for &from in ring.ids().iter().step_by(17) {
+            let route = ring.finger_route(from, key);
+            // Greedy halves the remaining arc each hop: ≤ b hops, and for
+            // n nodes, ≤ ~2 log2 n with high probability. Use a generous
+            // deterministic bound: bits of the space.
+            prop_assert!(route.len() <= ring.space().bits() as usize + 1);
+            prop_assert_eq!(*route.last().unwrap(), ring.successor(key));
+        }
+    }
+
+    #[test]
+    fn partial_merge_is_commutative_and_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..40),
+        split in 0usize..40,
+    ) {
+        let k = split.min(xs.len());
+        let mut a = AggPartial::identity();
+        xs[..k].iter().for_each(|&x| a.absorb(x));
+        let mut b = AggPartial::identity();
+        xs[k..].iter().for_each(|&x| b.absorb(x));
+        // commutativity
+        let ab = a.clone().merged(&b);
+        let ba = b.clone().merged(&a);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert!((ab.sum - ba.sum).abs() <= 1e-6 * ab.sum.abs().max(1.0));
+        prop_assert_eq!(ab.min, ba.min);
+        prop_assert_eq!(ab.max, ba.max);
+        // identity
+        let with_id = ab.clone().merged(&AggPartial::identity());
+        prop_assert_eq!(with_id, ab.clone());
+        // tree-merge equals flat aggregation
+        let mut flat = AggPartial::identity();
+        xs.iter().for_each(|&x| flat.absorb(x));
+        prop_assert_eq!(ab.count, flat.count);
+        prop_assert_eq!(ab.finalize(AggFunc::Min), flat.finalize(AggFunc::Min));
+        prop_assert_eq!(ab.finalize(AggFunc::Max), flat.finalize(AggFunc::Max));
+        prop_assert!((ab.finalize(AggFunc::Sum) - flat.finalize(AggFunc::Sum)).abs()
+            <= 1e-6 * flat.sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn dat_codec_roundtrips(
+        key: u64, epoch: u64, count in 0u64..1000, sum: f64, id2: u64
+    ) {
+        let mut partial = AggPartial::identity();
+        partial.count = count;
+        partial.sum = sum;
+        let sender = libdat::chord::NodeRef::new(Id(id2), libdat::chord::NodeAddr(id2 ^ 7));
+        let msg = DatMsg::Update { key: Id(key), epoch, partial, sender };
+        let decoded = DatMsg::decode(&msg.encode()).unwrap();
+        match (&msg, &decoded) {
+            (DatMsg::Update { partial: p1, .. }, DatMsg::Update { partial: p2, .. }) => {
+                prop_assert_eq!(p1.count, p2.count);
+                prop_assert!(p1.sum == p2.sum || (p1.sum.is_nan() && p2.sum.is_nan()));
+            }
+            _ => prop_assert!(false, "variant changed"),
+        }
+    }
+
+    #[test]
+    fn dat_codec_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = DatMsg::decode(&bytes); // must return Err, never panic
+    }
+
+    #[test]
+    fn udp_codec_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = libdat::rpc::decode(&bytes);
+    }
+
+    #[test]
+    fn finger_limit_exact_integer_semantics(x in 0u64..u64::MAX / 4, d0 in 1u64..1u64 << 40) {
+        let g = finger_limit(x, d0);
+        // Defining inequality: minimal g with 3·2^g >= x + 2·d0.
+        let target = x as u128 + 2 * d0 as u128;
+        prop_assert!(3u128.checked_shl(g).map(|v| v >= target).unwrap_or(true));
+        if g > 0 {
+            prop_assert!(3u128 << (g - 1) < target);
+        }
+    }
+
+    #[test]
+    fn ceil_log2_ratio_is_exact(num in 1u128..1u128 << 80, den in 1u128..1u128 << 40) {
+        let k = ceil_log2_ratio(num, den);
+        prop_assert!(den.checked_shl(k).map(|v| v >= num).unwrap_or(true));
+        if k > 0 {
+            prop_assert!(den << (k - 1) < num);
+        }
+    }
+
+    #[test]
+    fn id_space_distance_triangle(a: u64, b: u64, c: u64, bits in 1u8..=64) {
+        let s = IdSpace::new(bits);
+        let (a, b, c) = (s.id(a), s.id(b), s.id(c));
+        // Walking a→b→c covers the same arc as a→c modulo full turns.
+        let d1 = s.dist_cw(a, b) as u128 + s.dist_cw(b, c) as u128;
+        let d2 = s.dist_cw(a, c) as u128;
+        prop_assert_eq!(d1 % s.size(), d2 % s.size());
+    }
+
+    #[test]
+    fn hash_to_id_is_stable_and_in_range(name in "[a-z-]{1,32}", bits in 1u8..=64) {
+        let s = IdSpace::new(bits);
+        let h1 = hash_to_id(s, name.as_bytes());
+        let h2 = hash_to_id(s, name.as_bytes());
+        prop_assert_eq!(h1, h2);
+        if bits < 64 {
+            prop_assert!((h1.raw() as u128) < s.size());
+        }
+    }
+
+    #[test]
+    fn probed_rings_beat_random_gap_ratio(n in 32usize..200, seed: u64) {
+        use rand::SeedableRng;
+        let space = IdSpace::new(40);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let probed = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
+        prop_assert!(probed.gap_ratio() <= 16.0, "ratio {}", probed.gap_ratio());
+    }
+}

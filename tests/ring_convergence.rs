@@ -1,0 +1,90 @@
+//! Integration: live Chord protocol forms correct rings.
+
+use libdat::chord::{ChordConfig, IdSpace, NodeStatus};
+use libdat::sim::harness::{finger_convergence, ring_converged, spawn_live_ring};
+use libdat::sim::LatencyModel;
+
+fn cfg() -> ChordConfig {
+    ChordConfig {
+        space: IdSpace::new(32),
+        ..ChordConfig::default()
+    }
+}
+
+#[test]
+fn thirty_two_nodes_converge() {
+    let (net, ids) = spawn_live_ring(32, cfg(), 7, 2_000, 60_000);
+    assert_eq!(ids.len(), 32, "every join must complete");
+    assert!(ring_converged(&net, &ids), "successor ring must close");
+    let fc = finger_convergence(&net, &ids);
+    assert!(fc > 0.95, "fingers converged: {fc}");
+}
+
+#[test]
+fn probing_join_produces_tighter_gaps() {
+    let probing_cfg = ChordConfig {
+        probe_on_join: true,
+        ..cfg()
+    };
+    let (net_p, ids_p) = spawn_live_ring(48, probing_cfg, 11, 2_500, 60_000);
+    assert!(ring_converged(&net_p, &ids_p));
+    let (net_r, ids_r) = spawn_live_ring(48, cfg(), 11, 2_500, 60_000);
+    assert!(ring_converged(&net_r, &ids_r));
+    let stats_p = libdat::chord::probing::gap_stats(IdSpace::new(32), &ids_p);
+    let stats_r = libdat::chord::probing::gap_stats(IdSpace::new(32), &ids_r);
+    assert!(
+        stats_p.ratio < stats_r.ratio,
+        "probed gap ratio {} should beat random {}",
+        stats_p.ratio,
+        stats_r.ratio
+    );
+}
+
+#[test]
+fn ring_survives_random_latency() {
+    let mut seeded = cfg();
+    seeded.req_timeout_ms = 4_000;
+    let (mut net, ids) = spawn_live_ring(16, seeded, 3, 3_000, 40_000);
+    net.set_latency(LatencyModel::Uniform { lo: 5, hi: 120 });
+    net.run_for(60_000);
+    assert!(ring_converged(&net, &ids));
+}
+
+#[test]
+fn lookups_resolve_to_correct_owners_after_live_join() {
+    let (mut net, ids) = spawn_live_ring(24, cfg(), 5, 2_000, 60_000);
+    assert!(ring_converged(&net, &ids));
+    let ring = libdat::chord::StaticRing::from_ids(IdSpace::new(32), ids.clone());
+    net.take_upcalls();
+    // Issue lookups from several nodes for several keys.
+    let addrs = net.addrs();
+    let mut expected = Vec::new();
+    for (i, &from) in addrs.iter().take(6).enumerate() {
+        let key = libdat::chord::Id((i as u64 + 1) * 0x1234_5678);
+        let req = net.with_node(from, |n| n.lookup(key)).unwrap();
+        expected.push((req, ring.successor(key)));
+    }
+    net.run_for(20_000);
+    let ups = net.take_upcalls();
+    for (req, owner) in expected {
+        let got = ups
+            .iter()
+            .find_map(|u| match &u.upcall {
+                libdat::chord::Upcall::LookupDone { req: r, owner, .. } if *r == req => {
+                    Some(owner.id)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("lookup {req} did not complete"));
+        assert_eq!(got, owner);
+    }
+}
+
+#[test]
+fn all_nodes_active_after_spawn() {
+    let (net, ids) = spawn_live_ring(12, cfg(), 9, 2_000, 30_000);
+    assert_eq!(ids.len(), 12);
+    for (_, node) in net.iter_nodes() {
+        assert_eq!(node.status(), NodeStatus::Active);
+    }
+}
