@@ -2,9 +2,7 @@
 //! computation, finger-limit evaluation, and full route walks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dat_chord::{
-    finger_limit, parent_balanced, parent_basic, Id, IdPolicy, IdSpace, StaticRing,
-};
+use dat_chord::{finger_limit, parent_balanced, parent_basic, Id, IdPolicy, IdSpace, StaticRing};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;

@@ -15,13 +15,9 @@ fn bench_tree_build(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(1);
         let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
         for scheme in [RoutingScheme::Greedy, RoutingScheme::Balanced] {
-            g.bench_with_input(
-                BenchmarkId::new(scheme.label(), n),
-                &ring,
-                |b, ring| {
-                    b.iter(|| DatTree::build(black_box(ring), Id(12345), scheme));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(scheme.label(), n), &ring, |b, ring| {
+                b.iter(|| DatTree::build(black_box(ring), Id(12345), scheme));
+            });
         }
     }
     g.finish();

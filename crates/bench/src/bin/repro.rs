@@ -15,13 +15,17 @@
 //!   ablation      design-choice sweeps (hold window, child TTL)
 //!   gossip        push-sum baseline vs DAT message cost
 //!   wan           wide-area latency/loss robustness (§7 future work)
+//!   partition     partition/heal fault injection (ring + aggregate recovery)
 //!   all           everything above
 //! ```
 //!
 //! `--check` exits non-zero if any qualitative claim of the paper fails;
 //! `--quick` shrinks sizes for fast smoke runs.
 
-use dat_bench::experiments::{ablation, churn, crosscheck, fig25, fig7, fig8, fig9, gossip_exp, heights, maan_exp, wan};
+use dat_bench::experiments::{
+    ablation, churn, crosscheck, fig25, fig7, fig8, fig9, gossip_exp, heights, maan_exp, partition,
+    wan,
+};
 
 struct Opts {
     check: bool,
@@ -54,6 +58,7 @@ fn main() {
         "ablation" => violations.extend(run_ablation(&opts)),
         "gossip" => violations.extend(run_gossip(&opts)),
         "wan" => violations.extend(run_wan(&opts)),
+        "partition" => violations.extend(run_partition(&opts)),
         "all" => {
             violations.extend(run_fig25());
             violations.extend(run_fig7(&opts, "fig7"));
@@ -67,6 +72,7 @@ fn main() {
             violations.extend(run_ablation(&opts));
             violations.extend(run_gossip(&opts));
             violations.extend(run_wan(&opts));
+            violations.extend(run_partition(&opts));
         }
         other => {
             eprintln!("unknown experiment `{other}`; see `repro` source header");
@@ -207,6 +213,23 @@ fn run_wan(o: &Opts) -> Vec<String> {
     let w = wan::run(n, 0x3A9);
     w.table().print();
     w.check()
+}
+
+fn run_partition(o: &Opts) -> Vec<String> {
+    let n = if o.quick { 64 } else { 256 };
+    eprintln!("[partition] 3:1 split/heal at n = {n} ...");
+    let p = partition::run(n, 0xDA7);
+    p.table().print();
+    match (p.reconverged_at_s, p.recovered_at_s) {
+        (Some(ring), Some(agg)) => println!(
+            "ring re-unified {} s after heal; aggregate back within 1% after {} s  (plan digest {:#018x})",
+            ring - partition::HEAL_AT_MS / 1_000,
+            agg - partition::HEAL_AT_MS / 1_000,
+            p.plan_digest
+        ),
+        _ => println!("no full recovery observed within the run"),
+    }
+    p.check()
 }
 
 fn run_fig25() -> Vec<String> {

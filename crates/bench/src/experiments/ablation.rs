@@ -132,9 +132,9 @@ fn ttl_behaviour(n: usize, ttl: u64, seed: u64) -> TtlRow {
                 r.take_events()
                     .into_iter()
                     .filter_map(|ev| match ev {
-                        DatEvent::Report { key: k, partial, .. } if k == key => {
-                            Some(partial.count)
-                        }
+                        DatEvent::Report {
+                            key: k, partial, ..
+                        } if k == key => Some(partial.count),
                         _ => None,
                     })
                     .collect()
@@ -171,7 +171,12 @@ impl Ablation {
         }
         let mut tt = Table::new(
             "Ablation — child TTL vs coverage after a 20% departure burst",
-            &["ttl (epochs)", "live nodes", "max reported after", "epochs to re-cover"],
+            &[
+                "ttl (epochs)",
+                "live nodes",
+                "max reported after",
+                "epochs to re-cover",
+            ],
         );
         for r in &self.ttl {
             tt.row(vec![

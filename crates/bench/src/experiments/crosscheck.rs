@@ -95,7 +95,11 @@ fn check_one(n: usize, scheme: RoutingScheme, seed: u64) -> CrosscheckRow {
     net.run_for(epochs * 1_000);
     let mut count_mismatches = 0usize;
     for &id in ring.ids() {
-        let got = net.node(book[&id]).unwrap().metrics().received_of("dat_update") as f64
+        let got = net
+            .node(book[&id])
+            .unwrap()
+            .metrics()
+            .received_of("dat_update") as f64
             / epochs as f64;
         let want = tree.branching(id) as f64;
         if (got - want).abs() > 0.26 {

@@ -87,7 +87,10 @@ impl Fig25 {
             bad.push(format!("Fig 5 max branching {max_b} > 2"));
         }
         if self.balanced.height() != 4 {
-            bad.push(format!("Fig 5 height {} != log2(16)", self.balanced.height()));
+            bad.push(format!(
+                "Fig 5 height {} != log2(16)",
+                self.balanced.height()
+            ));
         }
         bad
     }
@@ -103,8 +106,14 @@ mod tests {
         let bad = f.check();
         assert!(bad.is_empty(), "{bad:?}");
         let (d1, d2) = f.dot();
-        assert!(d1.contains("\"N8\" -> \"N0\";"), "Fig 2: N8 is the root's child");
-        assert!(d2.contains("\"N8\" -> \"N12\";"), "Fig 5: N8 re-parents to N12");
+        assert!(
+            d1.contains("\"N8\" -> \"N0\";"),
+            "Fig 2: N8 is the root's child"
+        );
+        assert!(
+            d2.contains("\"N8\" -> \"N12\";"),
+            "Fig 5: N8 re-parents to N12"
+        );
         assert!(f.table().to_markdown().contains("N15"));
     }
 }

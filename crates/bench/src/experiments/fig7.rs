@@ -114,10 +114,18 @@ impl Fig7 {
         for &n in &self.sizes {
             t.row(vec![
                 n.to_string(),
-                f(self.find(n, IdPolicy::Random, RoutingScheme::Greedy).max_branching),
-                f(self.find(n, IdPolicy::Probed, RoutingScheme::Greedy).max_branching),
-                f(self.find(n, IdPolicy::Random, RoutingScheme::Balanced).max_branching),
-                f(self.find(n, IdPolicy::Probed, RoutingScheme::Balanced).max_branching),
+                f(self
+                    .find(n, IdPolicy::Random, RoutingScheme::Greedy)
+                    .max_branching),
+                f(self
+                    .find(n, IdPolicy::Probed, RoutingScheme::Greedy)
+                    .max_branching),
+                f(self
+                    .find(n, IdPolicy::Random, RoutingScheme::Balanced)
+                    .max_branching),
+                f(self
+                    .find(n, IdPolicy::Probed, RoutingScheme::Balanced)
+                    .max_branching),
             ]);
         }
         t
@@ -138,10 +146,18 @@ impl Fig7 {
         for &n in &self.sizes {
             t.row(vec![
                 n.to_string(),
-                f(self.find(n, IdPolicy::Random, RoutingScheme::Greedy).avg_branching),
-                f(self.find(n, IdPolicy::Probed, RoutingScheme::Greedy).avg_branching),
-                f(self.find(n, IdPolicy::Random, RoutingScheme::Balanced).avg_branching),
-                f(self.find(n, IdPolicy::Probed, RoutingScheme::Balanced).avg_branching),
+                f(self
+                    .find(n, IdPolicy::Random, RoutingScheme::Greedy)
+                    .avg_branching),
+                f(self
+                    .find(n, IdPolicy::Probed, RoutingScheme::Greedy)
+                    .avg_branching),
+                f(self
+                    .find(n, IdPolicy::Random, RoutingScheme::Balanced)
+                    .avg_branching),
+                f(self
+                    .find(n, IdPolicy::Probed, RoutingScheme::Balanced)
+                    .avg_branching),
             ]);
         }
         t

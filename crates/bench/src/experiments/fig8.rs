@@ -171,10 +171,7 @@ impl Fig8a {
         // "the root node is the most loaded one with 511 aggregation
         // messages" for n = 512.
         if (c as i64 - (self.n as i64 - 1)).abs() > (self.n / 10) as i64 {
-            bad.push(format!(
-                "centralized max {c} far from n-1 = {}",
-                self.n - 1
-            ));
+            bad.push(format!("centralized max {c} far from n-1 = {}", self.n - 1));
         }
         // Paper: basic 24, balanced 4 at 512 — qualitative bands.
         let log2n = (self.n as f64).log2();
@@ -185,7 +182,9 @@ impl Fig8a {
             bad.push(format!("balanced max {l} > 8 (expect ~4)"));
         }
         if !(l < b && b < c) {
-            bad.push(format!("ordering violated: balanced {l} < basic {b} < centralized {c}"));
+            bad.push(format!(
+                "ordering violated: balanced {l} < basic {b} < centralized {c}"
+            ));
         }
         bad
     }

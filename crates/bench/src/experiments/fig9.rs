@@ -64,12 +64,7 @@ impl Fig9 {
                 }
                 None => ("-".into(), "-".into()),
             };
-            t.row(vec![
-                format!("{}", r.t_s / 60),
-                f(r.actual_total),
-                agg,
-                err,
-            ]);
+            t.row(vec![format!("{}", r.t_s / 60), f(r.actual_total), agg, err]);
         }
         t
     }
@@ -104,7 +99,8 @@ impl Fig9 {
         if acc.reported_epochs < 5 {
             bad.push(format!("only {} reported epochs", acc.reported_epochs));
         }
-        if !(acc.mape < 5.0) {
+        // NaN (no data) must fail the check too, hence not `>= 5.0`.
+        if acc.mape.partial_cmp(&5.0) != Some(std::cmp::Ordering::Less) {
             bad.push(format!("MAPE {:.2}% too high (expect < 5%)", acc.mape));
         }
         if acc.coverage < 0.95 {
@@ -117,7 +113,7 @@ impl Fig9 {
             .filter_map(|r| r.reported_total.map(|v| (r.actual_total, v)))
             .collect();
         let corr = correlation(&pairs);
-        if !(corr > 0.9) {
+        if corr.partial_cmp(&0.9) != Some(std::cmp::Ordering::Greater) {
             bad.push(format!("diagonal correlation {corr:.3} < 0.9"));
         }
         bad

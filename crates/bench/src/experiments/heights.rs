@@ -52,7 +52,8 @@ pub fn run(max_n: usize, seeds: u64) -> Heights {
             let random = StaticRing::build(space, n, IdPolicy::Random, &mut rng);
             let probed = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
             let even = StaticRing::build(space, n, IdPolicy::Even, &mut rng);
-            let h = |ring: &StaticRing, s| TreeStats::of(&DatTree::build(ring, key, s)).height as f64;
+            let h =
+                |ring: &StaticRing, s| TreeStats::of(&DatTree::build(ring, key, s)).height as f64;
             acc[0] += h(&random, RoutingScheme::Greedy);
             acc[1] += h(&probed, RoutingScheme::Greedy);
             acc[2] += h(&random, RoutingScheme::Balanced);

@@ -10,4 +10,5 @@ pub mod fig9;
 pub mod gossip_exp;
 pub mod heights;
 pub mod maan_exp;
+pub mod partition;
 pub mod wan;

@@ -103,7 +103,12 @@ fn run_one(n: usize, loss: f64, seed: u64) -> WanRow {
     let mut seen = std::collections::BTreeMap::new();
     if let Some(r) = net.node_mut(root) {
         for e in r.take_events() {
-            if let DatEvent::Report { key: k, epoch, partial } = e {
+            if let DatEvent::Report {
+                key: k,
+                epoch,
+                partial,
+            } = e
+            {
                 if k == key && epoch > first_epoch {
                     seen.insert(epoch, partial.count);
                 }

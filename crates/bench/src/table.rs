@@ -102,7 +102,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(4.0), "4");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(2.34567), "2.35");
         assert_eq!(f(512.3), "512.3");
         assert_eq!(f(f64::NAN), "-");
     }

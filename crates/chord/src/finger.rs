@@ -11,13 +11,13 @@ use crate::{Id, IdSpace};
 
 /// An opaque transport endpoint for a node. The simulator uses the node's
 /// index; the UDP transport maps it to a socket address via an address book.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeAddr(pub u64);
 
 /// A reference to a remote node: its ring identifier plus how to reach it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
 pub struct NodeRef {
     /// Ring identifier of the node.
     pub id: Id,
@@ -224,7 +224,12 @@ impl FingerTable {
             // Mirror into the successor list head.
             if self.successors.first().map(|s| s.id) != Some(info.node.id) {
                 let mut list = vec![info.node];
-                list.extend(self.successors.iter().copied().filter(|s| s.id != info.node.id));
+                list.extend(
+                    self.successors
+                        .iter()
+                        .copied()
+                        .filter(|s| s.id != info.node.id),
+                );
                 list.truncate(self.succ_list_len);
                 self.successors = list;
             }

@@ -18,8 +18,9 @@ use core::fmt;
 ///
 /// `Id` deliberately does not implement `Add`/`Sub`: all modular arithmetic
 /// must go through an [`IdSpace`] so the bit width is always explicit.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Id(pub u64);
 
 impl Id {
@@ -57,8 +58,7 @@ impl From<u64> for Id {
 /// 64-bit space, which is plenty for up to millions of nodes while letting
 /// arithmetic stay in native integers. All experiments in the paper
 /// (≤ 8192 nodes) are unaffected by the width as long as `2^bits >> n`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct IdSpace {
     bits: u8,
 }

@@ -17,6 +17,8 @@ pub struct Metrics {
     received: HashMap<&'static str, u64>,
     /// Requests that expired in the pending table.
     pub timeouts: u64,
+    /// Requests re-sent after an RTO expiry (bounded-retry recovery).
+    pub retransmits: u64,
     /// Messages dropped (hop budget, inactive node, empty table).
     pub dropped: u64,
 }
@@ -97,6 +99,7 @@ impl Metrics {
             *self.received.entry(k).or_insert(0) += v;
         }
         self.timeouts += other.timeouts;
+        self.retransmits += other.retransmits;
         self.dropped += other.dropped;
     }
 
@@ -105,6 +108,7 @@ impl Metrics {
         self.sent.clear();
         self.received.clear();
         self.timeouts = 0;
+        self.retransmits = 0;
         self.dropped = 0;
     }
 }

@@ -8,8 +8,15 @@
 //! returned [`Output`]s, which is what lets the identical protocol code run
 //! over both the discrete-event simulator and the UDP RPC transport, as in
 //! the paper's prototype (§4).
+//!
+//! Request/response exchanges are retransmitted on timeout (bounded
+//! retries, exponential backoff) with the retransmission timeout adapted
+//! from a smoothed RTT estimate (Jacobson/Karn, as in TCP). Hosts feed the
+//! node wall/virtual time through [`ChordNode::handle_at`] or
+//! [`ChordNode::set_now`]; with `max_retries = 0` the node degrades to the
+//! legacy single-shot behavior with the fixed `req_timeout_ms`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::finger::{FingerInfo, FingerTable, NodeAddr, NodeRef};
 use crate::id::{Id, IdSpace};
@@ -41,6 +48,14 @@ pub struct ChordConfig {
     /// Refresh the FOF data of one finger every `fof_refresh_every`-th
     /// finger-fix firing (0 disables FOF refresh).
     pub fof_refresh_every: u32,
+    /// Retransmissions allowed per request before it is declared failed.
+    /// `0` disables retransmission entirely: a request gets exactly one
+    /// transmission and the fixed `req_timeout_ms` (the legacy behavior).
+    pub max_retries: u32,
+    /// Lower clamp for the adaptive retransmission timeout.
+    pub rto_min_ms: u64,
+    /// Upper clamp for the adaptive RTO and its exponential backoff.
+    pub rto_max_ms: u64,
 }
 
 impl Default for ChordConfig {
@@ -56,9 +71,22 @@ impl Default for ChordConfig {
             probe_on_join: false,
             max_join_retries: 8,
             fof_refresh_every: 4,
+            max_retries: 2,
+            rto_min_ms: 250,
+            rto_max_ms: 8_000,
         }
     }
 }
+
+/// Bounded memory for peers evicted on timeout: how many are remembered
+/// for later ring unification, and how many liveness probes each gets.
+/// One probe fires per `CheckPredecessor` round (round-robin over the
+/// queue), so a lone fallen peer is probed for `FALLEN_PROBES *
+/// check_pred_ms` — about 2 minutes at the 1 s default, comfortably
+/// longer than the partitions the repro experiments inject — and a full
+/// queue stretches that by up to `FALLEN_CAP`× (see DESIGN.md §8).
+const FALLEN_CAP: usize = 8;
+const FALLEN_PROBES: u8 = 128;
 
 /// Lifecycle of a node.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,6 +122,25 @@ enum Pending {
     PingPred,
     /// Generic liveness ping to an arbitrary node (evicted on timeout).
     PingNode,
+    /// Liveness probe to a previously-evicted peer (ring unification).
+    FallenProbe,
+    /// Neighborhood pull from a risen peer to re-merge severed rings.
+    Unify,
+}
+
+/// An in-flight request kept for retransmission and RTT sampling.
+#[derive(Clone, Debug)]
+struct Outstanding {
+    /// First hop the request was (and will again be) sent to.
+    to: NodeRef,
+    /// The exact datagram to re-send.
+    msg: ChordMsg,
+    /// Host time of the first transmission (RTT sampling, Karn's rule).
+    first_sent_ms: u64,
+    /// Transmissions so far (1 = the original send).
+    attempts: u32,
+    /// Timeout armed for the latest transmission (doubles per retry).
+    rto_ms: u64,
 }
 
 /// The Chord protocol state machine.
@@ -114,6 +161,17 @@ pub struct ChordNode {
     /// so one lost datagram on a lossy network does not tear down a live
     /// neighbor. Any reply from the node clears its strikes.
     strikes: HashMap<Id, u8>,
+    /// Host clock (ms) as last reported via `set_now` / `handle_at`.
+    now_ms: u64,
+    /// Smoothed RTT (ms); `None` until the first sample.
+    srtt_ms: Option<f64>,
+    /// RTT mean deviation (ms), per Jacobson.
+    rttvar_ms: f64,
+    /// Retransmission state per outstanding request.
+    outstanding: HashMap<ReqId, Outstanding>,
+    /// Timeout-evicted peers remembered for ring unification, each with a
+    /// remaining probe budget (FIFO, capped at `FALLEN_CAP`).
+    fallen: VecDeque<(NodeRef, u8)>,
     metrics: Metrics,
 }
 
@@ -136,6 +194,11 @@ impl ChordNode {
             pending: HashMap::new(),
             pending_targets: HashMap::new(),
             strikes: HashMap::new(),
+            now_ms: 0,
+            srtt_ms: None,
+            rttvar_ms: 0.0,
+            outstanding: HashMap::new(),
+            fallen: VecDeque::new(),
             metrics: Metrics::default(),
         }
     }
@@ -198,19 +261,92 @@ impl ChordNode {
         out.push(Output::SetTimer { kind, delay_ms });
     }
 
-    fn track(&mut self, out: &mut Vec<Output>, req: ReqId, kind: Pending) {
-        self.pending.insert(req, kind);
-        self.arm(out, TimerKind::ReqTimeout(req), self.cfg.req_timeout_ms);
+    /// Advance the node's notion of host time (wall or virtual ms). The
+    /// clock only moves forward; it feeds RTT estimation, nothing else, so
+    /// hosts that never call it simply keep the fallback timeout.
+    pub fn set_now(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
     }
 
-    /// Track a request and remember its direct target, which will be
-    /// suspected (evicted from the table) if the request times out.
-    fn track_to(&mut self, out: &mut Vec<Output>, req: ReqId, kind: Pending, target: NodeRef) {
-        self.pending_targets.insert(req, target.id);
-        self.track(out, req, kind);
+    /// [`ChordNode::handle`] with a host clock update first.
+    pub fn handle_at(&mut self, input: Input, now_ms: u64) -> Vec<Output> {
+        self.set_now(now_ms);
+        self.handle(input)
+    }
+
+    /// Smoothed RTT estimate (ms), once at least one sample was taken.
+    pub fn srtt_ms(&self) -> Option<f64> {
+        self.srtt_ms
+    }
+
+    /// The retransmission timeout the next request will be armed with:
+    /// `SRTT + 4·RTTVAR` clamped into `[rto_min_ms, rto_max_ms]`, or the
+    /// configured `req_timeout_ms` before any RTT sample exists (and
+    /// always when retransmission is disabled).
+    pub fn current_rto(&self) -> u64 {
+        if self.cfg.max_retries == 0 {
+            return self.cfg.req_timeout_ms;
+        }
+        match self.srtt_ms {
+            Some(srtt) => ((srtt + 4.0 * self.rttvar_ms) as u64)
+                .clamp(self.cfg.rto_min_ms, self.cfg.rto_max_ms),
+            None => self.cfg.req_timeout_ms,
+        }
+    }
+
+    fn observe_rtt(&mut self, sample_ms: u64) {
+        let s = sample_ms as f64;
+        match self.srtt_ms {
+            None => {
+                self.srtt_ms = Some(s);
+                self.rttvar_ms = s / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_ms = 0.75 * self.rttvar_ms + 0.25 * (srtt - s).abs();
+                self.srtt_ms = Some(0.875 * srtt + 0.125 * s);
+            }
+        }
+    }
+
+    /// Send a request and register it for timeout tracking and (when the
+    /// retry budget allows) retransmission. With `suspect` the target is
+    /// additionally marked for failure suspicion on final timeout.
+    fn send_tracked(
+        &mut self,
+        out: &mut Vec<Output>,
+        to: NodeRef,
+        msg: ChordMsg,
+        req: ReqId,
+        kind: Pending,
+        suspect: bool,
+    ) {
+        if suspect {
+            self.pending_targets.insert(req, to.id);
+        }
+        self.pending.insert(req, kind);
+        let rto = self.current_rto();
+        self.outstanding.insert(
+            req,
+            Outstanding {
+                to,
+                msg: msg.clone(),
+                first_sent_ms: self.now_ms,
+                attempts: 1,
+                rto_ms: rto,
+            },
+        );
+        self.send(out, to, msg);
+        self.arm(out, TimerKind::ReqTimeout(req), rto);
     }
 
     fn untrack(&mut self, req: ReqId) -> Option<Pending> {
+        if let Some(o) = self.outstanding.remove(&req) {
+            // Karn's rule: only exchanges that were never retransmitted
+            // yield RTT samples (a retransmitted reply is ambiguous).
+            if o.attempts == 1 {
+                self.observe_rtt(self.now_ms.saturating_sub(o.first_sent_ms));
+            }
+        }
         self.pending_targets.remove(&req);
         self.pending.remove(&req)
     }
@@ -269,8 +405,7 @@ impl ChordNode {
             origin: self.me(),
             hops: 0,
         };
-        self.send(out, bootstrap, msg);
-        self.track(out, req, kind);
+        self.send_tracked(out, bootstrap, msg, req, kind, false);
     }
 
     fn arm_periodic(&self, out: &mut Vec<Output>) {
@@ -301,10 +436,7 @@ impl ChordNode {
             hops: 0,
         };
         match self.next_hop(key) {
-            Some(next) => {
-                self.send(&mut out, next, msg);
-                self.track_to(&mut out, req, Pending::Lookup, next);
-            }
+            Some(next) => self.send_tracked(&mut out, next, msg, req, Pending::Lookup, true),
             None => out.push(Output::Upcall(Upcall::LookupFailed { req })),
         }
         (req, out)
@@ -364,8 +496,7 @@ impl ChordNode {
             req,
             sender: self.me(),
         };
-        self.send(&mut out, target, msg);
-        self.track_to(&mut out, req, Pending::PingNode, target);
+        self.send_tracked(&mut out, target, msg, req, Pending::PingNode, true);
         out
     }
 
@@ -413,6 +544,9 @@ impl ChordNode {
         }
         self.status = NodeStatus::Departed;
         self.pending.clear();
+        self.pending_targets.clear();
+        self.outstanding.clear();
+        self.fallen.clear();
         out
     }
 
@@ -452,8 +586,7 @@ impl ChordNode {
                             req,
                             sender: self.me(),
                         };
-                        self.send(out, s, msg);
-                        self.track_to(out, req, Pending::Stabilize, s);
+                        self.send_tracked(out, s, msg, req, Pending::Stabilize, true);
                     }
                 }
                 self.arm(out, TimerKind::Stabilize, self.cfg.stabilize_ms);
@@ -472,9 +605,9 @@ impl ChordNode {
                             req,
                             sender: self.me(),
                         };
-                        self.send(out, p, msg);
-                        self.track_to(out, req, Pending::PingPred, p);
+                        self.send_tracked(out, p, msg, req, Pending::PingPred, true);
                     }
+                    self.probe_fallen(out);
                 }
                 self.arm(out, TimerKind::CheckPredecessor, self.cfg.check_pred_ms);
             }
@@ -487,20 +620,20 @@ impl ChordNode {
         self.fix_round = self.fix_round.wrapping_add(1);
         // Periodically refresh FOF data of an existing finger instead of
         // re-looking one up; probing and child computation depend on it.
-        if self.cfg.fof_refresh_every > 0 && self.fix_round % self.cfg.fof_refresh_every == 0 {
-            let target = self
-                .table
-                .iter()
-                .map(|(j, f)| (j, f))
-                .nth((self.fix_round / self.cfg.fof_refresh_every) as usize % self.table.populated().max(1));
+        if self.cfg.fof_refresh_every > 0
+            && self.fix_round.is_multiple_of(self.cfg.fof_refresh_every)
+        {
+            let target = self.table.iter().nth(
+                (self.fix_round / self.cfg.fof_refresh_every) as usize
+                    % self.table.populated().max(1),
+            );
             if let Some((j, f)) = target {
                 let req = self.fresh_req();
                 let msg = ChordMsg::GetNeighbors {
                     req,
                     sender: self.me(),
                 };
-                self.send(out, f.node, msg);
-                self.track_to(out, req, Pending::FofRefresh(j), f.node);
+                self.send_tracked(out, f.node, msg, req, Pending::FofRefresh(j), true);
                 return;
             }
         }
@@ -524,16 +657,64 @@ impl ChordNode {
             hops: 0,
         };
         if let Some(next) = self.next_hop(target) {
-            self.send(out, next, msg);
-            self.track_to(out, req, Pending::FixFinger(j), next);
+            self.send_tracked(out, next, msg, req, Pending::FixFinger(j), true);
         }
     }
 
+    /// Probe one remembered fallen peer per firing (round-robin). A Pong
+    /// from it triggers a `Unify` neighborhood pull — the mechanism that
+    /// re-merges two sub-rings after a network partition heals.
+    fn probe_fallen(&mut self, out: &mut Vec<Output>) {
+        let Some((node, budget)) = self.fallen.pop_front() else {
+            return;
+        };
+        let req = self.fresh_req();
+        let msg = ChordMsg::Ping {
+            req,
+            sender: self.me(),
+        };
+        self.send_tracked(out, node, msg, req, Pending::FallenProbe, false);
+        if budget > 1 {
+            self.fallen.push_back((node, budget - 1));
+        }
+    }
+
+    /// Remember a timeout-evicted peer so the ring can unify again if it
+    /// (or the path to it) comes back. Deduplicated, FIFO-bounded.
+    fn remember_fallen(&mut self, node: NodeRef) {
+        if node.id == self.me().id || self.fallen.iter().any(|(n, _)| n.id == node.id) {
+            return;
+        }
+        if self.fallen.len() == FALLEN_CAP {
+            self.fallen.pop_front();
+        }
+        self.fallen.push_back((node, FALLEN_PROBES));
+    }
+
     fn on_req_timeout(&mut self, req: ReqId, out: &mut Vec<Output>) {
-        // Capture the direct target before untracking clears it.
+        if !self.pending.contains_key(&req) {
+            return; // answered in time
+        }
+        // Retransmit the identical datagram to the identical first hop
+        // while the retry budget lasts, doubling the timeout each round.
+        if let Some(o) = self.outstanding.get_mut(&req) {
+            if o.attempts <= self.cfg.max_retries {
+                o.attempts += 1;
+                o.rto_ms = (o.rto_ms * 2).min(self.cfg.rto_max_ms);
+                let (to, msg, rto) = (o.to, o.msg.clone(), o.rto_ms);
+                self.metrics.retransmits += 1;
+                self.send(out, to, msg);
+                self.arm(out, TimerKind::ReqTimeout(req), rto);
+                return;
+            }
+        }
+        // Retries exhausted. Drop the retransmission entry *before*
+        // untracking so the failed exchange cannot feed the RTT estimate,
+        // but keep the target's NodeRef for the fallen list.
+        let target_ref = self.outstanding.remove(&req).map(|o| o.to);
         let suspect = self.pending_targets.get(&req).copied();
         let Some(kind) = self.untrack(req) else {
-            return; // answered in time
+            return;
         };
         // Suspect the node that failed to answer. Two consecutive strikes
         // are required before eviction so a single lost datagram on a lossy
@@ -545,6 +726,9 @@ impl ChordNode {
             if *s >= 2 {
                 self.strikes.remove(&dead);
                 if self.table.evict(dead) {
+                    if let Some(r) = target_ref.filter(|r| r.id == dead) {
+                        self.remember_fallen(r);
+                    }
                     out.push(Output::Upcall(Upcall::NeighborhoodChanged));
                 }
             }
@@ -567,6 +751,9 @@ impl ChordNode {
             // The generic suspect-eviction above already handled the target.
             Pending::PingNode => {}
             Pending::FixFinger(_) | Pending::FofRefresh(_) => {}
+            // Fallen peers are not table members; silence is the expected
+            // outcome until a partition heals.
+            Pending::FallenProbe | Pending::Unify => {}
         }
     }
 
@@ -622,7 +809,18 @@ impl ChordNode {
             }
             ChordMsg::Pong { req, sender } => {
                 self.strikes.remove(&sender.id);
-                self.untrack(req);
+                if self.untrack(req) == Some(Pending::FallenProbe) {
+                    // A previously-evicted peer answered: whatever cut it
+                    // off has healed. Pull its neighborhood to re-merge
+                    // the (possibly severed) rings.
+                    self.fallen.retain(|(n, _)| n.id != sender.id);
+                    let req = self.fresh_req();
+                    let msg = ChordMsg::GetNeighbors {
+                        req,
+                        sender: self.me(),
+                    };
+                    self.send_tracked(out, sender, msg, req, Pending::Unify, false);
+                }
             }
             ChordMsg::ProbeJoin { req, origin } => {
                 let designated = self.designate_id();
@@ -642,8 +840,7 @@ impl ChordNode {
                     origin: self.me(),
                     hops: 0,
                 };
-                self.send(out, bootstrap, msg);
-                self.track(out, req, Pending::JoinFindSuccessor);
+                self.send_tracked(out, bootstrap, msg, req, Pending::JoinFindSuccessor, false);
             }
             ChordMsg::LeaveToPred { leaver, succ_list } => {
                 if self.table.successor().map(|s| s.id) == Some(leaver.id) {
@@ -657,7 +854,8 @@ impl ChordNode {
             ChordMsg::LeaveToSucc { leaver, pred } => {
                 if self.table.predecessor().map(|p| p.id) == Some(leaver.id) {
                     self.table.evict(leaver.id);
-                    self.table.set_predecessor(pred.filter(|p| p.id != self.me().id));
+                    self.table
+                        .set_predecessor(pred.filter(|p| p.id != self.me().id));
                     out.push(Output::Upcall(Upcall::NeighborhoodChanged));
                 } else {
                     self.table.evict(leaver.id);
@@ -783,8 +981,7 @@ impl ChordNode {
                     req,
                     origin: self.me(),
                 };
-                self.send(out, owner, msg);
-                self.track(out, req, Pending::ProbeJoin);
+                self.send_tracked(out, owner, msg, req, Pending::ProbeJoin, false);
             }
             Pending::JoinFindSuccessor => {
                 if owner.id == self.me().id {
@@ -832,7 +1029,9 @@ impl ChordNode {
             | Pending::Stabilize
             | Pending::FofRefresh(_)
             | Pending::PingPred
-            | Pending::PingNode => {}
+            | Pending::PingNode
+            | Pending::FallenProbe
+            | Pending::Unify => {}
         }
     }
 
@@ -879,14 +1078,51 @@ impl ChordNode {
                     out.push(Output::Upcall(Upcall::NeighborhoodChanged));
                 }
             }
-            Pending::FofRefresh(j) => {
-                if self.table.finger(j).map(|f| f.node.id) == Some(responder.id) {
-                    let info = FingerInfo {
-                        node: responder,
-                        pred,
-                        succ: succ_list.first().copied(),
+            Pending::FofRefresh(j)
+                if self.table.finger(j).map(|f| f.node.id) == Some(responder.id) =>
+            {
+                let info = FingerInfo {
+                    node: responder,
+                    pred,
+                    succ: succ_list.first().copied(),
+                };
+                self.table.set_finger(j, info);
+            }
+            Pending::FofRefresh(_) => {}
+            Pending::Unify => {
+                // Ring unification after a heal: fold the risen peer's
+                // neighborhood into ours. Any candidate strictly between us
+                // and our current successor is a closer successor (or, with
+                // no successor at all, a way back into a ring); each is also
+                // offered to the notify rule as a potential predecessor.
+                // Stabilization then walks both sub-rings back into one.
+                let space = self.cfg.space;
+                let me = self.me();
+                let mut changed = false;
+                let mut cands: Vec<NodeRef> = Vec::with_capacity(succ_list.len() + 2);
+                cands.push(responder);
+                cands.extend(pred);
+                cands.extend(succ_list.iter().copied());
+                for c in cands {
+                    if c.id == me.id {
+                        continue;
+                    }
+                    let closer = match self.table.successor() {
+                        None => true,
+                        Some(s) => space.in_open_open(c.id, me.id, s.id),
                     };
-                    self.table.set_finger(j, info);
+                    if closer {
+                        self.table.set_successor(c);
+                        changed = true;
+                    }
+                    changed |= self.table.notify(c);
+                }
+                if let Some(s) = self.table.successor() {
+                    let notify = ChordMsg::Notify { sender: me };
+                    self.send(out, s, notify);
+                }
+                if changed {
+                    out.push(Output::Upcall(Upcall::NeighborhoodChanged));
                 }
             }
             _ => {}
@@ -984,6 +1220,16 @@ mod tests {
 
     fn node(id: u64) -> ChordNode {
         ChordNode::new(cfg4(), Id(id), NodeAddr(id))
+    }
+
+    /// A node with retransmission disabled: the first `ReqTimeout` is final,
+    /// which is what the failure-suspicion tests below drive by hand.
+    fn node_no_retry(id: u64) -> ChordNode {
+        let cfg = ChordConfig {
+            max_retries: 0,
+            ..cfg4()
+        };
+        ChordNode::new(cfg, Id(id), NodeAddr(id))
     }
 
     fn sends(out: &[Output]) -> Vec<(&NodeRef, &ChordMsg)> {
@@ -1093,10 +1339,12 @@ mod tests {
         let mut n = node(0);
         let _ = n.start_create();
         // Give node 0 a populated table on the full 16-ring.
-        n.table.set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
+        n.table
+            .set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
         for j in 1..=4u8 {
             let t = n.cfg.space.finger_start(Id(0), j);
-            n.table.set_finger(j, FingerInfo::bare(NodeRef::new(t, NodeAddr(t.raw()))));
+            n.table
+                .set_finger(j, FingerInfo::bare(NodeRef::new(t, NodeAddr(t.raw()))));
         }
         let out = n.handle(Input::Message {
             from: NodeAddr(3),
@@ -1116,7 +1364,8 @@ mod tests {
     fn owner_replies_with_fof_data() {
         let mut n = node(10);
         let _ = n.start_create();
-        n.table.set_predecessor(Some(NodeRef::new(Id(4), NodeAddr(4))));
+        n.table
+            .set_predecessor(Some(NodeRef::new(Id(4), NodeAddr(4))));
         n.table.set_successor(NodeRef::new(Id(14), NodeAddr(14)));
         let out = n.handle(Input::Message {
             from: NodeAddr(4),
@@ -1181,7 +1430,7 @@ mod tests {
 
     #[test]
     fn stabilize_timeout_fails_over_to_list() {
-        let mut n = node(0);
+        let mut n = node_no_retry(0);
         let _ = n.start_create();
         n.table.set_successor_list(vec![
             NodeRef::new(Id(4), NodeAddr(4)),
@@ -1195,7 +1444,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         let _ = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
-        assert_eq!(n.table().successor().unwrap().id, Id(4), "one strike keeps it");
+        assert_eq!(
+            n.table().successor().unwrap().id,
+            Id(4),
+            "one strike keeps it"
+        );
         // Second consecutive timeout: evicted, list fails over.
         let out = n.handle(Input::Timer(TimerKind::Stabilize));
         let req = match sends(&out)[0].1 {
@@ -1212,7 +1465,7 @@ mod tests {
 
     #[test]
     fn reply_clears_suspicion_strikes() {
-        let mut n = node(0);
+        let mut n = node_no_retry(0);
         let _ = n.start_create();
         n.table.set_successor_list(vec![
             NodeRef::new(Id(4), NodeAddr(4)),
@@ -1247,7 +1500,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         let _ = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
-        assert_eq!(n.table().successor().unwrap().id, Id(4), "strikes were cleared");
+        assert_eq!(
+            n.table().successor().unwrap().id,
+            Id(4),
+            "strikes were cleared"
+        );
     }
 
     #[test]
@@ -1265,7 +1522,8 @@ mod tests {
     fn route_hop_budget_drops() {
         let mut n = node(0);
         let _ = n.start_create();
-        n.table.set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
+        n.table
+            .set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
         n.table.set_successor(NodeRef::new(Id(4), NodeAddr(4)));
         let out = n.handle(Input::Message {
             from: NodeAddr(15),
@@ -1284,14 +1542,19 @@ mod tests {
     fn broadcast_covers_disjoint_ranges() {
         let mut n = node(0);
         let _ = n.start_create();
-        n.table.set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
+        n.table
+            .set_predecessor(Some(NodeRef::new(Id(15), NodeAddr(15))));
         for j in 1..=4u8 {
             let t = n.cfg.space.finger_start(Id(0), j);
-            n.table.set_finger(j, FingerInfo::bare(NodeRef::new(t, NodeAddr(t.raw()))));
+            n.table
+                .set_finger(j, FingerInfo::bare(NodeRef::new(t, NodeAddr(t.raw()))));
         }
         let out = n.broadcast(vec![9]);
         // Local delivery + one send per distinct finger (1, 2, 4, 8).
-        assert!(matches!(upcalls(&out)[0], Upcall::Broadcast { depth: 0, .. }));
+        assert!(matches!(
+            upcalls(&out)[0],
+            Upcall::Broadcast { depth: 0, .. }
+        ));
         let s = sends(&out);
         assert_eq!(s.len(), 4);
         // Ranges are disjoint and ordered: limits are the next finger.
@@ -1309,7 +1572,8 @@ mod tests {
     fn graceful_leave_bridges_neighbors() {
         let mut n = node(8);
         let _ = n.start_create();
-        n.table.set_predecessor(Some(NodeRef::new(Id(4), NodeAddr(4))));
+        n.table
+            .set_predecessor(Some(NodeRef::new(Id(4), NodeAddr(4))));
         n.table.set_successor_list(vec![
             NodeRef::new(Id(12), NodeAddr(12)),
             NodeRef::new(Id(15), NodeAddr(15)),
@@ -1342,7 +1606,8 @@ mod tests {
     fn designate_id_splits_largest_known_gap() {
         let mut n = node(8);
         let _ = n.start_create();
-        n.table.set_predecessor(Some(NodeRef::new(Id(7), NodeAddr(7))));
+        n.table
+            .set_predecessor(Some(NodeRef::new(Id(7), NodeAddr(7))));
         // Finger 12 owns a gap of 4 (pred 8); finger 0 owns a gap of 2.
         n.table.set_finger(
             3,
@@ -1370,7 +1635,12 @@ mod tests {
         let _ = n.start_create();
         let (req, out) = n.lookup(Id(1));
         match upcalls(&out)[0] {
-            Upcall::LookupDone { req: r, owner, hops, .. } => {
+            Upcall::LookupDone {
+                req: r,
+                owner,
+                hops,
+                ..
+            } => {
                 assert_eq!(*r, req);
                 assert_eq!(owner.id, Id(3));
                 assert_eq!(*hops, 0);
@@ -1400,6 +1670,156 @@ mod tests {
         assert!(sends(&out)
             .iter()
             .any(|(_, m)| matches!(m, ChordMsg::FindSuccessor { .. })));
+    }
+
+    #[test]
+    fn timeout_retransmits_with_backoff_until_budget() {
+        let mut n = node(0); // default cfg: max_retries = 2
+        let _ = n.start_create();
+        n.table.set_successor(NodeRef::new(Id(4), NodeAddr(4)));
+        let out = n.handle(Input::Timer(TimerKind::Stabilize));
+        let req = match sends(&out)[0].1 {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Two retransmissions of the identical datagram, backing off from
+        // the 2 s initial timeout, then the request is declared failed.
+        for i in 1..=2u64 {
+            let out = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
+            let (to, msg) = sends(&out)[0];
+            assert_eq!(to.id, Id(4));
+            assert!(matches!(msg, ChordMsg::GetNeighbors { req: r, .. } if *r == req));
+            let delay = out
+                .iter()
+                .find_map(|o| match o {
+                    Output::SetTimer {
+                        kind: TimerKind::ReqTimeout(r),
+                        delay_ms,
+                    } if *r == req => Some(*delay_ms),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(delay, 2_000 << i);
+            assert_eq!(n.metrics().retransmits, i);
+            assert_eq!(n.metrics().timeouts, 0, "not failed yet");
+        }
+        // Budget exhausted: the third expiry is final (one strike, no send).
+        let out = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
+        assert!(sends(&out).is_empty());
+        assert_eq!(n.metrics().timeouts, 1);
+        assert_eq!(
+            n.table().successor().unwrap().id,
+            Id(4),
+            "first strike only"
+        );
+    }
+
+    #[test]
+    fn rtt_samples_adapt_rto_and_karn_filters_retransmitted() {
+        let neighbors = |req| ChordMsg::Neighbors {
+            req,
+            me: NodeRef::new(Id(4), NodeAddr(4)),
+            pred: None,
+            succ_list: vec![NodeRef::new(Id(8), NodeAddr(8))],
+        };
+        let stabilize_req = |out: &[Output]| match sends(out)[0].1 {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut n = node(0);
+        let _ = n.start_create();
+        n.table.set_successor(NodeRef::new(Id(4), NodeAddr(4)));
+        assert_eq!(n.current_rto(), 2_000, "no sample yet: fixed timeout");
+        // Exchange 1 completes in 100 ms: SRTT = 100, RTTVAR = 50,
+        // RTO = 100 + 4·50 = 300 (above the 250 ms floor).
+        let out = n.handle_at(Input::Timer(TimerKind::Stabilize), 0);
+        let req = stabilize_req(&out);
+        let _ = n.handle_at(
+            Input::Message {
+                from: NodeAddr(4),
+                msg: neighbors(req),
+            },
+            100,
+        );
+        assert_eq!(n.srtt_ms(), Some(100.0));
+        assert_eq!(n.current_rto(), 300);
+        // Exchange 2 gets retransmitted; its late reply must not feed the
+        // estimator (Karn's rule), however slow it was.
+        let out = n.handle_at(Input::Timer(TimerKind::Stabilize), 1_000);
+        let req2 = stabilize_req(&out);
+        let out = n.handle_at(Input::Timer(TimerKind::ReqTimeout(req2)), 1_300);
+        assert_eq!(sends(&out).len(), 1, "retransmitted");
+        let _ = n.handle_at(
+            Input::Message {
+                from: NodeAddr(4),
+                msg: neighbors(req2),
+            },
+            5_000,
+        );
+        assert_eq!(n.srtt_ms(), Some(100.0), "ambiguous exchange not sampled");
+        assert_eq!(n.current_rto(), 300);
+    }
+
+    #[test]
+    fn fallen_peer_probe_unifies_ring_after_heal() {
+        let mut n = node_no_retry(0);
+        let _ = n.start_create();
+        n.table.set_successor_list(vec![
+            NodeRef::new(Id(4), NodeAddr(4)),
+            NodeRef::new(Id(8), NodeAddr(8)),
+        ]);
+        // Two consecutive stabilize timeouts evict 4 into the fallen list.
+        for _ in 0..2 {
+            let out = n.handle(Input::Timer(TimerKind::Stabilize));
+            let req = match sends(&out)[0].1 {
+                ChordMsg::GetNeighbors { req, .. } => *req,
+                other => panic!("unexpected {other:?}"),
+            };
+            let _ = n.handle(Input::Timer(TimerKind::ReqTimeout(req)));
+        }
+        assert_eq!(n.table().successor().unwrap().id, Id(8));
+        // The next liveness round probes the fallen peer.
+        let out = n.handle(Input::Timer(TimerKind::CheckPredecessor));
+        let (to, msg) = sends(&out)[0];
+        assert_eq!(to.id, Id(4));
+        let req = match msg {
+            ChordMsg::Ping { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        // It answers — whatever cut it off has healed — so a unify
+        // neighborhood pull goes out.
+        let out = n.handle(Input::Message {
+            from: NodeAddr(4),
+            msg: ChordMsg::Pong {
+                req,
+                sender: NodeRef::new(Id(4), NodeAddr(4)),
+            },
+        });
+        let (to, msg) = sends(&out)[0];
+        assert_eq!(to.id, Id(4));
+        let req = match msg {
+            ChordMsg::GetNeighbors { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Its neighborhood folds into ours: its predecessor 2 is a closer
+        // successor for us, its successor 8 becomes our predecessor, and
+        // the adopted successor is notified so stabilization can converge.
+        let out = n.handle(Input::Message {
+            from: NodeAddr(4),
+            msg: ChordMsg::Neighbors {
+                req,
+                me: NodeRef::new(Id(4), NodeAddr(4)),
+                pred: Some(NodeRef::new(Id(2), NodeAddr(2))),
+                succ_list: vec![NodeRef::new(Id(8), NodeAddr(8))],
+            },
+        });
+        assert_eq!(n.table().successor().unwrap().id, Id(2));
+        assert_eq!(n.table().predecessor().unwrap().id, Id(8));
+        let notify = sends(&out)
+            .into_iter()
+            .find(|(_, m)| matches!(m, ChordMsg::Notify { .. }))
+            .unwrap();
+        assert_eq!(notify.0.id, Id(2));
     }
 
     #[test]

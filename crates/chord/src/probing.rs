@@ -80,7 +80,11 @@ pub fn gap_stats(space: IdSpace, ids: &[Id]) -> GapStats {
     let mut max = 0u64;
     let mut sum = 0u128;
     for (i, &id) in ids.iter().enumerate() {
-        let prev = if i == 0 { ids[ids.len() - 1] } else { ids[i - 1] };
+        let prev = if i == 0 {
+            ids[ids.len() - 1]
+        } else {
+            ids[i - 1]
+        };
         let g = space.dist_cw(prev, id);
         min = min.min(g);
         max = max.max(g);
@@ -123,9 +127,18 @@ mod tests {
     fn largest_gap_selection() {
         let s = IdSpace::new(8);
         let cands = [
-            GapCandidate { start: Id(0), end: Id(10) },
-            GapCandidate { start: Id(10), end: Id(40) },
-            GapCandidate { start: Id(40), end: Id(50) },
+            GapCandidate {
+                start: Id(0),
+                end: Id(10),
+            },
+            GapCandidate {
+                start: Id(10),
+                end: Id(40),
+            },
+            GapCandidate {
+                start: Id(40),
+                end: Id(50),
+            },
         ];
         assert_eq!(select_largest_gap(s, &cands).unwrap().end, Id(40));
     }
@@ -133,7 +146,10 @@ mod tests {
     #[test]
     fn empty_gaps_filtered() {
         let s = IdSpace::new(8);
-        let cands = [GapCandidate { start: Id(5), end: Id(5) }];
+        let cands = [GapCandidate {
+            start: Id(5),
+            end: Id(5),
+        }];
         assert!(select_largest_gap(s, &cands).is_none());
         assert!(select_largest_gap(s, &[]).is_none());
     }

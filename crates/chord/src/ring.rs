@@ -188,9 +188,7 @@ impl StaticRing {
     pub fn probe_join_id<R: Rng + ?Sized>(&self, rng: &mut R) -> Id {
         if self.ids.len() == 1 {
             // A singleton owns the whole circle: split it opposite the node.
-            return self
-                .space
-                .add(self.ids[0], (self.space.size() / 2) as u64);
+            return self.space.add(self.ids[0], (self.space.size() / 2) as u64);
         }
         let anchor = self.successor(self.space.random(rng));
         let mut best = anchor;
@@ -282,10 +280,9 @@ impl StaticRing {
         let mut path = vec![from];
         let mut cur = from;
         while cur != root {
-            let next = crate::routing::ideal_parent_basic(self.space, cur, key, &|x| {
-                self.successor(x)
-            })
-            .expect("non-root node must have a next hop");
+            let next =
+                crate::routing::ideal_parent_basic(self.space, cur, key, &|x| self.successor(x))
+                    .expect("non-root node must have a next hop");
             debug_assert!(
                 self.space.dist_cw(next, key) < self.space.dist_cw(cur, key) || next == root,
                 "route must progress"

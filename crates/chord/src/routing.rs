@@ -20,8 +20,7 @@ use crate::finger::{FingerTable, NodeRef};
 use crate::id::{ceil_log2_ratio, Id, IdSpace};
 
 /// Which routing scheme constructs the DAT tree.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, serde::Serialize, serde::Deserialize)]
 pub enum RoutingScheme {
     /// Ordinary greedy finger routing — builds the *basic DAT* (§3.2).
     Greedy,
@@ -195,12 +194,7 @@ pub fn parent_balanced(table: &FingerTable, key: Id, d0: u64) -> ParentDecision 
 }
 
 /// Dispatch on [`RoutingScheme`].
-pub fn parent_for(
-    scheme: RoutingScheme,
-    table: &FingerTable,
-    key: Id,
-    d0: u64,
-) -> ParentDecision {
+pub fn parent_for(scheme: RoutingScheme, table: &FingerTable, key: Id, d0: u64) -> ParentDecision {
     match scheme {
         RoutingScheme::Greedy => parent_basic(table, key),
         RoutingScheme::Balanced => parent_balanced(table, key, d0),
@@ -326,10 +320,16 @@ mod tests {
         // Fig. 5: with balanced routing N8's parent becomes N12 (the paper's
         // text says "N1", a typo for N12 — see DESIGN.md).
         let t = full_ring_table(8);
-        assert_eq!(parent_balanced(&t, Id(0), 1), ParentDecision::Parent(nr(12)));
+        assert_eq!(
+            parent_balanced(&t, Id(0), 1),
+            ParentDecision::Parent(nr(12))
+        );
         // All other nodes keep their Fig. 2 parents; spot-check N12 and N14.
         let t = full_ring_table(12);
-        assert_eq!(parent_balanced(&t, Id(0), 1), ParentDecision::Parent(nr(14)));
+        assert_eq!(
+            parent_balanced(&t, Id(0), 1),
+            ParentDecision::Parent(nr(14))
+        );
         let t = full_ring_table(14);
         assert_eq!(parent_balanced(&t, Id(0), 1), ParentDecision::Parent(nr(0)));
     }
@@ -364,7 +364,10 @@ mod tests {
         t.set_finger(5, FingerInfo::bare(nr(30)));
         // Key 15 ∈ (10, 20]: successor 20 is the root.
         assert_eq!(parent_basic(&t, Id(15)), ParentDecision::Parent(nr(20)));
-        assert_eq!(parent_balanced(&t, Id(15), 1), ParentDecision::Parent(nr(20)));
+        assert_eq!(
+            parent_balanced(&t, Id(15), 1),
+            ParentDecision::Parent(nr(20))
+        );
         // Key 8 ∈ (5, 10]: we are the root.
         assert_eq!(parent_basic(&t, Id(8)), ParentDecision::IAmRoot);
     }

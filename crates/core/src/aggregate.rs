@@ -17,8 +17,7 @@ use core::fmt;
 use crate::sketch::Hll;
 
 /// Read-outs derivable from an [`AggPartial`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, serde::Serialize, serde::Deserialize)]
 pub enum AggFunc {
     /// Number of contributing values.
     Count,
@@ -59,8 +58,7 @@ impl fmt::Display for AggFunc {
 
 /// A fixed-range, fixed-width histogram digest (for distribution queries
 /// such as "how many nodes are above 90% CPU").
-#[derive(Clone, PartialEq, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Histogram {
     /// Lower bound of the tracked range.
     pub lo: f64,
@@ -127,8 +125,7 @@ impl Histogram {
 }
 
 /// The mergeable partial aggregate shipped through DAT trees.
-#[derive(Clone, PartialEq, Debug, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct AggPartial {
     /// Number of contributing local values.
     pub count: u64,
@@ -177,7 +174,10 @@ impl AggPartial {
 
     /// Estimated number of distinct observed items (NaN without a sketch).
     pub fn distinct_estimate(&self) -> f64 {
-        self.distinct.as_ref().map(Hll::estimate).unwrap_or(f64::NAN)
+        self.distinct
+            .as_ref()
+            .map(Hll::estimate)
+            .unwrap_or(f64::NAN)
     }
 
     /// Identity carrying an (empty) histogram of the given shape.
@@ -213,6 +213,17 @@ impl AggPartial {
 
     /// Merge another partial into this one. Associative and commutative —
     /// the law the tree recursion depends on (property-tested).
+    ///
+    /// **Duplicate-delivery contract**: merging is *not* idempotent for the
+    /// additive components — `count`/`sum`/`sum_sq` (and the histogram
+    /// counts) inflate if the same partial is merged twice, as happens when
+    /// a retransmitting transport duplicates an aggregation message. The
+    /// order-statistic and sketch components (`min`, `max`, the
+    /// [`Hll`] distinct sketch) are idempotent and stay exact under
+    /// duplicates. Layers that re-send partials must therefore either
+    /// deduplicate by source (the continuous DAT path overwrites the
+    /// per-child slot instead of accumulating) or tolerate inflation in
+    /// Sum/Count read-outs.
     pub fn merge(&mut self, other: &AggPartial) {
         self.count += other.count;
         self.sum += other.sum;
@@ -274,6 +285,40 @@ mod tests {
         assert_eq!(p.finalize(AggFunc::Min), 4.0);
         assert_eq!(p.finalize(AggFunc::Max), 4.0);
         assert_eq!(p.finalize(AggFunc::Variance), 0.0);
+    }
+
+    #[test]
+    fn duplicate_merge_inflates_additive_but_not_order_stats() {
+        // The duplicate-delivery contract documented on `merge`: replaying
+        // the same partial (a duplicated transport datagram) corrupts the
+        // additive components but leaves min/max and the distinct sketch
+        // exact.
+        let mut child = AggPartial::identity_with_distinct(10);
+        child.absorb(2.0);
+        child.absorb(8.0);
+        child.observe_item(b"site-a");
+        child.observe_item(b"site-b");
+
+        let once = AggPartial::identity_with_distinct(10).merged(&child);
+        let twice = once.clone().merged(&child);
+
+        // Additive components inflate.
+        assert_eq!(once.finalize(AggFunc::Count), 2.0);
+        assert_eq!(twice.finalize(AggFunc::Count), 4.0);
+        assert_eq!(once.finalize(AggFunc::Sum), 10.0);
+        assert_eq!(twice.finalize(AggFunc::Sum), 20.0);
+
+        // Idempotent components stay exact.
+        assert_eq!(twice.finalize(AggFunc::Min), 2.0);
+        assert_eq!(twice.finalize(AggFunc::Max), 8.0);
+        assert_eq!(twice.distinct_estimate(), once.distinct_estimate());
+        // Avg survives only when *every* branch is duplicated alike; with
+        // one sibling delivered once and the other twice it skews.
+        let sibling = AggPartial::of(7.0);
+        let fair = once.clone().merged(&sibling);
+        let skew = twice.merged(&sibling);
+        assert!((fair.finalize(AggFunc::Avg) - 17.0 / 3.0).abs() < 1e-9);
+        assert!((skew.finalize(AggFunc::Avg) - 27.0 / 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -142,7 +142,11 @@ mod tests {
         assert_eq!(s.max_branching, 2);
         assert_eq!(s.height, 4);
         // Nearly-complete binary tree: avg branching ≈ 2 over interior.
-        assert!((1.5..=2.0).contains(&s.avg_branching), "{}", s.avg_branching);
+        assert!(
+            (1.5..=2.0).contains(&s.avg_branching),
+            "{}",
+            s.avg_branching
+        );
     }
 
     #[test]
@@ -177,7 +181,10 @@ mod tests {
             .map(|&(_, c)| c)
             .collect();
         let t = DatTree::build(&ring, Id(0), RoutingScheme::Balanced);
-        let dat: Vec<u64> = simulate_message_counts(&t).iter().map(|&(_, c)| c).collect();
+        let dat: Vec<u64> = simulate_message_counts(&t)
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
         let imb = |v: &[u64]| {
             let max = *v.iter().max().unwrap() as f64;
             let mean = v.iter().sum::<u64>() as f64 / v.len() as f64;

@@ -56,7 +56,9 @@ pub struct Writer {
 impl Writer {
     /// Fresh empty writer.
     pub fn new() -> Self {
-        Writer { buf: Vec::with_capacity(64) }
+        Writer {
+            buf: Vec::with_capacity(64),
+        }
     }
 
     /// Finish and take the encoded bytes.
@@ -120,7 +122,11 @@ impl Writer {
 
     /// Append an aggregate partial.
     pub fn partial(&mut self, p: &AggPartial) -> &mut Self {
-        self.u64(p.count).f64(p.sum).f64(p.sum_sq).f64(p.min).f64(p.max);
+        self.u64(p.count)
+            .f64(p.sum)
+            .f64(p.sum_sq)
+            .f64(p.min)
+            .f64(p.max);
         match &p.histogram {
             Some(h) => {
                 self.u8(1).f64(h.lo).f64(h.hi).u32(h.buckets.len() as u32);
@@ -388,7 +394,11 @@ impl DatMsg {
                 partial,
                 sender,
             } => {
-                w.u8(1).id(*key).u64(*epoch).partial(partial).node_ref(*sender);
+                w.u8(1)
+                    .id(*key)
+                    .u64(*epoch)
+                    .partial(partial)
+                    .node_ref(*sender);
             }
             DatMsg::Query {
                 reqid,
@@ -410,9 +420,17 @@ impl DatMsg {
                 partial,
                 sender,
             } => {
-                w.u8(3).u64(*reqid).id(*key).partial(partial).node_ref(*sender);
+                w.u8(3)
+                    .u64(*reqid)
+                    .id(*key)
+                    .partial(partial)
+                    .node_ref(*sender);
             }
-            DatMsg::Result { reqid, key, partial } => {
+            DatMsg::Result {
+                reqid,
+                key,
+                partial,
+            } => {
                 w.u8(4).u64(*reqid).id(*key).partial(partial);
             }
             DatMsg::Request {
@@ -586,10 +604,7 @@ mod tests {
         }
         .encode();
         bytes.push(0xFF);
-        assert_eq!(
-            DatMsg::decode(&bytes),
-            Err(CodecError::TrailingBytes(1))
-        );
+        assert_eq!(DatMsg::decode(&bytes), Err(CodecError::TrailingBytes(1)));
     }
 
     #[test]

@@ -125,7 +125,11 @@ impl ExpMsg {
                 partial,
                 sender,
             } => {
-                w.u8(6).id(*key).u64(*epoch).partial(partial).node_ref(*sender);
+                w.u8(6)
+                    .id(*key)
+                    .u64(*epoch)
+                    .partial(partial)
+                    .node_ref(*sender);
             }
         }
         w.finish()
@@ -252,7 +256,7 @@ impl ExplicitTreeNode {
             next_token: 1,
             joining_tree: false,
             metrics: Metrics::default(),
-        reports: Vec::new(),
+            reports: Vec::new(),
         }
     }
 
@@ -264,6 +268,12 @@ impl ExplicitTreeNode {
     /// Underlying Chord node.
     pub fn chord(&self) -> &ChordNode {
         &self.chord
+    }
+
+    /// Report the host clock (monotonic ms) to the Chord layer's RTT
+    /// estimator. Hosts call this before every input.
+    pub fn set_now(&mut self, now_ms: u64) {
+        self.chord.set_now(now_ms);
     }
 
     /// Tree-layer message counters (membership traffic is every kind except
@@ -374,19 +384,17 @@ impl ExplicitTreeNode {
                     }
                     pass.push(Output::Upcall(Upcall::Joined { id }));
                 }
-                Output::Upcall(Upcall::AppTimer(token)) => {
-                    match self.timers.remove(&token) {
-                        Some(ExpTimer::Heartbeat) => {
-                            self.on_heartbeat_timer(&mut scan);
-                            self.arm_timer(ExpTimer::Heartbeat, self.cfg.heartbeat_ms, &mut scan);
-                        }
-                        Some(ExpTimer::Epoch) => {
-                            self.on_epoch(&mut scan);
-                            self.arm_timer(ExpTimer::Epoch, self.cfg.epoch_ms, &mut scan);
-                        }
-                        None => {}
+                Output::Upcall(Upcall::AppTimer(token)) => match self.timers.remove(&token) {
+                    Some(ExpTimer::Heartbeat) => {
+                        self.on_heartbeat_timer(&mut scan);
+                        self.arm_timer(ExpTimer::Heartbeat, self.cfg.heartbeat_ms, &mut scan);
                     }
-                }
+                    Some(ExpTimer::Epoch) => {
+                        self.on_epoch(&mut scan);
+                        self.arm_timer(ExpTimer::Epoch, self.cfg.epoch_ms, &mut scan);
+                    }
+                    None => {}
+                },
                 Output::Upcall(Upcall::AppMessage {
                     proto,
                     from: _,
@@ -398,15 +406,13 @@ impl ExplicitTreeNode {
                     }
                     Err(_) => self.metrics.dropped += 1,
                 },
-                Output::Upcall(Upcall::Routed { payload, .. }) => {
-                    match ExpMsg::decode(&payload) {
-                        Ok(m) => {
-                            self.metrics.count_received_kind(m.kind());
-                            self.on_msg(m, &mut scan);
-                        }
-                        Err(_) => self.metrics.dropped += 1,
+                Output::Upcall(Upcall::Routed { payload, .. }) => match ExpMsg::decode(&payload) {
+                    Ok(m) => {
+                        self.metrics.count_received_kind(m.kind());
+                        self.on_msg(m, &mut scan);
                     }
-                }
+                    Err(_) => self.metrics.dropped += 1,
+                },
                 other => pass.push(other),
             }
         }
@@ -600,11 +606,26 @@ mod tests {
     #[test]
     fn exp_msg_roundtrip() {
         let msgs = vec![
-            ExpMsg::JoinTree { key: Id(1), joiner: nr(2) },
-            ExpMsg::Adopt { key: Id(1), parent: nr(3) },
-            ExpMsg::Heartbeat { key: Id(1), sender: nr(4) },
-            ExpMsg::HeartbeatAck { key: Id(1), sender: nr(5) },
-            ExpMsg::LeaveTree { key: Id(1), sender: nr(6) },
+            ExpMsg::JoinTree {
+                key: Id(1),
+                joiner: nr(2),
+            },
+            ExpMsg::Adopt {
+                key: Id(1),
+                parent: nr(3),
+            },
+            ExpMsg::Heartbeat {
+                key: Id(1),
+                sender: nr(4),
+            },
+            ExpMsg::HeartbeatAck {
+                key: Id(1),
+                sender: nr(5),
+            },
+            ExpMsg::LeaveTree {
+                key: Id(1),
+                sender: nr(6),
+            },
             ExpMsg::Update {
                 key: Id(1),
                 epoch: 7,

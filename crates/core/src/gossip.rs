@@ -108,7 +108,7 @@ impl GossipNode {
             next_token: 1,
             rng_state: addr.0.wrapping_mul(0x9E3779B97F4A7C15) | 1,
             metrics: Metrics::default(),
-        history: Vec::new(),
+            history: Vec::new(),
         }
     }
 
@@ -120,6 +120,12 @@ impl GossipNode {
     /// Underlying Chord node.
     pub fn chord(&self) -> &ChordNode {
         &self.chord
+    }
+
+    /// Report the host clock (monotonic ms) to the Chord layer's RTT
+    /// estimator. Hosts call this before every input.
+    pub fn set_now(&mut self, now_ms: u64) {
+        self.chord.set_now(now_ms);
     }
 
     /// Gossip message counters.

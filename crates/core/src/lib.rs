@@ -59,6 +59,6 @@ pub use analysis::{centralized_message_counts, simulate_message_counts, TreeStat
 pub use codec::{CodecError, DatMsg, DAT_PROTO};
 pub use explicit::{ExpMsg, ExplicitConfig, ExplicitTreeNode, EXPLICIT_PROTO};
 pub use gossip::{GossipConfig, GossipNode, GOSSIP_PROTO};
-pub use sketch::Hll;
 pub use proto::{AggregationEntry, AggregationMode, DatConfig, DatEvent, DatNode};
+pub use sketch::Hll;
 pub use tree::DatTree;

@@ -297,6 +297,12 @@ impl DatNode {
         &self.chord
     }
 
+    /// Report the host clock (monotonic ms) to the Chord layer's RTT
+    /// estimator. Hosts call this before every input.
+    pub fn set_now(&mut self, now_ms: u64) {
+        self.chord.set_now(now_ms);
+    }
+
     /// DAT-layer message counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -466,7 +472,11 @@ impl DatNode {
                 }
                 Output::Upcall(Upcall::AppTimer(token)) => {
                     #[cfg(feature = "trace-flush")]
-                    eprintln!("[{:?}] AppTimer token={token} known={}", self.me().addr, self.timers.contains_key(&token));
+                    eprintln!(
+                        "[{:?}] AppTimer token={token} known={}",
+                        self.me().addr,
+                        self.timers.contains_key(&token)
+                    );
                     let Some(t) = self.timers.remove(&token) else {
                         continue;
                     };
@@ -635,7 +645,11 @@ impl DatNode {
         };
         if entry.mode != AggregationMode::Continuous || entry.flushed_epoch >= epoch {
             #[cfg(feature = "trace-flush")]
-            eprintln!("[{:?}] flush skipped epoch={epoch} flushed={}", self.chord.me().addr, entry.flushed_epoch);
+            eprintln!(
+                "[{:?}] flush skipped epoch={epoch} flushed={}",
+                self.chord.me().addr,
+                entry.flushed_epoch
+            );
             return;
         }
         #[cfg(feature = "trace-flush")]
@@ -1109,7 +1123,11 @@ mod tests {
         let evs = n.take_events();
         assert_eq!(evs.len(), 1);
         match &evs[0] {
-            DatEvent::Report { key: k, epoch, partial } => {
+            DatEvent::Report {
+                key: k,
+                epoch,
+                partial,
+            } => {
                 assert_eq!(*k, key);
                 assert_eq!(*epoch, 1);
                 assert_eq!(partial.finalize(crate::aggregate::AggFunc::Sum), 55.0);
@@ -1129,7 +1147,9 @@ mod tests {
         let evs = n.take_events();
         assert_eq!(evs.len(), 1);
         match &evs[0] {
-            DatEvent::QueryDone { reqid: r, partial, .. } => {
+            DatEvent::QueryDone {
+                reqid: r, partial, ..
+            } => {
                 assert_eq!(*r, reqid);
                 assert_eq!(partial.sum, 7.0);
             }
@@ -1172,6 +1192,48 @@ mod tests {
             })
             .unwrap();
         assert_eq!(report.count, 2);
+        assert_eq!(report.sum, 42.0);
+    }
+
+    #[test]
+    fn duplicated_update_does_not_inflate_continuous_readout() {
+        // Duplicate-delivery tolerance of the continuous path: a child's
+        // Update lands in a per-sender slot, so replaying the identical
+        // datagram (as a duplicating transport would) overwrites instead of
+        // accumulating — Sum/Count stay exact even though
+        // `AggPartial::merge` itself is not idempotent.
+        let mut root = mk(1);
+        let key = root.register("cpu-usage", AggregationMode::Continuous);
+        let _ = root.start_create();
+        root.set_local(key, 10.0);
+        let child = NodeRef::new(Id(99), NodeAddr(99));
+        let upd = DatMsg::Update {
+            key,
+            epoch: 1,
+            partial: AggPartial::of(32.0),
+            sender: child,
+        };
+        for _ in 0..3 {
+            let _ = root.handle(Input::Message {
+                from: NodeAddr(99),
+                msg: dat_chord::ChordMsg::App {
+                    proto: DAT_PROTO,
+                    from: child,
+                    payload: upd.encode(),
+                },
+            });
+        }
+        assert_eq!(root.aggregation(key).unwrap().live_children(1, 3), 1);
+        let _ = root.start_join_epoch_for_tests();
+        let evs = root.take_events();
+        let report = evs
+            .iter()
+            .find_map(|e| match e {
+                DatEvent::Report { partial, .. } => Some(partial.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(report.count, 2, "triple delivery must count the child once");
         assert_eq!(report.sum, 42.0);
     }
 
@@ -1252,7 +1314,11 @@ mod tests {
             node.flush_delay(key)
         };
         let root_delay = delay_of(tree.root());
-        assert_eq!(root_delay, DatConfig::default().hold_ms, "root flushes last");
+        assert_eq!(
+            root_delay,
+            DatConfig::default().hold_ms,
+            "root flushes last"
+        );
         for (child, parent) in tree.edges() {
             let dc = delay_of(child);
             let dp = delay_of(parent);

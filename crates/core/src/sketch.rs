@@ -13,8 +13,7 @@
 use dat_chord::sha1::sha1;
 
 /// HyperLogLog with `2^p` single-byte registers (`4 <= p <= 16`).
-#[derive(Clone, PartialEq, Eq, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Hll {
     p: u8,
     registers: Vec<u8>,
@@ -96,11 +95,7 @@ impl Hll {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = alpha * m * m / sum;
         if raw <= 2.5 * m {
             // Small-range correction: linear counting on empty registers.

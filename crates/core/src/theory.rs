@@ -46,7 +46,11 @@ pub fn basic_max_branching(n: usize) -> u32 {
 /// Theoretical upper bounds for the balanced DAT on an even ring (§3.5):
 /// `(max_branching, max_height) = (2, log2 n)`.
 pub fn balanced_bounds(n: usize) -> (u32, u32) {
-    let h = if n <= 1 { 0 } else { (n as f64).log2().ceil() as u32 };
+    let h = if n <= 1 {
+        0
+    } else {
+        (n as f64).log2().ceil() as u32
+    };
     (2, h)
 }
 
@@ -113,11 +117,7 @@ mod tests {
             let space = ring.space();
             for &v in ring.ids() {
                 let expect = basic_branching(space, v, Id(0), n);
-                assert_eq!(
-                    t.branching(v) as u32,
-                    expect,
-                    "bits={bits} n={n} node={v}"
-                );
+                assert_eq!(t.branching(v) as u32, expect, "bits={bits} n={n} node={v}");
             }
         }
     }
@@ -173,7 +173,11 @@ mod tests {
             let t = DatTree::build(&ring, Id(0), RoutingScheme::Balanced);
             let s = TreeStats::of(&t);
             let (max_b, max_h) = balanced_bounds(n);
-            assert!(s.max_branching as u32 <= max_b, "n={n}: {}", s.max_branching);
+            assert!(
+                s.max_branching as u32 <= max_b,
+                "n={n}: {}",
+                s.max_branching
+            );
             assert!(s.height <= max_h, "n={n}: height {}", s.height);
         }
     }

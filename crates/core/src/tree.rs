@@ -10,9 +10,7 @@
 
 use std::collections::HashMap;
 
-use dat_chord::{
-    ideal_parent_balanced, ideal_parent_basic, Id, RoutingScheme, StaticRing,
-};
+use dat_chord::{ideal_parent_balanced, ideal_parent_basic, Id, RoutingScheme, StaticRing};
 
 /// A fully materialised aggregation tree over a ring membership.
 #[derive(Clone, Debug)]
@@ -43,9 +41,7 @@ impl DatTree {
         for &v in ring.ids() {
             let p = match scheme {
                 RoutingScheme::Greedy => ideal_parent_basic(space, v, key, &succ_of),
-                RoutingScheme::Balanced => {
-                    ideal_parent_balanced(space, v, key, d0, &succ_of)
-                }
+                RoutingScheme::Balanced => ideal_parent_balanced(space, v, key, d0, &succ_of),
             };
             if let Some(p) = p {
                 parent.insert(v, p);
@@ -307,6 +303,12 @@ mod tests {
         let ring = even_ring(8, 32);
         let t = DatTree::build(&ring, Id(7), RoutingScheme::Balanced);
         assert_eq!(t.edges().count(), 31);
-        assert_eq!(t.interior_nodes().count(), t.edges().map(|(_, p)| p).collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(
+            t.interior_nodes().count(),
+            t.edges()
+                .map(|(_, p)| p)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
     }
 }

@@ -11,7 +11,8 @@ use crate::tree::DatTree;
 /// Render a DAT tree as a DOT digraph (edges point child → parent, the
 /// direction aggregation flows).
 pub fn tree_to_dot(tree: &DatTree) -> String {
-    let mut out = String::from("digraph dat {\n  rankdir=BT;\n  node [shape=circle, fontsize=10];\n");
+    let mut out =
+        String::from("digraph dat {\n  rankdir=BT;\n  node [shape=circle, fontsize=10];\n");
     // Nodes, root highlighted.
     let root = tree.root();
     out.push_str(&format!(
@@ -35,7 +36,8 @@ pub fn tree_to_dot(tree: &DatTree) -> String {
 /// Render a ring's successor cycle (plus optional finger edges for one
 /// highlighted node) as DOT.
 pub fn ring_to_dot(ring: &StaticRing, fingers_of: Option<Id>) -> String {
-    let mut out = String::from("digraph ring {\n  layout=circo;\n  node [shape=circle, fontsize=10];\n");
+    let mut out =
+        String::from("digraph ring {\n  layout=circo;\n  node [shape=circle, fontsize=10];\n");
     let ids = ring.ids();
     for (i, &id) in ids.iter().enumerate() {
         let next = ids[(i + 1) % ids.len()];

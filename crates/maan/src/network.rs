@@ -49,7 +49,11 @@ pub struct MaanNetwork {
 impl MaanNetwork {
     /// Create a MAAN over `ring` with the given attribute schemas.
     pub fn new(ring: StaticRing, schemas: Vec<AttrSchema>) -> Self {
-        let stores = ring.ids().iter().map(|&id| (id, NodeStore::new())).collect();
+        let stores = ring
+            .ids()
+            .iter()
+            .map(|&id| (id, NodeStore::new()))
+            .collect();
         MaanNetwork {
             ring,
             schemas: schemas.into_iter().map(|s| (s.name.clone(), s)).collect(),
@@ -95,10 +99,12 @@ impl MaanNetwork {
             let route = self.ring.finger_route(origin, vid);
             stats.routing_hops += (route.len() - 1) as u64;
             let target = *route.last().unwrap();
-            self.stores
-                .get_mut(&target)
-                .unwrap()
-                .insert(attr, vid, value.as_num(), resource.clone());
+            self.stores.get_mut(&target).unwrap().insert(
+                attr,
+                vid,
+                value.as_num(),
+                resource.clone(),
+            );
         }
         stats
     }
@@ -116,7 +122,10 @@ impl MaanNetwork {
             let route = self.ring.finger_route(origin, vid);
             stats.routing_hops += (route.len() - 1) as u64;
             let target = *route.last().unwrap();
-            self.stores.get_mut(&target).unwrap().remove(attr, &resource.uri);
+            self.stores
+                .get_mut(&target)
+                .unwrap()
+                .remove(attr, &resource.uri);
         }
         stats
     }
@@ -124,13 +133,7 @@ impl MaanNetwork {
     /// Single-attribute range query `attr ∈ [l, u]` issued at `origin`.
     /// Returns matching resources (deduplicated by URI) and the hop stats
     /// (`O(log n + k)`).
-    pub fn range_query(
-        &self,
-        origin: Id,
-        attr: &str,
-        l: f64,
-        u: f64,
-    ) -> (Vec<Resource>, OpStats) {
+    pub fn range_query(&self, origin: Id, attr: &str, l: f64, u: f64) -> (Vec<Resource>, OpStats) {
         let pred = Predicate::range(attr, l, u);
         self.resolve_dominated(origin, &pred, &[])
     }
@@ -226,8 +229,7 @@ impl MaanNetwork {
             stats.visited_nodes += 1;
             let store = &self.stores[&cur];
             for e in store.scan(&dom.attr, lo_id, hi_id, Some(dom)) {
-                if rest.iter().all(|p| e.resource.matches(p))
-                    && seen.insert(e.resource.uri.clone())
+                if rest.iter().all(|p| e.resource.matches(p)) && seen.insert(e.resource.uri.clone())
                 {
                     out.push(e.resource.clone());
                 }
@@ -359,9 +361,21 @@ mod tests {
         let origin = net.ring().ids()[0];
         let r = machine(1, 2.8, 95.0, "linux");
         net.register(origin, &r);
-        assert_eq!(net.load_distribution().iter().map(|&(_, c)| c).sum::<usize>(), 4);
+        assert_eq!(
+            net.load_distribution()
+                .iter()
+                .map(|&(_, c)| c)
+                .sum::<usize>(),
+            4
+        );
         net.deregister(origin, &r);
-        assert_eq!(net.load_distribution().iter().map(|&(_, c)| c).sum::<usize>(), 0);
+        assert_eq!(
+            net.load_distribution()
+                .iter()
+                .map(|&(_, c)| c)
+                .sum::<usize>(),
+            0
+        );
         let (hits, _) = net.range_query(origin, "cpu-speed", 0.0, 8.0);
         assert!(hits.is_empty());
     }

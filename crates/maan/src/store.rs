@@ -115,7 +115,9 @@ mod tests {
     use super::*;
 
     fn res(uri: &str, cpu: f64) -> Resource {
-        Resource::new(uri).with("cpu-speed", cpu).with("os", "linux")
+        Resource::new(uri)
+            .with("cpu-speed", cpu)
+            .with("os", "linux")
     }
 
     #[test]

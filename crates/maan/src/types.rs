@@ -9,8 +9,7 @@
 use std::collections::BTreeMap;
 
 /// An attribute value.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AttrValue {
     /// Numeric (range-queryable) value.
     Num(f64),
@@ -49,8 +48,7 @@ impl From<&str> for AttrValue {
 }
 
 /// Attribute kind, fixing how values hash onto the ring.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AttrKind {
     /// Numeric with a known domain `[lo, hi]` — uses the locality-
     /// preserving hash, values outside the domain clamp to its ends.
@@ -65,8 +63,7 @@ pub enum AttrKind {
 }
 
 /// A registered attribute schema.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AttrSchema {
     /// Attribute name, e.g. `"cpu-speed"`.
     pub name: String,
@@ -94,8 +91,7 @@ impl AttrSchema {
 }
 
 /// A Grid resource: a URI plus its attribute-value pairs.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Resource {
     /// Unique resource identifier (e.g. a contact URI).
     pub uri: String,

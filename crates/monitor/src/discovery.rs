@@ -49,11 +49,7 @@ impl DiscoveryService {
     }
 
     /// Find machines satisfying every predicate.
-    pub fn find(
-        &self,
-        origin: dat_chord::Id,
-        preds: &[Predicate],
-    ) -> (Vec<Resource>, OpStats) {
+    pub fn find(&self, origin: dat_chord::Id, preds: &[Predicate]) -> (Vec<Resource>, OpStats) {
         self.maan.multi_query(origin, preds)
     }
 
@@ -96,7 +92,7 @@ mod tests {
             .with("memory-size", 32.0)
             .with("os", os)
             .with("arch", "x86_64")
-            .with("site", if i % 2 == 0 { "usc" } else { "isi" })
+            .with("site", if i.is_multiple_of(2) { "usc" } else { "isi" })
     }
 
     #[test]
@@ -128,6 +124,8 @@ mod tests {
             ],
         );
         assert_eq!(hits.len(), 5);
-        assert!(hits.iter().all(|r| r.get("site").unwrap().as_str() == Some("usc")));
+        assert!(hits
+            .iter()
+            .all(|r| r.get("site").unwrap().as_str() == Some("usc")));
     }
 }

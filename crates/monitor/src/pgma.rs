@@ -244,7 +244,9 @@ impl GridMonitorSim {
                 root.take_events()
                     .into_iter()
                     .filter_map(|e| match e {
-                        DatEvent::Report { key: k, partial, .. } if k == key => Some(partial),
+                        DatEvent::Report {
+                            key: k, partial, ..
+                        } if k == key => Some(partial),
                         _ => None,
                     })
                     .next_back()
@@ -296,9 +298,17 @@ impl GridMonitorSim {
         }
         AccuracyStats {
             reported_epochs: count,
-            mape: if count == 0 { f64::NAN } else { ape_sum / count as f64 },
+            mape: if count == 0 {
+                f64::NAN
+            } else {
+                ape_sum / count as f64
+            },
             max_ape: ape_max,
-            coverage: if count == 0 { 0.0 } else { cov_sum / count as f64 },
+            coverage: if count == 0 {
+                0.0
+            } else {
+                cov_sum / count as f64
+            },
         }
     }
 }

@@ -90,8 +90,7 @@ impl CpuTrace {
             if rng.random::<f64>() < cfg.spike_prob {
                 spike += cfg.spike_amp;
             }
-            let drift =
-                cfg.drift_amp * (std::f64::consts::TAU * t / cfg.drift_period_s).sin();
+            let drift = cfg.drift_amp * (std::f64::consts::TAU * t / cfg.drift_period_s).sin();
             let v = (cfg.base + drift + ar + spike).clamp(0.0, 100.0);
             samples.push(v);
         }
@@ -212,6 +211,9 @@ mod tests {
         });
         let max = t.samples().iter().cloned().fold(0.0, f64::max);
         let mean = t.samples().iter().sum::<f64>() / t.len() as f64;
-        assert!(max > mean + 20.0, "spikes should stand out: max {max}, mean {mean}");
+        assert!(
+            max > mean + 20.0,
+            "spikes should stand out: max {max}, mean {mean}"
+        );
     }
 }

@@ -29,6 +29,10 @@ pub trait RpcActor: Send + 'static {
     fn addr(&self) -> NodeAddr;
     /// Drive one input.
     fn on_input(&mut self, input: Input) -> Vec<Output>;
+    /// Report the host clock (monotonic ms since cluster launch). The
+    /// worker calls this before every input so the protocol's RTT
+    /// estimator sees wall-clock time.
+    fn set_now(&mut self, _now_ms: u64) {}
 }
 
 impl RpcActor for ChordNode {
@@ -37,6 +41,9 @@ impl RpcActor for ChordNode {
     }
     fn on_input(&mut self, input: Input) -> Vec<Output> {
         self.handle(input)
+    }
+    fn set_now(&mut self, now_ms: u64) {
+        ChordNode::set_now(self, now_ms);
     }
 }
 
@@ -47,6 +54,9 @@ impl RpcActor for DatNode {
     fn on_input(&mut self, input: Input) -> Vec<Output> {
         self.handle(input)
     }
+    fn set_now(&mut self, now_ms: u64) {
+        DatNode::set_now(self, now_ms);
+    }
 }
 
 impl RpcActor for ExplicitTreeNode {
@@ -56,11 +66,45 @@ impl RpcActor for ExplicitTreeNode {
     fn on_input(&mut self, input: Input) -> Vec<Output> {
         self.handle(input)
     }
+    fn set_now(&mut self, now_ms: u64) {
+        ExplicitTreeNode::set_now(self, now_ms);
+    }
 }
+
+/// Runtime knobs for [`RpcCluster`] — everything that used to be a magic
+/// constant in the transport loops.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// How long one [`RpcCluster::call`] wait round lasts before the next
+    /// retry round (the control channel is reliable, so a round only
+    /// expires when the worker is genuinely backed up).
+    pub call_timeout: Duration,
+    /// Extra wait rounds `call` spends after the first before giving up.
+    pub call_retries: u32,
+    /// Receive-loop poll interval: how often a receiver thread wakes to
+    /// check for shutdown when no datagrams arrive.
+    pub socket_poll: Duration,
+    /// Upper bound on how long the shared timer thread sleeps, which caps
+    /// how late a timer can fire.
+    pub timer_granularity: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            call_timeout: Duration::from_secs(10),
+            call_retries: 0,
+            socket_poll: Duration::from_millis(100),
+            timer_granularity: Duration::from_millis(50),
+        }
+    }
+}
+
+type WithFn<A> = Box<dyn FnOnce(&mut A) -> Vec<Output> + Send>;
 
 enum Control<A> {
     Input(Input),
-    With(Box<dyn FnOnce(&mut A) -> Vec<Output> + Send>),
+    With(WithFn<A>),
     Stop,
 }
 
@@ -113,12 +157,18 @@ pub struct RpcCluster<A: RpcActor> {
     received: Arc<AtomicU64>,
     decode_errors: Arc<AtomicU64>,
     addr_book: Arc<HashMap<NodeAddr, SocketAddr>>,
+    cfg: ClusterConfig,
 }
 
 impl<A: RpcActor> RpcCluster<A> {
-    /// Bind sockets and spawn the runtime for `actors`. Actor `i` must have
-    /// logical address `NodeAddr(i)`.
+    /// Bind sockets and spawn the runtime for `actors` with default
+    /// [`ClusterConfig`]. Actor `i` must have logical address `NodeAddr(i)`.
     pub fn launch(actors: Vec<A>) -> std::io::Result<Self> {
+        Self::launch_with(actors, ClusterConfig::default())
+    }
+
+    /// Like [`RpcCluster::launch`] with explicit runtime knobs.
+    pub fn launch_with(actors: Vec<A>, cfg: ClusterConfig) -> std::io::Result<Self> {
         let n = actors.len();
         let mut sockets = Vec::with_capacity(n);
         let mut book = HashMap::with_capacity(n);
@@ -129,7 +179,7 @@ impl<A: RpcActor> RpcCluster<A> {
                 "actor {i} must use NodeAddr({i})"
             );
             let sock = UdpSocket::bind(("127.0.0.1", 0))?;
-            sock.set_read_timeout(Some(Duration::from_millis(100)))?;
+            sock.set_read_timeout(Some(cfg.socket_poll))?;
             book.insert(NodeAddr(i as u64), sock.local_addr()?);
             sockets.push(sock);
         }
@@ -144,6 +194,9 @@ impl<A: RpcActor> RpcCluster<A> {
         let mut inboxes = HashMap::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
+        // One epoch for the whole cluster: every worker reports the same
+        // monotonic clock to its actor, so cross-node RTT math is coherent.
+        let epoch = Instant::now();
 
         for (i, actor) in actors.into_iter().enumerate() {
             let addr = NodeAddr(i as u64);
@@ -193,6 +246,7 @@ impl<A: RpcActor> RpcCluster<A> {
             workers.push(std::thread::spawn(move || {
                 let mut actor = actor;
                 while let Ok(ctl) = rx.recv() {
+                    actor.set_now(epoch.elapsed().as_millis() as u64);
                     let outs = match ctl {
                         Control::Input(input) => actor.on_input(input),
                         Control::With(f) => f(&mut actor),
@@ -210,8 +264,7 @@ impl<A: RpcActor> RpcCluster<A> {
                             }
                             Output::SetTimer { kind, delay_ms } => {
                                 let _ = tt.send(TimerReq {
-                                    deadline: Instant::now()
-                                        + Duration::from_millis(delay_ms),
+                                    deadline: Instant::now() + Duration::from_millis(delay_ms),
                                     node: addr,
                                     kind,
                                     seq: seq.fetch_add(1, Ordering::Relaxed),
@@ -228,14 +281,15 @@ impl<A: RpcActor> RpcCluster<A> {
         // Timer thread: one heap services every node.
         let stop = Arc::clone(&shutdown);
         let timer_inboxes: HashMap<NodeAddr, Sender<Control<A>>> = inboxes.clone();
+        let granularity = cfg.timer_granularity;
         let timer_thread = std::thread::spawn(move || {
             let mut heap: BinaryHeap<TimerReq> = BinaryHeap::new();
             while !stop.load(Ordering::Relaxed) {
                 let wait = heap
                     .peek()
                     .map(|t| t.deadline.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(50))
-                    .min(Duration::from_millis(50));
+                    .unwrap_or(granularity)
+                    .min(granularity);
                 match timer_rx.recv_timeout(wait) {
                     Ok(req) => heap.push(req),
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
@@ -263,6 +317,7 @@ impl<A: RpcActor> RpcCluster<A> {
             received,
             decode_errors,
             addr_book,
+            cfg,
         })
     }
 
@@ -305,7 +360,14 @@ impl<A: RpcActor> RpcCluster<A> {
             let _ = rtx.send(r);
             outs
         })));
-        rrx.recv_timeout(Duration::from_secs(10)).ok()
+        // The control channel is reliable; a round only expires when the
+        // worker is backed up, so extra rounds just extend the wait.
+        for _ in 0..=self.cfg.call_retries {
+            if let Ok(r) = rrx.recv_timeout(self.cfg.call_timeout) {
+                return Some(r);
+            }
+        }
+        None
     }
 
     /// Drain the recorded upcalls of every node.
@@ -377,13 +439,19 @@ mod tests {
         while Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(100));
             let succ_a = cluster
-                .call(NodeAddr(0), |n| (n.table().successor().map(|s| s.id), vec![]))
+                .call(NodeAddr(0), |n| {
+                    (n.table().successor().map(|s| s.id), vec![])
+                })
                 .unwrap();
             let succ_b = cluster
-                .call(NodeAddr(1), |n| (n.table().successor().map(|s| s.id), vec![]))
+                .call(NodeAddr(1), |n| {
+                    (n.table().successor().map(|s| s.id), vec![])
+                })
                 .unwrap();
             let pred_a = cluster
-                .call(NodeAddr(0), |n| (n.table().predecessor().map(|s| s.id), vec![]))
+                .call(NodeAddr(0), |n| {
+                    (n.table().predecessor().map(|s| s.id), vec![])
+                })
                 .unwrap();
             if succ_a == Some(Id(2_000_000))
                 && succ_b == Some(Id(1_000))
@@ -399,6 +467,56 @@ mod tests {
         assert_eq!(actors.len(), 2);
         assert!(stats.sent > 0 && stats.received > 0);
         assert_eq!(stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn join_succeeds_only_with_datagram_retransmission() {
+        // The bootstrap activates ~250 ms late: the joiner's first
+        // FindSuccessor lands while it is still `Created` and is
+        // protocol-dropped. With a single protocol-level join attempt
+        // (max_join_retries: 1), only RTO-driven datagram retransmission
+        // can complete the join — the no-retry config must surface
+        // JoinFailed instead.
+        let run = |max_retries: u32| {
+            let cfg = ChordConfig {
+                max_retries,
+                max_join_retries: 1,
+                ..fast_cfg()
+            };
+            let a = ChordNode::new(cfg, Id(1_000), NodeAddr(0));
+            let b = ChordNode::new(cfg, Id(2_000_000), NodeAddr(1));
+            let cluster = RpcCluster::launch_with(vec![a, b], ClusterConfig::default()).unwrap();
+            let bootstrap = dat_chord::NodeRef::new(Id(1_000), NodeAddr(0));
+            cluster.cast(NodeAddr(1), move |n| n.start_join(bootstrap));
+            std::thread::sleep(Duration::from_millis(250));
+            cluster.cast(NodeAddr(0), |n| n.start_create());
+            let deadline = Instant::now() + Duration::from_secs(8);
+            let (mut joined, mut failed) = (false, false);
+            while Instant::now() < deadline && !joined && !failed {
+                std::thread::sleep(Duration::from_millis(50));
+                for (addr, u) in cluster.drain_upcalls() {
+                    if addr == NodeAddr(1) {
+                        match u {
+                            Upcall::Joined { .. } => joined = true,
+                            Upcall::JoinFailed => failed = true,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            cluster.shutdown();
+            (joined, failed)
+        };
+        let (joined, _) = run(2);
+        assert!(
+            joined,
+            "retransmission should recover the dropped join request"
+        );
+        let (joined, failed) = run(0);
+        assert!(
+            !joined && failed,
+            "single-shot join through a sleeping bootstrap must fail (joined={joined}, failed={failed})"
+        );
     }
 
     #[test]

@@ -378,7 +378,10 @@ mod tests {
                 owner_succ: None,
                 hops: 7,
             },
-            ChordMsg::GetNeighbors { req: 8, sender: nr(9) },
+            ChordMsg::GetNeighbors {
+                req: 8,
+                sender: nr(9),
+            },
             ChordMsg::Neighbors {
                 req: 10,
                 me: nr(11),
@@ -386,9 +389,18 @@ mod tests {
                 succ_list: vec![nr(12), nr(13), nr(14)],
             },
             ChordMsg::Notify { sender: nr(15) },
-            ChordMsg::Ping { req: 16, sender: nr(17) },
-            ChordMsg::Pong { req: 18, sender: nr(19) },
-            ChordMsg::ProbeJoin { req: 20, origin: nr(21) },
+            ChordMsg::Ping {
+                req: 16,
+                sender: nr(17),
+            },
+            ChordMsg::Pong {
+                req: 18,
+                sender: nr(19),
+            },
+            ChordMsg::ProbeJoin {
+                req: 20,
+                origin: nr(21),
+            },
             ChordMsg::ProbeJoinReply {
                 req: 22,
                 designated: Id(23),

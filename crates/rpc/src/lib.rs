@@ -32,5 +32,5 @@
 pub mod cluster;
 pub mod codec;
 
-pub use cluster::{ClusterStats, RpcActor, RpcCluster};
+pub use cluster::{ClusterConfig, ClusterStats, RpcActor, RpcCluster};
 pub use codec::{decode, encode, FrameError, MAX_FRAME};

@@ -1,0 +1,434 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] is a declarative schedule of fault events in virtual
+//! time: network partitions and their heals, per-link loss/latency
+//! overrides, bounded flaky-link episodes, message duplication, node
+//! crashes and restarts. [`crate::SimNet::set_fault_plan`] turns the plan
+//! into ordinary queue events, so the schedule replays identically for a
+//! given seed — the *only* randomness consumed (per-link drop coins,
+//! duplication coins) comes from the engine's seeded generator, and none
+//! at all is drawn when no plan is installed. [`FaultPlan::digest`] hashes
+//! a canonical byte encoding of the schedule, which is what the
+//! reproducibility tests compare across runs.
+
+use std::collections::{HashMap, HashSet};
+
+use dat_chord::NodeAddr;
+
+use crate::time::SimTime;
+
+/// Fault parameters for one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFault {
+    /// Drop probability applied on top of the global loss model.
+    pub loss: f64,
+    /// Extra one-way latency (ms) added to every surviving message.
+    pub extra_latency_ms: u64,
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Sever all traffic between `group` and the rest of the network, in
+    /// both directions. A new partition replaces any active one.
+    Partition {
+        /// Addresses on one side of the cut.
+        group: Vec<NodeAddr>,
+    },
+    /// Remove the active partition.
+    Heal,
+    /// Install a loss/latency override on the directed link `from → to`.
+    SetLink {
+        /// Sending side.
+        from: NodeAddr,
+        /// Receiving side.
+        to: NodeAddr,
+        /// Override parameters.
+        fault: LinkFault,
+    },
+    /// Remove the override on `from → to`.
+    ClearLink {
+        /// Sending side.
+        from: NodeAddr,
+        /// Receiving side.
+        to: NodeAddr,
+    },
+    /// A flaky-link episode: like `SetLink` but auto-expiring after
+    /// `for_ms` virtual milliseconds.
+    FlakyLink {
+        /// Sending side.
+        from: NodeAddr,
+        /// Receiving side.
+        to: NodeAddr,
+        /// Override parameters during the episode.
+        fault: LinkFault,
+        /// Episode length (ms).
+        for_ms: u64,
+    },
+    /// Deliver every message twice with this probability (the second copy
+    /// draws its own latency). Models the duplicate-delivery hazard of
+    /// retransmitting transports. The coin is flipped per transmission, so
+    /// duplication compounds across multi-hop forwarding chains — keep
+    /// `prob` small (a few percent); values near 1 amplify deep routes
+    /// exponentially.
+    SetDuplication {
+        /// Duplication probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Abruptly remove a node, exactly like [`crate::SimNet::crash`]:
+    /// in-flight traffic to it is dropped, its timers die silently.
+    Crash {
+        /// The node to remove.
+        node: NodeAddr,
+    },
+    /// Re-create a previously crashed node with fresh state through the
+    /// host's restart hook ([`crate::SimNet::set_restart_fn`]). Ignored if
+    /// the node is still alive or no hook is installed.
+    Restart {
+        /// The node to bring back.
+        node: NodeAddr,
+    },
+}
+
+impl FaultEvent {
+    /// Append a canonical byte encoding (stable across runs and platforms).
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            FaultEvent::Partition { group } => {
+                buf.push(0);
+                buf.extend((group.len() as u64).to_le_bytes());
+                for a in group {
+                    buf.extend(a.0.to_le_bytes());
+                }
+            }
+            FaultEvent::Heal => buf.push(1),
+            FaultEvent::SetLink { from, to, fault } => {
+                buf.push(2);
+                buf.extend(from.0.to_le_bytes());
+                buf.extend(to.0.to_le_bytes());
+                buf.extend(fault.loss.to_bits().to_le_bytes());
+                buf.extend(fault.extra_latency_ms.to_le_bytes());
+            }
+            FaultEvent::ClearLink { from, to } => {
+                buf.push(3);
+                buf.extend(from.0.to_le_bytes());
+                buf.extend(to.0.to_le_bytes());
+            }
+            FaultEvent::FlakyLink {
+                from,
+                to,
+                fault,
+                for_ms,
+            } => {
+                buf.push(4);
+                buf.extend(from.0.to_le_bytes());
+                buf.extend(to.0.to_le_bytes());
+                buf.extend(fault.loss.to_bits().to_le_bytes());
+                buf.extend(fault.extra_latency_ms.to_le_bytes());
+                buf.extend(for_ms.to_le_bytes());
+            }
+            FaultEvent::SetDuplication { prob } => {
+                buf.push(5);
+                buf.extend(prob.to_bits().to_le_bytes());
+            }
+            FaultEvent::Crash { node } => {
+                buf.push(6);
+                buf.extend(node.0.to_le_bytes());
+            }
+            FaultEvent::Restart { node } => {
+                buf.push(7);
+                buf.extend(node.0.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// A deterministic schedule of fault events in virtual time.
+///
+/// Built with the fluent `*_at` methods; install it with
+/// [`crate::SimNet::set_fault_plan`] *before* running the engine past the
+/// first event time (events scheduled in the past fire immediately).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule `event` at virtual time `at_ms`.
+    pub fn at(mut self, at_ms: u64, event: FaultEvent) -> Self {
+        self.events.push((at_ms, event));
+        self
+    }
+
+    /// Partition `group` away from everyone else at `at_ms`.
+    pub fn partition_at(self, at_ms: u64, group: Vec<NodeAddr>) -> Self {
+        self.at(at_ms, FaultEvent::Partition { group })
+    }
+
+    /// Heal the active partition at `at_ms`.
+    pub fn heal_at(self, at_ms: u64) -> Self {
+        self.at(at_ms, FaultEvent::Heal)
+    }
+
+    /// Install a directed link override at `at_ms`.
+    pub fn link_fault_at(self, at_ms: u64, from: NodeAddr, to: NodeAddr, fault: LinkFault) -> Self {
+        self.at(at_ms, FaultEvent::SetLink { from, to, fault })
+    }
+
+    /// Clear a directed link override at `at_ms`.
+    pub fn clear_link_at(self, at_ms: u64, from: NodeAddr, to: NodeAddr) -> Self {
+        self.at(at_ms, FaultEvent::ClearLink { from, to })
+    }
+
+    /// A flaky-link episode of `for_ms` starting at `at_ms`.
+    pub fn flaky_link_at(
+        self,
+        at_ms: u64,
+        from: NodeAddr,
+        to: NodeAddr,
+        fault: LinkFault,
+        for_ms: u64,
+    ) -> Self {
+        self.at(
+            at_ms,
+            FaultEvent::FlakyLink {
+                from,
+                to,
+                fault,
+                for_ms,
+            },
+        )
+    }
+
+    /// Set the message-duplication probability at `at_ms`.
+    pub fn duplication_at(self, at_ms: u64, prob: f64) -> Self {
+        self.at(at_ms, FaultEvent::SetDuplication { prob })
+    }
+
+    /// Crash `node` at `at_ms`.
+    pub fn crash_at(self, at_ms: u64, node: NodeAddr) -> Self {
+        self.at(at_ms, FaultEvent::Crash { node })
+    }
+
+    /// Restart `node` (fresh state) at `at_ms`.
+    pub fn restart_at(self, at_ms: u64, node: NodeAddr) -> Self {
+        self.at(at_ms, FaultEvent::Restart { node })
+    }
+
+    /// The scheduled `(at_ms, event)` pairs, in declaration order.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a hash of the canonical byte encoding of the whole schedule,
+    /// in declaration order. Two runs configured with equal plans produce
+    /// equal digests — the reproducibility tests' byte-identity check.
+    pub fn digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        for (at, ev) in &self.events {
+            buf.extend(at.to_le_bytes());
+            ev.encode(&mut buf);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in buf {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// What the engine must do for node-level fault events (the controller
+/// handles link-level state itself).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FaultAction {
+    Crash(NodeAddr),
+    Restart(NodeAddr),
+}
+
+/// Live fault state derived from a [`FaultPlan`] as its events fire.
+#[derive(Debug)]
+pub(crate) struct FaultController {
+    plan: FaultPlan,
+    /// Addresses on the minority side of the active partition, if any.
+    partition: Option<HashSet<NodeAddr>>,
+    /// Directed link overrides, with an optional expiry for flaky links.
+    links: HashMap<(NodeAddr, NodeAddr), (LinkFault, Option<SimTime>)>,
+    dup_prob: f64,
+}
+
+impl FaultController {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultController {
+            plan,
+            partition: None,
+            links: HashMap::new(),
+            dup_prob: 0.0,
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Apply the `idx`-th scheduled event; node-level events are returned
+    /// for the engine to execute.
+    pub(crate) fn apply(&mut self, idx: usize, now: SimTime) -> Option<FaultAction> {
+        let (_, event) = self.plan.events.get(idx)?.clone();
+        match event {
+            FaultEvent::Partition { group } => {
+                self.partition = Some(group.into_iter().collect());
+                None
+            }
+            FaultEvent::Heal => {
+                self.partition = None;
+                None
+            }
+            FaultEvent::SetLink { from, to, fault } => {
+                self.links.insert((from, to), (fault, None));
+                None
+            }
+            FaultEvent::ClearLink { from, to } => {
+                self.links.remove(&(from, to));
+                None
+            }
+            FaultEvent::FlakyLink {
+                from,
+                to,
+                fault,
+                for_ms,
+            } => {
+                self.links.insert((from, to), (fault, Some(now + for_ms)));
+                None
+            }
+            FaultEvent::SetDuplication { prob } => {
+                self.dup_prob = prob.clamp(0.0, 1.0);
+                None
+            }
+            FaultEvent::Crash { node } => Some(FaultAction::Crash(node)),
+            FaultEvent::Restart { node } => Some(FaultAction::Restart(node)),
+        }
+    }
+
+    /// Is traffic `from → to` severed by the active partition?
+    pub(crate) fn blocked(&self, from: NodeAddr, to: NodeAddr) -> bool {
+        match &self.partition {
+            Some(group) => group.contains(&from) != group.contains(&to),
+            None => false,
+        }
+    }
+
+    /// The override on `from → to`, expiring flaky episodes lazily.
+    pub(crate) fn link(&mut self, from: NodeAddr, to: NodeAddr, now: SimTime) -> Option<LinkFault> {
+        match self.links.get(&(from, to)) {
+            Some((_, Some(expiry))) if *expiry <= now => {
+                self.links.remove(&(from, to));
+                None
+            }
+            Some((fault, _)) => Some(*fault),
+            None => None,
+        }
+    }
+
+    pub(crate) fn dup_prob(&self) -> f64 {
+        self.dup_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> NodeAddr {
+        NodeAddr(n)
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let build = || {
+            FaultPlan::new()
+                .partition_at(10_000, vec![a(1), a(2)])
+                .heal_at(70_000)
+                .crash_at(80_000, a(3))
+        };
+        assert_eq!(build().digest(), build().digest());
+        let reordered = FaultPlan::new()
+            .heal_at(70_000)
+            .partition_at(10_000, vec![a(1), a(2)])
+            .crash_at(80_000, a(3));
+        assert_ne!(build().digest(), reordered.digest());
+        let tweaked = FaultPlan::new()
+            .partition_at(10_000, vec![a(1), a(2)])
+            .heal_at(70_001)
+            .crash_at(80_000, a(3));
+        assert_ne!(build().digest(), tweaked.digest());
+        assert_ne!(FaultPlan::new().digest(), build().digest());
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_heal() {
+        let plan = FaultPlan::new().partition_at(0, vec![a(1)]).heal_at(10);
+        let mut fc = FaultController::new(plan);
+        fc.apply(0, SimTime(0));
+        assert!(fc.blocked(a(1), a(2)));
+        assert!(fc.blocked(a(2), a(1)));
+        assert!(!fc.blocked(a(2), a(3)), "same side unaffected");
+        assert!(!fc.blocked(a(1), a(1)));
+        fc.apply(1, SimTime(10));
+        assert!(!fc.blocked(a(1), a(2)));
+    }
+
+    #[test]
+    fn flaky_link_expires_and_set_link_persists() {
+        let fault = LinkFault {
+            loss: 0.5,
+            extra_latency_ms: 100,
+        };
+        let plan = FaultPlan::new()
+            .flaky_link_at(0, a(1), a(2), fault, 50)
+            .link_fault_at(0, a(3), a(4), fault);
+        let mut fc = FaultController::new(plan);
+        fc.apply(0, SimTime(0));
+        fc.apply(1, SimTime(0));
+        assert_eq!(fc.link(a(1), a(2), SimTime(49)), Some(fault));
+        assert_eq!(fc.link(a(1), a(2), SimTime(50)), None, "episode over");
+        assert_eq!(fc.link(a(1), a(2), SimTime(10)), None, "removed for good");
+        assert_eq!(fc.link(a(3), a(4), SimTime(1_000_000)), Some(fault));
+        assert_eq!(fc.link(a(2), a(1), SimTime(0)), None, "directed");
+    }
+
+    #[test]
+    fn duplication_clamped_and_crash_restart_surface_actions() {
+        let plan = FaultPlan::new()
+            .duplication_at(0, 7.0)
+            .crash_at(1, a(9))
+            .restart_at(2, a(9));
+        let mut fc = FaultController::new(plan);
+        assert!(fc.apply(0, SimTime(0)).is_none());
+        assert_eq!(fc.dup_prob(), 1.0);
+        assert!(matches!(
+            fc.apply(1, SimTime(1)),
+            Some(FaultAction::Crash(n)) if n == a(9)
+        ));
+        assert!(matches!(
+            fc.apply(2, SimTime(2)),
+            Some(FaultAction::Restart(n)) if n == a(9)
+        ));
+        assert!(fc.apply(99, SimTime(3)).is_none(), "out of range is inert");
+    }
+}

@@ -25,6 +25,9 @@ impl Actor for DatNode {
     fn on_input(&mut self, input: Input) -> Vec<Output> {
         self.handle(input)
     }
+    fn set_now(&mut self, now_ms: u64) {
+        DatNode::set_now(self, now_ms);
+    }
 }
 
 impl Actor for ExplicitTreeNode {
@@ -34,6 +37,9 @@ impl Actor for ExplicitTreeNode {
     fn on_input(&mut self, input: Input) -> Vec<Output> {
         self.handle(input)
     }
+    fn set_now(&mut self, now_ms: u64) {
+        ExplicitTreeNode::set_now(self, now_ms);
+    }
 }
 
 impl Actor for GossipNode {
@@ -42,6 +48,9 @@ impl Actor for GossipNode {
     }
     fn on_input(&mut self, input: Input) -> Vec<Output> {
         self.handle(input)
+    }
+    fn set_now(&mut self, now_ms: u64) {
+        GossipNode::set_now(self, now_ms);
     }
 }
 
@@ -187,6 +196,15 @@ pub fn spawn_live_ring(
 /// Check that the live overlay's successor pointers form exactly the ring
 /// over the given sorted ids.
 pub fn ring_converged(net: &SimNet<ChordNode>, sorted_ids: &[Id]) -> bool {
+    ring_converged_inner(net.iter_nodes().map(|(_, n)| n), sorted_ids)
+}
+
+/// Like [`ring_converged`], for overlays hosting full DAT stacks.
+pub fn ring_converged_dat(net: &SimNet<DatNode>, sorted_ids: &[Id]) -> bool {
+    ring_converged_inner(net.iter_nodes().map(|(_, n)| n.chord()), sorted_ids)
+}
+
+fn ring_converged_inner<'a>(nodes: impl Iterator<Item = &'a ChordNode>, sorted_ids: &[Id]) -> bool {
     if sorted_ids.len() <= 1 {
         return true;
     }
@@ -195,7 +213,7 @@ pub fn ring_converged(net: &SimNet<ChordNode>, sorted_ids: &[Id]) -> bool {
         .enumerate()
         .map(|(i, &id)| (id, i))
         .collect();
-    for (_, node) in net.iter_nodes() {
+    for node in nodes {
         if node.status() != NodeStatus::Active {
             continue;
         }
@@ -306,6 +324,62 @@ mod tests {
             .expect("lookup completes");
         assert_eq!(owner, ring.successor(key));
         assert!(hops <= 2 * 7 + 2, "hops {hops} not O(log n)"); // log2(128)=7
+    }
+
+    #[test]
+    fn retransmission_rides_out_twenty_percent_loss() {
+        // A live 8-node bring-up under 20% i.i.d. loss with a single
+        // protocol-level join attempt per node. End-to-end RTO
+        // retransmission (same datagram, same first hop) recovers every
+        // dropped exchange; the single-shot config loses joins for good.
+        let build = |max_retries: u32| {
+            let c = ChordConfig {
+                max_retries,
+                max_join_retries: 1,
+                ..cfg(24)
+            };
+            let mut rng = SmallRng::seed_from_u64(0x10c5);
+            let mut net = SimNet::new(0x10c5);
+            net.set_loss(crate::latency::LossModel::new(0.2));
+            let first_id = c.space.random(&mut rng);
+            let mut first = ChordNode::new(c, first_id, NodeAddr(0));
+            let outs = first.start_create();
+            let bootstrap = first.me();
+            net.add_node(first);
+            net.apply(NodeAddr(0), outs);
+            for i in 1..8u64 {
+                let id = c.space.random(&mut rng);
+                let mut node = ChordNode::new(c, id, NodeAddr(i));
+                let outs = node.start_join(bootstrap);
+                net.add_node(node);
+                net.apply(NodeAddr(i), outs);
+                net.run_for(5_000);
+            }
+            net.run_for(120_000);
+            net
+        };
+
+        let net = build(8);
+        let mut ids: Vec<Id> = net
+            .iter_nodes()
+            .filter(|(_, n)| n.status() == NodeStatus::Active)
+            .map(|(_, n)| n.me().id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids.len(), 8, "with retries every node joins despite loss");
+        assert!(ring_converged(&net, &ids), "lossy ring still closes");
+        let retransmits: u64 = net.iter_nodes().map(|(_, n)| n.metrics().retransmits).sum();
+        assert!(retransmits > 0, "20% loss must exercise the RTO path");
+
+        let net = build(0);
+        let active = net
+            .iter_nodes()
+            .filter(|(_, n)| n.status() == NodeStatus::Active)
+            .count();
+        assert!(
+            active < 8,
+            "single-shot joins should not all survive 20% loss"
+        );
     }
 
     #[test]

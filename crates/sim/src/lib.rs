@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod harness;
 pub mod latency;
 pub mod net;
@@ -41,9 +42,10 @@ pub mod queue;
 pub mod stats;
 pub mod time;
 
+pub use fault::{FaultEvent, FaultPlan, LinkFault};
 pub use harness::{
     finger_convergence, prestabilized_chord, prestabilized_dat, prestabilized_explicit,
-    ring_converged, spawn_live_ring,
+    ring_converged, ring_converged_dat, spawn_live_ring,
 };
 pub use latency::{LatencyModel, LossModel};
 pub use net::{Actor, LinkStats, SimNet, UpcallRecord};

@@ -6,8 +6,9 @@ use std::collections::HashMap;
 
 use dat_chord::{ChordMsg, ChordNode, Input, NodeAddr, Output, TimerKind, Upcall};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+use crate::fault::{FaultAction, FaultController, FaultPlan};
 use crate::latency::{LatencyModel, LossModel};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
@@ -20,6 +21,9 @@ pub trait Actor {
     fn addr(&self) -> NodeAddr;
     /// Drive one input through the actor.
     fn on_input(&mut self, input: Input) -> Vec<Output>;
+    /// Report the host clock (virtual ms). The engine calls this before
+    /// every input so protocol-level RTT estimation sees virtual time.
+    fn set_now(&mut self, _now_ms: u64) {}
 }
 
 impl Actor for ChordNode {
@@ -28,6 +32,9 @@ impl Actor for ChordNode {
     }
     fn on_input(&mut self, input: Input) -> Vec<Output> {
         self.handle(input)
+    }
+    fn set_now(&mut self, now_ms: u64) {
+        ChordNode::set_now(self, now_ms);
     }
 }
 
@@ -43,6 +50,8 @@ enum SimEvent {
         node: NodeAddr,
         kind: TimerKind,
     },
+    /// The `i`-th event of the installed [`FaultPlan`] comes due.
+    Fault(usize),
 }
 
 /// An upcall surfaced by some node, timestamped.
@@ -79,7 +88,16 @@ pub struct SimNet<A: Actor> {
     upcalls: Vec<UpcallRecord>,
     record_upcalls: bool,
     stats: HashMap<NodeAddr, LinkStats>,
-    /// Messages dropped by the loss model or sent to dead nodes.
+    /// Counters of nodes that crashed, frozen at crash time (accumulated
+    /// across repeated crashes of the same address).
+    retired_stats: HashMap<NodeAddr, LinkStats>,
+    faults: Option<FaultController>,
+    /// Builds a fresh actor (plus its start outputs) for a
+    /// [`crate::FaultEvent::Restart`] of the given address.
+    #[allow(clippy::type_complexity)]
+    restart_fn: Option<Box<dyn FnMut(NodeAddr) -> Option<(A, Vec<Output>)>>>,
+    /// Messages dropped by the loss model, an active partition/link fault,
+    /// or addressed to dead nodes.
     pub dropped: u64,
     events_processed: u64,
 }
@@ -96,9 +114,40 @@ impl<A: Actor> SimNet<A> {
             upcalls: Vec::new(),
             record_upcalls: true,
             stats: HashMap::new(),
+            retired_stats: HashMap::new(),
+            faults: None,
+            restart_fn: None,
             dropped: 0,
             events_processed: 0,
         }
+    }
+
+    /// Install a fault schedule. Each event becomes a queue event at its
+    /// `at_ms`, so the whole schedule replays identically for a given seed.
+    /// Must be installed before the engine runs past the first event time;
+    /// a second call replaces the previous plan (its un-fired events keep
+    /// firing but hit the new controller's indices — don't do that; install
+    /// one plan per run).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for (i, (at_ms, _)) in plan.events().iter().enumerate() {
+            self.queue.push_at(SimTime(*at_ms), SimEvent::Fault(i));
+        }
+        self.faults = Some(FaultController::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Install the hook that [`crate::FaultEvent::Restart`] uses to build
+    /// a replacement actor (fresh state — a restart never resurrects the
+    /// crashed actor's memory). Return `None` to skip a restart.
+    pub fn set_restart_fn<F>(&mut self, f: F)
+    where
+        F: FnMut(NodeAddr) -> Option<(A, Vec<Output>)> + 'static,
+    {
+        self.restart_fn = Some(Box::new(f));
     }
 
     /// Replace the latency model.
@@ -179,16 +228,27 @@ impl<A: Actor> SimNet<A> {
     where
         F: FnOnce(&mut A) -> (R, Vec<Output>),
     {
+        let now = self.queue.now().as_millis();
         let actor = self.nodes.get_mut(&addr)?;
+        actor.set_now(now);
         let (r, out) = f(actor);
         self.apply(addr, out);
         Some(r)
     }
 
-    /// Crash a node: remove it abruptly. In-flight traffic to it is lost;
-    /// peers discover the failure via timeouts (ungraceful churn).
+    /// Crash a node: remove it abruptly. In-flight traffic to it is lost
+    /// (counted in [`SimNet::dropped`]), its pending timers die silently,
+    /// and its transport counters are retired into
+    /// [`SimNet::retired_link_stats`] rather than left to go stale; peers
+    /// discover the failure via timeouts (ungraceful churn).
     pub fn crash(&mut self, addr: NodeAddr) -> Option<A> {
-        self.nodes.remove(&addr)
+        let actor = self.nodes.remove(&addr)?;
+        if let Some(s) = self.stats.remove(&addr) {
+            let r = self.retired_stats.entry(addr).or_default();
+            r.sent += s.sent;
+            r.delivered += s.delivered;
+        }
+        Some(actor)
     }
 
     /// Process the outputs `from` produced.
@@ -197,11 +257,41 @@ impl<A: Actor> SimNet<A> {
             match o {
                 Output::Send { to, msg } => {
                     self.stats.entry(from).or_default().sent += 1;
-                    if self.loss.drops(&mut self.rng) {
+                    // Consult the fault controller first; when no plan is
+                    // installed this consumes no randomness, preserving
+                    // traces of fault-free runs byte for byte.
+                    let now = self.queue.now();
+                    let (blocked, link, dup_prob) = match self.faults.as_mut() {
+                        Some(fc) => (
+                            fc.blocked(from, to.addr),
+                            fc.link(from, to.addr, now),
+                            fc.dup_prob(),
+                        ),
+                        None => (false, None, 0.0),
+                    };
+                    if blocked || self.loss.drops(&mut self.rng) {
                         self.dropped += 1;
                         continue;
                     }
-                    let delay = self.latency.sample(&mut self.rng);
+                    if let Some(lf) = link {
+                        if lf.loss > 0.0 && self.rng.random::<f64>() < lf.loss {
+                            self.dropped += 1;
+                            continue;
+                        }
+                    }
+                    let extra = link.map_or(0, |l| l.extra_latency_ms);
+                    if dup_prob > 0.0 && self.rng.random::<f64>() < dup_prob {
+                        let delay = self.latency.sample(&mut self.rng) + extra;
+                        self.queue.push_after(
+                            delay,
+                            SimEvent::Deliver {
+                                to: to.addr,
+                                from,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                    let delay = self.latency.sample(&mut self.rng) + extra;
                     self.queue.push_after(
                         delay,
                         SimEvent::Deliver {
@@ -235,6 +325,7 @@ impl<A: Actor> SimNet<A> {
             return false;
         };
         self.events_processed += 1;
+        let now_ms = self.queue.now().as_millis();
         match ev.event {
             SimEvent::Deliver { to, from, msg } => {
                 let Some(node) = self.nodes.get_mut(&to) else {
@@ -242,6 +333,7 @@ impl<A: Actor> SimNet<A> {
                     return true;
                 };
                 self.stats.entry(to).or_default().delivered += 1;
+                node.set_now(now_ms);
                 let out = node.on_input(Input::Message { from, msg });
                 self.apply(to, out);
             }
@@ -249,8 +341,28 @@ impl<A: Actor> SimNet<A> {
                 let Some(node) = self.nodes.get_mut(&addr) else {
                     return true; // node gone; timer dies silently
                 };
+                node.set_now(now_ms);
                 let out = node.on_input(Input::Timer(kind));
                 self.apply(addr, out);
+            }
+            SimEvent::Fault(i) => {
+                let now = self.queue.now();
+                let action = self.faults.as_mut().and_then(|fc| fc.apply(i, now));
+                match action {
+                    Some(FaultAction::Crash(node)) => {
+                        let _ = self.crash(node);
+                    }
+                    Some(FaultAction::Restart(node)) if !self.nodes.contains_key(&node) => {
+                        let spawned = self.restart_fn.as_mut().and_then(|f| f(node));
+                        if let Some((actor, out)) = spawned {
+                            let addr = actor.addr();
+                            self.add_node(actor);
+                            self.apply(addr, out);
+                        }
+                    }
+                    // Restart of a still-live node, or no action due.
+                    _ => {}
+                }
             }
         }
         true
@@ -284,6 +396,13 @@ impl<A: Actor> SimNet<A> {
     /// Transport counters for one node.
     pub fn link_stats(&self, addr: NodeAddr) -> LinkStats {
         self.stats.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Transport counters retired when `addr` crashed (zero if it never
+    /// did). Live counters move here at crash time so [`SimNet::link_stats`]
+    /// never reports stale numbers for a dead node.
+    pub fn retired_link_stats(&self, addr: NodeAddr) -> LinkStats {
+        self.retired_stats.get(&addr).copied().unwrap_or_default()
     }
 
     /// Reset all transport counters (e.g. after warm-up).
@@ -404,6 +523,175 @@ mod tests {
                 net.events_processed(),
                 net.link_stats(NodeAddr(1)).sent,
                 net.link_stats(NodeAddr(2)).delivered,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_retires_stats_kills_timers_and_drops_inflight() {
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        let before = net.link_stats(NodeAddr(2));
+        assert!(before.sent > 0 && before.delivered > 0);
+        let dropped_before = net.dropped;
+        let pending_before = net.pending_events();
+        assert!(pending_before > 0, "stabilization keeps timers armed");
+        net.crash(NodeAddr(2));
+        // Live counters are retired, not left stale.
+        assert_eq!(net.link_stats(NodeAddr(2)).sent, 0);
+        assert_eq!(net.link_stats(NodeAddr(2)).delivered, 0);
+        let retired = net.retired_link_stats(NodeAddr(2));
+        assert_eq!(retired.sent, before.sent);
+        assert_eq!(retired.delivered, before.delivered);
+        // In-flight deliveries and post-crash sends to the dead node are
+        // counted in `dropped`; node 2's timers fire into the void without
+        // panicking or producing traffic.
+        net.run_for(30_000);
+        assert!(net.dropped > dropped_before);
+        assert_eq!(
+            net.retired_link_stats(NodeAddr(2)).delivered,
+            retired.delivered
+        );
+        assert_eq!(net.len(), 1);
+    }
+
+    #[test]
+    fn partitioned_ring_reunifies_after_heal() {
+        let mut net = two_node_net();
+        net.set_fault_plan(
+            FaultPlan::new()
+                .partition_at(30_000, vec![NodeAddr(2)])
+                .heal_at(90_000),
+        );
+        net.run_for(30_000); // converge before the cut
+        assert_eq!(
+            net.node(NodeAddr(1))
+                .unwrap()
+                .table()
+                .successor()
+                .unwrap()
+                .id,
+            Id(40_000)
+        );
+        let dropped_before = net.dropped;
+        net.run_for(60_000); // partitioned window
+        assert!(net.dropped > dropped_before, "partition blocks traffic");
+        let a = net.node(NodeAddr(1)).unwrap();
+        assert!(a.table().successor().is_none(), "peer evicted during cut");
+        // After the heal the fallen-peer probes rediscover the other side
+        // and the two singleton rings merge back into one.
+        net.run_for(120_000);
+        let a = net.node(NodeAddr(1)).unwrap();
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_eq!(a.table().successor().unwrap().id, Id(40_000));
+        assert_eq!(b.table().successor().unwrap().id, Id(100));
+    }
+
+    #[test]
+    fn plan_crash_and_restart_rejoin_with_fresh_state() {
+        let mut net = two_node_net();
+        net.set_fault_plan(
+            FaultPlan::new()
+                .crash_at(30_000, NodeAddr(2))
+                .restart_at(75_000, NodeAddr(2)),
+        );
+        net.set_restart_fn(|addr| {
+            let mut n = ChordNode::new(cfg(), Id(40_000), addr);
+            let out = n.start_join(dat_chord::NodeRef::new(Id(100), NodeAddr(1)));
+            Some((n, out))
+        });
+        net.run_for(60_000);
+        assert_eq!(net.len(), 1, "crash event removed node 2");
+        let retired = net.retired_link_stats(NodeAddr(2));
+        assert!(retired.sent > 0);
+        net.run_for(60_000);
+        assert_eq!(net.len(), 2, "restart hook re-created node 2");
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_eq!(b.status(), dat_chord::NodeStatus::Active);
+        assert_eq!(b.table().successor().unwrap().id, Id(100));
+        // The retired counters stay frozen at their crash-time values; the
+        // reborn node accumulates live stats from zero under the same
+        // address.
+        assert_eq!(net.retired_link_stats(NodeAddr(2)).sent, retired.sent);
+        assert!(net.link_stats(NodeAddr(2)).sent > 0);
+    }
+
+    #[test]
+    fn link_fault_blocks_until_cleared() {
+        let mut net = two_node_net();
+        net.set_fault_plan(
+            FaultPlan::new()
+                .link_fault_at(
+                    0,
+                    NodeAddr(1),
+                    NodeAddr(2),
+                    crate::fault::LinkFault {
+                        loss: 1.0,
+                        extra_latency_ms: 0,
+                    },
+                )
+                .clear_link_at(20_000, NodeAddr(1), NodeAddr(2)),
+        );
+        net.run_for(15_000);
+        // Join replies all travel 1 → 2 and the directed override eats them.
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_ne!(b.status(), dat_chord::NodeStatus::Active);
+        assert!(net.dropped > 0);
+        net.run_for(60_000);
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_eq!(
+            b.status(),
+            dat_chord::NodeStatus::Active,
+            "cleared link heals"
+        );
+    }
+
+    #[test]
+    fn duplication_inflates_delivery_counts() {
+        // Keep the rate in the realistic regime: duplication compounds per
+        // forwarding hop (each copy of a routed message is a fresh
+        // transmission), so rates near 1.0 amplify deep `find_successor`
+        // chains exponentially.
+        let mut net = two_node_net();
+        net.set_fault_plan(FaultPlan::new().duplication_at(0, 0.05));
+        net.run_for(30_000);
+        let sent = net.link_stats(NodeAddr(1)).sent + net.link_stats(NodeAddr(2)).sent;
+        let delivered =
+            net.link_stats(NodeAddr(1)).delivered + net.link_stats(NodeAddr(2)).delivered;
+        assert!(
+            delivered > sent + sent / 50,
+            "5% duplication should measurably inflate deliveries ({delivered} vs {sent})"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_replays_identically_for_a_seed() {
+        let run = || {
+            let mut net = two_node_net();
+            net.set_latency(LatencyModel::Uniform { lo: 5, hi: 50 });
+            let plan = FaultPlan::new()
+                .partition_at(20_000, vec![NodeAddr(2)])
+                .duplication_at(25_000, 0.3)
+                .heal_at(45_000)
+                .crash_at(70_000, NodeAddr(2))
+                .restart_at(80_000, NodeAddr(2));
+            let digest = plan.digest();
+            net.set_fault_plan(plan);
+            net.set_restart_fn(|addr| {
+                let mut n = ChordNode::new(cfg(), Id(40_000), addr);
+                let out = n.start_join(dat_chord::NodeRef::new(Id(100), NodeAddr(1)));
+                Some((n, out))
+            });
+            net.run_for(120_000);
+            (
+                digest,
+                net.events_processed(),
+                net.dropped,
+                net.link_stats(NodeAddr(1)).sent,
+                net.link_stats(NodeAddr(1)).delivered,
+                net.link_stats(NodeAddr(2)).sent,
+                net.retired_link_stats(NodeAddr(2)).delivered,
             )
         };
         assert_eq!(run(), run());

@@ -10,7 +10,9 @@
 //! cargo run --release --example churn_storm
 //! ```
 
-use libdat::chord::{hash_to_id, ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
+use libdat::chord::{
+    hash_to_id, ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
+};
 use libdat::core::{AggregationMode, DatConfig, DatEvent, DatNode};
 use libdat::sim::harness::{addr_book, prestabilized_dat};
 use rand::{Rng, SeedableRng};
@@ -122,7 +124,11 @@ fn main() {
         .next_back()
         .expect("root keeps reporting");
     let coverage = p.count as f64 / live as f64;
-    println!("\nafter settling: {live} live nodes, report covers {} ({:.1}%)", p.count, coverage * 100.0);
+    println!(
+        "\nafter settling: {live} live nodes, report covers {} ({:.1}%)",
+        p.count,
+        coverage * 100.0
+    );
     assert!(
         coverage > 0.9,
         "implicit tree should recover >90% coverage after churn"

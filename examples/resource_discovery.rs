@@ -14,10 +14,8 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
     let ring = StaticRing::build(IdSpace::new(32), 128, IdPolicy::Probed, &mut rng);
-    let mut svc = DiscoveryService::new(MaanNetwork::new(
-        ring,
-        DiscoveryService::standard_schemas(),
-    ));
+    let mut svc =
+        DiscoveryService::new(MaanNetwork::new(ring, DiscoveryService::standard_schemas()));
     let origin = svc.maan().ring().ids()[0];
 
     // Advertise 300 machines across three sites.

@@ -67,7 +67,14 @@ fn main() {
         let mut states = Vec::with_capacity(n);
         for i in 0..n {
             if let Some(s) = cluster.call(NodeAddr(i as u64), |node| {
-                ((node.status(), node.me().id, node.chord().table().successor().map(|s| s.id)), vec![])
+                (
+                    (
+                        node.status(),
+                        node.me().id,
+                        node.chord().table().successor().map(|s| s.id),
+                    ),
+                    vec![],
+                )
             }) {
                 states.push(s);
             }
@@ -105,7 +112,9 @@ fn main() {
             .unwrap_or_default()
             .into_iter()
             .find_map(|e| match e {
-                DatEvent::QueryDone { reqid: r, partial, .. } if r == reqid => Some(partial),
+                DatEvent::QueryDone {
+                    reqid: r, partial, ..
+                } if r == reqid => Some(partial),
                 _ => None,
             });
         if let Some(p) = found {
@@ -132,5 +141,8 @@ fn main() {
         stats.sent, stats.received, stats.decode_errors
     );
     cluster.shutdown();
-    println!("ok: live UDP cluster aggregated {} of {n} nodes", partial.count);
+    println!(
+        "ok: live UDP cluster aggregated {} of {n} nodes",
+        partial.count
+    );
 }

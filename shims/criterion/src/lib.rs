@@ -1,0 +1,240 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the bench surface its `benches/` use: groups,
+//! parameterized ids, throughput annotation, and `Bencher::iter`. Instead
+//! of criterion's statistical engine this shim times a fixed batch with
+//! `std::time::Instant` and prints a one-line mean per benchmark — enough
+//! to compare runs by eye and to keep every bench target compiling and
+//! runnable without the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function label plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function label and a parameter value.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render the id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the bench closure; call [`Bencher::iter`] with the hot loop.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `f` over a fixed batch of iterations (after a short warm-up).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.samples.min(3) {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("bench {id:<40} (closure never called iter)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>10.1} elem/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!("bench {:<40} {:>12.3} µs/iter{}", id, per_iter * 1e6, rate);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&full, self.throughput);
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T: ?Sized, F>(&mut self, id: I, input: &T, mut f: F)
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&full, self.throughput);
+    }
+
+    /// End the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.effective_samples());
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.effective_samples(),
+            throughput: None,
+        }
+    }
+}
+
+/// Declare a bench group function running each target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 20);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function(BenchmarkId::new("f", 7), |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

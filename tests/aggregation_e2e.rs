@@ -50,10 +50,17 @@ fn last_report(
 ) -> Option<libdat::core::AggPartial> {
     // One node can be the rendezvous root for several attributes at once —
     // filter by key.
-    net.node_mut(addr).unwrap().take_events().into_iter().rev().find_map(|e| match e {
-        DatEvent::Report { key: k, partial, .. } if k == key => Some(partial),
-        _ => None,
-    })
+    net.node_mut(addr)
+        .unwrap()
+        .take_events()
+        .into_iter()
+        .rev()
+        .find_map(|e| match e {
+            DatEvent::Report {
+                key: k, partial, ..
+            } if k == key => Some(partial),
+            _ => None,
+        })
 }
 
 #[test]
@@ -113,7 +120,9 @@ fn on_demand_query_from_any_node() {
             .take_events()
             .into_iter()
             .find_map(|e| match e {
-                DatEvent::QueryDone { reqid: r, partial, .. } if r == reqid => Some(partial),
+                DatEvent::QueryDone {
+                    reqid: r, partial, ..
+                } if r == reqid => Some(partial),
                 _ => None,
             })
             .expect("query completes");
@@ -220,7 +229,7 @@ fn histogram_digests_flow_through_the_tree() {
     assert_eq!(h.total(), 50);
     assert_eq!(h.buckets[1], 25); // 10% bucket
     assert_eq!(h.buckets[9], 25); // 90% bucket
-    // Quantiles from the digest.
+                                  // Quantiles from the digest.
     assert!(h.quantile(0.25) < 30.0);
     assert!(h.quantile(0.75) > 70.0);
 }

@@ -59,11 +59,7 @@ fn broadcast_message_count_is_n_minus_1() {
         ((), node.broadcast(vec![1]))
     });
     net.run_for(30_000);
-    let total_sent: u64 = net
-        .addrs()
-        .iter()
-        .map(|&a| net.link_stats(a).sent)
-        .sum();
+    let total_sent: u64 = net.addrs().iter().map(|&a| net.link_stats(a).sent).sum();
     assert_eq!(total_sent, 127, "one broadcast frame per remote node");
 }
 
@@ -86,10 +82,13 @@ fn ping_node_detects_crash_and_evicts() {
         .expect("has fingers");
     let target_addr = target.addr;
     net.crash(target_addr);
-    // Two ping rounds (two strikes) evict the dead finger.
+    // Two ping rounds (two strikes) evict the dead finger. A ping only
+    // counts as a timeout after its retransmissions are exhausted —
+    // 2 s + 4 s + 8 s of backoff with the default RTO — so give each
+    // round the full cycle.
     for _ in 0..2 {
         net.with_node(me, |node: &mut ChordNode| ((), node.ping_node(target)));
-        net.run_for(5_000);
+        net.run_for(20_000);
     }
     let still_there = net
         .node(me)
@@ -97,7 +96,10 @@ fn ping_node_detects_crash_and_evicts() {
         .table()
         .iter()
         .any(|(_, f)| f.node.id == target.id);
-    assert!(!still_there, "dead finger must be evicted after two strikes");
+    assert!(
+        !still_there,
+        "dead finger must be evicted after two strikes"
+    );
 }
 
 #[test]

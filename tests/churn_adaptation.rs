@@ -1,6 +1,8 @@
 //! Integration: implicit DAT trees adapt to churn with no tree repair.
 
-use libdat::chord::{hash_to_id, ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
+use libdat::chord::{
+    hash_to_id, ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
+};
 use libdat::core::{AggregationMode, DatConfig, DatEvent, DatNode};
 use libdat::sim::harness::{addr_book, prestabilized_dat};
 use rand::SeedableRng;

@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 /// Run a lossy, jittery aggregation network and produce a fingerprint of
 /// everything observable: events processed, per-node traffic, root reports.
-fn fingerprint(seed: u64) -> (u64, u64, Vec<(u64, u64)>, Vec<(u64, u64)>) {
+type Fingerprint = (u64, u64, Vec<(u64, u64)>, Vec<(u64, u64)>);
+
+fn fingerprint(seed: u64) -> Fingerprint {
     let space = IdSpace::new(32);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let ring = StaticRing::build(space, 96, IdPolicy::Probed, &mut rng);

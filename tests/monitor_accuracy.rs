@@ -65,7 +65,14 @@ fn random_walk_metrics_stay_in_domain() {
         ..MonitorConfig::default()
     };
     let mut sim = GridMonitorSim::new(cfg, "memory-free", |i| {
-        Box::new(RandomWalkSensor::new("memory-free", 32.0, 0.0, 64.0, 2.0, i as u64))
+        Box::new(RandomWalkSensor::new(
+            "memory-free",
+            32.0,
+            0.0,
+            64.0,
+            2.0,
+            i as u64,
+        ))
     });
     sim.run_epochs(30);
     for r in sim.records() {
@@ -83,10 +90,8 @@ fn discovery_consistency_with_advertised_state() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
     let ring = StaticRing::build(IdSpace::new(32), 64, IdPolicy::Probed, &mut rng);
-    let mut svc = DiscoveryService::new(MaanNetwork::new(
-        ring,
-        DiscoveryService::standard_schemas(),
-    ));
+    let mut svc =
+        DiscoveryService::new(MaanNetwork::new(ring, DiscoveryService::standard_schemas()));
     let origin = svc.maan().ring().ids()[0];
     // Advertise machines mirroring a monitored fleet.
     let usages: Vec<f64> = (0..40).map(|i| (i * 97 % 101) as f64).collect();

@@ -1,7 +1,9 @@
 //! Integration: on-demand aggregation under faults — lost branches resolve
 //! via the per-node window timeout; queries during churn still answer.
 
-use libdat::chord::{hash_to_id, ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
+use libdat::chord::{
+    hash_to_id, ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
+};
 use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
 use libdat::sim::harness::{addr_book, prestabilized_dat};
 use libdat::sim::{LossModel, SimNet};
@@ -68,7 +70,9 @@ fn query_with_retries(
             .take_events()
             .into_iter()
             .find_map(|e| match e {
-                DatEvent::QueryDone { reqid: r, partial, .. } if r == reqid => Some(partial),
+                DatEvent::QueryDone {
+                    reqid: r, partial, ..
+                } if r == reqid => Some(partial),
                 _ => None,
             });
         if found.is_some() {
@@ -143,7 +147,11 @@ fn concurrent_queries_do_not_interfere() {
     net.run_for(3_000);
     // Three nodes ask at the same time; each must get the full answer with
     // its own request id.
-    let askers = [book[&ring.ids()[1]], book[&ring.ids()[20]], book[&ring.ids()[40]]];
+    let askers = [
+        book[&ring.ids()[1]],
+        book[&ring.ids()[20]],
+        book[&ring.ids()[40]],
+    ];
     let reqids: Vec<u64> = askers
         .iter()
         .map(|&a| net.with_node(a, |node| node.query(key)).unwrap())
@@ -156,7 +164,9 @@ fn concurrent_queries_do_not_interfere() {
             .take_events()
             .into_iter()
             .find_map(|e| match e {
-                DatEvent::QueryDone { reqid: r, partial, .. } if r == reqid => Some(partial),
+                DatEvent::QueryDone {
+                    reqid: r, partial, ..
+                } if r == reqid => Some(partial),
                 _ => None,
             })
             .expect("each concurrent query completes");

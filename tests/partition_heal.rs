@@ -1,0 +1,168 @@
+//! Integration: deterministic fault injection end to end — a 256-node DAT
+//! ring split 3:1 for 60 virtual seconds must re-unify after the partition
+//! heals, the continuous aggregation must recover to ≤1% relative error,
+//! and two runs with the same seed must produce byte-identical fault
+//! schedules and final statistics.
+
+use libdat::chord::{ChordConfig, Id, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
+use libdat::core::{AggFunc, AggPartial, AggregationMode, DatConfig, DatEvent, DatNode};
+use libdat::sim::harness::{addr_book, prestabilized_dat, ring_converged_dat};
+use libdat::sim::{FaultPlan, SimNet};
+use rand::SeedableRng;
+
+const N: usize = 256;
+const PARTITION_AT: u64 = 20_000;
+const HEAL_AT: u64 = 80_000; // 60 s partition, per the experiment design
+const END_AT: u64 = 230_000;
+
+/// Every 4th ring position (64 of 256 nodes) forms the minority side.
+fn minority(n: usize) -> Vec<NodeAddr> {
+    (0..n).step_by(4).map(|i| NodeAddr(i as u64)).collect()
+}
+
+fn plan(n: usize) -> FaultPlan {
+    FaultPlan::new()
+        .partition_at(PARTITION_AT, minority(n))
+        .heal_at(HEAL_AT)
+}
+
+struct Outcome {
+    digest: u64,
+    events: u64,
+    traffic: Vec<(u64, u64)>,
+    converged: bool,
+    pre_count: u64,
+    mid_count: u64,
+    final_count: u64,
+    final_sum_bits: u64,
+}
+
+fn last_report(net: &mut SimNet<DatNode>, root: NodeAddr, key: Id) -> Option<AggPartial> {
+    net.node_mut(root)
+        .unwrap()
+        .take_events()
+        .into_iter()
+        .rev()
+        .find_map(|e| match e {
+            DatEvent::Report {
+                key: k, partial, ..
+            } if k == key => Some(partial),
+            _ => None,
+        })
+}
+
+/// Run the full partition/heal scenario and fingerprint everything
+/// observable about it.
+fn run(seed: u64) -> Outcome {
+    let space = IdSpace::new(32);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let ring = StaticRing::build(space, N, IdPolicy::Probed, &mut rng);
+    // Live maintenance timers: evictions, fallen-peer probes and finger
+    // repair must all run for the ring to tear and re-knit. (The frozen
+    // 60 s timers used by the pure aggregation tests would mask the fault.)
+    let ccfg = ChordConfig {
+        space,
+        stabilize_ms: 500,
+        fix_fingers_ms: 500,
+        check_pred_ms: 1_000,
+        ..ChordConfig::default()
+    };
+    let dcfg = DatConfig {
+        scheme: RoutingScheme::Balanced,
+        epoch_ms: 1_000,
+        d0_hint: Some(ring.d0()),
+        ..DatConfig::default()
+    };
+    let mut net = prestabilized_dat(&ring, ccfg, dcfg, seed);
+    net.set_record_upcalls(false);
+    let fp = plan(N);
+    let digest = fp.digest();
+    net.set_fault_plan(fp);
+
+    let book = addr_book(&ring);
+    let mut key = Id(0);
+    for (i, &id) in ring.ids().iter().enumerate() {
+        let node = net.node_mut(book[&id]).unwrap();
+        key = node.register("cpu-usage", AggregationMode::Continuous);
+        node.set_local(key, i as f64); // ground truth: sum of 0..n-1
+    }
+    let root = book[&ring.successor(key)];
+
+    // Phase 1: healthy ring, full propagation before the partition fires.
+    net.run_for(PARTITION_AT - 1_000);
+    let pre = last_report(&mut net, root, key).expect("pre-partition report");
+
+    // Phase 2: ride through the partition; sample just before it heals.
+    net.run_for(HEAL_AT - 1_000 - net.now().as_millis());
+    let mid = last_report(&mut net, root, key).expect("mid-partition report");
+
+    // Phase 3: heal and let the ring re-unify and the tree re-form.
+    net.run_for(END_AT - net.now().as_millis());
+    let fin = last_report(&mut net, root, key).expect("post-heal report");
+
+    let traffic = net
+        .addrs()
+        .iter()
+        .map(|&a| {
+            let s = net.link_stats(a);
+            (s.sent, s.delivered)
+        })
+        .collect();
+    Outcome {
+        digest,
+        events: net.events_processed(),
+        traffic,
+        converged: ring_converged_dat(&net, ring.ids()),
+        pre_count: pre.count,
+        mid_count: mid.count,
+        final_count: fin.count,
+        final_sum_bits: fin.finalize(AggFunc::Sum).to_bits(),
+    }
+}
+
+#[test]
+fn partition_heals_ring_reunifies_and_aggregation_recovers() {
+    let o = run(0xda7);
+    let want = (N * (N - 1) / 2) as f64;
+
+    // Before the fault the continuous aggregation covers every node.
+    assert_eq!(o.pre_count as usize, N, "pre-partition coverage");
+    // During the partition the root's tree visibly degrades: at least the
+    // far side's contributions expire out of the soft state.
+    assert!(
+        o.mid_count < N as u64,
+        "partition must shrink coverage (got {})",
+        o.mid_count
+    );
+
+    // After healing the successor ring is exactly the ideal ring again...
+    assert!(o.converged, "ring must re-unify after heal");
+    // ...and the continuous aggregate is back within 1% of ground truth.
+    let sum = f64::from_bits(o.final_sum_bits);
+    let rel = (sum - want).abs() / want;
+    assert!(
+        rel <= 0.01,
+        "post-heal sum {sum} vs {want} (rel err {rel:.4})"
+    );
+    let count_rel = (o.final_count as f64 - N as f64).abs() / N as f64;
+    assert!(
+        count_rel <= 0.01,
+        "post-heal count {} vs {N}",
+        o.final_count
+    );
+}
+
+#[test]
+fn same_seed_replays_identical_fault_schedule_and_stats() {
+    let a = run(0x5eed);
+    let b = run(0x5eed);
+    assert_eq!(a.digest, b.digest, "fault-plan digests differ");
+    assert_eq!(a.events, b.events, "event counts differ");
+    assert_eq!(a.traffic, b.traffic, "per-node traffic differs");
+    assert_eq!(a.converged, b.converged);
+    assert_eq!(
+        (a.pre_count, a.mid_count, a.final_count, a.final_sum_bits),
+        (b.pre_count, b.mid_count, b.final_count, b.final_sum_bits),
+        "aggregation outcomes differ",
+    );
+}

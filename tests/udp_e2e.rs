@@ -94,7 +94,9 @@ fn udp_cluster_converges_and_answers_queries() {
             .unwrap_or_default()
             .into_iter()
             .find_map(|e| match e {
-                DatEvent::QueryDone { reqid: r, partial, .. } if r == reqid => Some(partial),
+                DatEvent::QueryDone {
+                    reqid: r, partial, ..
+                } if r == reqid => Some(partial),
                 _ => None,
             });
         if let Some(p) = found {
