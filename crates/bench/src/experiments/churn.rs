@@ -9,8 +9,10 @@
 //! *tree-maintenance* messages (join/adopt/heartbeat/leave) separately
 //! from ring maintenance and aggregation payload.
 
-use dat_chord::{ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
-use dat_core::{AggregationMode, DatConfig, DatNode, ExplicitConfig, ExplicitTreeNode};
+use dat_chord::{ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
+use dat_core::{
+    AggregationMode, DatConfig, DatProtocol, ExplicitConfig, ExplicitProtocol, StackNode,
+};
 use dat_sim::harness::{addr_book, prestabilized_dat, prestabilized_explicit};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -113,7 +115,7 @@ pub fn run(n: usize, event_gap_ms: u64, duration_ms: u64, seed: u64) -> Churn {
     let mut exp_net = prestabilized_explicit(&ring, ccfg, ecfg, key, seed);
     exp_net.set_record_upcalls(false);
     for addr in exp_net.addrs() {
-        exp_net.node_mut(addr).unwrap().set_local(25.0);
+        exp_net.node_mut(addr).unwrap().exp_set_local(25.0);
     }
     exp_net.run_for(3_000); // warm-up: tree forms
     for addr in exp_net.addrs() {
@@ -150,16 +152,15 @@ pub fn run(n: usize, event_gap_ms: u64, duration_ms: u64, seed: u64) -> Churn {
             let addr = NodeAddr(next_addr);
             next_addr += 1;
             let bootstrap = dat_net.node(root_addr).unwrap().me();
-            let chord = ChordNode::new(ccfg, id, addr);
-            let mut dn = DatNode::from_chord(chord, dcfg);
+            let mut dn = StackNode::new(ccfg, id, addr).with_app(DatProtocol::new(dcfg));
             let k = dn.register("cpu-usage", AggregationMode::Continuous);
             dn.set_local(k, 25.0);
             let outs = dn.start_join(bootstrap);
             dat_net.add_node(dn);
             dat_net.apply(addr, outs);
 
-            let mut en = ExplicitTreeNode::new(ccfg, ecfg, key, id, addr);
-            en.set_local(25.0);
+            let mut en = StackNode::new(ccfg, id, addr).with_app(ExplicitProtocol::new(ecfg, key));
+            en.exp_set_local(25.0);
             let boot2 = exp_net.node(root_addr).unwrap().me();
             let outs = en.start_join(boot2);
             exp_net.add_node(en);
@@ -177,17 +178,20 @@ pub fn run(n: usize, event_gap_ms: u64, duration_ms: u64, seed: u64) -> Churn {
     for addr in dat_net.addrs() {
         let node = dat_net.node(addr).unwrap();
         dat.ring_maintenance += node.chord().metrics().sent_of_kinds(&RING_KINDS);
-        dat.liveness += 2 * node.metrics().sent_of("dat_parent_ping"); // ping + pong
-        dat.payload += node.metrics().sent_of("dat_update");
+        dat.liveness += 2 * node.dat_metrics().sent_of("dat_parent_ping"); // ping + pong
+        dat.payload += node.dat_metrics().sent_of("dat_update");
         // tree_maintenance stays 0: the DAT never repairs membership.
     }
     let mut explicit = ChurnCosts::default();
     for addr in exp_net.addrs() {
         let node = exp_net.node(addr).unwrap();
         explicit.ring_maintenance += node.chord().metrics().sent_of_kinds(&RING_KINDS);
-        explicit.tree_maintenance += node.metrics().sent_of_kinds(&EXP_MEMBERSHIP_KINDS);
-        explicit.liveness += node.metrics().sent_of_kinds(&EXP_LIVENESS_KINDS);
-        explicit.payload += node.metrics().sent_of("exp_update");
+        explicit.tree_maintenance += node
+            .explicit()
+            .metrics()
+            .sent_of_kinds(&EXP_MEMBERSHIP_KINDS);
+        explicit.liveness += node.explicit().metrics().sent_of_kinds(&EXP_LIVENESS_KINDS);
+        explicit.payload += node.explicit().metrics().sent_of("exp_update");
     }
     // Did aggregation survive on the DAT side?
     let dat_reports_after_churn = dat_net

@@ -9,7 +9,7 @@
 //! message counts must equal the analytic branching factors.
 
 use dat_chord::{ChordConfig, IdPolicy, IdSpace, RoutingScheme, StaticRing};
-use dat_core::{AggregationMode, DatConfig, DatNode, DatTree};
+use dat_core::{AggregationMode, DatConfig, DatTree, StackNode};
 use dat_sim::harness::{addr_book, prestabilized_dat};
 use dat_sim::SimNet;
 use rand::rngs::SmallRng;
@@ -69,7 +69,7 @@ fn check_one(n: usize, scheme: RoutingScheme, seed: u64) -> CrosscheckRow {
         d0_hint: Some(ring.d0()),
         ..DatConfig::default()
     };
-    let mut net: SimNet<DatNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
+    let mut net: SimNet<StackNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
     net.set_record_upcalls(false);
     let book = addr_book(&ring);
     for &id in ring.ids() {
@@ -98,7 +98,7 @@ fn check_one(n: usize, scheme: RoutingScheme, seed: u64) -> CrosscheckRow {
         let got = net
             .node(book[&id])
             .unwrap()
-            .metrics()
+            .dat_metrics()
             .received_of("dat_update") as f64
             / epochs as f64;
         let want = tree.branching(id) as f64;

@@ -14,7 +14,7 @@
 //!   ≈constant (about 2) for balanced.
 
 use dat_chord::{ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
-use dat_core::{AggregationMode, DatConfig, DatNode};
+use dat_core::{AggregationMode, DatConfig, StackNode};
 use dat_sim::harness::prestabilized_dat;
 use dat_sim::{imbalance_factor, rank_order, SimNet};
 use rand::rngs::SmallRng;
@@ -77,7 +77,7 @@ pub fn measure_message_counts(n: usize, scheme: Scheme, seed: u64, epochs: u64) 
         d0_hint: Some(ring.d0()),
         ..DatConfig::default()
     };
-    let mut net: SimNet<DatNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
+    let mut net: SimNet<StackNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
     net.set_record_upcalls(false);
     // Register the aggregation and a local value at every node.
     let addrs = net.addrs();
@@ -102,7 +102,7 @@ pub fn measure_message_counts(n: usize, scheme: Scheme, seed: u64, epochs: u64) 
                 // at the root plus forwarding burden on the way).
                 Scheme::Centralized => node.chord().metrics().received_of("route"),
                 // DAT load = updates received from children.
-                _ => node.metrics().received_of("dat_update"),
+                _ => node.dat_metrics().received_of("dat_update"),
             };
             count as f64 / epochs as f64
         })
@@ -356,7 +356,7 @@ mod debug_tests {
             d0_hint: Some(ring.d0()),
             ..DatConfig::default()
         };
-        let mut net: SimNet<DatNode> = prestabilized_dat(&ring, ccfg, dcfg, 7);
+        let mut net: SimNet<StackNode> = prestabilized_dat(&ring, ccfg, dcfg, 7);
         net.set_record_upcalls(false);
         let addrs = net.addrs();
         for (i, &addr) in addrs.iter().enumerate() {
@@ -373,8 +373,8 @@ mod debug_tests {
         net.run_for(epochs * 1_000);
         for &addr in &addrs {
             let node = net.node(addr).unwrap();
-            let sent = node.metrics().sent_of("dat_update");
-            let recv = node.metrics().received_of("dat_update");
+            let sent = node.dat_metrics().sent_of("dat_update");
+            let recv = node.dat_metrics().received_of("dat_update");
             let pd = node.parent_decision(key);
             println!(
                 "addr={:?} id={} epoch={} sent={} recv={} parent={:?}",

@@ -70,7 +70,7 @@ fn run_one(n: usize, seed: u64) -> GossipRow {
         net.run_for(1_000);
         let worst = net
             .iter_nodes()
-            .map(|(_, node)| ((node.estimate() - truth) / truth).abs())
+            .map(|(_, node)| ((node.gossip().estimate() - truth) / truth).abs())
             .fold(0.0f64, f64::max);
         if rounds_1pct.is_none() && worst < 0.01 {
             rounds_1pct = Some(round);
@@ -80,7 +80,12 @@ fn run_one(n: usize, seed: u64) -> GossipRow {
             msgs_to_01pct = Some(
                 net.addrs()
                     .iter()
-                    .map(|&a| net.node(a).unwrap().metrics().sent_of("gossip_share"))
+                    .map(|&a| {
+                        net.node(a)
+                            .unwrap()
+                            .gossip_metrics()
+                            .sent_of("gossip_share")
+                    })
                     .sum(),
             );
             break;

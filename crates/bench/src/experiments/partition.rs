@@ -18,8 +18,8 @@
 //! rectification, the tree via re-parenting — with no operator action.
 
 use dat_chord::{ChordConfig, Id, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
-use dat_core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
-use dat_sim::harness::{addr_book, prestabilized_dat, ring_converged_dat};
+use dat_core::{AggFunc, AggregationMode, DatConfig, DatEvent, StackNode};
+use dat_sim::harness::{addr_book, prestabilized_dat, ring_converged};
 use dat_sim::{FaultPlan, SimNet};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -84,7 +84,7 @@ pub fn run(n: usize, seed: u64) -> Partition {
         d0_hint: Some(ring.d0()),
         ..DatConfig::default()
     };
-    let mut net: SimNet<DatNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
+    let mut net: SimNet<StackNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
     net.set_record_upcalls(false);
 
     // Minority side: every 4th ring position (3:1 split).
@@ -137,7 +137,7 @@ pub fn run(n: usize, seed: u64) -> Partition {
             } else {
                 "healed"
             },
-            converged: ring_converged_dat(&net, ring.ids()),
+            converged: ring_converged(&net, ring.ids()),
             coverage,
             rel_err,
         });

@@ -9,7 +9,7 @@
 //! children expire and re-appear; no structural repair is ever needed).
 
 use dat_chord::{ChordConfig, IdPolicy, IdSpace, RoutingScheme, StaticRing};
-use dat_core::{AggregationMode, DatConfig, DatEvent, DatNode};
+use dat_core::{AggregationMode, DatConfig, DatEvent, StackNode};
 use dat_sim::harness::{addr_book, prestabilized_dat};
 use dat_sim::{LatencyModel, LossModel, SimNet};
 use rand::rngs::SmallRng;
@@ -72,7 +72,7 @@ fn run_one(n: usize, loss: f64, seed: u64) -> WanRow {
         d0_hint: Some(ring.d0()),
         ..DatConfig::default()
     };
-    let mut net: SimNet<DatNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
+    let mut net: SimNet<StackNode> = prestabilized_dat(&ring, ccfg, dcfg, seed);
     net.set_latency(LatencyModel::LogNormal {
         median_ms: median,
         sigma: 0.6,

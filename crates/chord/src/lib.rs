@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod actor;
 pub mod finger;
 pub mod id;
 pub mod metrics;
@@ -54,7 +55,9 @@ pub mod probing;
 pub mod ring;
 pub mod routing;
 pub mod sha1;
+pub mod wire;
 
+pub use actor::Actor;
 pub use finger::{FingerInfo, FingerTable, NodeAddr, NodeRef};
 pub use id::{ceil_log2, ceil_log2_ratio, Id, IdSpace};
 pub use metrics::Metrics;

@@ -22,7 +22,7 @@ pub enum IdPolicy {
     Even,
     /// Identifier probing at join time: each joining node probes the
     /// successor of a random id plus that successor's fingers and splits the
-    /// largest owned interval (Adler et al. [1], §3.5).
+    /// largest owned interval (Adler et al. \[1\], §3.5).
     Probed,
 }
 

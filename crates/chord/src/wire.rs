@@ -1,0 +1,307 @@
+//! Shared binary wire primitives.
+//!
+//! One `Writer`/`Reader` pair and one error vocabulary for every hand-rolled
+//! codec in the workspace: the DAT application codec (`dat-core`), the MAAN
+//! discovery codec (`dat-maan`) and the UDP datagram framing (`dat-rpc`) all
+//! build on these primitives instead of maintaining parallel copies. The
+//! format is little-endian, TLV-free, length-prefixed where variable.
+
+use crate::finger::{NodeAddr, NodeRef};
+use crate::id::Id;
+
+/// Decoding errors shared by every codec built on [`Reader`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the field being read.
+    Truncated,
+    /// First byte of a frame is not the expected magic byte.
+    BadMagic(u8),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Unsupported wire version.
+    BadVersion(u8),
+    /// A length field exceeded sane bounds.
+    BadLength(u64),
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::BadMagic(b) => write!(f, "bad magic byte {b:#x}"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::BadLength(l) => write!(f, "implausible length {l}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(64),
+        }
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64` (IEEE-754 bits, little-endian).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a ring identifier.
+    pub fn id(&mut self, v: Id) -> &mut Self {
+        self.u64(v.raw())
+    }
+
+    /// Append a node reference (id + transport address).
+    pub fn node_ref(&mut self, v: NodeRef) -> &mut Self {
+        self.id(v.id).u64(v.addr.0)
+    }
+
+    /// Append an optional node reference (presence byte).
+    pub fn opt_node_ref(&mut self, v: Option<NodeRef>) -> &mut Self {
+        match v {
+            Some(n) => self.u8(1).node_ref(n),
+            None => self.u8(0),
+        }
+    }
+
+    /// Append a `u16`-length-prefixed node list.
+    pub fn node_list(&mut self, v: &[NodeRef]) -> &mut Self {
+        self.u16(v.len() as u16);
+        for &n in v {
+            self.node_ref(n);
+        }
+        self
+    }
+
+    /// Append length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Cursor-based decoder.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a ring identifier.
+    pub fn id(&mut self) -> Result<Id, CodecError> {
+        Ok(Id(self.u64()?))
+    }
+
+    /// Read a node reference.
+    pub fn node_ref(&mut self) -> Result<NodeRef, CodecError> {
+        let id = self.id()?;
+        let addr = NodeAddr(self.u64()?);
+        Ok(NodeRef::new(id, addr))
+    }
+
+    /// Read an optional node reference.
+    pub fn opt_node_ref(&mut self) -> Result<Option<NodeRef>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            _ => Ok(Some(self.node_ref()?)),
+        }
+    }
+
+    /// Read a `u16`-length-prefixed node list (bounded at 4096 entries).
+    pub fn node_list(&mut self) -> Result<Vec<NodeRef>, CodecError> {
+        let n = self.u16()? as usize;
+        if n > 4096 {
+            return Err(CodecError::BadLength(n as u64));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.node_ref()?);
+        }
+        Ok(out)
+    }
+
+    /// Read length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        self.take(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string (lossy on invalid UTF-8).
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        Ok(String::from_utf8_lossy(self.bytes()?).into_owned())
+    }
+
+    /// Assert the input is fully consumed.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nr(id: u64) -> NodeRef {
+        NodeRef::new(Id(id), NodeAddr(id + 1000))
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7).u16(999).u32(1234).u64(u64::MAX).f64(2.5);
+        w.str("cpu-usage")
+            .opt_node_ref(None)
+            .opt_node_ref(Some(nr(9)));
+        w.node_list(&[nr(1), nr(2)]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 999);
+        assert_eq!(r.u32().unwrap(), 1234);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.str().unwrap(), "cpu-usage");
+        assert_eq!(r.opt_node_ref().unwrap(), None);
+        assert_eq!(r.opt_node_ref().unwrap(), Some(nr(9)));
+        assert_eq!(r.node_list().unwrap(), vec![nr(1), nr(2)]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_detected() {
+        let mut w = Writer::new();
+        w.node_ref(nr(5)).bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let ok = r
+                .node_ref()
+                .and_then(|_| r.bytes().map(|_| ()))
+                .and_then(|_| r.expect_end());
+            assert!(ok.is_err(), "prefix {cut} accepted");
+        }
+        let mut r = Reader::new(&bytes);
+        r.node_ref().unwrap();
+        r.bytes().unwrap();
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn hostile_lengths_rejected() {
+        let mut w = Writer::new();
+        w.u16(u16::MAX);
+        let bytes = w.finish();
+        assert_eq!(
+            Reader::new(&bytes).node_list(),
+            Err(CodecError::BadLength(u16::MAX as u64))
+        );
+        let mut w = Writer::new();
+        w.u32(1 << 30);
+        let bytes = w.finish();
+        assert_eq!(
+            Reader::new(&bytes).bytes(),
+            Err(CodecError::BadLength(1 << 30))
+        );
+    }
+}

@@ -5,11 +5,19 @@
 //! form. The format is hand-rolled little-endian TLV-free framing: a 1-byte
 //! message tag followed by fixed-order fields. No serde on the wire — the
 //! format is stable, versioned by [`WIRE_VERSION`], and fuzzable.
+//!
+//! The byte-level primitives ([`Writer`], [`Reader`], [`CodecError`]) are
+//! the workspace-shared ones from [`dat_chord::wire`]; this module adds the
+//! aggregation vocabulary on top — [`AggPartial`] fields via the
+//! [`WritePartial`]/[`ReadPartial`] extension traits, and the [`DatMsg`]
+//! message set itself.
 
-use dat_chord::{Id, NodeAddr, NodeRef};
+use dat_chord::{Id, NodeRef};
 
 use crate::aggregate::{AggPartial, Histogram};
 use crate::sketch::Hll;
+
+pub use dat_chord::wire::{CodecError, Reader, Writer};
 
 /// Wire-format version, bumped on incompatible changes.
 pub const WIRE_VERSION: u8 = 1;
@@ -18,110 +26,14 @@ pub const WIRE_VERSION: u8 = 1;
 /// [`dat_chord::ChordMsg::App`].
 pub const DAT_PROTO: u8 = 1;
 
-/// Decoding errors.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CodecError {
-    /// Input ended before the field being read.
-    Truncated,
-    /// Unknown message tag.
-    BadTag(u8),
-    /// Unsupported wire version.
-    BadVersion(u8),
-    /// A length field exceeded sane bounds.
-    BadLength(u64),
-    /// Trailing bytes after a complete message.
-    TrailingBytes(usize),
-}
-
-impl core::fmt::Display for CodecError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            CodecError::Truncated => write!(f, "message truncated"),
-            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
-            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
-            CodecError::BadLength(l) => write!(f, "implausible length {l}"),
-            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-/// Append-only encoder.
-#[derive(Default)]
-pub struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    /// Fresh empty writer.
-    pub fn new() -> Self {
-        Writer {
-            buf: Vec::with_capacity(64),
-        }
-    }
-
-    /// Finish and take the encoded bytes.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
-    }
-
-    /// Append a `u8`.
-    pub fn u8(&mut self, v: u8) -> &mut Self {
-        self.buf.push(v);
-        self
-    }
-
-    /// Append a little-endian `u32`.
-    pub fn u32(&mut self, v: u32) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-        self
-    }
-
-    /// Append a little-endian `u64`.
-    pub fn u64(&mut self, v: u64) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-        self
-    }
-
-    /// Append an `f64` (IEEE-754 bits, little-endian).
-    pub fn f64(&mut self, v: f64) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-        self
-    }
-
-    /// Append a ring identifier.
-    pub fn id(&mut self, v: Id) -> &mut Self {
-        self.u64(v.raw())
-    }
-
-    /// Append a node reference (id + transport address).
-    pub fn node_ref(&mut self, v: NodeRef) -> &mut Self {
-        self.id(v.id).u64(v.addr.0)
-    }
-
-    /// Append an optional node reference (presence byte).
-    pub fn opt_node_ref(&mut self, v: Option<NodeRef>) -> &mut Self {
-        match v {
-            Some(n) => self.u8(1).node_ref(n),
-            None => self.u8(0),
-        }
-    }
-
-    /// Append length-prefixed raw bytes.
-    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.u32(v.len() as u32);
-        self.buf.extend_from_slice(v);
-        self
-    }
-
-    /// Append a length-prefixed UTF-8 string.
-    pub fn str(&mut self, v: &str) -> &mut Self {
-        self.bytes(v.as_bytes())
-    }
-
+/// Extension: encode an [`AggPartial`] onto a shared [`Writer`].
+pub trait WritePartial {
     /// Append an aggregate partial.
-    pub fn partial(&mut self, p: &AggPartial) -> &mut Self {
+    fn partial(&mut self, p: &AggPartial) -> &mut Self;
+}
+
+impl WritePartial for Writer {
+    fn partial(&mut self, p: &AggPartial) -> &mut Self {
         self.u64(p.count)
             .f64(p.sum)
             .f64(p.sum_sq)
@@ -150,88 +62,14 @@ impl Writer {
     }
 }
 
-/// Cursor-based decoder.
-pub struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// Extension: decode an [`AggPartial`] from a shared [`Reader`].
+pub trait ReadPartial {
+    /// Read an aggregate partial.
+    fn partial(&mut self) -> Result<AggPartial, CodecError>;
 }
 
-impl<'a> Reader<'a> {
-    /// Wrap a byte slice.
-    pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    /// Read a `u8`.
-    pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Read a little-endian `u32`.
-    pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    /// Read a little-endian `u64`.
-    pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    /// Read an `f64`.
-    pub fn f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    /// Read a ring identifier.
-    pub fn id(&mut self) -> Result<Id, CodecError> {
-        Ok(Id(self.u64()?))
-    }
-
-    /// Read a node reference.
-    pub fn node_ref(&mut self) -> Result<NodeRef, CodecError> {
-        let id = self.id()?;
-        let addr = NodeAddr(self.u64()?);
-        Ok(NodeRef::new(id, addr))
-    }
-
-    /// Read an optional node reference.
-    pub fn opt_node_ref(&mut self) -> Result<Option<NodeRef>, CodecError> {
-        match self.u8()? {
-            0 => Ok(None),
-            _ => Ok(Some(self.node_ref()?)),
-        }
-    }
-
-    /// Read length-prefixed bytes.
-    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
-        let len = self.u32()? as usize;
-        if len > self.remaining() {
-            return Err(CodecError::BadLength(len as u64));
-        }
-        self.take(len)
-    }
-
-    /// Read a length-prefixed UTF-8 string (lossy on invalid UTF-8).
-    pub fn str(&mut self) -> Result<String, CodecError> {
-        Ok(String::from_utf8_lossy(self.bytes()?).into_owned())
-    }
-
-    /// Read an aggregate partial.
-    pub fn partial(&mut self) -> Result<AggPartial, CodecError> {
+impl ReadPartial for Reader<'_> {
+    fn partial(&mut self) -> Result<AggPartial, CodecError> {
         let count = self.u64()?;
         let sum = self.f64()?;
         let sum_sq = self.f64()?;
@@ -272,15 +110,6 @@ impl<'a> Reader<'a> {
             histogram,
             distinct,
         })
-    }
-
-    /// Assert the input is fully consumed.
-    pub fn expect_end(&self) -> Result<(), CodecError> {
-        if self.remaining() != 0 {
-            Err(CodecError::TrailingBytes(self.remaining()))
-        } else {
-            Ok(())
-        }
     }
 }
 
@@ -513,6 +342,7 @@ impl DatMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dat_chord::NodeAddr;
 
     fn nr(id: u64) -> NodeRef {
         NodeRef::new(Id(id), NodeAddr(id + 1000))
@@ -651,22 +481,5 @@ mod tests {
             }
             _ => unreachable!(),
         }
-    }
-
-    #[test]
-    fn writer_reader_primitives() {
-        let mut w = Writer::new();
-        w.u8(7).u32(1234).u64(u64::MAX).f64(2.5).str("cpu-usage");
-        w.opt_node_ref(None).opt_node_ref(Some(nr(9)));
-        let bytes = w.finish();
-        let mut r = Reader::new(&bytes);
-        assert_eq!(r.u8().unwrap(), 7);
-        assert_eq!(r.u32().unwrap(), 1234);
-        assert_eq!(r.u64().unwrap(), u64::MAX);
-        assert_eq!(r.f64().unwrap(), 2.5);
-        assert_eq!(r.str().unwrap(), "cpu-usage");
-        assert_eq!(r.opt_node_ref().unwrap(), None);
-        assert_eq!(r.opt_node_ref().unwrap(), Some(nr(9)));
-        r.expect_end().unwrap();
     }
 }

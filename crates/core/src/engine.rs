@@ -1,0 +1,799 @@
+//! The protocol-stack engine: one overlay node, many aggregation services.
+//!
+//! The paper's prototype layers every service — DAT continuous aggregation,
+//! on-demand queries, MAAN discovery — over a *single* Chord substrate
+//! (§4). This module is that hosting layer. A [`StackNode`] owns one
+//! [`ChordNode`] (one finger table, one RTO estimator, one stabilization
+//! schedule) and dispatches its upcalls to any number of registered
+//! [`AppProtocol`] handlers, demultiplexed by their 1-byte protocol
+//! discriminator:
+//!
+//! | proto byte | protocol | crate |
+//! |-----------:|----------|-------|
+//! | 1 | DAT aggregation ([`crate::codec::DAT_PROTO`]) | `dat-core` |
+//! | 2 | explicit-tree baseline ([`crate::explicit::EXPLICIT_PROTO`]) | `dat-core` |
+//! | 3 | gossip baseline ([`crate::gossip::GOSSIP_PROTO`]) | `dat-core` |
+//! | 4 | MAAN discovery (`dat_maan::proto::MAAN_PROTO`) | `dat-maan` |
+//!
+//! Handlers never see the Chord node directly; they act through a [`Ctx`]
+//! that scopes sends and timers to their own proto byte. Three properties
+//! fall out of the design:
+//!
+//! * **Transparency** — a `StackNode` with no handlers behaves exactly like
+//!   a bare `ChordNode`: every upcall and output passes through untouched.
+//!   Transports therefore host *only* `StackNode`s (the one [`Actor`] impl
+//!   in the workspace).
+//! * **Timer isolation** — `TimerKind::App` tokens are partitioned by
+//!   handler: the high 8 bits carry the proto byte, the low 56 bits the
+//!   handler's private sub-token, so stacked protocols can never steal each
+//!   other's timers.
+//! * **One clock** — the engine owns `now_ms` and forwards it to the Chord
+//!   layer exactly once per [`StackNode::set_now`]; handlers read the clock
+//!   from [`Ctx::now_ms`], so no handler can observe a stale clock no
+//!   matter how many protocols are stacked.
+//!
+//! Routed (rendezvous-keyed) payloads are engine-tagged: [`Ctx::route`]
+//! prepends the handler's proto byte, and the engine strips it again when
+//! the `Routed` upcall surfaces at the key's owner. Untagged payloads (or
+//! tags without a registered handler) pass through to the host unchanged.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use dat_chord::{
+    Actor, ChordConfig, ChordNode, FingerTable, Id, IdSpace, Input, Metrics, NodeAddr, NodeRef,
+    NodeStatus, Output, ReqId, TimerKind, Upcall,
+};
+
+/// Bit position of the proto byte inside a `TimerKind::App` token.
+pub const PROTO_SHIFT: u32 = 56;
+/// Mask of the handler-private sub-token bits.
+pub const SUB_MASK: u64 = (1 << PROTO_SHIFT) - 1;
+
+/// The engine-side context handed to every [`AppProtocol`] callback.
+///
+/// Wraps the shared Chord node, the engine clock, and the output queue.
+/// All sends and timers are scoped to the handler's proto byte.
+pub struct Ctx<'a> {
+    chord: &'a mut ChordNode,
+    queue: &'a mut VecDeque<Output>,
+    sent: &'a mut HashMap<u8, u64>,
+    proto: u8,
+    now_ms: u64,
+}
+
+impl Ctx<'_> {
+    /// This node's reference.
+    pub fn me(&self) -> NodeRef {
+        self.chord.me()
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.chord.space()
+    }
+
+    /// The live finger table.
+    pub fn table(&self) -> &FingerTable {
+        self.chord.table()
+    }
+
+    /// Lifecycle status of the shared Chord node.
+    pub fn status(&self) -> NodeStatus {
+        self.chord.status()
+    }
+
+    /// Whether this node currently owns `key`.
+    pub fn owns(&self, key: Id) -> bool {
+        self.chord.owns(key)
+    }
+
+    /// The engine clock (monotonic ms), identical for every stacked
+    /// protocol on this node.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Send an application payload directly to `to`, tagged with this
+    /// handler's proto byte.
+    pub fn send(&mut self, to: NodeRef, payload: Vec<u8>) {
+        *self.sent.entry(self.proto).or_insert(0) += 1;
+        let out = self.chord.send_app(to, self.proto, payload);
+        self.queue.push_back(out);
+    }
+
+    /// Route an application payload to the owner of `key`. The engine
+    /// prepends this handler's proto byte so the owner's engine can
+    /// dispatch the payload back to the same protocol.
+    pub fn route(&mut self, key: Id, payload: Vec<u8>) {
+        *self.sent.entry(self.proto).or_insert(0) += 1;
+        let mut tagged = Vec::with_capacity(payload.len() + 1);
+        tagged.push(self.proto);
+        tagged.extend_from_slice(&payload);
+        let outs = self.chord.route(key, tagged);
+        self.queue.extend(outs);
+    }
+
+    /// Probe a peer's liveness through the Chord ping machinery (feeds the
+    /// shared RTO estimator and failure detector).
+    pub fn ping(&mut self, target: NodeRef) {
+        let outs = self.chord.ping_node(target);
+        self.queue.extend(outs);
+    }
+
+    /// Arm an application timer private to this handler. `sub` must fit in
+    /// the low [`PROTO_SHIFT`] bits; it comes back via
+    /// [`AppProtocol::on_timer`].
+    pub fn set_timer(&mut self, sub: u64, delay_ms: u64) {
+        debug_assert!(sub <= SUB_MASK, "timer sub-token {sub:#x} overflows");
+        let token = ((self.proto as u64) << PROTO_SHIFT) | (sub & SUB_MASK);
+        self.queue.push_back(Output::SetTimer {
+            kind: TimerKind::App(token),
+            delay_ms,
+        });
+    }
+}
+
+/// One application protocol hosted on a [`StackNode`].
+///
+/// Implementations are pure state machines: they hold their own protocol
+/// state (aggregation tables, query registries, stores …) and act on the
+/// overlay only through the [`Ctx`] passed to each callback. A handler is
+/// identified by its [`AppProtocol::proto`] byte, which keys message,
+/// routed-payload and timer dispatch.
+pub trait AppProtocol: Send + 'static {
+    /// The 1-byte protocol discriminator (must be unique per node).
+    fn proto(&self) -> u8;
+
+    /// The shared Chord node became active (create, join, or table
+    /// preload). Arm initial timers here.
+    fn on_start(&mut self, _cx: &mut Ctx<'_>) {}
+
+    /// A directly-addressed application message with this handler's proto
+    /// byte arrived.
+    fn on_message(&mut self, cx: &mut Ctx<'_>, from: NodeRef, payload: &[u8]);
+
+    /// One of this handler's timers (armed via [`Ctx::set_timer`]) fired.
+    fn on_timer(&mut self, _cx: &mut Ctx<'_>, _sub: u64) {}
+
+    /// A rendezvous-routed payload tagged with this handler's proto byte
+    /// reached this node (the owner of `key`).
+    fn on_routed(&mut self, _cx: &mut Ctx<'_>, _key: Id, _origin: NodeRef, _payload: &[u8]) {}
+
+    /// The Chord neighborhood (successor/predecessor) changed.
+    fn on_neighborhood_changed(&mut self, _cx: &mut Ctx<'_>) {}
+
+    /// The node is about to leave the ring gracefully; send goodbyes.
+    fn on_leave(&mut self, _cx: &mut Ctx<'_>) {}
+
+    /// Reset this handler's own counters (called by
+    /// [`StackNode::reset_metrics`], e.g. after an experiment's warm-up).
+    fn reset_metrics(&mut self) {}
+
+    /// Upcast for typed access via [`StackNode::app`].
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcast for typed access via [`StackNode::app_mut`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A protocol-stack node: one shared [`ChordNode`] plus any number of
+/// [`AppProtocol`] handlers, multiplexed by proto byte.
+///
+/// This is the only [`Actor`] implementation in the workspace — both the
+/// simulator and the UDP cluster host `StackNode`s exclusively, whether a
+/// node runs zero protocols (bare overlay) or several concurrently.
+pub struct StackNode {
+    chord: ChordNode,
+    handlers: Vec<Box<dyn AppProtocol>>,
+    now_ms: u64,
+    sent_by_proto: HashMap<u8, u64>,
+    recv_by_proto: HashMap<u8, u64>,
+}
+
+impl StackNode {
+    /// A fresh node with no application protocols.
+    pub fn new(cfg: ChordConfig, id: Id, addr: NodeAddr) -> Self {
+        Self::from_chord(ChordNode::new(cfg, id, addr))
+    }
+
+    /// Wrap an existing Chord node (e.g. one pre-loaded with a stabilized
+    /// table by an experiment harness).
+    pub fn from_chord(chord: ChordNode) -> Self {
+        StackNode {
+            chord,
+            handlers: Vec::new(),
+            now_ms: 0,
+            sent_by_proto: HashMap::new(),
+            recv_by_proto: HashMap::new(),
+        }
+    }
+
+    /// Register an application protocol (builder style). Panics if the
+    /// proto byte is already taken on this node.
+    pub fn with_app(mut self, handler: impl AppProtocol) -> Self {
+        let p = handler.proto();
+        assert!(
+            self.handlers.iter().all(|h| h.proto() != p),
+            "proto byte {p} already registered on this StackNode"
+        );
+        self.handlers.push(Box::new(handler));
+        self
+    }
+
+    /// The underlying Chord node (read-only).
+    pub fn chord(&self) -> &ChordNode {
+        &self.chord
+    }
+
+    /// This node's reference.
+    pub fn me(&self) -> NodeRef {
+        self.chord.me()
+    }
+
+    /// Lifecycle status of the shared Chord node.
+    pub fn status(&self) -> NodeStatus {
+        self.chord.status()
+    }
+
+    /// The live finger table.
+    pub fn table(&self) -> &FingerTable {
+        self.chord.table()
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.chord.space()
+    }
+
+    /// Whether this node currently owns `key`.
+    pub fn owns(&self, key: Id) -> bool {
+        self.chord.owns(key)
+    }
+
+    /// Proto bytes of the registered handlers, in registration order.
+    pub fn protocols(&self) -> Vec<u8> {
+        self.handlers.iter().map(|h| h.proto()).collect()
+    }
+
+    /// Whether a handler for `proto` is registered.
+    pub fn hosts(&self, proto: u8) -> bool {
+        self.handlers.iter().any(|h| h.proto() == proto)
+    }
+
+    /// Application messages sent so far, attributed to `proto` (counts
+    /// `ChordMsg::App` sends; engine-tagged routed payloads are counted at
+    /// the receiver instead, since routing hops are Chord traffic).
+    pub fn proto_sent(&self, proto: u8) -> u64 {
+        self.sent_by_proto.get(&proto).copied().unwrap_or(0)
+    }
+
+    /// Application payloads received and dispatched to `proto`'s handler
+    /// (direct messages and engine-tagged routed payloads).
+    pub fn proto_received(&self, proto: u8) -> u64 {
+        self.recv_by_proto.get(&proto).copied().unwrap_or(0)
+    }
+
+    /// Reset every counter on this node: the Chord-layer metrics, the
+    /// per-proto tallies, and each handler's own metrics (e.g. after an
+    /// experiment's warm-up phase, so steady state is measured alone).
+    pub fn reset_metrics(&mut self) {
+        self.chord.metrics_mut().reset();
+        self.sent_by_proto.clear();
+        self.recv_by_proto.clear();
+        for h in &mut self.handlers {
+            h.reset_metrics();
+        }
+    }
+
+    /// Chord-layer message counters (alias for `chord().metrics()`).
+    pub fn chord_metrics(&self) -> &Metrics {
+        self.chord.metrics()
+    }
+
+    /// Typed read access to a registered handler, if present.
+    pub fn try_app<P: AppProtocol>(&self) -> Option<&P> {
+        self.handlers
+            .iter()
+            .find_map(|h| h.as_any().downcast_ref::<P>())
+    }
+
+    /// Typed mutable access to a registered handler, if present.
+    pub fn try_app_mut<P: AppProtocol>(&mut self) -> Option<&mut P> {
+        self.handlers
+            .iter_mut()
+            .find_map(|h| h.as_any_mut().downcast_mut::<P>())
+    }
+
+    /// Typed read access to a registered handler; panics if absent.
+    pub fn app<P: AppProtocol>(&self) -> &P {
+        self.try_app()
+            .expect("protocol not registered on this StackNode")
+    }
+
+    /// Typed mutable access to a registered handler; panics if absent.
+    pub fn app_mut<P: AppProtocol>(&mut self) -> &mut P {
+        self.try_app_mut()
+            .expect("protocol not registered on this StackNode")
+    }
+
+    /// Run a closure against a registered handler *with engine context* —
+    /// the entry point for application-initiated actions that must emit
+    /// outputs (queries, registrations, probes). Outputs the closure
+    /// produces through [`Ctx`] are dispatched like any other batch; the
+    /// remainder is returned for the transport.
+    ///
+    /// Panics if `P` is not registered.
+    pub fn drive<P: AppProtocol, R>(
+        &mut self,
+        f: impl FnOnce(&mut P, &mut Ctx<'_>) -> R,
+    ) -> (R, Vec<Output>) {
+        let StackNode {
+            chord,
+            handlers,
+            now_ms,
+            sent_by_proto,
+            ..
+        } = self;
+        let now = *now_ms;
+        let mut queue = VecDeque::new();
+        let mut result = None;
+        let mut f = Some(f);
+        for h in handlers.iter_mut() {
+            let proto = h.proto();
+            if let Some(p) = h.as_any_mut().downcast_mut::<P>() {
+                let mut cx = Ctx {
+                    chord: &mut *chord,
+                    queue: &mut queue,
+                    sent: &mut *sent_by_proto,
+                    proto,
+                    now_ms: now,
+                };
+                result = Some((f.take().unwrap())(p, &mut cx));
+                break;
+            }
+        }
+        let r = result.expect("protocol not registered on this StackNode");
+        let outs = self.dispatch(queue.into_iter().collect());
+        (r, outs)
+    }
+
+    /// Advance the engine clock. Forwarded to the Chord layer exactly once;
+    /// handlers observe the same value via [`Ctx::now_ms`].
+    pub fn set_now(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        self.chord.set_now(now_ms);
+    }
+
+    /// Start as the first ring member.
+    pub fn start_create(&mut self) -> Vec<Output> {
+        let outs = self.chord.start_create();
+        self.dispatch(outs)
+    }
+
+    /// Join through `bootstrap`.
+    pub fn start_join(&mut self, bootstrap: NodeRef) -> Vec<Output> {
+        let outs = self.chord.start_join(bootstrap);
+        self.dispatch(outs)
+    }
+
+    /// Start with a pre-materialised routing table (see
+    /// [`ChordNode::start_with_table`]); used by experiment harnesses.
+    pub fn start_with_table(&mut self, table: FingerTable) -> Vec<Output> {
+        let outs = self.chord.start_with_table(table);
+        self.dispatch(outs)
+    }
+
+    /// Gracefully leave the ring. Handlers say goodbye first (e.g. the
+    /// explicit tree detaches from its parent), then the Chord layer hands
+    /// off its key range.
+    pub fn leave(&mut self) -> Vec<Output> {
+        let StackNode {
+            chord,
+            handlers,
+            now_ms,
+            sent_by_proto,
+            ..
+        } = self;
+        let mut queue = VecDeque::new();
+        for h in handlers.iter_mut() {
+            let proto = h.proto();
+            let mut cx = Ctx {
+                chord: &mut *chord,
+                queue: &mut queue,
+                sent: &mut *sent_by_proto,
+                proto,
+                now_ms: *now_ms,
+            };
+            h.on_leave(&mut cx);
+        }
+        queue.extend(chord.leave());
+        let all: Vec<Output> = queue.into_iter().collect();
+        self.dispatch(all)
+    }
+
+    /// Start a Chord key lookup (host-level; answers arrive as
+    /// `Upcall::LookupDone`).
+    pub fn lookup(&mut self, key: Id) -> (ReqId, Vec<Output>) {
+        let (req, outs) = self.chord.lookup(key);
+        (req, self.dispatch(outs))
+    }
+
+    /// Route a raw host-level payload to the owner of `key`. The payload is
+    /// *not* proto-tagged; it surfaces at the owner as a pass-through
+    /// `Upcall::Routed` (unless its first byte collides with a registered
+    /// proto byte — prefer [`Ctx::route`] from inside a handler).
+    pub fn route(&mut self, key: Id, payload: Vec<u8>) -> Vec<Output> {
+        let outs = self.chord.route(key, payload);
+        self.dispatch(outs)
+    }
+
+    /// Broadcast a raw host-level payload over the disjoint finger ranges.
+    pub fn broadcast(&mut self, payload: Vec<u8>) -> Vec<Output> {
+        let outs = self.chord.broadcast(payload);
+        self.dispatch(outs)
+    }
+
+    /// Probe a peer's liveness (feeds the RTO estimator and failure
+    /// detector shared by every stacked protocol).
+    pub fn ping_node(&mut self, target: NodeRef) -> Vec<Output> {
+        let outs = self.chord.ping_node(target);
+        self.dispatch(outs)
+    }
+
+    /// Drive one input through the stack.
+    pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        let outs = self.chord.handle(input);
+        self.dispatch(outs)
+    }
+
+    /// Intercept chord outputs: dispatch upcalls to the matching handlers,
+    /// tally per-proto traffic, pass everything else through.
+    fn dispatch(&mut self, outs: Vec<Output>) -> Vec<Output> {
+        let StackNode {
+            chord,
+            handlers,
+            now_ms,
+            sent_by_proto,
+            recv_by_proto,
+        } = self;
+        let now = *now_ms;
+        let mut scan: VecDeque<Output> = outs.into();
+        let mut pass = Vec::with_capacity(scan.len());
+        while let Some(o) = scan.pop_front() {
+            match o {
+                send @ Output::Send { .. } => pass.push(send),
+                Output::Upcall(up) => match up {
+                    Upcall::Joined { id } => {
+                        fire(
+                            chord,
+                            handlers,
+                            now,
+                            &mut scan,
+                            sent_by_proto,
+                            None,
+                            |h, cx| h.on_start(cx),
+                        );
+                        pass.push(Output::Upcall(Upcall::Joined { id }));
+                    }
+                    Upcall::AppTimer(token) => {
+                        let proto = (token >> PROTO_SHIFT) as u8;
+                        let sub = token & SUB_MASK;
+                        let hit = fire(
+                            chord,
+                            handlers,
+                            now,
+                            &mut scan,
+                            sent_by_proto,
+                            Some(proto),
+                            |h, cx| h.on_timer(cx, sub),
+                        );
+                        if !hit {
+                            pass.push(Output::Upcall(Upcall::AppTimer(token)));
+                        }
+                    }
+                    Upcall::AppMessage {
+                        proto,
+                        from,
+                        payload,
+                    } => {
+                        if handlers.iter().any(|h| h.proto() == proto) {
+                            *recv_by_proto.entry(proto).or_insert(0) += 1;
+                            fire(
+                                chord,
+                                handlers,
+                                now,
+                                &mut scan,
+                                sent_by_proto,
+                                Some(proto),
+                                |h, cx| h.on_message(cx, from, &payload),
+                            );
+                        } else {
+                            pass.push(Output::Upcall(Upcall::AppMessage {
+                                proto,
+                                from,
+                                payload,
+                            }));
+                        }
+                    }
+                    Upcall::Routed {
+                        key,
+                        payload,
+                        origin,
+                        hops,
+                    } => match payload.split_first() {
+                        Some((&p, rest)) if handlers.iter().any(|h| h.proto() == p) => {
+                            *recv_by_proto.entry(p).or_insert(0) += 1;
+                            fire(
+                                chord,
+                                handlers,
+                                now,
+                                &mut scan,
+                                sent_by_proto,
+                                Some(p),
+                                |h, cx| h.on_routed(cx, key, origin, rest),
+                            );
+                        }
+                        _ => pass.push(Output::Upcall(Upcall::Routed {
+                            key,
+                            payload,
+                            origin,
+                            hops,
+                        })),
+                    },
+                    Upcall::NeighborhoodChanged => {
+                        fire(
+                            chord,
+                            handlers,
+                            now,
+                            &mut scan,
+                            sent_by_proto,
+                            None,
+                            |h, cx| h.on_neighborhood_changed(cx),
+                        );
+                        pass.push(Output::Upcall(Upcall::NeighborhoodChanged));
+                    }
+                    other => pass.push(Output::Upcall(other)),
+                },
+                timer @ Output::SetTimer { .. } => pass.push(timer),
+            }
+        }
+        pass
+    }
+}
+
+impl Actor for StackNode {
+    fn addr(&self) -> NodeAddr {
+        self.chord.me().addr
+    }
+
+    fn on_input(&mut self, input: Input) -> Vec<Output> {
+        self.handle(input)
+    }
+
+    fn set_now(&mut self, now_ms: u64) {
+        StackNode::set_now(self, now_ms);
+    }
+}
+
+/// Invoke `f` on every handler (or only the one matching `proto`), each
+/// under a fresh [`Ctx`] feeding the shared scan queue. Returns whether any
+/// handler matched.
+fn fire<F>(
+    chord: &mut ChordNode,
+    handlers: &mut [Box<dyn AppProtocol>],
+    now_ms: u64,
+    scan: &mut VecDeque<Output>,
+    sent: &mut HashMap<u8, u64>,
+    proto: Option<u8>,
+    mut f: F,
+) -> bool
+where
+    F: FnMut(&mut dyn AppProtocol, &mut Ctx<'_>),
+{
+    let mut hit = false;
+    for h in handlers.iter_mut() {
+        let hp = h.proto();
+        if proto.is_some_and(|p| p != hp) {
+            continue;
+        }
+        let mut cx = Ctx {
+            chord: &mut *chord,
+            queue: &mut *scan,
+            sent: &mut *sent,
+            proto: hp,
+            now_ms,
+        };
+        f(h.as_mut(), &mut cx);
+        hit = true;
+        if proto.is_some() {
+            break;
+        }
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::{ChordMsg, IdSpace};
+
+    fn cfg() -> ChordConfig {
+        ChordConfig {
+            space: IdSpace::new(8),
+            ..ChordConfig::default()
+        }
+    }
+
+    /// A minimal protocol for engine tests: echoes every message back and
+    /// records what it saw.
+    struct Echo {
+        proto: u8,
+        seen: Vec<Vec<u8>>,
+        timers: Vec<u64>,
+        started: bool,
+    }
+
+    impl Echo {
+        fn new(proto: u8) -> Self {
+            Echo {
+                proto,
+                seen: Vec::new(),
+                timers: Vec::new(),
+                started: false,
+            }
+        }
+    }
+
+    impl AppProtocol for Echo {
+        fn proto(&self) -> u8 {
+            self.proto
+        }
+        fn on_start(&mut self, cx: &mut Ctx<'_>) {
+            self.started = true;
+            cx.set_timer(7, 100);
+        }
+        fn on_message(&mut self, cx: &mut Ctx<'_>, from: NodeRef, payload: &[u8]) {
+            self.seen.push(payload.to_vec());
+            cx.send(from, payload.to_vec());
+        }
+        fn on_timer(&mut self, _cx: &mut Ctx<'_>, sub: u64) {
+            self.timers.push(sub);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn zero_handler_stack_is_transparent() {
+        let mut bare = ChordNode::new(cfg(), Id(10), NodeAddr(1));
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1));
+        assert_eq!(bare.start_create(), stack.start_create());
+        let msg = ChordMsg::Ping {
+            req: 9,
+            sender: NodeRef::new(Id(20), NodeAddr(2)),
+        };
+        let input = Input::Message {
+            from: NodeAddr(2),
+            msg,
+        };
+        assert_eq!(bare.handle(input.clone()), stack.handle(input));
+        assert_eq!(bare.me(), stack.me());
+        assert_eq!(bare.status(), stack.status());
+    }
+
+    #[test]
+    fn timer_tokens_are_partitioned_by_proto() {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1))
+            .with_app(Echo::new(40))
+            .with_app(Echo::new(41));
+        let outs = stack.start_create();
+        // Both handlers armed sub-token 7; the wire tokens must differ.
+        let tokens: Vec<u64> = outs
+            .iter()
+            .filter_map(|o| match o {
+                Output::SetTimer {
+                    kind: TimerKind::App(t),
+                    ..
+                } => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tokens.len(), 2);
+        assert_ne!(tokens[0], tokens[1]);
+        // Firing one token reaches only its own handler.
+        let _ = stack.handle(Input::Timer(TimerKind::App(tokens[0])));
+        assert_eq!(stack.app::<Echo>().timers, vec![7]);
+        let b: Vec<&Echo> = stack
+            .handlers
+            .iter()
+            .filter_map(|h| h.as_any().downcast_ref::<Echo>())
+            .collect();
+        assert_eq!(b[0].timers, vec![7]);
+        assert!(b[1].timers.is_empty());
+    }
+
+    #[test]
+    fn messages_dispatch_by_proto_byte_and_tally() {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1)).with_app(Echo::new(40));
+        let _ = stack.start_create();
+        let peer = NodeRef::new(Id(20), NodeAddr(2));
+        let outs = stack.handle(Input::Message {
+            from: NodeAddr(2),
+            msg: ChordMsg::App {
+                proto: 40,
+                from: peer,
+                payload: vec![1, 2, 3],
+            },
+        });
+        // Handler consumed it and echoed back.
+        assert_eq!(stack.app::<Echo>().seen, vec![vec![1, 2, 3]]);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: ChordMsg::App { proto: 40, .. },
+                ..
+            }
+        )));
+        assert_eq!(stack.proto_received(40), 1);
+        assert_eq!(stack.proto_sent(40), 1);
+        // A proto byte with no handler passes through untouched.
+        let outs = stack.handle(Input::Message {
+            from: NodeAddr(2),
+            msg: ChordMsg::App {
+                proto: 99,
+                from: peer,
+                payload: vec![9],
+            },
+        });
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Upcall(Upcall::AppMessage { proto: 99, .. }))));
+        assert_eq!(stack.proto_received(99), 0);
+    }
+
+    #[test]
+    fn on_start_fires_for_every_handler() {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1))
+            .with_app(Echo::new(40))
+            .with_app(Echo::new(41));
+        let _ = stack.start_create();
+        assert!(stack
+            .handlers
+            .iter()
+            .filter_map(|h| h.as_any().downcast_ref::<Echo>())
+            .all(|e| e.started));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_proto_byte_rejected() {
+        let _ = StackNode::new(cfg(), Id(10), NodeAddr(1))
+            .with_app(Echo::new(40))
+            .with_app(Echo::new(40));
+    }
+
+    #[test]
+    fn drive_emits_through_engine() {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1)).with_app(Echo::new(40));
+        let _ = stack.start_create();
+        let peer = NodeRef::new(Id(20), NodeAddr(2));
+        let (r, outs) = stack.drive::<Echo, _>(|_e, cx| {
+            cx.send(peer, vec![5]);
+            42u32
+        });
+        assert_eq!(r, 42);
+        assert!(matches!(
+            outs.as_slice(),
+            [Output::Send {
+                msg: ChordMsg::App { proto: 40, .. },
+                ..
+            }]
+        ));
+        assert_eq!(stack.proto_sent(40), 1);
+    }
+}

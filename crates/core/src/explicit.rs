@@ -3,10 +3,10 @@
 //! The paper motivates implicit trees by the cost of the alternative
 //! (§2.3): "explicit tree construction has limited scalability … the
 //! parent-child maintenance overhead increases linearly with the number of
-//! trees [and] will be further exaggerated when nodes dynamically join or
+//! trees \[and\] will be further exaggerated when nodes dynamically join or
 //! leave". To *quantify* that claim (the churn experiment in
 //! `repro churn`), this module implements a classic explicitly-maintained
-//! aggregation tree over the same Chord substrate:
+//! aggregation tree as an [`AppProtocol`] over the same Chord substrate:
 //!
 //! * a joining node routes a `JoinTree` request to the rendezvous root;
 //!   nodes with spare capacity adopt it, full nodes delegate to their
@@ -20,12 +20,11 @@
 
 use std::collections::HashMap;
 
-use dat_chord::{
-    ChordConfig, ChordNode, Id, Input, Metrics, NodeAddr, NodeRef, NodeStatus, Output, Upcall,
-};
+use dat_chord::{Id, Metrics, NodeRef, NodeStatus};
 
 use crate::aggregate::AggPartial;
-use crate::codec::{CodecError, Reader, Writer, WIRE_VERSION};
+use crate::codec::{CodecError, ReadPartial, Reader, WritePartial, Writer, WIRE_VERSION};
+use crate::engine::{AppProtocol, Ctx, StackNode};
 
 /// Application-protocol discriminator for explicit-tree messages.
 pub const EXPLICIT_PROTO: u8 = 2;
@@ -214,10 +213,9 @@ struct ChildState {
     partial: Option<(AggPartial, u64)>,
 }
 
-/// A node of the explicit-membership aggregation tree for one rendezvous
-/// key, layered over Chord (used only as a router for `JoinTree`).
-pub struct ExplicitTreeNode {
-    chord: ChordNode,
+/// The explicit-membership aggregation tree for one rendezvous key, as a
+/// protocol handler (Chord is used only as a router for `JoinTree`).
+pub struct ExplicitProtocol {
     cfg: ExplicitConfig,
     key: Id,
     parent: Option<NodeRef>,
@@ -234,17 +232,10 @@ pub struct ExplicitTreeNode {
     reports: Vec<(u64, AggPartial)>,
 }
 
-impl ExplicitTreeNode {
-    /// Create an explicit-tree node for `key`.
-    pub fn new(
-        chord_cfg: ChordConfig,
-        cfg: ExplicitConfig,
-        key: Id,
-        id: Id,
-        addr: NodeAddr,
-    ) -> Self {
-        ExplicitTreeNode {
-            chord: ChordNode::new(chord_cfg, id, addr),
+impl ExplicitProtocol {
+    /// Create an explicit-tree handler for `key`.
+    pub fn new(cfg: ExplicitConfig, key: Id) -> Self {
+        ExplicitProtocol {
             cfg,
             key,
             parent: None,
@@ -260,32 +251,15 @@ impl ExplicitTreeNode {
         }
     }
 
-    /// This node's reference.
-    pub fn me(&self) -> NodeRef {
-        self.chord.me()
-    }
-
-    /// Underlying Chord node.
-    pub fn chord(&self) -> &ChordNode {
-        &self.chord
-    }
-
-    /// Report the host clock (monotonic ms) to the Chord layer's RTT
-    /// estimator. Hosts call this before every input.
-    pub fn set_now(&mut self, now_ms: u64) {
-        self.chord.set_now(now_ms);
-    }
-
     /// Tree-layer message counters (membership traffic is every kind except
     /// `exp_update`).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
 
-    /// Reset both tree-layer and Chord-layer counters.
-    pub fn reset_metrics(&mut self) {
-        self.metrics.reset();
-        self.chord.metrics_mut().reset();
+    /// The tree's rendezvous key.
+    pub fn key(&self) -> Id {
+        self.key
     }
 
     /// Total membership-maintenance messages sent by this node.
@@ -319,136 +293,32 @@ impl ExplicitTreeNode {
         &self.reports
     }
 
-    /// Start as the first ring member.
-    pub fn start_create(&mut self) -> Vec<Output> {
-        let outs = self.chord.start_create();
-        self.process(outs)
+    fn is_root(&self, cx: &Ctx<'_>) -> bool {
+        cx.owns(self.key)
     }
 
-    /// Join the ring, then the tree.
-    pub fn start_join(&mut self, bootstrap: NodeRef) -> Vec<Output> {
-        let outs = self.chord.start_join(bootstrap);
-        self.process(outs)
-    }
-
-    /// Start with a pre-materialised routing table (see
-    /// [`ChordNode::start_with_table`]); used by experiment harnesses.
-    pub fn start_with_table(&mut self, table: dat_chord::FingerTable) -> Vec<Output> {
-        let outs = self.chord.start_with_table(table);
-        self.process(outs)
-    }
-
-    /// Gracefully leave both tree and ring.
-    pub fn leave(&mut self) -> Vec<Output> {
-        let mut outs: Vec<Output> = Vec::new();
-        let me = self.me();
-        let leave = ExpMsg::LeaveTree {
-            key: self.key,
-            sender: me,
-        };
-        if let Some(p) = self.parent {
-            self.metrics.count_sent_kind(leave.kind());
-            outs.push(self.chord.send_app(p, EXPLICIT_PROTO, leave.encode()));
-        }
-        let kids: Vec<NodeRef> = self.children.values().map(|c| c.node).collect();
-        for c in kids {
-            self.metrics.count_sent_kind(leave.kind());
-            outs.push(self.chord.send_app(c, EXPLICIT_PROTO, leave.encode()));
-        }
-        let chord_outs = self.chord.leave();
-        outs.extend(self.process(chord_outs));
-        outs
-    }
-
-    /// Drive one input.
-    pub fn handle(&mut self, input: Input) -> Vec<Output> {
-        let outs = self.chord.handle(input);
-        self.process(outs)
-    }
-
-    /// Am I the tree root (owner of the rendezvous key)?
-    pub fn is_root(&self) -> bool {
-        self.chord.owns(self.key)
-    }
-
-    fn process(&mut self, outs: Vec<Output>) -> Vec<Output> {
-        let mut pass = Vec::with_capacity(outs.len());
-        let mut scan: std::collections::VecDeque<Output> = outs.into();
-        while let Some(o) = scan.pop_front() {
-            match o {
-                Output::Upcall(Upcall::Joined { id }) => {
-                    self.arm_timer(ExpTimer::Heartbeat, self.cfg.heartbeat_ms, &mut scan);
-                    self.arm_timer(ExpTimer::Epoch, self.cfg.epoch_ms, &mut scan);
-                    if !self.is_root() {
-                        self.send_join_tree(&mut scan);
-                    }
-                    pass.push(Output::Upcall(Upcall::Joined { id }));
-                }
-                Output::Upcall(Upcall::AppTimer(token)) => match self.timers.remove(&token) {
-                    Some(ExpTimer::Heartbeat) => {
-                        self.on_heartbeat_timer(&mut scan);
-                        self.arm_timer(ExpTimer::Heartbeat, self.cfg.heartbeat_ms, &mut scan);
-                    }
-                    Some(ExpTimer::Epoch) => {
-                        self.on_epoch(&mut scan);
-                        self.arm_timer(ExpTimer::Epoch, self.cfg.epoch_ms, &mut scan);
-                    }
-                    None => {}
-                },
-                Output::Upcall(Upcall::AppMessage {
-                    proto,
-                    from: _,
-                    payload,
-                }) if proto == EXPLICIT_PROTO => match ExpMsg::decode(&payload) {
-                    Ok(m) => {
-                        self.metrics.count_received_kind(m.kind());
-                        self.on_msg(m, &mut scan);
-                    }
-                    Err(_) => self.metrics.dropped += 1,
-                },
-                Output::Upcall(Upcall::Routed { payload, .. }) => match ExpMsg::decode(&payload) {
-                    Ok(m) => {
-                        self.metrics.count_received_kind(m.kind());
-                        self.on_msg(m, &mut scan);
-                    }
-                    Err(_) => self.metrics.dropped += 1,
-                },
-                other => pass.push(other),
-            }
-        }
-        pass
-    }
-
-    fn arm_timer(
-        &mut self,
-        t: ExpTimer,
-        delay: u64,
-        outs: &mut std::collections::VecDeque<Output>,
-    ) {
+    fn arm_timer(&mut self, cx: &mut Ctx<'_>, t: ExpTimer, delay: u64) {
         self.next_token += 1;
         let token = self.next_token;
         self.timers.insert(token, t);
-        outs.push_back(self.chord.app_timer(token, delay));
+        cx.set_timer(token, delay);
     }
 
-    fn send_join_tree(&mut self, outs: &mut std::collections::VecDeque<Output>) {
-        if self.joining_tree || self.is_root() {
+    fn send_join_tree(&mut self, cx: &mut Ctx<'_>) {
+        if self.joining_tree || self.is_root(cx) {
             return;
         }
         self.joining_tree = true;
         let m = ExpMsg::JoinTree {
             key: self.key,
-            joiner: self.me(),
+            joiner: cx.me(),
         };
         self.metrics.count_sent_kind(m.kind());
-        let routed = self.chord.route(self.key, m.encode());
-        for o in self.process(routed) {
-            outs.push_back(o);
-        }
+        cx.route(self.key, m.encode());
     }
 
-    fn on_msg(&mut self, m: ExpMsg, outs: &mut std::collections::VecDeque<Output>) {
-        let me = self.me();
+    fn on_msg(&mut self, cx: &mut Ctx<'_>, m: ExpMsg) {
+        let me = cx.me();
         match m {
             ExpMsg::JoinTree { key, joiner } => {
                 if joiner.id == me.id {
@@ -465,7 +335,7 @@ impl ExplicitTreeNode {
                     );
                     let adopt = ExpMsg::Adopt { key, parent: me };
                     self.metrics.count_sent_kind(adopt.kind());
-                    outs.push_back(self.chord.send_app(joiner, EXPLICIT_PROTO, adopt.encode()));
+                    cx.send(joiner, adopt.encode());
                 } else {
                     // Delegate to the lowest-id child (deterministic,
                     // keeps the tree bounded-degree and O(log n) deep
@@ -478,7 +348,7 @@ impl ExplicitTreeNode {
                         .expect("full node has children");
                     let fwd = ExpMsg::JoinTree { key, joiner };
                     self.metrics.count_sent_kind(fwd.kind());
-                    outs.push_back(self.chord.send_app(target, EXPLICIT_PROTO, fwd.encode()));
+                    cx.send(target, fwd.encode());
                 }
             }
             ExpMsg::Adopt { key: _, parent } => {
@@ -491,7 +361,7 @@ impl ExplicitTreeNode {
                     c.missed = 0;
                     let ack = ExpMsg::HeartbeatAck { key, sender: me };
                     self.metrics.count_sent_kind(ack.kind());
-                    outs.push_back(self.chord.send_app(sender, EXPLICIT_PROTO, ack.encode()));
+                    cx.send(sender, ack.encode());
                 }
                 // Heartbeat from an unknown child: it was dropped; silence
                 // makes it re-join.
@@ -502,7 +372,7 @@ impl ExplicitTreeNode {
             ExpMsg::LeaveTree { key: _, sender } => {
                 if self.parent.map(|p| p.id) == Some(sender.id) {
                     self.parent = None;
-                    self.send_join_tree(outs);
+                    self.send_join_tree(cx);
                 }
                 self.children.remove(&sender.id);
             }
@@ -519,27 +389,27 @@ impl ExplicitTreeNode {
         }
     }
 
-    fn on_heartbeat_timer(&mut self, outs: &mut std::collections::VecDeque<Output>) {
-        if self.chord.status() != NodeStatus::Active {
+    fn on_heartbeat_timer(&mut self, cx: &mut Ctx<'_>) {
+        if cx.status() != NodeStatus::Active {
             return;
         }
-        let me = self.me();
+        let me = cx.me();
         // Child side: heartbeat the parent, count misses.
         if let Some(p) = self.parent {
             self.parent_missed += 1;
             if self.parent_missed > self.cfg.miss_limit {
                 self.parent = None;
-                self.send_join_tree(outs);
+                self.send_join_tree(cx);
             } else {
                 let hb = ExpMsg::Heartbeat {
                     key: self.key,
                     sender: me,
                 };
                 self.metrics.count_sent_kind(hb.kind());
-                outs.push_back(self.chord.send_app(p, EXPLICIT_PROTO, hb.encode()));
+                cx.send(p, hb.encode());
             }
-        } else if !self.is_root() {
-            self.send_join_tree(outs);
+        } else if !self.is_root(cx) {
+            self.send_join_tree(cx);
         }
         // Parent side: age children.
         let dead: Vec<Id> = self
@@ -555,8 +425,8 @@ impl ExplicitTreeNode {
         }
     }
 
-    fn on_epoch(&mut self, outs: &mut std::collections::VecDeque<Output>) {
-        if self.chord.status() != NodeStatus::Active {
+    fn on_epoch(&mut self, cx: &mut Ctx<'_>) {
+        if cx.status() != NodeStatus::Active {
             return;
         }
         self.epoch += 1;
@@ -571,36 +441,153 @@ impl ExplicitTreeNode {
                 }
             }
         }
-        if self.is_root() {
+        if self.is_root(cx) {
             self.reports.push((self.epoch, acc));
         } else if let Some(p) = self.parent {
             let m = ExpMsg::Update {
                 key: self.key,
                 epoch: self.epoch,
                 partial: acc,
-                sender: self.me(),
+                sender: cx.me(),
             };
             self.metrics.count_sent_kind(m.kind());
-            outs.push_back(self.chord.send_app(p, EXPLICIT_PROTO, m.encode()));
+            cx.send(p, m.encode());
         }
+    }
+}
+
+impl AppProtocol for ExplicitProtocol {
+    fn proto(&self) -> u8 {
+        EXPLICIT_PROTO
+    }
+
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        self.arm_timer(cx, ExpTimer::Heartbeat, self.cfg.heartbeat_ms);
+        self.arm_timer(cx, ExpTimer::Epoch, self.cfg.epoch_ms);
+        if !self.is_root(cx) {
+            self.send_join_tree(cx);
+        }
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, _from: NodeRef, payload: &[u8]) {
+        match ExpMsg::decode(payload) {
+            Ok(m) => {
+                self.metrics.count_received_kind(m.kind());
+                self.on_msg(cx, m);
+            }
+            Err(_) => self.metrics.dropped += 1,
+        }
+    }
+
+    fn on_timer(&mut self, cx: &mut Ctx<'_>, sub: u64) {
+        match self.timers.remove(&sub) {
+            Some(ExpTimer::Heartbeat) => {
+                self.on_heartbeat_timer(cx);
+                self.arm_timer(cx, ExpTimer::Heartbeat, self.cfg.heartbeat_ms);
+            }
+            Some(ExpTimer::Epoch) => {
+                self.on_epoch(cx);
+                self.arm_timer(cx, ExpTimer::Epoch, self.cfg.epoch_ms);
+            }
+            None => {}
+        }
+    }
+
+    fn on_routed(&mut self, cx: &mut Ctx<'_>, _key: Id, _origin: NodeRef, payload: &[u8]) {
+        match ExpMsg::decode(payload) {
+            Ok(m) => {
+                self.metrics.count_received_kind(m.kind());
+                self.on_msg(cx, m);
+            }
+            Err(_) => self.metrics.dropped += 1,
+        }
+    }
+
+    fn on_leave(&mut self, cx: &mut Ctx<'_>) {
+        let leave = ExpMsg::LeaveTree {
+            key: self.key,
+            sender: cx.me(),
+        };
+        if let Some(p) = self.parent {
+            self.metrics.count_sent_kind(leave.kind());
+            cx.send(p, leave.encode());
+        }
+        let kids: Vec<NodeRef> = self.children.values().map(|c| c.node).collect();
+        for c in kids {
+            self.metrics.count_sent_kind(leave.kind());
+            cx.send(c, leave.encode());
+        }
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Explicit-tree conveniences on the stack engine, `exp_`-prefixed to stay
+/// clear of the DAT names. All of these panic if no [`ExplicitProtocol`] is
+/// registered.
+impl StackNode {
+    /// The explicit-tree handler (read-only).
+    pub fn explicit(&self) -> &ExplicitProtocol {
+        self.app::<ExplicitProtocol>()
+    }
+
+    /// The explicit-tree handler (mutable).
+    pub fn explicit_mut(&mut self) -> &mut ExplicitProtocol {
+        self.app_mut::<ExplicitProtocol>()
+    }
+
+    /// Update the explicit tree's local observation.
+    pub fn exp_set_local(&mut self, v: f64) {
+        self.explicit_mut().set_local(v);
+    }
+
+    /// Root-side per-epoch global partials of the explicit tree.
+    pub fn exp_reports(&self) -> &[(u64, AggPartial)] {
+        self.explicit().reports()
+    }
+
+    /// Current explicit-tree parent.
+    pub fn tree_parent(&self) -> Option<NodeRef> {
+        self.explicit().tree_parent()
+    }
+
+    /// Current explicit-tree child count.
+    pub fn child_count(&self) -> usize {
+        self.explicit().child_count()
+    }
+
+    /// Total explicit-tree membership messages sent by this node.
+    pub fn membership_sent(&self) -> u64 {
+        self.explicit().membership_sent()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dat_chord::IdSpace;
+    use dat_chord::{ChordConfig, IdSpace, NodeAddr, Output};
 
     fn nr(id: u64) -> NodeRef {
         NodeRef::new(Id(id), NodeAddr(id))
     }
 
-    fn mk(id: u64) -> ExplicitTreeNode {
+    fn mk(id: u64) -> StackNode {
         let ccfg = ChordConfig {
             space: IdSpace::new(8),
             ..ChordConfig::default()
         };
-        ExplicitTreeNode::new(ccfg, ExplicitConfig::default(), Id(0), Id(id), NodeAddr(id))
+        StackNode::new(ccfg, Id(id), NodeAddr(id))
+            .with_app(ExplicitProtocol::new(ExplicitConfig::default(), Id(0)))
     }
 
     #[test]
@@ -643,14 +630,15 @@ mod tests {
     fn adoption_under_capacity() {
         let mut root = mk(0);
         let _ = root.start_create();
-        let mut outs = std::collections::VecDeque::new();
-        root.on_msg(
-            ExpMsg::JoinTree {
-                key: Id(0),
-                joiner: nr(10),
-            },
-            &mut outs,
-        );
+        let ((), outs) = root.drive::<ExplicitProtocol, _>(|e, cx| {
+            e.on_msg(
+                cx,
+                ExpMsg::JoinTree {
+                    key: Id(0),
+                    joiner: nr(10),
+                },
+            )
+        });
         assert_eq!(root.child_count(), 1);
         // The adopt message went out.
         let adopted = outs.iter().any(|o| matches!(o, Output::Send { .. }));
@@ -661,57 +649,60 @@ mod tests {
     fn full_node_delegates_join() {
         let mut root = mk(0);
         let _ = root.start_create();
-        let mut outs = std::collections::VecDeque::new();
         for i in 0..4 {
-            root.on_msg(
-                ExpMsg::JoinTree {
-                    key: Id(0),
-                    joiner: nr(10 + i),
-                },
-                &mut outs,
-            );
+            let _ = root.drive::<ExplicitProtocol, _>(|e, cx| {
+                e.on_msg(
+                    cx,
+                    ExpMsg::JoinTree {
+                        key: Id(0),
+                        joiner: nr(10 + i),
+                    },
+                )
+            });
         }
         assert_eq!(root.child_count(), 4);
-        outs.clear();
-        root.on_msg(
-            ExpMsg::JoinTree {
-                key: Id(0),
-                joiner: nr(99),
-            },
-            &mut outs,
-        );
+        let ((), outs) = root.drive::<ExplicitProtocol, _>(|e, cx| {
+            e.on_msg(
+                cx,
+                ExpMsg::JoinTree {
+                    key: Id(0),
+                    joiner: nr(99),
+                },
+            )
+        });
         // Still 4 children; the join was forwarded to child 10.
         assert_eq!(root.child_count(), 4);
         match &outs[0] {
             Output::Send { to, .. } => assert_eq!(to.id, Id(10)),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(root.metrics().sent_of("exp_join_tree"), 1);
+        assert_eq!(root.explicit().metrics().sent_of("exp_join_tree"), 1);
     }
 
     #[test]
     fn adopt_sets_parent() {
         let mut n = mk(50);
         let _ = n.start_create();
-        let mut outs = std::collections::VecDeque::new();
-        n.joining_tree = true;
-        n.on_msg(
-            ExpMsg::Adopt {
-                key: Id(0),
-                parent: nr(3),
-            },
-            &mut outs,
-        );
+        n.explicit_mut().joining_tree = true;
+        let _ = n.drive::<ExplicitProtocol, _>(|e, cx| {
+            e.on_msg(
+                cx,
+                ExpMsg::Adopt {
+                    key: Id(0),
+                    parent: nr(3),
+                },
+            )
+        });
         assert_eq!(n.tree_parent().unwrap().id, Id(3));
-        assert!(!n.joining_tree);
+        assert!(!n.explicit().joining_tree);
     }
 
     #[test]
     fn missed_heartbeats_dissolve_edges() {
         let mut n = mk(50);
         let _ = n.start_create();
-        n.parent = Some(nr(3));
-        n.children.insert(
+        n.explicit_mut().parent = Some(nr(3));
+        n.explicit_mut().children.insert(
             Id(9),
             ChildState {
                 node: nr(9),
@@ -719,9 +710,8 @@ mod tests {
                 partial: None,
             },
         );
-        let mut outs = std::collections::VecDeque::new();
         for _ in 0..5 {
-            n.on_heartbeat_timer(&mut outs);
+            let _ = n.drive::<ExplicitProtocol, _>(|e, cx| e.on_heartbeat_timer(cx));
         }
         // Edge to the silent child dissolved...
         assert_eq!(n.child_count(), 0);
@@ -734,10 +724,42 @@ mod tests {
         let mut n = mk(50);
         let _ = n.start_create();
         // A lone created node IS the root (owns everything).
-        n.set_local(42.0);
-        let mut outs = std::collections::VecDeque::new();
-        n.on_epoch(&mut outs);
-        assert_eq!(n.reports().len(), 1);
-        assert_eq!(n.reports()[0].1.sum, 42.0);
+        n.exp_set_local(42.0);
+        let _ = n.drive::<ExplicitProtocol, _>(|e, cx| e.on_epoch(cx));
+        assert_eq!(n.exp_reports().len(), 1);
+        assert_eq!(n.exp_reports()[0].1.sum, 42.0);
+    }
+
+    #[test]
+    fn leave_notifies_parent_and_children() {
+        let mut n = mk(50);
+        let _ = n.start_create();
+        n.explicit_mut().parent = Some(nr(3));
+        n.explicit_mut().children.insert(
+            Id(9),
+            ChildState {
+                node: nr(9),
+                missed: 0,
+                partial: None,
+            },
+        );
+        let outs = n.leave();
+        let leave_sends = outs
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Output::Send {
+                        msg: dat_chord::ChordMsg::App {
+                            proto: EXPLICIT_PROTO,
+                            ..
+                        },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(leave_sends, 2, "parent and child both told");
+        assert_eq!(n.explicit().metrics().sent_of("exp_leave_tree"), 2);
     }
 }

@@ -4,25 +4,21 @@
 //! coordinator: *push-sum* (Kempe, Dobra & Gehrke, FOCS'03) lets every
 //! node gossip `(sum, weight)` shares to random peers; each node's
 //! `sum/weight` ratio converges to the global average in `O(log n + log ε⁻¹)`
-//! rounds with `n` messages per round. We implement it as a sans-io layer
-//! over the same Chord substrate (random peers drawn from the finger table,
-//! which is a good expander) so `repro gossip` can compare:
+//! rounds with `n` messages per round. We implement it as an
+//! [`AppProtocol`] over the same Chord substrate (random peers drawn from
+//! the finger table, which is a good expander) so `repro gossip` can
+//! compare:
 //!
 //! * **messages to ε-accuracy**: DAT needs `n−1` messages and `height`
 //!   hops per exact answer; push-sum needs `rounds × n` messages for an
 //!   ε-approximation — the paper's tree wins on message count while gossip
 //!   wins on robustness (no structure at all).
 //!
-//! The implementation reuses the DAT epoch/timer machinery: one gossip
-//! round per epoch tick.
-
-use std::collections::HashMap;
-
-use dat_chord::{
-    ChordConfig, ChordNode, Id, Input, Metrics, NodeAddr, NodeRef, NodeStatus, Output, Upcall,
-};
+//! One gossip round per epoch tick, over the engine's partitioned timers.
 
 use crate::codec::{CodecError, Reader, Writer, WIRE_VERSION};
+use crate::engine::{AppProtocol, Ctx, StackNode};
+use dat_chord::{Metrics, NodeRef, NodeStatus};
 
 /// Application-protocol discriminator for gossip messages.
 pub const GOSSIP_PROTO: u8 = 3;
@@ -74,9 +70,8 @@ impl Default for GossipConfig {
     }
 }
 
-/// A push-sum node over Chord.
-pub struct GossipNode {
-    chord: ChordNode,
+/// The push-sum handler, hosted on a [`StackNode`].
+pub struct GossipProtocol {
     cfg: GossipConfig,
     /// Local observed value.
     local: f64,
@@ -84,48 +79,33 @@ pub struct GossipNode {
     weight: f64,
     started: bool,
     round: u64,
-    timers: HashMap<u64, ()>,
     next_token: u64,
-    /// Deterministic peer-selection state.
+    /// Outstanding round-timer sub-token, if armed.
+    armed: Option<u64>,
+    /// Deterministic peer-selection state (seeded on start from the node
+    /// address).
     rng_state: u64,
     metrics: Metrics,
     /// Per-round estimate history `(round, estimate)`.
     history: Vec<(u64, f64)>,
 }
 
-impl GossipNode {
-    /// Create a gossip node with local value `value`.
-    pub fn new(ccfg: ChordConfig, cfg: GossipConfig, id: Id, addr: NodeAddr, value: f64) -> Self {
-        GossipNode {
-            chord: ChordNode::new(ccfg, id, addr),
+impl GossipProtocol {
+    /// Create a push-sum handler with local value `value`.
+    pub fn new(cfg: GossipConfig, value: f64) -> Self {
+        GossipProtocol {
             cfg,
             local: value,
             sum: value,
             weight: 1.0,
             started: false,
             round: 0,
-            timers: HashMap::new(),
             next_token: 1,
-            rng_state: addr.0.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            armed: None,
+            rng_state: 0,
             metrics: Metrics::default(),
             history: Vec::new(),
         }
-    }
-
-    /// This node's reference.
-    pub fn me(&self) -> NodeRef {
-        self.chord.me()
-    }
-
-    /// Underlying Chord node.
-    pub fn chord(&self) -> &ChordNode {
-        &self.chord
-    }
-
-    /// Report the host clock (monotonic ms) to the Chord layer's RTT
-    /// estimator. Hosts call this before every input.
-    pub fn set_now(&mut self, now_ms: u64) {
-        self.chord.set_now(now_ms);
     }
 
     /// Gossip message counters.
@@ -157,59 +137,11 @@ impl GossipNode {
         &self.history
     }
 
-    /// Start with a pre-materialised routing table.
-    pub fn start_with_table(&mut self, table: dat_chord::FingerTable) -> Vec<Output> {
-        let outs = self.chord.start_with_table(table);
-        self.process(outs)
-    }
-
-    /// Drive one input.
-    pub fn handle(&mut self, input: Input) -> Vec<Output> {
-        let outs = self.chord.handle(input);
-        self.process(outs)
-    }
-
-    fn process(&mut self, outs: Vec<Output>) -> Vec<Output> {
-        let mut pass = Vec::with_capacity(outs.len());
-        let mut scan: std::collections::VecDeque<Output> = outs.into();
-        while let Some(o) = scan.pop_front() {
-            match o {
-                Output::Upcall(Upcall::Joined { id }) => {
-                    if !self.started {
-                        self.started = true;
-                        self.arm_round(&mut scan);
-                    }
-                    pass.push(Output::Upcall(Upcall::Joined { id }));
-                }
-                Output::Upcall(Upcall::AppTimer(token)) => {
-                    if self.timers.remove(&token).is_some() {
-                        self.on_round(&mut scan);
-                        self.arm_round(&mut scan);
-                    }
-                }
-                Output::Upcall(Upcall::AppMessage {
-                    proto,
-                    from: _,
-                    payload,
-                }) if proto == GOSSIP_PROTO => match Share::decode(&payload) {
-                    Ok(s) => {
-                        self.metrics.count_received_kind("gossip_share");
-                        self.sum += s.sum;
-                        self.weight += s.weight;
-                    }
-                    Err(_) => self.metrics.dropped += 1,
-                },
-                other => pass.push(other),
-            }
-        }
-        pass
-    }
-
-    fn arm_round(&mut self, outs: &mut std::collections::VecDeque<Output>) {
+    fn arm_round(&mut self, cx: &mut Ctx<'_>) {
         self.next_token += 1;
         let token = self.next_token;
-        self.timers.insert(token, ());
-        outs.push_back(self.chord.app_timer(token, self.cfg.round_ms));
+        self.armed = Some(token);
+        cx.set_timer(token, self.cfg.round_ms);
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -224,12 +156,12 @@ impl GossipNode {
 
     /// One push-sum round: split `(sum, weight)` among `fanout` random
     /// finger peers and ourselves.
-    fn on_round(&mut self, outs: &mut std::collections::VecDeque<Output>) {
-        if self.chord.status() != NodeStatus::Active {
+    fn on_round(&mut self, cx: &mut Ctx<'_>) {
+        if cx.status() != NodeStatus::Active {
             return;
         }
         self.round += 1;
-        let peers: Vec<NodeRef> = self.chord.table().known_nodes();
+        let peers: Vec<NodeRef> = cx.table().known_nodes();
         if peers.is_empty() {
             self.history.push((self.round, self.estimate()));
             return;
@@ -245,16 +177,89 @@ impl GossipNode {
         for _ in 0..k {
             let peer = peers[(self.next_rand() as usize) % peers.len()];
             self.metrics.count_sent_kind("gossip_share");
-            outs.push_back(self.chord.send_app(peer, GOSSIP_PROTO, share.encode()));
+            cx.send(peer, share.encode());
         }
         self.history.push((self.round, self.estimate()));
+    }
+}
+
+impl AppProtocol for GossipProtocol {
+    fn proto(&self) -> u8 {
+        GOSSIP_PROTO
+    }
+
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        if !self.started {
+            self.started = true;
+            self.rng_state = cx.me().addr.0.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            self.arm_round(cx);
+        }
+    }
+
+    fn on_message(&mut self, _cx: &mut Ctx<'_>, _from: NodeRef, payload: &[u8]) {
+        match Share::decode(payload) {
+            Ok(s) => {
+                self.metrics.count_received_kind("gossip_share");
+                self.sum += s.sum;
+                self.weight += s.weight;
+            }
+            Err(_) => self.metrics.dropped += 1,
+        }
+    }
+
+    fn on_timer(&mut self, cx: &mut Ctx<'_>, sub: u64) {
+        if self.armed == Some(sub) {
+            self.armed = None;
+            self.on_round(cx);
+            self.arm_round(cx);
+        }
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Gossip-specific conveniences on the stack engine. All of these panic if
+/// no [`GossipProtocol`] is registered.
+impl StackNode {
+    /// The gossip handler (read-only).
+    pub fn gossip(&self) -> &GossipProtocol {
+        self.app::<GossipProtocol>()
+    }
+
+    /// The gossip handler (mutable).
+    pub fn gossip_mut(&mut self) -> &mut GossipProtocol {
+        self.app_mut::<GossipProtocol>()
+    }
+
+    /// Gossip-layer message counters.
+    pub fn gossip_metrics(&self) -> &Metrics {
+        self.gossip().metrics()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dat_chord::IdSpace;
+    use dat_chord::{ChordConfig, Id, IdSpace, Input, NodeAddr, Output};
+
+    fn mk(id: u64, value: f64) -> StackNode {
+        let ccfg = ChordConfig {
+            space: IdSpace::new(8),
+            ..ChordConfig::default()
+        };
+        StackNode::new(ccfg, Id(id), NodeAddr(id))
+            .with_app(GossipProtocol::new(GossipConfig::default(), value))
+    }
 
     #[test]
     fn share_codec_roundtrip() {
@@ -269,26 +274,16 @@ mod tests {
 
     #[test]
     fn single_node_estimate_is_its_value() {
-        let ccfg = ChordConfig {
-            space: IdSpace::new(8),
-            ..ChordConfig::default()
-        };
-        let mut n = GossipNode::new(ccfg, GossipConfig::default(), Id(1), NodeAddr(1), 42.0);
-        assert_eq!(n.estimate(), 42.0);
-        let outs = n.chord.start_create();
-        let _ = n.process(outs);
-        assert!(n.started);
+        let mut n = mk(1, 42.0);
+        assert_eq!(n.gossip().estimate(), 42.0);
+        let _ = n.start_create();
+        assert!(n.gossip().started);
     }
 
     #[test]
     fn receiving_share_updates_mass() {
-        let ccfg = ChordConfig {
-            space: IdSpace::new(8),
-            ..ChordConfig::default()
-        };
-        let mut n = GossipNode::new(ccfg, GossipConfig::default(), Id(1), NodeAddr(1), 10.0);
-        let outs = n.chord.start_create();
-        let _ = n.process(outs);
+        let mut n = mk(1, 10.0);
+        let _ = n.start_create();
         let share = Share {
             sum: 5.0,
             weight: 0.5,
@@ -302,33 +297,24 @@ mod tests {
             },
         });
         // (10 + 5) / (1 + 0.5) = 10
-        assert_eq!(n.estimate(), 10.0);
-        assert_eq!(n.metrics().received_of("gossip_share"), 1);
+        assert_eq!(n.gossip().estimate(), 10.0);
+        assert_eq!(n.gossip_metrics().received_of("gossip_share"), 1);
     }
 
     #[test]
     fn mass_conservation_locally() {
         // A round splits mass between self and peers; total emitted + kept
         // equals the previous mass.
-        let ccfg = ChordConfig {
-            space: IdSpace::new(8),
-            ..ChordConfig::default()
-        };
-        let mut n = GossipNode::new(ccfg, GossipConfig::default(), Id(8), NodeAddr(8), 6.0);
-        let outs = n.chord.start_create();
-        let _ = n.process(outs);
+        let mut n = mk(8, 6.0);
+        let _ = n.start_create();
         // Give it a peer.
-        n.chord
-            .handle(Input::Message {
-                from: NodeAddr(2),
-                msg: dat_chord::ChordMsg::Notify {
-                    sender: NodeRef::new(Id(2), NodeAddr(2)),
-                },
-            })
-            .into_iter()
-            .for_each(drop);
-        let mut outs = std::collections::VecDeque::new();
-        n.on_round(&mut outs);
+        let _ = n.handle(Input::Message {
+            from: NodeAddr(2),
+            msg: dat_chord::ChordMsg::Notify {
+                sender: NodeRef::new(Id(2), NodeAddr(2)),
+            },
+        });
+        let ((), outs) = n.drive::<GossipProtocol, _>(|g, cx| g.on_round(cx));
         let sent: f64 = outs
             .iter()
             .filter_map(|o| match o {
@@ -339,6 +325,6 @@ mod tests {
                 _ => None,
             })
             .sum();
-        assert!((n.sum + sent - 6.0).abs() < 1e-12);
+        assert!((n.gossip().sum + sent - 6.0).abs() < 1e-12);
     }
 }

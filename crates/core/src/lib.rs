@@ -12,10 +12,14 @@
 //! * **aggregate functions** ([`aggregate`]): mergeable partials (count /
 //!   sum / sum² / min / max / histogram) whose merge is associative and
 //!   commutative — the algebra the tree recursion requires;
-//! * **the protocol** ([`proto::DatNode`]): a sans-io node layering the §4
-//!   prototype's aggregation table, continuous (epoch-push) and on-demand
-//!   (fan-out/convergecast) modes over `dat-chord`, plus the *centralized*
-//!   baseline of Fig. 8;
+//! * **the engine** ([`engine::StackNode`]): one overlay node hosting any
+//!   number of application protocols ([`engine::AppProtocol`]) over a single
+//!   shared Chord substrate — one finger table, one RTO estimator, one
+//!   stabilization schedule, demultiplexed by proto byte;
+//! * **the protocol** ([`proto::DatProtocol`]): the §4 prototype's
+//!   aggregation table, continuous (epoch-push) and on-demand
+//!   (fan-out/convergecast) modes as an `AppProtocol`, plus the
+//!   *centralized* baseline of Fig. 8;
 //! * **analysis & theory** ([`analysis`], [`theory`]): Fig. 7's tree
 //!   metrics and the closed-form branching factor
 //!   `B(i,n) = log2 n − ⌈log2(d/d0 + 1)⌉`, cross-checked against
@@ -46,6 +50,7 @@
 pub mod aggregate;
 pub mod analysis;
 pub mod codec;
+pub mod engine;
 pub mod explicit;
 pub mod gossip;
 pub mod proto;
@@ -57,8 +62,9 @@ pub mod viz;
 pub use aggregate::{AggFunc, AggPartial, Histogram};
 pub use analysis::{centralized_message_counts, simulate_message_counts, TreeStats};
 pub use codec::{CodecError, DatMsg, DAT_PROTO};
-pub use explicit::{ExpMsg, ExplicitConfig, ExplicitTreeNode, EXPLICIT_PROTO};
-pub use gossip::{GossipConfig, GossipNode, GOSSIP_PROTO};
-pub use proto::{AggregationEntry, AggregationMode, DatConfig, DatEvent, DatNode};
+pub use engine::{AppProtocol, Ctx, StackNode};
+pub use explicit::{ExpMsg, ExplicitConfig, ExplicitProtocol, EXPLICIT_PROTO};
+pub use gossip::{GossipConfig, GossipProtocol, GOSSIP_PROTO};
+pub use proto::{AggregationEntry, AggregationMode, DatConfig, DatEvent, DatProtocol};
 pub use sketch::Hll;
 pub use tree::DatTree;

@@ -1,4 +1,4 @@
-//! The DAT protocol layer: a sans-io node wrapping [`ChordNode`].
+//! The DAT protocol layer, hosted on the [`StackNode`] engine.
 //!
 //! Implements both aggregate modes of the paper's prototype (§4):
 //!
@@ -15,19 +15,23 @@
 //! A third mode, **centralized**, reproduces the baseline of Fig. 8: every
 //! node routes its raw value to the root with no in-network merging.
 //!
-//! Like the Chord layer, `DatNode` performs no I/O: it consumes
-//! [`Input`]s, emits [`Output`]s, and surfaces application-level results as
-//! [`DatEvent`]s drained via [`DatNode::take_events`].
+//! [`DatProtocol`] is an [`AppProtocol`]: it holds only aggregation state
+//! and acts on the overlay through the engine [`Ctx`]. Application-level
+//! results surface as [`DatEvent`]s drained via [`StackNode::take_events`].
+//! The `impl StackNode` block at the bottom is the host-facing surface —
+//! register/set-local/query keep the same shape they had when DAT owned
+//! the node, but now compose with any other stacked protocol.
 
 use std::collections::HashMap;
 
 use dat_chord::{
-    estimate_d0, hash_to_id, parent_for, ChordConfig, ChordNode, Id, Input, Metrics, NodeAddr,
-    NodeRef, NodeStatus, Output, ParentDecision, RoutingScheme, Upcall,
+    estimate_d0, hash_to_id, parent_for, FingerTable, Id, Metrics, NodeAddr, NodeRef, NodeStatus,
+    Output, ParentDecision, RoutingScheme,
 };
 
 use crate::aggregate::AggPartial;
 use crate::codec::{DatMsg, DAT_PROTO};
+use crate::engine::{AppProtocol, Ctx, StackNode};
 
 /// How the global value of one aggregation is computed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,7 +93,7 @@ pub enum DatEvent {
     },
     /// (Requester side) an on-demand query completed.
     QueryDone {
-        /// Request id returned by [`DatNode::query`].
+        /// Request id returned by [`StackNode::query`].
         reqid: u64,
         /// Rendezvous key.
         key: Id,
@@ -226,9 +230,9 @@ struct QueryState {
     done: bool,
 }
 
-/// The DAT node: Chord + aggregation table + both aggregate modes.
-pub struct DatNode {
-    chord: ChordNode,
+/// The DAT handler: aggregation table + both aggregate modes, hosted on
+/// the shared Chord substrate by a [`StackNode`].
+pub struct DatProtocol {
     cfg: DatConfig,
     aggs: HashMap<Id, AggregationEntry>,
     epoch: u64,
@@ -243,76 +247,27 @@ pub struct DatNode {
     parent_ping_epoch: u64,
 }
 
-impl DatNode {
-    /// Create a DAT node with the given Chord and DAT configurations.
-    pub fn new(chord_cfg: ChordConfig, dat_cfg: DatConfig, id: Id, addr: NodeAddr) -> Self {
-        DatNode {
-            chord: ChordNode::new(chord_cfg, id, addr),
-            cfg: dat_cfg,
+impl DatProtocol {
+    /// A fresh DAT handler with the given configuration.
+    pub fn new(cfg: DatConfig) -> Self {
+        DatProtocol {
+            cfg,
             aggs: HashMap::new(),
             epoch: 0,
             queries: HashMap::new(),
             timers: HashMap::new(),
             next_token: 1,
-            next_reqid: (addr.0 << 24) + 1,
+            next_reqid: 0,
             metrics: Metrics::default(),
             events: Vec::new(),
             epoch_timer_armed: false,
             parent_ping_epoch: 0,
         }
-    }
-
-    /// Wrap an existing Chord node (e.g. one pre-loaded with a stabilized
-    /// table by an experiment harness).
-    pub fn from_chord(chord: ChordNode, dat_cfg: DatConfig) -> Self {
-        let addr = chord.me().addr;
-        DatNode {
-            chord,
-            cfg: dat_cfg,
-            aggs: HashMap::new(),
-            epoch: 0,
-            queries: HashMap::new(),
-            timers: HashMap::new(),
-            next_token: 1,
-            next_reqid: (addr.0 << 24) + 1,
-            metrics: Metrics::default(),
-            events: Vec::new(),
-            epoch_timer_armed: false,
-            parent_ping_epoch: 0,
-        }
-    }
-
-    /// This node's reference.
-    pub fn me(&self) -> NodeRef {
-        self.chord.me()
-    }
-
-    /// Lifecycle status of the underlying Chord node.
-    pub fn status(&self) -> NodeStatus {
-        self.chord.status()
-    }
-
-    /// The underlying Chord node (read-only).
-    pub fn chord(&self) -> &ChordNode {
-        &self.chord
-    }
-
-    /// Report the host clock (monotonic ms) to the Chord layer's RTT
-    /// estimator. Hosts call this before every input.
-    pub fn set_now(&mut self, now_ms: u64) {
-        self.chord.set_now(now_ms);
     }
 
     /// DAT-layer message counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
-    }
-
-    /// Reset both DAT-layer and Chord-layer counters (e.g. after a warm-up
-    /// phase, so experiments measure steady state only).
-    pub fn reset_metrics(&mut self) {
-        self.metrics.reset();
-        self.chord.metrics_mut().reset();
     }
 
     /// The DAT configuration.
@@ -340,45 +295,15 @@ impl DatNode {
         std::mem::take(&mut self.events)
     }
 
-    /// Start as the first ring member.
-    pub fn start_create(&mut self) -> Vec<Output> {
-        let outs = self.chord.start_create();
-        self.process(outs)
-    }
-
-    /// Join through `bootstrap`.
-    pub fn start_join(&mut self, bootstrap: NodeRef) -> Vec<Output> {
-        let outs = self.chord.start_join(bootstrap);
-        self.process(outs)
-    }
-
-    /// Start with a pre-materialised routing table (see
-    /// [`ChordNode::start_with_table`]); used by experiment harnesses.
-    pub fn start_with_table(&mut self, table: dat_chord::FingerTable) -> Vec<Output> {
-        let outs = self.chord.start_with_table(table);
-        self.process(outs)
-    }
-
-    /// Gracefully leave the ring.
-    pub fn leave(&mut self) -> Vec<Output> {
-        let outs = self.chord.leave();
-        self.process(outs)
-    }
-
-    /// Register an aggregation for attribute `name`. The rendezvous key is
-    /// the SHA-1 hash of the name (paper §2.3). Returns the key.
-    pub fn register(&mut self, name: &str, mode: AggregationMode) -> Id {
-        self.register_with_histogram(name, mode, None)
-    }
-
-    /// Register an aggregation whose partials carry a histogram digest.
-    pub fn register_with_histogram(
+    /// Insert an aggregation entry under a precomputed rendezvous key (the
+    /// host-facing name→key hashing lives on [`StackNode::register`]).
+    fn register_entry(
         &mut self,
+        key: Id,
         name: &str,
         mode: AggregationMode,
         histogram: Option<(f64, f64, usize)>,
-    ) -> Id {
-        let key = hash_to_id(self.chord.space(), name.as_bytes());
+    ) {
         self.aggs.entry(key).or_insert_with(|| AggregationEntry {
             key,
             name: name.to_string(),
@@ -394,7 +319,6 @@ impl DatNode {
             prune_old: None,
             raw: HashMap::new(),
         });
-        key
     }
 
     /// Update this node's local value for an aggregation (sensor input).
@@ -402,16 +326,6 @@ impl DatNode {
         if let Some(e) = self.aggs.get_mut(&key) {
             e.local = Some(value);
         }
-    }
-
-    /// Register an aggregation whose partials carry a distinct-count
-    /// sketch of the given precision (see [`crate::sketch::Hll`]).
-    pub fn register_with_distinct(&mut self, name: &str, mode: AggregationMode, p: u8) -> Id {
-        let key = self.register(name, mode);
-        if let Some(e) = self.aggs.get_mut(&key) {
-            e.distinct_p = Some(p);
-        }
-        key
     }
 
     /// Record an identity-bearing item (site, user, job id …) this node
@@ -424,23 +338,29 @@ impl DatNode {
         }
     }
 
-    /// The DAT parent this node currently computes for `key`.
-    pub fn parent_decision(&self, key: Id) -> ParentDecision {
-        parent_for(self.cfg.scheme, self.chord.table(), key, self.d0())
+    /// The DAT parent computed for `key` against the given finger table.
+    fn decide_parent(&self, table: &FingerTable, key: Id) -> ParentDecision {
+        parent_for(self.cfg.scheme, table, key, self.d0(table))
+    }
+
+    fn d0(&self, table: &FingerTable) -> u64 {
+        self.cfg.d0_hint.unwrap_or_else(|| estimate_d0(table))
     }
 
     /// Issue an on-demand aggregate query for `key`. The answer arrives as
     /// [`DatEvent::QueryDone`] with the returned request id.
-    pub fn query(&mut self, key: Id) -> (u64, Vec<Output>) {
+    fn query(&mut self, cx: &mut Ctx<'_>, key: Id) -> u64 {
+        let me = cx.me();
+        // Seed the reqid namespace from our transport address so ids from
+        // different initiators never collide.
+        if self.next_reqid == 0 {
+            self.next_reqid = me.addr.0 << 24;
+        }
         self.next_reqid += 1;
         let reqid = self.next_reqid;
-        let me = self.me();
-        let mut outs = Vec::new();
-        if self.chord.owns(key) {
+        if cx.owns(key) {
             // We are the root: fan out directly.
-            let mut q = std::collections::VecDeque::new();
-            self.begin_fanout(reqid, key, None, Some(me), &mut q);
-            outs.extend(q);
+            self.begin_fanout(cx, reqid, key, None, Some(me));
         } else {
             let req = DatMsg::Request {
                 reqid,
@@ -448,110 +368,29 @@ impl DatNode {
                 requester: me,
             };
             self.metrics.count_sent_kind(req.kind());
-            let routed = self.chord.route(key, req.encode());
-            outs.extend(self.process(routed));
+            cx.route(key, req.encode());
         }
-        (reqid, outs)
+        reqid
     }
 
-    /// Drive one input through the stack.
-    pub fn handle(&mut self, input: Input) -> Vec<Output> {
-        let outs = self.chord.handle(input);
-        self.process(outs)
-    }
-
-    /// Intercept chord upcalls, dispatch DAT logic, pass the rest through.
-    fn process(&mut self, outs: Vec<Output>) -> Vec<Output> {
-        let mut pass = Vec::with_capacity(outs.len());
-        let mut scan: std::collections::VecDeque<Output> = outs.into();
-        while let Some(o) = scan.pop_front() {
-            match o {
-                Output::Upcall(Upcall::Joined { id }) => {
-                    self.ensure_epoch_timer(&mut scan);
-                    pass.push(Output::Upcall(Upcall::Joined { id }));
-                }
-                Output::Upcall(Upcall::AppTimer(token)) => {
-                    #[cfg(feature = "trace-flush")]
-                    eprintln!(
-                        "[{:?}] AppTimer token={token} known={}",
-                        self.me().addr,
-                        self.timers.contains_key(&token)
-                    );
-                    let Some(t) = self.timers.remove(&token) else {
-                        continue;
-                    };
-                    match t {
-                        DatTimer::EpochTick => {
-                            self.epoch_timer_armed = false;
-                            self.on_epoch(&mut scan);
-                            self.ensure_epoch_timer(&mut scan);
-                        }
-                        DatTimer::QueryWindow(reqid) => self.on_query_window(reqid, &mut scan),
-                        DatTimer::HoldFlush(key) => self.flush_continuous(key, &mut scan),
-                    }
-                }
-                Output::Upcall(Upcall::AppMessage {
-                    proto,
-                    from,
-                    payload,
-                }) if proto == DAT_PROTO => match DatMsg::decode(&payload) {
-                    Ok(msg) => {
-                        self.metrics.count_received_kind(msg.kind());
-                        self.on_dat_msg(from.addr, msg, &mut scan);
-                    }
-                    Err(_) => self.metrics.dropped += 1,
-                },
-                Output::Upcall(Upcall::Routed {
-                    key,
-                    payload,
-                    origin,
-                    ..
-                }) => match DatMsg::decode(&payload) {
-                    Ok(msg) => {
-                        self.metrics.count_received_kind(msg.kind());
-                        self.on_dat_msg(origin.addr, msg, &mut scan);
-                    }
-                    Err(_) => {
-                        // Not a DAT payload: surface to the host.
-                        pass.push(Output::Upcall(Upcall::Routed {
-                            key,
-                            payload,
-                            origin,
-                            hops: 0,
-                        }));
-                    }
-                },
-                other => pass.push(other),
-            }
-        }
-        pass
-    }
-
-    fn ensure_epoch_timer(&mut self, outs: &mut std::collections::VecDeque<Output>) {
-        if self.epoch_timer_armed || self.status() != NodeStatus::Active {
+    fn ensure_epoch_timer(&mut self, cx: &mut Ctx<'_>) {
+        if self.epoch_timer_armed || cx.status() != NodeStatus::Active {
             return;
         }
         self.next_token += 1;
         let token = self.next_token;
         self.timers.insert(token, DatTimer::EpochTick);
-        outs.push_back(self.chord.app_timer(token, self.cfg.epoch_ms));
+        cx.set_timer(token, self.cfg.epoch_ms);
         self.epoch_timer_armed = true;
-    }
-
-    fn d0(&self) -> u64 {
-        self.cfg
-            .d0_hint
-            .unwrap_or_else(|| estimate_d0(self.chord.table()))
     }
 
     /// One epoch tick: push every continuous aggregation to its parent,
     /// route centralized samples, emit root reports.
-    fn on_epoch(&mut self, outs: &mut std::collections::VecDeque<Output>) {
+    fn on_epoch(&mut self, cx: &mut Ctx<'_>) {
         self.epoch += 1;
         let epoch = self.epoch;
         let ttl = self.cfg.child_ttl_epochs;
-        let me = self.me();
-        let _ = me;
+        let me = cx.me();
         let keys: Vec<Id> = self.aggs.keys().copied().collect();
         for key in keys {
             let entry = &self.aggs[&key];
@@ -564,19 +403,19 @@ impl DatNode {
                     // Nodes whose children have all delivered flush early
                     // (see the Update handler); the timer is the bound.
                     if entry.active_children(epoch).is_empty() {
-                        self.flush_continuous(key, outs);
+                        self.flush_continuous(cx, key);
                     } else {
-                        let delay = self.flush_delay(key);
+                        let delay = self.flush_delay(cx, key);
                         #[cfg(feature = "trace-flush")]
                         eprintln!("[{:?}] arm hold epoch={epoch} delay={delay}", me.addr);
                         self.next_token += 1;
                         let token = self.next_token;
                         self.timers.insert(token, DatTimer::HoldFlush(key));
-                        outs.push_back(self.chord.app_timer(token, delay));
+                        cx.set_timer(token, delay);
                     }
                 }
                 AggregationMode::Centralized => {
-                    if self.chord.owns(key) {
+                    if cx.owns(key) {
                         let partial = entry.merged_raw(epoch, ttl);
                         self.events.push(DatEvent::Report {
                             key,
@@ -591,10 +430,7 @@ impl DatNode {
                             sender: me,
                         };
                         self.metrics.count_sent_kind(msg.kind());
-                        let routed = self.chord.route(key, msg.encode());
-                        for o in self.process(routed) {
-                            outs.push_back(o);
-                        }
+                        cx.route(key, msg.encode());
                     }
                 }
             }
@@ -612,20 +448,20 @@ impl DatNode {
     /// level, comfortably above LAN latencies, so an epoch's updates
     /// cascade all the way to the root within one slot (the paper's
     /// "aggregation synchronization", §4).
-    fn flush_delay(&self, key: Id) -> u64 {
-        if self.chord.owns(key) {
+    fn flush_delay(&self, cx: &Ctx<'_>, key: Id) -> u64 {
+        if cx.owns(key) {
             // The root sits just past the key, so its clockwise distance to
             // the key wraps the whole ring — special-case it to flush last.
             return self.cfg.hold_ms;
         }
-        let space = self.chord.space();
-        let x = space.dist_cw(self.me().id, key);
+        let space = cx.space();
+        let x = space.dist_cw(cx.me().id, key);
         let b = space.bits() as f64;
         // Spread the window over the ~log2(n) levels that actually exist
         // (identifiers below d0 apart collapse into one level), so the gap
         // between adjacent levels is hold/log2(n) rather than hold/b —
         // comfortably above one-way latency even on WANs.
-        let d0_log = (self.d0().max(1) as f64).log2();
+        let d0_log = (self.d0(cx.table()).max(1) as f64).log2();
         let span = (b - d0_log).max(1.0);
         // frac = 1 just behind the key (the root's children), 0 at the far
         // side of the ring (the deepest leaves).
@@ -636,10 +472,10 @@ impl DatNode {
 
     /// Push (or report, at the root) the merged continuous partial of
     /// `key` for the current epoch. Idempotent per epoch.
-    fn flush_continuous(&mut self, key: Id, outs: &mut std::collections::VecDeque<Output>) {
+    fn flush_continuous(&mut self, cx: &mut Ctx<'_>, key: Id) {
         let epoch = self.epoch;
         let ttl = self.cfg.child_ttl_epochs;
-        let me = self.me();
+        let me = cx.me();
         let Some(entry) = self.aggs.get_mut(&key) else {
             return;
         };
@@ -647,8 +483,7 @@ impl DatNode {
             #[cfg(feature = "trace-flush")]
             eprintln!(
                 "[{:?}] flush skipped epoch={epoch} flushed={}",
-                self.chord.me().addr,
-                entry.flushed_epoch
+                me.addr, entry.flushed_epoch
             );
             return;
         }
@@ -661,12 +496,11 @@ impl DatNode {
                 .collect();
             eprintln!(
                 "[{:?}] flush epoch={epoch} local={:?} children={stamps:?}",
-                self.chord.me().addr,
-                entry.local
+                me.addr, entry.local
             );
         }
         entry.flushed_epoch = epoch;
-        let mut decision = self.parent_decision(key);
+        let mut decision = self.decide_parent(cx.table(), key);
         // Root stickiness: a transiently evicted predecessor makes the ring
         // position uncertain; a recent root keeps reporting rather than
         // pushing its partial *down* the tree (which would both silence the
@@ -678,7 +512,7 @@ impl DatNode {
                 }
             }
             _ => {
-                let pred_unknown = self.chord.table().predecessor().is_none();
+                let pred_unknown = cx.table().predecessor().is_none();
                 let sticky = self
                     .aggs
                     .get(&key)
@@ -718,7 +552,7 @@ impl DatNode {
         if let Some(old) = prune_to {
             let msg = DatMsg::Prune { key, sender: me };
             self.metrics.count_sent_kind(msg.kind());
-            outs.push_back(self.chord.send_app(old, DAT_PROTO, msg.encode()));
+            cx.send(old, msg.encode());
         }
         match decision {
             ParentDecision::IAmRoot => {
@@ -736,7 +570,7 @@ impl DatNode {
                     sender: me,
                 };
                 self.metrics.count_sent_kind(msg.kind());
-                outs.push_back(self.chord.send_app(p, DAT_PROTO, msg.encode()));
+                cx.send(p, msg.encode());
                 // Updates are fire-and-forget; probe the parent's liveness
                 // once per epoch so a crashed or departed parent is evicted
                 // (via the Chord timeout machinery) and next epoch's parent
@@ -744,9 +578,7 @@ impl DatNode {
                 if self.parent_ping_epoch < epoch {
                     self.parent_ping_epoch = epoch;
                     self.metrics.count_sent_kind("dat_parent_ping");
-                    for o in self.chord.ping_node(p) {
-                        outs.push_back(o);
-                    }
+                    cx.ping(p);
                 }
             }
             ParentDecision::Unknown => {
@@ -756,12 +588,7 @@ impl DatNode {
         }
     }
 
-    fn on_dat_msg(
-        &mut self,
-        _from: NodeAddr,
-        msg: DatMsg,
-        outs: &mut std::collections::VecDeque<Output>,
-    ) {
+    fn on_dat_msg(&mut self, cx: &mut Ctx<'_>, _from: NodeAddr, msg: DatMsg) {
         match msg {
             DatMsg::Update {
                 key,
@@ -786,7 +613,7 @@ impl DatNode {
                     // Every recently-active child has delivered this
                     // epoch's partial: cascade up without waiting for the
                     // hold timer.
-                    self.flush_continuous(key, outs);
+                    self.flush_continuous(cx, key);
                 }
             }
             DatMsg::RawSample {
@@ -804,7 +631,7 @@ impl DatNode {
                 key,
                 requester,
             } => {
-                self.begin_fanout(reqid, key, None, Some(requester), outs);
+                self.begin_fanout(cx, reqid, key, None, Some(requester));
             }
             DatMsg::Query {
                 reqid,
@@ -813,7 +640,7 @@ impl DatNode {
                 parent,
                 depth,
             } => {
-                self.on_query(reqid, key, limit, parent, depth, outs);
+                self.on_query(cx, reqid, key, limit, parent, depth);
             }
             DatMsg::Response {
                 reqid,
@@ -830,7 +657,7 @@ impl DatNode {
                     _ => false,
                 };
                 if complete {
-                    self.complete_query(reqid, outs);
+                    self.complete_query(cx, reqid);
                 }
             }
             DatMsg::Prune { key, sender } => {
@@ -856,15 +683,15 @@ impl DatNode {
     /// ring.
     fn begin_fanout(
         &mut self,
+        cx: &mut Ctx<'_>,
         reqid: u64,
         key: Id,
         parent: Option<NodeRef>,
         requester: Option<NodeRef>,
-        outs: &mut std::collections::VecDeque<Output>,
     ) {
-        let me = self.me();
+        let me = cx.me();
         let acc = self.local_partial(key);
-        let sent = self.fan_out_query(reqid, key, me.id, 0, outs);
+        let sent = self.fan_out_query(cx, reqid, key, me.id, 0);
         let st = QueryState {
             key,
             parent,
@@ -875,21 +702,21 @@ impl DatNode {
         };
         self.queries.insert(reqid, st);
         if sent == 0 {
-            self.complete_query(reqid, outs);
+            self.complete_query(cx, reqid);
         } else {
-            self.arm_query_window(reqid, 0, outs);
+            self.arm_query_window(cx, reqid, 0);
         }
     }
 
     /// Handle an incoming fan-out query for range `(me, limit)`.
     fn on_query(
         &mut self,
+        cx: &mut Ctx<'_>,
         reqid: u64,
         key: Id,
         limit: Id,
         parent: NodeRef,
         depth: u32,
-        outs: &mut std::collections::VecDeque<Output>,
     ) {
         if self.queries.contains_key(&reqid) {
             // Duplicate delivery during churn: answer with identity so the
@@ -898,14 +725,14 @@ impl DatNode {
                 reqid,
                 key,
                 partial: AggPartial::identity(),
-                sender: self.me(),
+                sender: cx.me(),
             };
             self.metrics.count_sent_kind(msg.kind());
-            outs.push_back(self.chord.send_app(parent, DAT_PROTO, msg.encode()));
+            cx.send(parent, msg.encode());
             return;
         }
         let acc = self.local_partial(key);
-        let sent = self.fan_out_query(reqid, key, limit, depth + 1, outs);
+        let sent = self.fan_out_query(cx, reqid, key, limit, depth + 1);
         let st = QueryState {
             key,
             parent: Some(parent),
@@ -916,9 +743,9 @@ impl DatNode {
         };
         self.queries.insert(reqid, st);
         if sent == 0 {
-            self.complete_query(reqid, outs);
+            self.complete_query(cx, reqid);
         } else {
-            self.arm_query_window(reqid, depth + 1, outs);
+            self.arm_query_window(cx, reqid, depth + 1);
         }
     }
 
@@ -939,16 +766,16 @@ impl DatNode {
     /// `(me, limit)`. Returns the number of children queried.
     fn fan_out_query(
         &mut self,
+        cx: &mut Ctx<'_>,
         reqid: u64,
         key: Id,
         limit: Id,
         depth: u32,
-        outs: &mut std::collections::VecDeque<Output>,
     ) -> usize {
-        let space = self.chord.space();
-        let me = self.me();
+        let space = cx.space();
+        let me = cx.me();
         let mut targets: Vec<NodeRef> = Vec::new();
-        for (_, fi) in self.chord.table().iter() {
+        for (_, fi) in cx.table().iter() {
             let n = fi.node;
             let inside = if limit == me.id {
                 n.id != me.id
@@ -975,7 +802,7 @@ impl DatNode {
                 depth,
             };
             self.metrics.count_sent_kind(msg.kind());
-            outs.push_back(self.chord.send_app(targets[i], DAT_PROTO, msg.encode()));
+            cx.send(targets[i], msg.encode());
         }
         count
     }
@@ -984,29 +811,24 @@ impl DatNode {
     /// depth so that a deep subtree's timeout still fits inside every
     /// ancestor's window — otherwise one lost message below would make the
     /// root close before the (late but complete) deep responses arrive.
-    fn arm_query_window(
-        &mut self,
-        reqid: u64,
-        depth: u32,
-        outs: &mut std::collections::VecDeque<Output>,
-    ) {
+    fn arm_query_window(&mut self, cx: &mut Ctx<'_>, reqid: u64, depth: u32) {
         self.next_token += 1;
         let token = self.next_token;
         self.timers.insert(token, DatTimer::QueryWindow(reqid));
         let window = (self.cfg.query_window_ms >> depth.min(6)).max(40);
-        outs.push_back(self.chord.app_timer(token, window));
+        cx.set_timer(token, window);
     }
 
-    fn on_query_window(&mut self, reqid: u64, outs: &mut std::collections::VecDeque<Output>) {
+    fn on_query_window(&mut self, cx: &mut Ctx<'_>, reqid: u64) {
         let timed_out = matches!(self.queries.get(&reqid), Some(q) if !q.done);
         if timed_out {
             // Lost branches: answer with what we have.
-            self.complete_query(reqid, outs);
+            self.complete_query(cx, reqid);
         }
     }
 
-    fn complete_query(&mut self, reqid: u64, outs: &mut std::collections::VecDeque<Output>) {
-        let me = self.me();
+    fn complete_query(&mut self, cx: &mut Ctx<'_>, reqid: u64) {
+        let me = cx.me();
         let Some(q) = self.queries.get_mut(&reqid) else {
             return;
         };
@@ -1027,7 +849,7 @@ impl DatNode {
                     sender: me,
                 };
                 self.metrics.count_sent_kind(msg.kind());
-                outs.push_back(self.chord.send_app(p, DAT_PROTO, msg.encode()));
+                cx.send(p, msg.encode());
             }
             None => match requester {
                 Some(r) if r.id == me.id => {
@@ -1044,11 +866,159 @@ impl DatNode {
                         partial,
                     };
                     self.metrics.count_sent_kind(msg.kind());
-                    outs.push_back(self.chord.send_app(r, DAT_PROTO, msg.encode()));
+                    cx.send(r, msg.encode());
                 }
                 None => {}
             },
         }
+    }
+}
+
+impl AppProtocol for DatProtocol {
+    fn proto(&self) -> u8 {
+        DAT_PROTO
+    }
+
+    fn on_start(&mut self, cx: &mut Ctx<'_>) {
+        self.ensure_epoch_timer(cx);
+    }
+
+    fn on_message(&mut self, cx: &mut Ctx<'_>, from: NodeRef, payload: &[u8]) {
+        match DatMsg::decode(payload) {
+            Ok(msg) => {
+                self.metrics.count_received_kind(msg.kind());
+                self.on_dat_msg(cx, from.addr, msg);
+            }
+            Err(_) => self.metrics.dropped += 1,
+        }
+    }
+
+    fn on_timer(&mut self, cx: &mut Ctx<'_>, sub: u64) {
+        #[cfg(feature = "trace-flush")]
+        eprintln!(
+            "[{:?}] AppTimer sub={sub} known={}",
+            cx.me().addr,
+            self.timers.contains_key(&sub)
+        );
+        let Some(t) = self.timers.remove(&sub) else {
+            return;
+        };
+        match t {
+            DatTimer::EpochTick => {
+                self.epoch_timer_armed = false;
+                self.on_epoch(cx);
+                self.ensure_epoch_timer(cx);
+            }
+            DatTimer::QueryWindow(reqid) => self.on_query_window(cx, reqid),
+            DatTimer::HoldFlush(key) => self.flush_continuous(cx, key),
+        }
+    }
+
+    fn on_routed(&mut self, cx: &mut Ctx<'_>, _key: Id, origin: NodeRef, payload: &[u8]) {
+        match DatMsg::decode(payload) {
+            Ok(msg) => {
+                self.metrics.count_received_kind(msg.kind());
+                self.on_dat_msg(cx, origin.addr, msg);
+            }
+            Err(_) => self.metrics.dropped += 1,
+        }
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// DAT-specific conveniences on the stack engine — the host-facing API for
+/// nodes that (possibly among other protocols) run DAT aggregation. All of
+/// these panic if no [`DatProtocol`] is registered.
+impl StackNode {
+    /// The DAT handler (read-only).
+    pub fn dat(&self) -> &DatProtocol {
+        self.app::<DatProtocol>()
+    }
+
+    /// The DAT handler (mutable, state-only access).
+    pub fn dat_mut(&mut self) -> &mut DatProtocol {
+        self.app_mut::<DatProtocol>()
+    }
+
+    /// Register an aggregation for attribute `name`. The rendezvous key is
+    /// the SHA-1 hash of the name (paper §2.3). Returns the key.
+    pub fn register(&mut self, name: &str, mode: AggregationMode) -> Id {
+        self.register_with_histogram(name, mode, None)
+    }
+
+    /// Register an aggregation whose partials carry a histogram digest.
+    pub fn register_with_histogram(
+        &mut self,
+        name: &str,
+        mode: AggregationMode,
+        histogram: Option<(f64, f64, usize)>,
+    ) -> Id {
+        let key = hash_to_id(self.space(), name.as_bytes());
+        self.dat_mut().register_entry(key, name, mode, histogram);
+        key
+    }
+
+    /// Register an aggregation whose partials carry a distinct-count
+    /// sketch of the given precision (see [`crate::sketch::Hll`]).
+    pub fn register_with_distinct(&mut self, name: &str, mode: AggregationMode, p: u8) -> Id {
+        let key = self.register(name, mode);
+        if let Some(e) = self.dat_mut().aggs.get_mut(&key) {
+            e.distinct_p = Some(p);
+        }
+        key
+    }
+
+    /// Update this node's local value for an aggregation (sensor input).
+    pub fn set_local(&mut self, key: Id, value: f64) {
+        self.dat_mut().set_local(key, value);
+    }
+
+    /// Record an identity-bearing item for the distinct-count sketch.
+    pub fn observe_local_item(&mut self, key: Id, item: &[u8]) {
+        self.dat_mut().observe_local_item(key, item);
+    }
+
+    /// Drain DAT application events produced since the last call.
+    pub fn take_events(&mut self) -> Vec<DatEvent> {
+        self.dat_mut().take_events()
+    }
+
+    /// Current DAT epoch index.
+    pub fn epoch(&self) -> u64 {
+        self.dat().epoch()
+    }
+
+    /// Look up one aggregation entry.
+    pub fn aggregation(&self, key: Id) -> Option<&AggregationEntry> {
+        self.dat().aggregation(key)
+    }
+
+    /// DAT-layer message counters.
+    pub fn dat_metrics(&self) -> &Metrics {
+        self.dat().metrics()
+    }
+
+    /// The DAT parent this node currently computes for `key`.
+    pub fn parent_decision(&self, key: Id) -> ParentDecision {
+        let d = self.dat();
+        d.decide_parent(self.table(), key)
+    }
+
+    /// Issue an on-demand aggregate query for `key`. The answer arrives as
+    /// [`DatEvent::QueryDone`] with the returned request id.
+    pub fn query(&mut self, key: Id) -> (u64, Vec<Output>) {
+        self.drive::<DatProtocol, _>(move |d, cx| d.query(cx, key))
     }
 }
 
@@ -1063,14 +1033,14 @@ fn entry_unknown_rollback(entry: Option<&mut AggregationEntry>, epoch: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dat_chord::IdSpace;
+    use dat_chord::{ChordConfig, ChordNode, IdSpace, Input, Output};
 
-    fn mk(id: u64) -> DatNode {
+    fn mk(id: u64) -> StackNode {
         let ccfg = ChordConfig {
             space: IdSpace::new(8),
             ..ChordConfig::default()
         };
-        DatNode::new(ccfg, DatConfig::default(), Id(id), NodeAddr(id))
+        StackNode::new(ccfg, Id(id), NodeAddr(id)).with_app(DatProtocol::new(DatConfig::default()))
     }
 
     fn timer_outputs(outs: &[Output]) -> Vec<dat_chord::TimerKind> {
@@ -1090,7 +1060,7 @@ mod tests {
         assert_eq!(k1, k2);
         let k3 = n.register("memory-size", AggregationMode::Continuous);
         assert_ne!(k1, k3);
-        assert_eq!(n.aggregations().count(), 2);
+        assert_eq!(n.dat().aggregations().count(), 2);
         assert_eq!(n.aggregation(k1).unwrap().name, "cpu-usage");
     }
 
@@ -1181,7 +1151,7 @@ mod tests {
         });
         assert_eq!(root.aggregation(key).unwrap().live_children(1, 3), 1);
         // Next epoch the root report includes the child's value.
-        let outs = root.start_join_epoch_for_tests();
+        let outs = root.fire_epoch_for_tests();
         let _ = outs;
         let evs = root.take_events();
         let report = evs
@@ -1224,7 +1194,7 @@ mod tests {
             });
         }
         assert_eq!(root.aggregation(key).unwrap().live_children(1, 3), 1);
-        let _ = root.start_join_epoch_for_tests();
+        let _ = root.fire_epoch_for_tests();
         let evs = root.take_events();
         let report = evs
             .iter()
@@ -1260,7 +1230,7 @@ mod tests {
         });
         // Advance well past the TTL (ttl = 3): 6 epochs.
         for _ in 0..6 {
-            let _ = root.start_join_epoch_for_tests();
+            let _ = root.fire_epoch_for_tests();
         }
         let evs = root.take_events();
         let last = evs
@@ -1288,7 +1258,7 @@ mod tests {
                 payload: vec![0xde, 0xad],
             },
         });
-        assert_eq!(n.metrics().dropped, 1);
+        assert_eq!(n.dat_metrics().dropped, 1);
     }
 
     #[test]
@@ -1307,11 +1277,13 @@ mod tests {
                 space,
                 ..ChordConfig::default()
             };
-            let chord = dat_chord::ChordNode::new(ccfg, id, NodeAddr(id.raw()));
-            let mut node = DatNode::from_chord(chord, DatConfig::default());
+            let chord = ChordNode::new(ccfg, id, NodeAddr(id.raw()));
+            let mut node =
+                StackNode::from_chord(chord).with_app(DatProtocol::new(DatConfig::default()));
             let table = ring.table_of(id, 4);
             let _ = node.start_with_table(table);
-            node.flush_delay(key)
+            node.drive::<DatProtocol, _>(|d, cx| d.flush_delay(cx, key))
+                .0
         };
         let root_delay = delay_of(tree.root());
         assert_eq!(
@@ -1332,17 +1304,19 @@ mod tests {
         }
     }
 
-    impl DatNode {
+    impl StackNode {
         /// Test helper: fire one epoch synchronously, including any hold
         /// flush the tick armed.
-        fn start_join_epoch_for_tests(&mut self) -> Vec<Output> {
-            let mut outs = std::collections::VecDeque::new();
-            self.on_epoch(&mut outs);
-            let keys: Vec<Id> = self.aggs.keys().copied().collect();
+        fn fire_epoch_for_tests(&mut self) -> Vec<Output> {
+            let (keys, mut outs) = self.drive::<DatProtocol, _>(|d, cx| {
+                d.on_epoch(cx);
+                d.aggs.keys().copied().collect::<Vec<_>>()
+            });
             for key in keys {
-                self.flush_continuous(key, &mut outs);
+                let ((), more) = self.drive::<DatProtocol, _>(|d, cx| d.flush_continuous(cx, key));
+                outs.extend(more);
             }
-            outs.into_iter().collect()
+            outs
         }
     }
 }

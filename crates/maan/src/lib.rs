@@ -36,10 +36,12 @@
 
 pub mod lph;
 pub mod network;
+pub mod proto;
 pub mod store;
 pub mod types;
 
 pub use lph::{hash_value, lph_numeric, selectivity};
 pub use network::{MaanNetwork, OpStats};
+pub use proto::{MaanEvent, MaanMsg, MaanProtocol, MaanStack, MAAN_PROTO};
 pub use store::{NodeStore, StoredEntry};
 pub use types::{AttrKind, AttrSchema, AttrValue, Constraint, Predicate, Resource};

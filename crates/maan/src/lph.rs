@@ -2,7 +2,7 @@
 //!
 //! MAAN's key trick (paper §2.2): "numeric attribute values … are mapped to
 //! the Chord identifier space by using a locality preserving hash function
-//! H, [so] numerically close values for the same attribute are stored on
+//! H, \[so\] numerically close values for the same attribute are stored on
 //! nearby nodes", which turns a range query into one contiguous walk along
 //! the ring. We implement `H` as the affine map of the attribute domain
 //! `[lo, hi]` onto `[0, 2^b)`, monotone by construction, and SHA-1 for

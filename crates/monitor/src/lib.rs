@@ -5,8 +5,8 @@
 //!
 //! * **sensors** ([`sensor`]) — signal sources per attribute (trace replay,
 //!   random walks, constants);
-//! * **producers** — each node's [`dat_core::DatNode`], fed by its sensors
-//!   every epoch;
+//! * **producers** — each node's [`dat_core::StackNode`] hosting a
+//!   [`dat_core::DatProtocol`], fed by its sensors every epoch;
 //! * **indexing** — the MAAN layer, fronted by
 //!   [`discovery::DiscoveryService`] for multi-attribute resource search;
 //! * **aggregation** — continuous DAT aggregation of global attributes;
@@ -36,6 +36,6 @@ pub mod sensor;
 pub mod trace;
 
 pub use discovery::DiscoveryService;
-pub use pgma::{AccuracyStats, EpochRecord, GridMonitorSim, MonitorConfig};
+pub use pgma::{grid_schemas, AccuracyStats, EpochRecord, GridMonitorSim, MonitorConfig};
 pub use sensor::{ConstantSensor, RandomWalkSensor, Sensor, TraceSensor};
 pub use trace::{CpuTrace, TraceConfig};

@@ -1,23 +1,39 @@
 //! P-GMA assembly: the full monitoring stack in one simulated Grid.
 //!
 //! Wires the layers of the paper's Fig. 1 together — sensors feed
-//! producers (the per-node [`dat_core::DatNode`] local values), the
+//! producers (the per-node [`dat_core::DatProtocol`] local values), the
 //! aggregation layer pushes partials along the DAT tree every epoch, and
 //! the consumer reads per-epoch global reports at the rendezvous root.
 //! [`GridMonitorSim`] is the engine behind the §5.4 accuracy experiment
 //! (Fig. 9): it tracks ground truth (the sum of every sensor's current
 //! value) against the root's aggregated view.
+//!
+//! Every Grid node is one [`StackNode`] hosting *both* P-GMA services on
+//! one Chord substrate: DAT continuous aggregation and MAAN resource
+//! discovery — the paper's layered architecture, literally stacked.
 
 use std::collections::HashMap;
 
 use dat_chord::{ChordConfig, Id, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
-use dat_core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
-use dat_sim::harness::{addr_book, prestabilized_dat};
+use dat_core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
+use dat_maan::{AttrSchema, MaanEvent, MaanProtocol, MaanStack, Resource};
+use dat_sim::harness::{addr_book, prestabilized_stack};
 use dat_sim::{LatencyModel, SimNet};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::sensor::Sensor;
+
+/// The default Grid attribute schemas for the MAAN index hosted next to
+/// the aggregation layer (the paper's running examples: CPU speed in GHz,
+/// memory in MB, operating system as a keyword).
+pub fn grid_schemas() -> Vec<AttrSchema> {
+    vec![
+        AttrSchema::numeric("cpu-speed", 0.0, 8.0),
+        AttrSchema::numeric("memory", 0.0, 65_536.0),
+        AttrSchema::keyword("os"),
+    ]
+}
 
 /// Configuration of a monitoring simulation.
 #[derive(Clone, Copy, Debug)]
@@ -103,7 +119,7 @@ pub struct AccuracyStats {
 /// The monitoring simulation: n nodes, one trace-driven sensor each,
 /// continuous aggregation of the configured attribute.
 pub struct GridMonitorSim {
-    net: SimNet<DatNode>,
+    net: SimNet<StackNode>,
     sensors: HashMap<NodeAddr, Box<dyn Sensor>>,
     current: HashMap<NodeAddr, f64>,
     key: Id,
@@ -156,7 +172,11 @@ impl GridMonitorSim {
         if let Some(t) = cfg.child_ttl_epochs {
             dcfg.child_ttl_epochs = t;
         }
-        let mut net = prestabilized_dat(&ring, ccfg, dcfg, cfg.seed);
+        let mut net = prestabilized_stack(&ring, ccfg, cfg.seed, |_, id, addr| {
+            StackNode::new(ccfg, id, addr)
+                .with_app(DatProtocol::new(dcfg))
+                .with_app(MaanProtocol::new(grid_schemas()))
+        });
         net.set_latency(cfg.latency);
         net.set_record_upcalls(false);
         // Phase-shift the sampling windows: every node's epoch tick fires at
@@ -203,13 +223,43 @@ impl GridMonitorSim {
     }
 
     /// The simulation network (for ad-hoc inspection).
-    pub fn net(&self) -> &SimNet<DatNode> {
+    pub fn net(&self) -> &SimNet<StackNode> {
         &self.net
     }
 
     /// Mutable network access (e.g. to inject churn mid-run).
-    pub fn net_mut(&mut self) -> &mut SimNet<DatNode> {
+    pub fn net_mut(&mut self) -> &mut SimNet<StackNode> {
         &mut self.net
+    }
+
+    /// Register a Grid resource in the MAAN index (hosted on the same
+    /// overlay nodes as the aggregation layer), entering at `at`.
+    pub fn register_resource(&mut self, at: NodeAddr, resource: &Resource) {
+        let r = resource.clone();
+        self.net.with_node(at, |n| ((), n.maan_register(&r)));
+        // Let the registration routes land.
+        self.net.run_for(2_000);
+    }
+
+    /// Discover resources with `attr ∈ [lo, hi]` from node `from`: issues
+    /// a MAAN range query over the same overlay that carries the
+    /// aggregation traffic and runs the network until it completes.
+    pub fn discover(&mut self, from: NodeAddr, attr: &str, lo: f64, hi: f64) -> Vec<Resource> {
+        let attr = attr.to_string();
+        let qid = self
+            .net
+            .with_node(from, |n| n.maan_range_query(&attr, lo, hi))
+            .expect("query origin exists");
+        self.net.run_for(5_000);
+        self.net
+            .with_node(from, |n| (n.take_maan_events(), Vec::new()))
+            .into_iter()
+            .flatten()
+            .find_map(|e| match e {
+                MaanEvent::QueryDone { qid: q, hits } if q == qid => Some(hits),
+                _ => None,
+            })
+            .unwrap_or_default()
     }
 
     /// Collected per-epoch records.
@@ -359,6 +409,41 @@ mod tests {
         // autocorrelated trace should still track within a few percent.
         assert!(acc.mape < 10.0, "{acc:?}");
         assert!(acc.coverage > 0.95, "{acc:?}");
+    }
+
+    #[test]
+    fn discovery_rides_the_monitoring_overlay() {
+        // The same StackNodes carry DAT aggregation and MAAN discovery:
+        // register two resources, range-query one, and keep aggregating.
+        let cfg = MonitorConfig {
+            nodes: 16,
+            epoch_ms: 1_000,
+            ..MonitorConfig::default()
+        };
+        let mut sim = GridMonitorSim::new(cfg, "cpu-usage", |_| {
+            Box::new(ConstantSensor::new("cpu-usage", 2.0))
+        });
+        sim.register_resource(
+            NodeAddr(0),
+            &Resource::new("grid://m1")
+                .with("cpu-speed", 2.8)
+                .with("os", "linux"),
+        );
+        sim.register_resource(
+            NodeAddr(3),
+            &Resource::new("grid://m2").with("cpu-speed", 6.0),
+        );
+        let hits = sim.discover(NodeAddr(5), "cpu-speed", 2.0, 3.0);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].uri, "grid://m1");
+        assert!(sim.discover(NodeAddr(7), "cpu-speed", 7.0, 8.0).is_empty());
+        sim.run_epochs(8);
+        let acc = sim.accuracy();
+        assert!(acc.reported_epochs >= 1, "{acc:?}");
+        assert!(
+            acc.mape < 1e-6,
+            "aggregation unharmed by discovery: {acc:?}"
+        );
     }
 
     #[test]

@@ -17,59 +17,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Sender};
-use dat_chord::{ChordNode, Input, NodeAddr, Output, TimerKind, Upcall};
-use dat_core::{DatNode, ExplicitTreeNode};
+use dat_chord::{Actor, Input, NodeAddr, Output, TimerKind, Upcall};
 use parking_lot::Mutex;
 
 use crate::codec;
-
-/// A protocol node the RPC runtime can host.
-pub trait RpcActor: Send + 'static {
-    /// Logical transport address (must match its index in the launch list).
-    fn addr(&self) -> NodeAddr;
-    /// Drive one input.
-    fn on_input(&mut self, input: Input) -> Vec<Output>;
-    /// Report the host clock (monotonic ms since cluster launch). The
-    /// worker calls this before every input so the protocol's RTT
-    /// estimator sees wall-clock time.
-    fn set_now(&mut self, _now_ms: u64) {}
-}
-
-impl RpcActor for ChordNode {
-    fn addr(&self) -> NodeAddr {
-        self.me().addr
-    }
-    fn on_input(&mut self, input: Input) -> Vec<Output> {
-        self.handle(input)
-    }
-    fn set_now(&mut self, now_ms: u64) {
-        ChordNode::set_now(self, now_ms);
-    }
-}
-
-impl RpcActor for DatNode {
-    fn addr(&self) -> NodeAddr {
-        self.me().addr
-    }
-    fn on_input(&mut self, input: Input) -> Vec<Output> {
-        self.handle(input)
-    }
-    fn set_now(&mut self, now_ms: u64) {
-        DatNode::set_now(self, now_ms);
-    }
-}
-
-impl RpcActor for ExplicitTreeNode {
-    fn addr(&self) -> NodeAddr {
-        self.me().addr
-    }
-    fn on_input(&mut self, input: Input) -> Vec<Output> {
-        self.handle(input)
-    }
-    fn set_now(&mut self, now_ms: u64) {
-        ExplicitTreeNode::set_now(self, now_ms);
-    }
-}
 
 /// Runtime knobs for [`RpcCluster`] — everything that used to be a magic
 /// constant in the transport loops.
@@ -145,7 +96,7 @@ pub struct ClusterStats {
 }
 
 /// A running cluster of UDP-backed protocol nodes.
-pub struct RpcCluster<A: RpcActor> {
+pub struct RpcCluster<A: Actor> {
     inboxes: HashMap<NodeAddr, Sender<Control<A>>>,
     workers: Vec<JoinHandle<A>>,
     receivers: Vec<JoinHandle<()>>,
@@ -160,7 +111,7 @@ pub struct RpcCluster<A: RpcActor> {
     cfg: ClusterConfig,
 }
 
-impl<A: RpcActor> RpcCluster<A> {
+impl<A: Actor> RpcCluster<A> {
     /// Bind sockets and spawn the runtime for `actors` with default
     /// [`ClusterConfig`]. Actor `i` must have logical address `NodeAddr(i)`.
     pub fn launch(actors: Vec<A>) -> std::io::Result<Self> {
@@ -411,7 +362,7 @@ impl<A: RpcActor> RpcCluster<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dat_chord::{ChordConfig, Id, IdSpace};
+    use dat_chord::{ChordConfig, ChordNode, Id, IdSpace};
 
     fn fast_cfg() -> ChordConfig {
         ChordConfig {

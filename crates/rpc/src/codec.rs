@@ -3,12 +3,16 @@
 //! The paper's prototype implements "a RPC manager module … at the
 //! socket-level to send and receive UDP packets" (§4). Every datagram
 //! carries one [`ChordMsg`]: a magic byte, a format version, a message tag
-//! and fixed-order little-endian fields. DAT-layer payloads (already
-//! encoded by `dat-core`'s codec) ride opaquely inside `App`, `Route` and
-//! `Broadcast` frames.
+//! and fixed-order little-endian fields, built on the same
+//! [`dat_chord::wire`] primitives (and the same [`CodecError`] vocabulary)
+//! every protocol codec in the workspace uses. Application payloads
+//! (already encoded by their protocol's codec) ride opaquely inside `App`,
+//! `Route` and `Broadcast` frames.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dat_chord::{ChordMsg, Id, NodeAddr, NodeRef};
+use dat_chord::wire::{Reader, Writer};
+use dat_chord::ChordMsg;
+
+pub use dat_chord::wire::CodecError;
 
 /// First byte of every valid datagram.
 pub const MAGIC: u8 = 0xD7;
@@ -17,137 +21,10 @@ pub const VERSION: u8 = 1;
 /// Maximum accepted datagram payload (defensive bound).
 pub const MAX_FRAME: usize = 64 * 1024;
 
-/// Frame decoding errors.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FrameError {
-    /// Too short / field missing.
-    Truncated,
-    /// First byte is not [`MAGIC`].
-    BadMagic(u8),
-    /// Unsupported version.
-    BadVersion(u8),
-    /// Unknown message tag.
-    BadTag(u8),
-    /// Length field out of bounds.
-    BadLength(u64),
-    /// Bytes left over after a full message.
-    TrailingBytes(usize),
-}
-
-impl core::fmt::Display for FrameError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            FrameError::Truncated => write!(f, "frame truncated"),
-            FrameError::BadMagic(b) => write!(f, "bad magic byte {b:#x}"),
-            FrameError::BadVersion(v) => write!(f, "unsupported version {v}"),
-            FrameError::BadTag(t) => write!(f, "unknown tag {t}"),
-            FrameError::BadLength(l) => write!(f, "implausible length {l}"),
-            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
-        }
-    }
-}
-
-impl std::error::Error for FrameError {}
-
-fn put_node_ref(buf: &mut BytesMut, n: NodeRef) {
-    buf.put_u64_le(n.id.raw());
-    buf.put_u64_le(n.addr.0);
-}
-
-fn put_opt_node_ref(buf: &mut BytesMut, n: Option<NodeRef>) {
-    match n {
-        Some(n) => {
-            buf.put_u8(1);
-            put_node_ref(buf, n);
-        }
-        None => buf.put_u8(0),
-    }
-}
-
-fn put_node_list(buf: &mut BytesMut, list: &[NodeRef]) {
-    buf.put_u16_le(list.len() as u16);
-    for &n in list {
-        put_node_ref(buf, n);
-    }
-}
-
-fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
-    buf.put_u32_le(b.len() as u32);
-    buf.put_slice(b);
-}
-
-fn need(buf: &Bytes, n: usize) -> Result<(), FrameError> {
-    if buf.remaining() < n {
-        Err(FrameError::Truncated)
-    } else {
-        Ok(())
-    }
-}
-
-fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef, FrameError> {
-    need(buf, 16)?;
-    let id = Id(buf.get_u64_le());
-    let addr = NodeAddr(buf.get_u64_le());
-    Ok(NodeRef::new(id, addr))
-}
-
-fn get_opt_node_ref(buf: &mut Bytes) -> Result<Option<NodeRef>, FrameError> {
-    need(buf, 1)?;
-    match buf.get_u8() {
-        0 => Ok(None),
-        _ => Ok(Some(get_node_ref(buf)?)),
-    }
-}
-
-fn get_node_list(buf: &mut Bytes) -> Result<Vec<NodeRef>, FrameError> {
-    need(buf, 2)?;
-    let n = buf.get_u16_le() as usize;
-    if n > 4096 {
-        return Err(FrameError::BadLength(n as u64));
-    }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(get_node_ref(buf)?);
-    }
-    Ok(out)
-}
-
-fn get_bytes(buf: &mut Bytes) -> Result<Vec<u8>, FrameError> {
-    need(buf, 4)?;
-    let n = buf.get_u32_le() as usize;
-    if n > MAX_FRAME {
-        return Err(FrameError::BadLength(n as u64));
-    }
-    need(buf, n)?;
-    let mut v = vec![0u8; n];
-    buf.copy_to_slice(&mut v);
-    Ok(v)
-}
-
-fn get_u32(buf: &mut Bytes) -> Result<u32, FrameError> {
-    need(buf, 4)?;
-    Ok(buf.get_u32_le())
-}
-
-fn get_u64(buf: &mut Bytes) -> Result<u64, FrameError> {
-    need(buf, 8)?;
-    Ok(buf.get_u64_le())
-}
-
-fn get_u8(buf: &mut Bytes) -> Result<u8, FrameError> {
-    need(buf, 1)?;
-    Ok(buf.get_u8())
-}
-
-fn get_id(buf: &mut Bytes) -> Result<Id, FrameError> {
-    Ok(Id(get_u64(buf)?))
-}
-
 /// Encode one message into a datagram payload.
 pub fn encode(msg: &ChordMsg) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(64);
-    buf.put_u8(MAGIC);
-    buf.put_u8(VERSION);
+    let mut w = Writer::new();
+    w.u8(MAGIC).u8(VERSION);
     match msg {
         ChordMsg::FindSuccessor {
             req,
@@ -155,11 +32,7 @@ pub fn encode(msg: &ChordMsg) -> Vec<u8> {
             origin,
             hops,
         } => {
-            buf.put_u8(1);
-            buf.put_u64_le(*req);
-            buf.put_u64_le(key.raw());
-            put_node_ref(&mut buf, *origin);
-            buf.put_u32_le(*hops);
+            w.u8(1).u64(*req).id(*key).node_ref(*origin).u32(*hops);
         }
         ChordMsg::FoundSuccessor {
             req,
@@ -168,17 +41,15 @@ pub fn encode(msg: &ChordMsg) -> Vec<u8> {
             owner_succ,
             hops,
         } => {
-            buf.put_u8(2);
-            buf.put_u64_le(*req);
-            put_node_ref(&mut buf, *owner);
-            put_opt_node_ref(&mut buf, *owner_pred);
-            put_opt_node_ref(&mut buf, *owner_succ);
-            buf.put_u32_le(*hops);
+            w.u8(2)
+                .u64(*req)
+                .node_ref(*owner)
+                .opt_node_ref(*owner_pred)
+                .opt_node_ref(*owner_succ)
+                .u32(*hops);
         }
         ChordMsg::GetNeighbors { req, sender } => {
-            buf.put_u8(3);
-            buf.put_u64_le(*req);
-            put_node_ref(&mut buf, *sender);
+            w.u8(3).u64(*req).node_ref(*sender);
         }
         ChordMsg::Neighbors {
             req,
@@ -186,45 +57,32 @@ pub fn encode(msg: &ChordMsg) -> Vec<u8> {
             pred,
             succ_list,
         } => {
-            buf.put_u8(4);
-            buf.put_u64_le(*req);
-            put_node_ref(&mut buf, *me);
-            put_opt_node_ref(&mut buf, *pred);
-            put_node_list(&mut buf, succ_list);
+            w.u8(4)
+                .u64(*req)
+                .node_ref(*me)
+                .opt_node_ref(*pred)
+                .node_list(succ_list);
         }
         ChordMsg::Notify { sender } => {
-            buf.put_u8(5);
-            put_node_ref(&mut buf, *sender);
+            w.u8(5).node_ref(*sender);
         }
         ChordMsg::Ping { req, sender } => {
-            buf.put_u8(6);
-            buf.put_u64_le(*req);
-            put_node_ref(&mut buf, *sender);
+            w.u8(6).u64(*req).node_ref(*sender);
         }
         ChordMsg::Pong { req, sender } => {
-            buf.put_u8(7);
-            buf.put_u64_le(*req);
-            put_node_ref(&mut buf, *sender);
+            w.u8(7).u64(*req).node_ref(*sender);
         }
         ChordMsg::ProbeJoin { req, origin } => {
-            buf.put_u8(8);
-            buf.put_u64_le(*req);
-            put_node_ref(&mut buf, *origin);
+            w.u8(8).u64(*req).node_ref(*origin);
         }
         ChordMsg::ProbeJoinReply { req, designated } => {
-            buf.put_u8(9);
-            buf.put_u64_le(*req);
-            buf.put_u64_le(designated.raw());
+            w.u8(9).u64(*req).id(*designated);
         }
         ChordMsg::LeaveToPred { leaver, succ_list } => {
-            buf.put_u8(10);
-            put_node_ref(&mut buf, *leaver);
-            put_node_list(&mut buf, succ_list);
+            w.u8(10).node_ref(*leaver).node_list(succ_list);
         }
         ChordMsg::LeaveToSucc { leaver, pred } => {
-            buf.put_u8(11);
-            put_node_ref(&mut buf, *leaver);
-            put_opt_node_ref(&mut buf, *pred);
+            w.u8(11).node_ref(*leaver).opt_node_ref(*pred);
         }
         ChordMsg::Route {
             key,
@@ -232,21 +90,18 @@ pub fn encode(msg: &ChordMsg) -> Vec<u8> {
             origin,
             hops,
         } => {
-            buf.put_u8(12);
-            buf.put_u64_le(key.raw());
-            put_bytes(&mut buf, payload);
-            put_node_ref(&mut buf, *origin);
-            buf.put_u32_le(*hops);
+            w.u8(12)
+                .id(*key)
+                .bytes(payload)
+                .node_ref(*origin)
+                .u32(*hops);
         }
         ChordMsg::App {
             proto,
             from,
             payload,
         } => {
-            buf.put_u8(13);
-            buf.put_u8(*proto);
-            put_node_ref(&mut buf, *from);
-            put_bytes(&mut buf, payload);
+            w.u8(13).u8(*proto).node_ref(*from).bytes(payload);
         }
         ChordMsg::Broadcast {
             limit,
@@ -254,110 +109,109 @@ pub fn encode(msg: &ChordMsg) -> Vec<u8> {
             origin,
             depth,
         } => {
-            buf.put_u8(14);
-            buf.put_u64_le(limit.raw());
-            put_bytes(&mut buf, payload);
-            put_node_ref(&mut buf, *origin);
-            buf.put_u32_le(*depth);
+            w.u8(14)
+                .id(*limit)
+                .bytes(payload)
+                .node_ref(*origin)
+                .u32(*depth);
         }
     }
-    buf.to_vec()
+    w.finish()
 }
 
 /// Decode a datagram payload into a message.
-pub fn decode(data: &[u8]) -> Result<ChordMsg, FrameError> {
+pub fn decode(data: &[u8]) -> Result<ChordMsg, CodecError> {
     if data.len() > MAX_FRAME {
-        return Err(FrameError::BadLength(data.len() as u64));
+        return Err(CodecError::BadLength(data.len() as u64));
     }
-    let mut buf = Bytes::copy_from_slice(data);
-    let magic = get_u8(&mut buf)?;
+    let mut r = Reader::new(data);
+    let magic = r.u8()?;
     if magic != MAGIC {
-        return Err(FrameError::BadMagic(magic));
+        return Err(CodecError::BadMagic(magic));
     }
-    let ver = get_u8(&mut buf)?;
+    let ver = r.u8()?;
     if ver != VERSION {
-        return Err(FrameError::BadVersion(ver));
+        return Err(CodecError::BadVersion(ver));
     }
-    let tag = get_u8(&mut buf)?;
+    let tag = r.u8()?;
     let msg = match tag {
         1 => ChordMsg::FindSuccessor {
-            req: get_u64(&mut buf)?,
-            key: get_id(&mut buf)?,
-            origin: get_node_ref(&mut buf)?,
-            hops: get_u32(&mut buf)?,
+            req: r.u64()?,
+            key: r.id()?,
+            origin: r.node_ref()?,
+            hops: r.u32()?,
         },
         2 => ChordMsg::FoundSuccessor {
-            req: get_u64(&mut buf)?,
-            owner: get_node_ref(&mut buf)?,
-            owner_pred: get_opt_node_ref(&mut buf)?,
-            owner_succ: get_opt_node_ref(&mut buf)?,
-            hops: get_u32(&mut buf)?,
+            req: r.u64()?,
+            owner: r.node_ref()?,
+            owner_pred: r.opt_node_ref()?,
+            owner_succ: r.opt_node_ref()?,
+            hops: r.u32()?,
         },
         3 => ChordMsg::GetNeighbors {
-            req: get_u64(&mut buf)?,
-            sender: get_node_ref(&mut buf)?,
+            req: r.u64()?,
+            sender: r.node_ref()?,
         },
         4 => ChordMsg::Neighbors {
-            req: get_u64(&mut buf)?,
-            me: get_node_ref(&mut buf)?,
-            pred: get_opt_node_ref(&mut buf)?,
-            succ_list: get_node_list(&mut buf)?,
+            req: r.u64()?,
+            me: r.node_ref()?,
+            pred: r.opt_node_ref()?,
+            succ_list: r.node_list()?,
         },
         5 => ChordMsg::Notify {
-            sender: get_node_ref(&mut buf)?,
+            sender: r.node_ref()?,
         },
         6 => ChordMsg::Ping {
-            req: get_u64(&mut buf)?,
-            sender: get_node_ref(&mut buf)?,
+            req: r.u64()?,
+            sender: r.node_ref()?,
         },
         7 => ChordMsg::Pong {
-            req: get_u64(&mut buf)?,
-            sender: get_node_ref(&mut buf)?,
+            req: r.u64()?,
+            sender: r.node_ref()?,
         },
         8 => ChordMsg::ProbeJoin {
-            req: get_u64(&mut buf)?,
-            origin: get_node_ref(&mut buf)?,
+            req: r.u64()?,
+            origin: r.node_ref()?,
         },
         9 => ChordMsg::ProbeJoinReply {
-            req: get_u64(&mut buf)?,
-            designated: get_id(&mut buf)?,
+            req: r.u64()?,
+            designated: r.id()?,
         },
         10 => ChordMsg::LeaveToPred {
-            leaver: get_node_ref(&mut buf)?,
-            succ_list: get_node_list(&mut buf)?,
+            leaver: r.node_ref()?,
+            succ_list: r.node_list()?,
         },
         11 => ChordMsg::LeaveToSucc {
-            leaver: get_node_ref(&mut buf)?,
-            pred: get_opt_node_ref(&mut buf)?,
+            leaver: r.node_ref()?,
+            pred: r.opt_node_ref()?,
         },
         12 => ChordMsg::Route {
-            key: get_id(&mut buf)?,
-            payload: get_bytes(&mut buf)?,
-            origin: get_node_ref(&mut buf)?,
-            hops: get_u32(&mut buf)?,
+            key: r.id()?,
+            payload: r.bytes()?.to_vec(),
+            origin: r.node_ref()?,
+            hops: r.u32()?,
         },
         13 => ChordMsg::App {
-            proto: get_u8(&mut buf)?,
-            from: get_node_ref(&mut buf)?,
-            payload: get_bytes(&mut buf)?,
+            proto: r.u8()?,
+            from: r.node_ref()?,
+            payload: r.bytes()?.to_vec(),
         },
         14 => ChordMsg::Broadcast {
-            limit: get_id(&mut buf)?,
-            payload: get_bytes(&mut buf)?,
-            origin: get_node_ref(&mut buf)?,
-            depth: get_u32(&mut buf)?,
+            limit: r.id()?,
+            payload: r.bytes()?.to_vec(),
+            origin: r.node_ref()?,
+            depth: r.u32()?,
         },
-        t => return Err(FrameError::BadTag(t)),
+        t => return Err(CodecError::BadTag(t)),
     };
-    if buf.remaining() != 0 {
-        return Err(FrameError::TrailingBytes(buf.remaining()));
-    }
+    r.expect_end()?;
     Ok(msg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dat_chord::{Id, NodeAddr, NodeRef};
 
     fn nr(id: u64) -> NodeRef {
         NodeRef::new(Id(id), NodeAddr(id * 3))
@@ -457,39 +311,39 @@ mod tests {
 
     #[test]
     fn bad_magic_version_tag() {
-        assert_eq!(decode(&[0x00, VERSION, 1]), Err(FrameError::BadMagic(0)));
-        assert_eq!(decode(&[MAGIC, 99, 1]), Err(FrameError::BadVersion(99)));
-        assert_eq!(decode(&[MAGIC, VERSION, 200]), Err(FrameError::BadTag(200)));
-        assert_eq!(decode(&[]), Err(FrameError::Truncated));
+        assert_eq!(decode(&[0x00, VERSION, 1]), Err(CodecError::BadMagic(0)));
+        assert_eq!(decode(&[MAGIC, 99, 1]), Err(CodecError::BadVersion(99)));
+        assert_eq!(decode(&[MAGIC, VERSION, 200]), Err(CodecError::BadTag(200)));
+        assert_eq!(decode(&[]), Err(CodecError::Truncated));
     }
 
     #[test]
     fn trailing_garbage_rejected() {
         let mut bytes = encode(&ChordMsg::Notify { sender: nr(1) });
         bytes.extend_from_slice(&[0xAA, 0xBB]);
-        assert_eq!(decode(&bytes), Err(FrameError::TrailingBytes(2)));
+        assert_eq!(decode(&bytes), Err(CodecError::TrailingBytes(2)));
     }
 
     #[test]
     fn hostile_lengths_rejected() {
         // Neighbors with an absurd successor-list length.
-        let mut buf = BytesMut::new();
-        buf.put_u8(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(4);
-        buf.put_u64_le(1);
-        put_node_ref(&mut buf, nr(1));
-        buf.put_u8(0);
-        buf.put_u16_le(u16::MAX);
+        let mut w = Writer::new();
+        w.u8(MAGIC)
+            .u8(VERSION)
+            .u8(4)
+            .u64(1)
+            .node_ref(nr(1))
+            .u8(0)
+            .u16(u16::MAX);
         assert_eq!(
-            decode(&buf.to_vec()),
-            Err(FrameError::BadLength(u16::MAX as u64))
+            decode(&w.finish()),
+            Err(CodecError::BadLength(u16::MAX as u64))
         );
     }
 
     #[test]
     fn oversized_frame_rejected() {
         let huge = vec![0u8; MAX_FRAME + 1];
-        assert!(matches!(decode(&huge), Err(FrameError::BadLength(_))));
+        assert!(matches!(decode(&huge), Err(CodecError::BadLength(_))));
     }
 }

@@ -7,10 +7,12 @@
 //! to send and receive UDP packets" (§4).
 //!
 //! * [`codec`] — one datagram per [`dat_chord::ChordMsg`]; versioned,
-//!   bounds-checked, fuzz-tolerant binary frames;
+//!   bounds-checked, fuzz-tolerant binary frames on the shared
+//!   [`dat_chord::wire`] primitives;
 //! * [`cluster::RpcCluster`] — binds one socket per node, spawns worker +
 //!   receiver threads per node and a shared timer thread, interprets the
-//!   nodes' sans-io outputs against the real network.
+//!   outputs of any hosted [`dat_chord::Actor`] (a bare `ChordNode` or a
+//!   `dat_core::StackNode` protocol stack) against the real network.
 //!
 //! ```no_run
 //! use dat_chord::{ChordConfig, ChordNode, Id, NodeAddr};
@@ -32,5 +34,5 @@
 pub mod cluster;
 pub mod codec;
 
-pub use cluster::{ClusterConfig, ClusterStats, RpcActor, RpcCluster};
-pub use codec::{decode, encode, FrameError, MAX_FRAME};
+pub use cluster::{ClusterConfig, ClusterStats, RpcCluster};
+pub use codec::{decode, encode, CodecError, MAX_FRAME};

@@ -5,52 +5,42 @@
 //! * **live joins** ([`spawn_live_ring`]): every node executes the real
 //!   join + stabilization protocol — used for churn/convergence
 //!   experiments and to validate the protocol itself;
-//! * **pre-stabilized** ([`prestabilized_chord`], [`prestabilized_dat`]):
-//!   finger tables are materialised from a [`StaticRing`] global view, so
-//!   a 8192-node converged overlay exists in milliseconds — used for the
-//!   message-distribution experiments (Fig. 8) where only the converged
-//!   behavior matters.
+//! * **pre-stabilized** ([`prestabilized_chord`], [`prestabilized_stack`]
+//!   and the protocol-specific wrappers): finger tables are materialised
+//!   from a [`StaticRing`] global view, so a 8192-node converged overlay
+//!   exists in milliseconds — used for the message-distribution
+//!   experiments (Fig. 8) where only the converged behavior matters.
+//!
+//! All application overlays are built as [`StackNode`]s hosting the
+//! relevant [`dat_core::AppProtocol`] handlers, so any mix of protocols
+//! (DAT + MAAN + gossip…) shares one Chord substrate per node.
 
-use dat_chord::{ChordConfig, ChordNode, Id, Input, NodeAddr, NodeStatus, Output, StaticRing};
-use dat_core::{DatConfig, DatNode, ExplicitConfig, ExplicitTreeNode, GossipConfig, GossipNode};
+use dat_chord::{ChordConfig, ChordNode, Id, NodeAddr, NodeStatus, StaticRing};
+use dat_core::{
+    DatConfig, DatProtocol, ExplicitConfig, ExplicitProtocol, GossipConfig, GossipProtocol,
+    StackNode,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::net::{Actor, SimNet};
 
-impl Actor for DatNode {
-    fn addr(&self) -> NodeAddr {
-        self.me().addr
-    }
-    fn on_input(&mut self, input: Input) -> Vec<Output> {
-        self.handle(input)
-    }
-    fn set_now(&mut self, now_ms: u64) {
-        DatNode::set_now(self, now_ms);
+/// Read-only access to an actor's Chord substrate, so convergence checks
+/// work uniformly over bare overlays and protocol stacks.
+pub trait ChordView {
+    /// The underlying Chord state machine.
+    fn chord_view(&self) -> &ChordNode;
+}
+
+impl ChordView for ChordNode {
+    fn chord_view(&self) -> &ChordNode {
+        self
     }
 }
 
-impl Actor for ExplicitTreeNode {
-    fn addr(&self) -> NodeAddr {
-        self.me().addr
-    }
-    fn on_input(&mut self, input: Input) -> Vec<Output> {
-        self.handle(input)
-    }
-    fn set_now(&mut self, now_ms: u64) {
-        ExplicitTreeNode::set_now(self, now_ms);
-    }
-}
-
-impl Actor for GossipNode {
-    fn addr(&self) -> NodeAddr {
-        self.me().addr
-    }
-    fn on_input(&mut self, input: Input) -> Vec<Output> {
-        self.handle(input)
-    }
-    fn set_now(&mut self, now_ms: u64) {
-        GossipNode::set_now(self, now_ms);
+impl ChordView for StackNode {
+    fn chord_view(&self) -> &ChordNode {
+        self.chord()
     }
 }
 
@@ -81,27 +71,45 @@ pub fn prestabilized_chord(ring: &StaticRing, cfg: ChordConfig, seed: u64) -> Si
     net
 }
 
-/// Build a pre-stabilized DAT overlay (Chord + aggregation layer).
+/// Build a pre-stabilized overlay of protocol stacks. `make(i, id, addr)`
+/// returns the [`StackNode`] for the `i`-th ring member — register any mix
+/// of application protocols on it before returning.
+pub fn prestabilized_stack<F>(
+    ring: &StaticRing,
+    ccfg: ChordConfig,
+    seed: u64,
+    mut make: F,
+) -> SimNet<StackNode>
+where
+    F: FnMut(usize, Id, NodeAddr) -> StackNode,
+{
+    assert_eq!(ccfg.space, ring.space(), "config/ring space mismatch");
+    let book = addr_book(ring);
+    let addr_of = |id: Id| book[&id];
+    let mut net = SimNet::new(seed);
+    for (i, &id) in ring.ids().iter().enumerate() {
+        let addr = addr_of(id);
+        let mut node = make(i, id, addr);
+        assert_eq!(node.me().id, id, "make() must honor the assigned id");
+        assert_eq!(node.me().addr, addr, "make() must honor the assigned addr");
+        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
+        let outs = node.start_with_table(table);
+        net.add_node(node);
+        net.apply(addr, outs);
+    }
+    net
+}
+
+/// Build a pre-stabilized DAT overlay (Chord + aggregation protocol).
 pub fn prestabilized_dat(
     ring: &StaticRing,
     ccfg: ChordConfig,
     dcfg: DatConfig,
     seed: u64,
-) -> SimNet<DatNode> {
-    assert_eq!(ccfg.space, ring.space(), "config/ring space mismatch");
-    let book = addr_book(ring);
-    let addr_of = |id: Id| book[&id];
-    let mut net = SimNet::new(seed);
-    for &id in ring.ids() {
-        let chord = ChordNode::new(ccfg, id, addr_of(id));
-        let mut node = DatNode::from_chord(chord, dcfg);
-        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
-        let outs = node.start_with_table(table);
-        let addr = node.me().addr;
-        net.add_node(node);
-        net.apply(addr, outs);
-    }
-    net
+) -> SimNet<StackNode> {
+    prestabilized_stack(ring, ccfg, seed, |_, id, addr| {
+        StackNode::new(ccfg, id, addr).with_app(DatProtocol::new(dcfg))
+    })
 }
 
 /// Build a pre-stabilized explicit-tree overlay (the churn baseline). Tree
@@ -114,19 +122,10 @@ pub fn prestabilized_explicit(
     ecfg: ExplicitConfig,
     key: Id,
     seed: u64,
-) -> SimNet<ExplicitTreeNode> {
-    let book = addr_book(ring);
-    let addr_of = |id: Id| book[&id];
-    let mut net = SimNet::new(seed);
-    for &id in ring.ids() {
-        let mut node = ExplicitTreeNode::new(ccfg, ecfg, key, id, addr_of(id));
-        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
-        let outs = node.start_with_table(table);
-        let addr = node.me().addr;
-        net.add_node(node);
-        net.apply(addr, outs);
-    }
-    net
+) -> SimNet<StackNode> {
+    prestabilized_stack(ring, ccfg, seed, |_, id, addr| {
+        StackNode::new(ccfg, id, addr).with_app(ExplicitProtocol::new(ecfg, key))
+    })
 }
 
 /// Build a pre-stabilized push-sum gossip overlay; node `i` contributes
@@ -137,22 +136,13 @@ pub fn prestabilized_gossip<F>(
     gcfg: GossipConfig,
     seed: u64,
     mut value_of: F,
-) -> SimNet<GossipNode>
+) -> SimNet<StackNode>
 where
     F: FnMut(usize) -> f64,
 {
-    let book = addr_book(ring);
-    let addr_of = |id: Id| book[&id];
-    let mut net = SimNet::new(seed);
-    for (i, &id) in ring.ids().iter().enumerate() {
-        let mut node = GossipNode::new(ccfg, gcfg, id, addr_of(id), value_of(i));
-        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
-        let outs = node.start_with_table(table);
-        let addr = node.me().addr;
-        net.add_node(node);
-        net.apply(addr, outs);
-    }
-    net
+    prestabilized_stack(ring, ccfg, seed, |i, id, addr| {
+        StackNode::new(ccfg, id, addr).with_app(GossipProtocol::new(gcfg, value_of(i)))
+    })
 }
 
 /// Spawn an `n`-node overlay through real protocol joins. Nodes join
@@ -193,18 +183,13 @@ pub fn spawn_live_ring(
     (net, ids)
 }
 
-/// Check that the live overlay's successor pointers form exactly the ring
-/// over the given sorted ids.
-pub fn ring_converged(net: &SimNet<ChordNode>, sorted_ids: &[Id]) -> bool {
-    ring_converged_inner(net.iter_nodes().map(|(_, n)| n), sorted_ids)
-}
-
-/// Like [`ring_converged`], for overlays hosting full DAT stacks.
-pub fn ring_converged_dat(net: &SimNet<DatNode>, sorted_ids: &[Id]) -> bool {
-    ring_converged_inner(net.iter_nodes().map(|(_, n)| n.chord()), sorted_ids)
-}
-
-fn ring_converged_inner<'a>(nodes: impl Iterator<Item = &'a ChordNode>, sorted_ids: &[Id]) -> bool {
+/// Check that the overlay's successor pointers form exactly the ring over
+/// the given sorted ids. Works for bare Chord overlays and protocol stacks
+/// alike (anything [`ChordView`]).
+pub fn ring_converged<A>(net: &SimNet<A>, sorted_ids: &[Id]) -> bool
+where
+    A: Actor + ChordView,
+{
     if sorted_ids.len() <= 1 {
         return true;
     }
@@ -213,7 +198,8 @@ fn ring_converged_inner<'a>(nodes: impl Iterator<Item = &'a ChordNode>, sorted_i
         .enumerate()
         .map(|(i, &id)| (id, i))
         .collect();
-    for node in nodes {
+    for (_, actor) in net.iter_nodes() {
+        let node = actor.chord_view();
         if node.status() != NodeStatus::Active {
             continue;
         }
@@ -231,17 +217,21 @@ fn ring_converged_inner<'a>(nodes: impl Iterator<Item = &'a ChordNode>, sorted_i
 
 /// Fraction of finger entries across the overlay that match the ideal
 /// (fully converged) finger tables implied by the membership.
-pub fn finger_convergence(net: &SimNet<ChordNode>, sorted_ids: &[Id]) -> f64 {
+pub fn finger_convergence<A>(net: &SimNet<A>, sorted_ids: &[Id]) -> f64
+where
+    A: Actor + ChordView,
+{
     let ring = StaticRing::from_ids(
         net.iter_nodes()
             .next()
-            .map(|(_, n)| n.space())
+            .map(|(_, n)| n.chord_view().space())
             .unwrap_or_default(),
         sorted_ids.to_vec(),
     );
     let mut total = 0usize;
     let mut good = 0usize;
-    for (_, node) in net.iter_nodes() {
+    for (_, actor) in net.iter_nodes() {
+        let node = actor.chord_view();
         if node.status() != NodeStatus::Active {
             continue;
         }
@@ -295,6 +285,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         let ring = StaticRing::build(IdSpace::new(24), 64, IdPolicy::Random, &mut rng);
         let net = prestabilized_chord(&ring, cfg(24), 1);
+        assert!(ring_converged(&net, ring.ids()));
+        assert_eq!(finger_convergence(&net, ring.ids()), 1.0);
+    }
+
+    #[test]
+    fn prestabilized_dat_stack_is_converged_too() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let ring = StaticRing::build(IdSpace::new(24), 32, IdPolicy::Random, &mut rng);
+        let net = prestabilized_dat(&ring, cfg(24), DatConfig::default(), 1);
         assert!(ring_converged(&net, ring.ids()));
         assert_eq!(finger_convergence(&net, ring.ids()), 1.0);
     }
@@ -392,6 +391,29 @@ mod tests {
             "fingers mostly converged: {}",
             finger_convergence(&net, &ids)
         );
+    }
+
+    #[test]
+    fn stack_hosts_two_protocols_on_one_substrate() {
+        // One StackNode per ring member hosting DAT *and* gossip: the
+        // engine multiplexes both over a single finger table.
+        let mut rng = SmallRng::seed_from_u64(21);
+        let ring = StaticRing::build(IdSpace::new(24), 16, IdPolicy::Random, &mut rng);
+        let c = cfg(24);
+        let mut net = prestabilized_stack(&ring, c, 7, |i, id, addr| {
+            StackNode::new(c, id, addr)
+                .with_app(DatProtocol::new(DatConfig::default()))
+                .with_app(GossipProtocol::new(GossipConfig::default(), i as f64))
+        });
+        assert!(ring_converged(&net, ring.ids()));
+        net.run_for(30_000);
+        let addr = NodeAddr(0);
+        let n = net.node(addr).unwrap();
+        assert_eq!(
+            n.protocols(),
+            vec![dat_core::DAT_PROTO, dat_core::GOSSIP_PROTO]
+        );
+        assert!(n.gossip().round() > 0, "gossip rounds ran");
     }
 
     #[test]

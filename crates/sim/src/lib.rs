@@ -1,7 +1,7 @@
 //! # dat-sim — discrete-event simulation engine
 //!
 //! The paper's prototype evaluates at scale by running the unmodified
-//! Chord/DAT layers over "a discrete event simulation engine [with] a
+//! Chord/DAT layers over "a discrete event simulation engine \[with\] a
 //! heap-based event queue … to insert and fire those events in a
 //! chronological order" (§4). This crate is that engine:
 //!
@@ -12,9 +12,10 @@
 //! * [`latency::LatencyModel`] / [`latency::LossModel`] — constant (LAN),
 //!   uniform-jitter and log-normal (WAN) one-way delays, plus i.i.d. loss
 //!   for fault injection;
-//! * [`net::SimNet`] — hosts any sans-io [`net::Actor`] (bare
-//!   [`dat_chord::ChordNode`], full [`dat_core::DatNode`], or the explicit
-//!   -tree baseline), interprets their outputs, counts transport traffic;
+//! * [`net::SimNet`] — hosts any sans-io [`net::Actor`] (a bare
+//!   [`dat_chord::ChordNode`], or a [`dat_core::StackNode`] protocol stack
+//!   hosting any mix of DAT / explicit-tree / gossip / MAAN handlers),
+//!   interprets their outputs, counts transport traffic;
 //! * [`harness`] — builds whole overlays: live protocol joins, or
 //!   pre-stabilized 8192-node rings materialised from a global view;
 //! * [`stats`] — tallies, percentiles and the paper's imbalance factor.
@@ -45,7 +46,7 @@ pub mod time;
 pub use fault::{FaultEvent, FaultPlan, LinkFault};
 pub use harness::{
     finger_convergence, prestabilized_chord, prestabilized_dat, prestabilized_explicit,
-    ring_converged, ring_converged_dat, spawn_live_ring,
+    prestabilized_gossip, prestabilized_stack, ring_converged, spawn_live_ring, ChordView,
 };
 pub use latency::{LatencyModel, LossModel};
 pub use net::{Actor, LinkStats, SimNet, UpcallRecord};

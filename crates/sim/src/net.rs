@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use dat_chord::{ChordMsg, ChordNode, Input, NodeAddr, Output, TimerKind, Upcall};
+use dat_chord::{ChordMsg, Input, NodeAddr, Output, TimerKind, Upcall};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -13,30 +13,7 @@ use crate::latency::{LatencyModel, LossModel};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
-/// A protocol state machine the engine can host. Implemented for
-/// [`ChordNode`] here and for `dat_core::DatNode` in
-/// [`crate::harness`].
-pub trait Actor {
-    /// The transport endpoint this actor answers to.
-    fn addr(&self) -> NodeAddr;
-    /// Drive one input through the actor.
-    fn on_input(&mut self, input: Input) -> Vec<Output>;
-    /// Report the host clock (virtual ms). The engine calls this before
-    /// every input so protocol-level RTT estimation sees virtual time.
-    fn set_now(&mut self, _now_ms: u64) {}
-}
-
-impl Actor for ChordNode {
-    fn addr(&self) -> NodeAddr {
-        self.me().addr
-    }
-    fn on_input(&mut self, input: Input) -> Vec<Output> {
-        self.handle(input)
-    }
-    fn set_now(&mut self, now_ms: u64) {
-        ChordNode::set_now(self, now_ms);
-    }
-}
+pub use dat_chord::Actor;
 
 /// Events the engine schedules internally.
 #[derive(Clone, Debug)]
@@ -417,7 +394,7 @@ impl<A: Actor> SimNet<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dat_chord::{ChordConfig, Id, IdSpace};
+    use dat_chord::{ChordConfig, ChordNode, Id, IdSpace};
 
     fn cfg() -> ChordConfig {
         ChordConfig {

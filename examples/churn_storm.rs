@@ -11,9 +11,9 @@
 //! ```
 
 use libdat::chord::{
-    hash_to_id, ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
+    hash_to_id, ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
 };
-use libdat::core::{AggregationMode, DatConfig, DatEvent, DatNode};
+use libdat::core::{AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
 use libdat::sim::harness::{addr_book, prestabilized_dat};
 use rand::{Rng, SeedableRng};
 
@@ -76,8 +76,7 @@ fn main() {
             let addr = NodeAddr(next_addr);
             next_addr += 1;
             let bootstrap = net.node(root_addr).unwrap().me();
-            let chord = ChordNode::new(ccfg, id, addr);
-            let mut node = DatNode::from_chord(chord, dcfg);
+            let mut node = StackNode::new(ccfg, id, addr).with_app(DatProtocol::new(dcfg));
             let k = node.register("cpu-usage", AggregationMode::Continuous);
             node.set_local(k, 42.0);
             let outs = node.start_join(bootstrap);

@@ -45,12 +45,17 @@ fn main() {
         gnet.run_for(1_000);
         let worst = gnet
             .iter_nodes()
-            .map(|(_, node)| ((node.estimate() - truth) / truth).abs())
+            .map(|(_, node)| ((node.gossip().estimate() - truth) / truth).abs())
             .fold(0.0f64, f64::max);
         let msgs: u64 = gnet
             .addrs()
             .iter()
-            .map(|&a| gnet.node(a).unwrap().metrics().sent_of("gossip_share"))
+            .map(|&a| {
+                gnet.node(a)
+                    .unwrap()
+                    .gossip_metrics()
+                    .sent_of("gossip_share")
+            })
             .sum();
         if round % 5 == 0 || worst < 0.001 {
             println!("  {round:>5}   {:>16.4}%   {msgs:>15}", worst * 100.0);
@@ -101,7 +106,7 @@ fn main() {
     let dat_msgs: u64 = dnet
         .addrs()
         .iter()
-        .map(|&a| dnet.node(a).unwrap().metrics().sent_of("dat_update"))
+        .map(|&a| dnet.node(a).unwrap().dat_metrics().sent_of("dat_update"))
         .sum();
     println!("\nbalanced DAT:");
     println!(

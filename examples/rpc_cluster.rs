@@ -13,7 +13,7 @@
 use std::time::{Duration, Instant};
 
 use libdat::chord::{ChordConfig, IdSpace, NodeAddr, NodeStatus};
-use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
+use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
 use libdat::rpc::RpcCluster;
 use rand::{Rng, SeedableRng};
 
@@ -42,7 +42,8 @@ fn main() {
     let mut actors = Vec::with_capacity(n);
     for i in 0..n {
         let id = libdat::chord::Id(rng.random());
-        let mut node = DatNode::new(ccfg, dcfg, id, NodeAddr(i as u64));
+        let mut node =
+            StackNode::new(ccfg, id, NodeAddr(i as u64)).with_app(DatProtocol::new(dcfg));
         let key = node.register("cpu-usage", AggregationMode::Continuous);
         node.set_local(key, 10.0 + (i * 7 % 80) as f64);
         actors.push(node);

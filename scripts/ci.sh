@@ -16,4 +16,14 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> examples build"
+cargo build --release --examples
+
+echo "==> examples smoke: quickstart (sim) + rpc_cluster (UDP, 8 nodes)"
+cargo run --release --example quickstart
+cargo run --release --example rpc_cluster -- 8
+
+echo "==> rustdoc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "CI green."

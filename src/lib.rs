@@ -9,9 +9,10 @@
 //!   FOF, greedy **and balanced** routing, stabilization, identifier
 //!   probing, plus a global-view [`chord::StaticRing`] for analysis;
 //! * [`core`] — the DAT library: implicit basic/balanced trees, mergeable
-//!   aggregate partials, the sans-io [`core::DatNode`] with continuous and
-//!   on-demand aggregation, the centralized and explicit-tree baselines,
-//!   and the paper's closed-form theory;
+//!   aggregate partials, the protocol-stack engine ([`core::StackNode`]
+//!   hosting [`core::AppProtocol`] handlers) with continuous and on-demand
+//!   aggregation, the centralized and explicit-tree baselines, and the
+//!   paper's closed-form theory;
 //! * [`sim`] — the discrete-event engine (heap queue, virtual time,
 //!   latency/loss models) and overlay-building harness;
 //! * [`rpc`] — the UDP transport running the same sans-io nodes over real

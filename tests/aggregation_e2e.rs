@@ -2,7 +2,7 @@
 //! continuous mode, on-demand queries, and the centralized baseline.
 
 use libdat::chord::{ChordConfig, IdPolicy, IdSpace, RoutingScheme, StaticRing};
-use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
+use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, StackNode};
 use libdat::sim::harness::{addr_book, prestabilized_dat};
 use libdat::sim::SimNet;
 use rand::SeedableRng;
@@ -14,7 +14,7 @@ fn build(
     scheme: RoutingScheme,
     mode: AggregationMode,
     seed: u64,
-) -> (SimNet<DatNode>, StaticRing, libdat::chord::Id) {
+) -> (SimNet<StackNode>, StaticRing, libdat::chord::Id) {
     let space = IdSpace::new(BITS);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
@@ -44,7 +44,7 @@ fn build(
 }
 
 fn last_report(
-    net: &mut SimNet<DatNode>,
+    net: &mut SimNet<StackNode>,
     addr: libdat::chord::NodeAddr,
     key: libdat::chord::Id,
 ) -> Option<libdat::core::AggPartial> {

@@ -1,9 +1,9 @@
 //! Integration: implicit DAT trees adapt to churn with no tree repair.
 
 use libdat::chord::{
-    hash_to_id, ChordConfig, ChordNode, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
+    hash_to_id, ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
 };
-use libdat::core::{AggregationMode, DatConfig, DatEvent, DatNode};
+use libdat::core::{AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
 use libdat::sim::harness::{addr_book, prestabilized_dat};
 use rand::SeedableRng;
 
@@ -149,8 +149,7 @@ fn live_joiners_enter_the_tree() {
         let id = space.random(&mut rng);
         let addr = NodeAddr(1000 + j);
         let bootstrap = net.node(root_addr).unwrap().me();
-        let chord = ChordNode::new(ccfg, id, addr);
-        let mut node = DatNode::from_chord(chord, dcfg);
+        let mut node = StackNode::new(ccfg, id, addr).with_app(DatProtocol::new(dcfg));
         let k = node.register("cpu-usage", AggregationMode::Continuous);
         node.set_local(k, 1.0);
         let outs = node.start_join(bootstrap);

@@ -4,14 +4,14 @@
 use libdat::chord::{
     hash_to_id, ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing,
 };
-use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
+use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, StackNode};
 use libdat::sim::harness::{addr_book, prestabilized_dat};
 use libdat::sim::{LossModel, SimNet};
 use rand::SeedableRng;
 
 const BITS: u8 = 32;
 
-fn build(n: usize, seed: u64) -> (SimNet<DatNode>, StaticRing, libdat::chord::Id) {
+fn build(n: usize, seed: u64) -> (SimNet<StackNode>, StaticRing, libdat::chord::Id) {
     let space = IdSpace::new(BITS);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
@@ -43,7 +43,7 @@ fn build(n: usize, seed: u64) -> (SimNet<DatNode>, StaticRing, libdat::chord::Id
 }
 
 fn query_result(
-    net: &mut SimNet<DatNode>,
+    net: &mut SimNet<StackNode>,
     asker: NodeAddr,
     key: libdat::chord::Id,
     run_ms: u64,
@@ -55,7 +55,7 @@ fn query_result(
 /// retry when no result arrives (meanwhile the failure detector evicts the
 /// dead hop that swallowed the previous attempt).
 fn query_with_retries(
-    net: &mut SimNet<DatNode>,
+    net: &mut SimNet<StackNode>,
     asker: NodeAddr,
     key: libdat::chord::Id,
     run_ms: u64,

@@ -5,8 +5,8 @@
 //! schedules and final statistics.
 
 use libdat::chord::{ChordConfig, Id, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
-use libdat::core::{AggFunc, AggPartial, AggregationMode, DatConfig, DatEvent, DatNode};
-use libdat::sim::harness::{addr_book, prestabilized_dat, ring_converged_dat};
+use libdat::core::{AggFunc, AggPartial, AggregationMode, DatConfig, DatEvent, StackNode};
+use libdat::sim::harness::{addr_book, prestabilized_dat, ring_converged};
 use libdat::sim::{FaultPlan, SimNet};
 use rand::SeedableRng;
 
@@ -37,7 +37,7 @@ struct Outcome {
     final_sum_bits: u64,
 }
 
-fn last_report(net: &mut SimNet<DatNode>, root: NodeAddr, key: Id) -> Option<AggPartial> {
+fn last_report(net: &mut SimNet<StackNode>, root: NodeAddr, key: Id) -> Option<AggPartial> {
     net.node_mut(root)
         .unwrap()
         .take_events()
@@ -112,7 +112,7 @@ fn run(seed: u64) -> Outcome {
         digest,
         events: net.events_processed(),
         traffic,
-        converged: ring_converged_dat(&net, ring.ids()),
+        converged: ring_converged(&net, ring.ids()),
         pre_count: pre.count,
         mid_count: mid.count,
         final_count: fin.count,

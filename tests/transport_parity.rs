@@ -1,0 +1,259 @@
+//! Integration: transport parity — the identical 8-node scenario (live
+//! joins, continuous DAT aggregation, an on-demand query, MAAN register +
+//! range discovery, all on the same `StackNode`s) yields the same answers
+//! whether the stack runs over the discrete-event simulator or over real
+//! loopback UDP. This is the paper's §5.1 claim ("both RPC-based and
+//! simulator-based setups … have the consistent results") for the whole
+//! protocol stack, not just the DAT.
+
+use std::time::{Duration, Instant};
+
+use libdat::chord::{ChordConfig, Id, IdSpace, NodeAddr, NodeStatus};
+use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
+use libdat::maan::{MaanEvent, MaanProtocol, MaanStack, Resource};
+use libdat::monitor::grid_schemas;
+use libdat::rpc::RpcCluster;
+use libdat::sim::SimNet;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 8;
+
+fn chord_cfg() -> ChordConfig {
+    ChordConfig {
+        space: IdSpace::new(40),
+        stabilize_ms: 100,
+        fix_fingers_ms: 50,
+        check_pred_ms: 300,
+        req_timeout_ms: 1_000,
+        probe_on_join: false,
+        ..ChordConfig::default()
+    }
+}
+
+fn dat_cfg() -> DatConfig {
+    DatConfig {
+        epoch_ms: 300,
+        query_window_ms: 400,
+        ..DatConfig::default()
+    }
+}
+
+/// The scenario's nodes, identical for both transports: node `i` holds
+/// cpu-usage `10·i` and advertises a machine with cpu-speed `i` GHz.
+fn build_nodes() -> (Vec<StackNode>, Id) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xBEEF);
+    let mut nodes = Vec::with_capacity(N);
+    for i in 0..N {
+        let id = Id(rng.random());
+        let mut node = StackNode::new(chord_cfg(), id, NodeAddr(i as u64))
+            .with_app(DatProtocol::new(dat_cfg()))
+            .with_app(MaanProtocol::new(grid_schemas()));
+        let key = node.register("cpu-usage", AggregationMode::Continuous);
+        node.set_local(key, (i * 10) as f64);
+        nodes.push(node);
+    }
+    let key = libdat::chord::hash_to_id(chord_cfg().space, b"cpu-usage");
+    (nodes, key)
+}
+
+fn resource(i: usize) -> Resource {
+    Resource::new(&format!("grid://node-{i}")).with("cpu-speed", i as f64)
+}
+
+/// What both transports must agree on.
+#[derive(Debug, PartialEq)]
+struct Answers {
+    dat_count: u64,
+    dat_sum: f64,
+    discovered: Vec<String>,
+}
+
+fn run_in_simulator() -> Answers {
+    let (mut nodes, key) = build_nodes();
+    let mut net: SimNet<StackNode> = SimNet::new(7);
+    let bootstrap = nodes[0].me();
+    let outs = nodes[0].start_create();
+    let mut queued = vec![(NodeAddr(0), outs)];
+    for (i, node) in nodes.iter_mut().enumerate().skip(1) {
+        queued.push((NodeAddr(i as u64), node.start_join(bootstrap)));
+    }
+    for node in nodes {
+        net.add_node(node);
+    }
+    for (addr, outs) in queued {
+        net.apply(addr, outs);
+    }
+    net.run_for(20_000); // joins + stabilization + DAT warm-up
+
+    // Every node advertises its machine.
+    for i in 0..N {
+        let res = resource(i);
+        net.with_node(NodeAddr(i as u64), |n| ((), n.maan_register(&res)));
+    }
+    net.run_for(5_000);
+
+    // On-demand aggregate query from node 3.
+    let asker = NodeAddr(3);
+    let reqid = net.with_node(asker, |n| n.query(key)).unwrap();
+    net.run_for(5_000);
+    let partial = net
+        .node_mut(asker)
+        .unwrap()
+        .take_events()
+        .into_iter()
+        .find_map(|e| match e {
+            DatEvent::QueryDone {
+                reqid: r, partial, ..
+            } if r == reqid => Some(partial),
+            _ => None,
+        })
+        .expect("sim query completes");
+
+    // MAAN discovery from node 5: machines with 2..=5 GHz.
+    let qid = net
+        .with_node(NodeAddr(5), |n| n.maan_range_query("cpu-speed", 2.0, 5.0))
+        .unwrap();
+    net.run_for(5_000);
+    let mut discovered: Vec<String> = net
+        .node_mut(NodeAddr(5))
+        .unwrap()
+        .take_maan_events()
+        .into_iter()
+        .find_map(|e| match e {
+            MaanEvent::QueryDone { qid: q, hits } if q == qid => Some(hits),
+            _ => None,
+        })
+        .expect("sim discovery completes")
+        .into_iter()
+        .map(|r| r.uri)
+        .collect();
+    discovered.sort();
+    Answers {
+        dat_count: partial.count,
+        dat_sum: partial.finalize(AggFunc::Sum),
+        discovered,
+    }
+}
+
+fn run_over_udp() -> Answers {
+    let (nodes, key) = build_nodes();
+    let cluster = RpcCluster::launch(nodes).expect("bind loopback sockets");
+    let bootstrap = cluster
+        .call(NodeAddr(0), |node| (node.me(), node.start_create()))
+        .unwrap();
+    for i in 1..N {
+        cluster.cast(NodeAddr(i as u64), move |node| node.start_join(bootstrap));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Wait for every node to be active with a closed successor ring.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let mut infos = Vec::new();
+        for i in 0..N {
+            if let Some(v) = cluster.call(NodeAddr(i as u64), |node| {
+                (
+                    (
+                        node.status(),
+                        node.me().id,
+                        node.chord().table().successor().map(|s| s.id),
+                    ),
+                    vec![],
+                )
+            }) {
+                infos.push(v);
+            }
+        }
+        if infos.len() == N && infos.iter().all(|(s, _, _)| *s == NodeStatus::Active) {
+            let mut ids: Vec<Id> = infos.iter().map(|(_, id, _)| *id).collect();
+            ids.sort_unstable();
+            let ring_ok = infos.iter().all(|(_, id, succ)| {
+                let pos = ids.iter().position(|x| x == id).unwrap();
+                *succ == Some(ids[(pos + 1) % N])
+            });
+            if ring_ok {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "UDP ring did not converge");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    for i in 0..N {
+        let res = resource(i);
+        cluster.cast(NodeAddr(i as u64), move |node| node.maan_register(&res));
+    }
+    std::thread::sleep(Duration::from_millis(800)); // registrations + DAT warm-up
+
+    let asker = NodeAddr(3);
+    let reqid = cluster.call(asker, move |node| node.query(key)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let partial = loop {
+        let found = cluster
+            .call(asker, |node| (node.take_events(), vec![]))
+            .unwrap_or_default()
+            .into_iter()
+            .find_map(|e| match e {
+                DatEvent::QueryDone {
+                    reqid: r, partial, ..
+                } if r == reqid => Some(partial),
+                _ => None,
+            });
+        if let Some(p) = found {
+            break p;
+        }
+        assert!(Instant::now() < deadline, "UDP on-demand query timed out");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    let qid = cluster
+        .call(NodeAddr(5), |node| {
+            node.maan_range_query("cpu-speed", 2.0, 5.0)
+        })
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut discovered = loop {
+        let found = cluster
+            .call(NodeAddr(5), |node| (node.take_maan_events(), vec![]))
+            .unwrap_or_default()
+            .into_iter()
+            .find_map(|e| match e {
+                MaanEvent::QueryDone { qid: q, hits } if q == qid => Some(hits),
+                _ => None,
+            });
+        if let Some(hits) = found {
+            break hits.into_iter().map(|r| r.uri).collect::<Vec<_>>();
+        }
+        assert!(Instant::now() < deadline, "UDP discovery timed out");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    discovered.sort();
+
+    let stats = cluster.stats();
+    assert_eq!(stats.decode_errors, 0, "{stats:?}");
+    cluster.shutdown();
+    Answers {
+        dat_count: partial.count,
+        dat_sum: partial.finalize(AggFunc::Sum),
+        discovered,
+    }
+}
+
+#[test]
+fn simulator_and_udp_cluster_agree() {
+    let sim = run_in_simulator();
+    let udp = run_over_udp();
+    // Both transports ran two protocols on the same nodes and agree on
+    // every answer.
+    assert_eq!(sim.dat_count as usize, N);
+    assert_eq!(sim.dat_sum, (0..N).map(|i| (i * 10) as f64).sum::<f64>());
+    assert_eq!(
+        sim.discovered,
+        vec![
+            "grid://node-2",
+            "grid://node-3",
+            "grid://node-4",
+            "grid://node-5"
+        ]
+    );
+    assert_eq!(sim, udp, "simulator and UDP cluster disagree");
+}

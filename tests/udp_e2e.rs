@@ -5,7 +5,7 @@
 use std::time::{Duration, Instant};
 
 use libdat::chord::{ChordConfig, Id, IdSpace, NodeAddr, NodeStatus};
-use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatNode};
+use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
 use libdat::rpc::RpcCluster;
 use rand::{Rng, SeedableRng};
 
@@ -33,7 +33,8 @@ fn udp_cluster_converges_and_answers_queries() {
     let mut actors = Vec::new();
     for i in 0..n {
         let id = Id(rng.random());
-        let mut node = DatNode::new(fast_chord(), dcfg, id, NodeAddr(i as u64));
+        let mut node =
+            StackNode::new(fast_chord(), id, NodeAddr(i as u64)).with_app(DatProtocol::new(dcfg));
         let key = node.register("cpu-usage", AggregationMode::Continuous);
         node.set_local(key, (i * 10) as f64);
         actors.push(node);
@@ -126,7 +127,8 @@ fn udp_continuous_reports_reach_root() {
     let mut actors = Vec::new();
     for i in 0..n {
         let id = Id(rng.random());
-        let mut node = DatNode::new(fast_chord(), dcfg, id, NodeAddr(i as u64));
+        let mut node =
+            StackNode::new(fast_chord(), id, NodeAddr(i as u64)).with_app(DatProtocol::new(dcfg));
         let key = node.register("cpu-usage", AggregationMode::Continuous);
         node.set_local(key, 7.0);
         actors.push(node);
