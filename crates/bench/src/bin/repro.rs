@@ -16,6 +16,7 @@
 //!   gossip        push-sum baseline vs DAT message cost
 //!   wan           wide-area latency/loss robustness (§7 future work)
 //!   partition     partition/heal fault injection (ring + aggregate recovery)
+//!   degradation   completeness under a randomized churn soak (self-healing)
 //!   all           everything above
 //! ```
 //!
@@ -23,8 +24,8 @@
 //! `--quick` shrinks sizes for fast smoke runs.
 
 use dat_bench::experiments::{
-    ablation, churn, crosscheck, fig25, fig7, fig8, fig9, gossip_exp, heights, maan_exp, partition,
-    wan,
+    ablation, churn, crosscheck, degradation, fig25, fig7, fig8, fig9, gossip_exp, heights,
+    maan_exp, partition, wan,
 };
 
 struct Opts {
@@ -59,6 +60,7 @@ fn main() {
         "gossip" => violations.extend(run_gossip(&opts)),
         "wan" => violations.extend(run_wan(&opts)),
         "partition" => violations.extend(run_partition(&opts)),
+        "degradation" => violations.extend(run_degradation(&opts)),
         "all" => {
             violations.extend(run_fig25());
             violations.extend(run_fig7(&opts, "fig7"));
@@ -73,6 +75,7 @@ fn main() {
             violations.extend(run_gossip(&opts));
             violations.extend(run_wan(&opts));
             violations.extend(run_partition(&opts));
+            violations.extend(run_degradation(&opts));
         }
         other => {
             eprintln!("unknown experiment `{other}`; see `repro` source header");
@@ -230,6 +233,24 @@ fn run_partition(o: &Opts) -> Vec<String> {
         _ => println!("no full recovery observed within the run"),
     }
     p.check()
+}
+
+fn run_degradation(o: &Opts) -> Vec<String> {
+    let n = if o.quick { 48 } else { 128 };
+    eprintln!("[degradation] randomized churn soak at n = {n} ...");
+    let d = degradation::run(n, 0x50AC);
+    d.table().print();
+    println!(
+        "min completeness during churn {:.3}; recovered in {:?} epochs; \
+         root failover {:?} ms with {:?} contributors  (seed {}, digest {:#018x})",
+        d.outcome.min_ratio_during_churn,
+        d.outcome.recovery_epochs,
+        d.outcome.failover_delay_ms,
+        d.outcome.failover_contributors,
+        d.outcome.seed,
+        d.outcome.digest
+    );
+    d.check()
 }
 
 fn run_fig25() -> Vec<String> {

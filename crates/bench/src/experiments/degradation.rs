@@ -1,0 +1,195 @@
+//! Degradation under churn — completeness accounting as an experiment.
+//!
+//! PR 3's failure-semantics layer claims a degraded report *says so*: the
+//! root's completeness ratio drops while faults are active and returns to
+//! 1.0 within a bounded number of epochs after they stop. This experiment
+//! runs the seeded churn soak (`dat_sim::soak`) at bench scale and folds
+//! the report stream into a time series — minimum and mean completeness
+//! per bucket, plus the warm-failover and recovery numbers the soak
+//! scores — so the self-healing story shows up as a table, not just a
+//! passing test.
+#![deny(clippy::unwrap_used)]
+
+use dat_sim::{run_soak, SoakConfig, SoakOutcome};
+
+use crate::table::Table;
+
+/// One time bucket of the report stream.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationRow {
+    /// Bucket start, virtual seconds.
+    pub t_s: u64,
+    /// "warmup" / "churn" / "quiesce".
+    pub phase: &'static str,
+    /// Reports observed in the bucket.
+    pub reports: usize,
+    /// Minimum completeness ratio in the bucket (1.0 when empty).
+    pub min_ratio: f64,
+    /// Mean completeness ratio in the bucket.
+    pub mean_ratio: f64,
+    /// Worst staleness bound (ms) in the bucket.
+    pub max_staleness_ms: u64,
+}
+
+/// Experiment output: the scored soak plus the bucketed series.
+pub struct Degradation {
+    /// Network size.
+    pub n: usize,
+    /// The scored soak run.
+    pub outcome: SoakOutcome,
+    /// Time buckets across warmup → churn → quiesce.
+    pub rows: Vec<DegradationRow>,
+    /// Bucket width, virtual ms.
+    pub bucket_ms: u64,
+    cfg: SoakConfig,
+}
+
+/// Run the bench-scale soak: `n` nodes, ~8 virtual minutes of randomized
+/// faults (crash bursts, partitions, flaky links, duplication, one root
+/// crash), then a fault-free tail.
+pub fn run(n: usize, seed: u64) -> Degradation {
+    let cfg = SoakConfig {
+        nodes: n,
+        seed,
+        epoch_ms: 5_000,
+        warmup_ms: 60_000,
+        churn_ms: 480_000,
+        quiesce_ms: 240_000,
+        episodes: 8,
+        crash_root: true,
+        ..SoakConfig::default()
+    };
+    let outcome = run_soak(&cfg);
+    let bucket_ms = 60_000;
+    let buckets = cfg.total_ms().div_ceil(bucket_ms);
+    let rows = (0..buckets)
+        .map(|b| {
+            let (lo, hi) = (b * bucket_ms, (b + 1) * bucket_ms);
+            let in_bucket: Vec<_> = outcome
+                .log
+                .iter()
+                .filter(|r| r.t_ms >= lo && r.t_ms < hi)
+                .collect();
+            let reports = in_bucket.len();
+            let min_ratio = in_bucket
+                .iter()
+                .map(|r| r.completeness.ratio)
+                .fold(f64::INFINITY, f64::min);
+            let sum: f64 = in_bucket.iter().map(|r| r.completeness.ratio).sum();
+            DegradationRow {
+                t_s: lo / 1_000,
+                phase: if hi <= cfg.warmup_ms {
+                    "warmup"
+                } else if lo < cfg.churn_end_ms() {
+                    "churn"
+                } else {
+                    "quiesce"
+                },
+                reports,
+                min_ratio: if reports == 0 { 1.0 } else { min_ratio },
+                mean_ratio: if reports == 0 {
+                    1.0
+                } else {
+                    sum / reports as f64
+                },
+                max_staleness_ms: in_bucket
+                    .iter()
+                    .map(|r| r.completeness.staleness_ms)
+                    .max()
+                    .unwrap_or(0),
+            }
+        })
+        .collect();
+    Degradation {
+        n,
+        outcome,
+        rows,
+        bucket_ms,
+        cfg,
+    }
+}
+
+impl Degradation {
+    /// Completeness time series across the fault schedule.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "degradation under churn — completeness over time (n = {}, seed {}, \
+                 plan digest {:#018x})",
+                self.n, self.outcome.seed, self.outcome.digest
+            ),
+            &[
+                "t (s)",
+                "phase",
+                "reports",
+                "min completeness",
+                "mean completeness",
+                "max staleness (ms)",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.t_s.to_string(),
+                r.phase.to_string(),
+                r.reports.to_string(),
+                format!("{:.3}", r.min_ratio),
+                format!("{:.3}", r.mean_ratio),
+                r.max_staleness_ms.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Qualitative checks: visible degradation, bounded recovery, warm
+    /// failover. The soak's own invariant scoring (double counting,
+    /// split-brain reporters, fence monotonicity) feeds in directly.
+    pub fn check(&self) -> Vec<String> {
+        let mut bad = self.outcome.violations.clone();
+        if self.outcome.min_ratio_during_churn >= 1.0 {
+            bad.push("churn never degraded completeness — nothing was measured".into());
+        }
+        match self.outcome.recovery_epochs {
+            Some(e) if e > self.cfg.recovery_bound_epochs() => bad.push(format!(
+                "recovery took {e} epochs (bound {})",
+                self.cfg.recovery_bound_epochs()
+            )),
+            Some(_) => {}
+            None => bad.push("completeness never recovered after the schedule drained".into()),
+        }
+        match self.outcome.failover_delay_ms {
+            Some(d) if d > 2 * self.cfg.epoch_ms => bad.push(format!(
+                "root failover took {d} ms — more than one epoch of reports lost"
+            )),
+            Some(_) => {}
+            None => bad.push("no report ever followed the root crash".into()),
+        }
+        if (self.outcome.final_ratio - 1.0).abs() > 1e-9 {
+            bad.push(format!(
+                "final completeness {:.3} != 1.0",
+                self.outcome.final_ratio
+            ));
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_recovers_and_tables_render() {
+        let d = run(48, 5);
+        let bad = d.check();
+        assert!(bad.is_empty(), "{bad:?}");
+        let md = d.table().to_markdown();
+        assert!(md.contains("min completeness"));
+        // The series spans all three phases.
+        for phase in ["warmup", "churn", "quiesce"] {
+            assert!(
+                d.rows.iter().any(|r| r.phase == phase),
+                "missing phase {phase}"
+            );
+        }
+    }
+}

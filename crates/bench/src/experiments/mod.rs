@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod churn;
 pub mod crosscheck;
+pub mod degradation;
 pub mod fig25;
 pub mod fig7;
 pub mod fig8;

@@ -107,6 +107,7 @@ fn run_one(n: usize, loss: f64, seed: u64) -> WanRow {
                 key: k,
                 epoch,
                 partial,
+                ..
             } = e
             {
                 if k == key && epoch > first_epoch {

@@ -65,7 +65,7 @@ pub use msg::{ChordMsg, Input, Output, ReqId, TimerKind, Upcall};
 pub use node::{ChordConfig, ChordNode, NodeStatus};
 pub use ring::{IdPolicy, StaticRing};
 pub use routing::{
-    estimate_d0, finger_limit, ideal_parent_balanced, ideal_parent_basic, parent_balanced,
-    parent_basic, parent_for, ParentDecision, RoutingScheme,
+    estimate_d0, estimate_ring_size, finger_limit, ideal_parent_balanced, ideal_parent_basic,
+    parent_balanced, parent_basic, parent_for, ring_size_for_d0, ParentDecision, RoutingScheme,
 };
 pub use sha1::{hash_to_id, sha1, Sha1};

@@ -223,6 +223,23 @@ impl ChordNode {
         &self.table
     }
 
+    /// The first `k` distinct successors (excluding this node itself) —
+    /// the replication set used by layers that keep warm state on the
+    /// nodes that would take over this node's keys if it crashed.
+    pub fn successors(&self, k: usize) -> Vec<NodeRef> {
+        let me = self.table.me().id;
+        let mut out: Vec<NodeRef> = Vec::with_capacity(k);
+        for s in self.table.successor_list() {
+            if s.id != me && !out.iter().any(|o| o.id == s.id) {
+                out.push(*s);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Message counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics

@@ -106,6 +106,26 @@ pub fn estimate_d0(table: &FingerTable) -> u64 {
     (sum / gaps.len() as u128).max(1) as u64
 }
 
+/// Ring size implied by an average inter-node gap `d0`: `2^b / d0`.
+pub fn ring_size_for_d0(space: IdSpace, d0: u64) -> u64 {
+    u64::try_from(space.size() / d0.max(1) as u128)
+        .unwrap_or(u64::MAX)
+        .max(1)
+}
+
+/// Estimate the total number of ring nodes from purely local state (the
+/// successor-list / predecessor gap density, see [`estimate_d0`]).
+///
+/// This is the `expected` side of the completeness accounting: the root
+/// compares the number of nodes that actually contributed to a report
+/// against this estimate to quantify how much of the grid the report
+/// covers. On an evenly spaced (probed) ring the estimate is exact; on
+/// random rings it is within the usual `O(log n)` consistent-hashing
+/// spread.
+pub fn estimate_ring_size(table: &FingerTable) -> u64 {
+    ring_size_for_d0(table.space(), estimate_d0(table))
+}
+
 /// Greedy (basic DAT) parent of `table.me()` for rendezvous key `key`.
 ///
 /// Implements the implicit-tree rule of §3.2: the parent is the next hop of
@@ -394,6 +414,17 @@ mod tests {
         // Lonely node: the whole space.
         let t = FingerTable::new(IdSpace::new(8), nr(0), 3);
         assert_eq!(estimate_d0(&t), 255);
+    }
+
+    #[test]
+    fn ring_size_from_neighbors() {
+        // Even 16-node ring: d0 = 1 over a 4-bit space → 16 nodes.
+        let t = full_ring_table(8);
+        assert_eq!(estimate_ring_size(&t), 16);
+        // Lonely node: one occupant.
+        let t = FingerTable::new(IdSpace::new(8), nr(0), 3);
+        assert_eq!(estimate_ring_size(&t), 1);
+        assert_eq!(ring_size_for_d0(IdSpace::new(32), 1 << 24), 256);
     }
 
     #[test]

@@ -141,6 +141,19 @@ pub struct AggPartial {
     pub histogram: Option<Histogram>,
     /// Optional distinct-count sketch (see [`crate::sketch`]).
     pub distinct: Option<Hll>,
+    /// Number of distinct grid nodes whose state is folded into this
+    /// partial (completeness accounting). Unlike `count` — which tallies
+    /// *observations* and can exceed the node count when a node reports
+    /// several samples — `contributors` is stamped once per node by the
+    /// aggregation layer and summed up the tree, so the root can compare
+    /// it against the estimated ring size.
+    pub contributors: u64,
+    /// Upper bound, in epochs, on the age of the *oldest* constituent
+    /// sample. A freshly-flushed local partial carries 0; cached child
+    /// state ages as it sits in a parent's soft state (see
+    /// [`AggPartial::merge_aged`]). Merge takes the max, so the root's
+    /// value bounds the staleness of the whole report.
+    pub age_epochs: u64,
 }
 
 impl AggPartial {
@@ -154,6 +167,8 @@ impl AggPartial {
             max: f64::NEG_INFINITY,
             histogram: None,
             distinct: None,
+            contributors: 0,
+            age_epochs: 0,
         }
     }
 
@@ -224,12 +239,29 @@ impl AggPartial {
     /// deduplicate by source (the continuous DAT path overwrites the
     /// per-child slot instead of accumulating) or tolerate inflation in
     /// Sum/Count read-outs.
+    ///
+    /// `contributors` is additive like `count` — the same non-idempotence
+    /// applies, and the same per-source dedup in the continuous path keeps
+    /// it exact under duplicate delivery (property-tested in
+    /// `tests/properties.rs`). `age_epochs` takes the max, which *is*
+    /// idempotent.
     pub fn merge(&mut self, other: &AggPartial) {
+        self.merge_aged(other, 0);
+    }
+
+    /// [`AggPartial::merge`], but treating `other` as `extra_age` epochs
+    /// older than it claims — used when folding in a child partial that
+    /// has been sitting in soft state since it was received.
+    pub fn merge_aged(&mut self, other: &AggPartial, extra_age: u64) {
         self.count += other.count;
         self.sum += other.sum;
         self.sum_sq += other.sum_sq;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.contributors += other.contributors;
+        self.age_epochs = self
+            .age_epochs
+            .max(other.age_epochs.saturating_add(extra_age));
         match (&mut self.histogram, &other.histogram) {
             (Some(a), Some(b)) => a.merge(b),
             (None, Some(b)) => self.histogram = Some(b.clone()),
@@ -428,6 +460,28 @@ mod tests {
         assert!(c.distinct_estimate().is_nan());
         c.merge(&a);
         assert!(c.distinct_estimate() > 0.0);
+    }
+
+    #[test]
+    fn contributors_add_and_ages_max() {
+        let mut a = AggPartial::of(1.0);
+        a.contributors = 1;
+        let mut b = AggPartial::of(2.0);
+        b.contributors = 3;
+        b.age_epochs = 2;
+        // Fold `b` in as if it had been cached for 4 epochs: contributor
+        // counts add, ages take max of (own, other + extra).
+        a.merge_aged(&b, 4);
+        assert_eq!(a.contributors, 4);
+        assert_eq!(a.age_epochs, 6);
+        // Plain merge is merge_aged with no extra age.
+        let mut c = AggPartial::identity();
+        c.merge(&a);
+        assert_eq!(c.contributors, 4);
+        assert_eq!(c.age_epochs, 6);
+        // Identity is still neutral for the new fields.
+        let d = c.clone().merged(&AggPartial::identity());
+        assert_eq!(d, c);
     }
 
     #[test]

@@ -20,7 +20,10 @@ use crate::sketch::Hll;
 pub use dat_chord::wire::{CodecError, Reader, Writer};
 
 /// Wire-format version, bumped on incompatible changes.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: [`AggPartial`] gained `contributors`/`age_epochs` (completeness
+/// accounting) and [`DatMsg::RootState`] was added (warm root failover).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Application-protocol discriminator for DAT messages inside
 /// [`dat_chord::ChordMsg::App`].
@@ -38,7 +41,9 @@ impl WritePartial for Writer {
             .f64(p.sum)
             .f64(p.sum_sq)
             .f64(p.min)
-            .f64(p.max);
+            .f64(p.max)
+            .u64(p.contributors)
+            .u64(p.age_epochs);
         match &p.histogram {
             Some(h) => {
                 self.u8(1).f64(h.lo).f64(h.hi).u32(h.buckets.len() as u32);
@@ -75,6 +80,8 @@ impl ReadPartial for Reader<'_> {
         let sum_sq = self.f64()?;
         let min = self.f64()?;
         let max = self.f64()?;
+        let contributors = self.u64()?;
+        let age_epochs = self.u64()?;
         let histogram = match self.u8()? {
             0 => None,
             _ => {
@@ -109,6 +116,8 @@ impl ReadPartial for Reader<'_> {
             max,
             histogram,
             distinct,
+            contributors,
+            age_epochs,
         })
     }
 }
@@ -184,6 +193,27 @@ pub enum DatMsg {
         /// The child that moved away.
         sender: NodeRef,
     },
+    /// Warm-failover replication: the acting root ships a snapshot of its
+    /// per-key soft state (freshest child partials and centralized raw
+    /// samples, each with its age in epochs) to its first `k` successors.
+    /// When the rendezvous key remaps after a root crash, the successor
+    /// resumes reporting from this replica within one epoch instead of
+    /// rebuilding from scratch. `seq` is the per-key fencing sequence: a
+    /// receiver that has seen `(seq, root)` from the live root refuses to
+    /// report with a stale or equal sequence of its own, so a restarted or
+    /// evicted ex-root cannot split-brain the report stream.
+    RootState {
+        /// Rendezvous key of the replicated aggregation.
+        key: Id,
+        /// Monotone per-key report sequence at the replicating root.
+        seq: u64,
+        /// The replicating root (fence identity).
+        root: NodeRef,
+        /// Cached child partials: `(child id, partial, age in epochs)`.
+        children: Vec<(Id, AggPartial, u64)>,
+        /// Centralized-mode raw samples: `(sender id, value, age)`.
+        raw: Vec<(Id, f64, u64)>,
+    },
     /// Centralized-baseline sample: a raw local value sent (via Chord
     /// routing) straight to the root, no in-network merging.
     RawSample {
@@ -209,6 +239,7 @@ impl DatMsg {
             DatMsg::Request { .. } => "dat_request",
             DatMsg::Prune { .. } => "dat_prune",
             DatMsg::RawSample { .. } => "dat_raw_sample",
+            DatMsg::RootState { .. } => "dat_root_state",
         }
     }
 
@@ -280,6 +311,26 @@ impl DatMsg {
             DatMsg::Prune { key, sender } => {
                 w.u8(7).id(*key).node_ref(*sender);
             }
+            DatMsg::RootState {
+                key,
+                seq,
+                root,
+                children,
+                raw,
+            } => {
+                w.u8(8)
+                    .id(*key)
+                    .u64(*seq)
+                    .node_ref(*root)
+                    .u32(children.len() as u32);
+                for (id, partial, age) in children {
+                    w.id(*id).u64(*age).partial(partial);
+                }
+                w.u32(raw.len() as u32);
+                for (id, value, age) in raw {
+                    w.id(*id).f64(*value).u64(*age);
+                }
+            }
         }
         w.finish()
     }
@@ -332,6 +383,37 @@ impl DatMsg {
                 key: r.id()?,
                 sender: r.node_ref()?,
             },
+            8 => {
+                let key = r.id()?;
+                let seq = r.u64()?;
+                let root = r.node_ref()?;
+                let n = r.u32()? as usize;
+                // A child entry is at least id + age + partial scalars.
+                if n * 16 > r.remaining() {
+                    return Err(CodecError::BadLength(n as u64));
+                }
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.id()?;
+                    let age = r.u64()?;
+                    children.push((id, r.partial()?, age));
+                }
+                let m = r.u32()? as usize;
+                if m * 24 > r.remaining() {
+                    return Err(CodecError::BadLength(m as u64));
+                }
+                let mut raw = Vec::with_capacity(m);
+                for _ in 0..m {
+                    raw.push((r.id()?, r.f64()?, r.u64()?));
+                }
+                DatMsg::RootState {
+                    key,
+                    seq,
+                    root,
+                    children,
+                    raw,
+                }
+            }
             t => return Err(CodecError::BadTag(t)),
         };
         r.expect_end()?;
@@ -355,6 +437,8 @@ mod tests {
         p.distinct = Some(crate::sketch::Hll::new(6));
         p.observe_item(b"site-a");
         p.observe_item(b"site-b");
+        p.contributors = 2;
+        p.age_epochs = 3;
         p
     }
 
@@ -400,6 +484,23 @@ mod tests {
                 key: Id(15),
                 sender: nr(6),
             },
+            DatMsg::RootState {
+                key: Id(21),
+                seq: 17,
+                root: nr(30),
+                children: vec![
+                    (Id(31), sample_partial(), 0),
+                    (Id(32), AggPartial::identity(), 4),
+                ],
+                raw: vec![(Id(33), 1.5, 0), (Id(34), -2.0, 2)],
+            },
+            DatMsg::RootState {
+                key: Id(22),
+                seq: 0,
+                root: nr(40),
+                children: vec![],
+                raw: vec![],
+            },
         ];
         for m in msgs {
             let bytes = m.encode();
@@ -423,6 +524,32 @@ mod tests {
                 "decode succeeded on {cut}-byte prefix"
             );
         }
+    }
+
+    #[test]
+    fn root_state_truncation_and_hostile_lengths_rejected() {
+        let m = DatMsg::RootState {
+            key: Id(21),
+            seq: 17,
+            root: nr(30),
+            children: vec![(Id(31), sample_partial(), 1)],
+            raw: vec![(Id(33), 1.5, 0)],
+        };
+        let bytes = m.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                DatMsg::decode(&bytes[..cut]).is_err(),
+                "decode succeeded on {cut}-byte prefix"
+            );
+        }
+        // A replica claiming 2^30 children must be rejected up front.
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION).u8(8).id(Id(1)).u64(0).node_ref(nr(2));
+        w.u32(1 << 30);
+        assert!(matches!(
+            DatMsg::decode(&w.finish()),
+            Err(CodecError::BadLength(_)) | Err(CodecError::Truncated)
+        ));
     }
 
     #[test]
@@ -453,6 +580,7 @@ mod tests {
         let mut w = Writer::new();
         w.u8(WIRE_VERSION).u8(1).id(Id(1)).u64(0);
         w.u64(1).f64(1.0).f64(1.0).f64(1.0).f64(1.0); // partial scalars
+        w.u64(1).u64(0); // contributors + age
         w.u8(1).f64(0.0).f64(1.0).u32(1 << 30); // absurd bucket count
         let bytes = w.finish();
         assert!(matches!(

@@ -88,6 +88,12 @@ impl Ctx<'_> {
         self.chord.owns(key)
     }
 
+    /// The first `k` distinct successors (replication targets — the nodes
+    /// that would take over this node's keys if it crashed).
+    pub fn successors(&self, k: usize) -> Vec<NodeRef> {
+        self.chord.successors(k)
+    }
+
     /// The engine clock (monotonic ms), identical for every stacked
     /// protocol on this node.
     pub fn now_ms(&self) -> u64 {

@@ -65,6 +65,8 @@ pub use codec::{CodecError, DatMsg, DAT_PROTO};
 pub use engine::{AppProtocol, Ctx, StackNode};
 pub use explicit::{ExpMsg, ExplicitConfig, ExplicitProtocol, EXPLICIT_PROTO};
 pub use gossip::{GossipConfig, GossipProtocol, GOSSIP_PROTO};
-pub use proto::{AggregationEntry, AggregationMode, DatConfig, DatEvent, DatProtocol};
+pub use proto::{
+    AggregationEntry, AggregationMode, Completeness, DatConfig, DatEvent, DatProtocol,
+};
 pub use sketch::Hll;
 pub use tree::DatTree;

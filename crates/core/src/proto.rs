@@ -25,8 +25,8 @@
 use std::collections::HashMap;
 
 use dat_chord::{
-    estimate_d0, hash_to_id, parent_for, FingerTable, Id, Metrics, NodeAddr, NodeRef, NodeStatus,
-    Output, ParentDecision, RoutingScheme,
+    estimate_d0, hash_to_id, parent_for, ring_size_for_d0, FingerTable, Id, Metrics, NodeAddr,
+    NodeRef, NodeStatus, Output, ParentDecision, RoutingScheme,
 };
 
 use crate::aggregate::AggPartial;
@@ -63,6 +63,12 @@ pub struct DatConfig {
     /// Exact average inter-node gap, when globally known (experiments set
     /// `2^b / n`); `None` means estimate from the local neighborhood.
     pub d0_hint: Option<u64>,
+    /// Warm root failover: the acting root replicates its per-key soft
+    /// state ([`DatMsg::RootState`]) to this many successors each epoch,
+    /// so a root crash loses at most one epoch of reports. `0` disables
+    /// replication (cold failover: the new root rebuilds over
+    /// `child_ttl_epochs`).
+    pub replication_k: usize,
 }
 
 impl Default for DatConfig {
@@ -74,8 +80,31 @@ impl Default for DatConfig {
             query_window_ms: 500,
             hold_ms: 250,
             d0_hint: None,
+            replication_k: 2,
         }
     }
+}
+
+/// Completeness accounting attached to every root report: how much of the
+/// grid the report actually covers, and how stale its oldest input may be.
+/// A partitioned-away subtree shows up as a measurable `ratio` drop
+/// instead of a silent value shift.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completeness {
+    /// Number of distinct nodes folded into the report.
+    pub contributors: u64,
+    /// Estimated ring size (from finger/successor density, or the exact
+    /// `d0` hint when the experiment provides one).
+    pub expected: u64,
+    /// `contributors / expected` — 1.0 means full coverage.
+    pub ratio: f64,
+    /// Upper bound on the age of the oldest constituent sample, ms.
+    pub staleness_ms: u64,
+    /// Per-key report fence sequence (monotone at the acting root;
+    /// replicated to successors so a failed-over root continues it).
+    pub seq: u64,
+    /// The reporting root's id — `(seq, root)` identifies the fence.
+    pub root: Id,
 }
 
 /// Results surfaced to the host application.
@@ -90,6 +119,8 @@ pub enum DatEvent {
         epoch: u64,
         /// The merged global partial.
         partial: AggPartial,
+        /// How much of the grid the report covers (see [`Completeness`]).
+        completeness: Completeness,
     },
     /// (Requester side) an on-demand query completed.
     QueryDone {
@@ -137,6 +168,32 @@ pub struct AggregationEntry {
     prune_old: Option<(NodeRef, u8)>,
     /// (Root, centralized mode) freshest raw sample per node id.
     raw: HashMap<Id, (f64, u64)>,
+    /// Highest report-fence sequence observed for this key, either emitted
+    /// by this node as root or carried by a replicated
+    /// [`DatMsg::RootState`].
+    fence_seq: u64,
+    /// Who set the fence last. `Some(other)` means another node is the
+    /// live root — a sticky ex-root must stand down instead of reporting.
+    fence_root: Option<Id>,
+    /// Warm-failover replica of the acting root's soft state, adopted if
+    /// the key ever remaps here.
+    replica: Option<ReplicaState>,
+}
+
+/// The acting root's replicated per-key soft state, as received by one of
+/// its `k` successors (see [`DatMsg::RootState`]).
+#[derive(Clone, Debug)]
+struct ReplicaState {
+    /// The root that shipped the replica.
+    root: Id,
+    /// Its report fence sequence at shipping time.
+    seq: u64,
+    /// Cached child partials with their age (epochs) at shipping time.
+    children: Vec<(Id, AggPartial, u64)>,
+    /// Centralized-mode raw samples with their age at shipping time.
+    raw: Vec<(Id, f64, u64)>,
+    /// Local epoch at which the replica arrived (ages the snapshot).
+    received_epoch: u64,
 }
 
 impl AggregationEntry {
@@ -182,12 +239,19 @@ impl AggregationEntry {
         if let Some(x) = self.local {
             acc.absorb(x);
         }
+        // This node contributes itself exactly once (completeness
+        // accounting) — even with no local sensor value it is a live
+        // participant relaying its subtree.
+        acc.contributors = 1;
         for (child, (p, e)) in self.children.iter() {
             if Some(*child) == exclude {
                 continue;
             }
-            if now_epoch.saturating_sub(*e) <= ttl {
-                acc.merge(p);
+            let age = now_epoch.saturating_sub(*e);
+            if age <= ttl {
+                // A partial cached for `age` epochs is that much staler
+                // than it claims.
+                acc.merge_aged(p, age);
             }
         }
         acc
@@ -199,12 +263,54 @@ impl AggregationEntry {
         if let Some(x) = self.local {
             acc.absorb(x);
         }
+        acc.contributors = 1;
         for (v, e) in self.raw.values() {
-            if now_epoch.saturating_sub(*e) <= ttl {
+            let age = now_epoch.saturating_sub(*e);
+            if age <= ttl {
                 acc.absorb(*v);
+                acc.contributors += 1;
+                acc.age_epochs = acc.age_epochs.max(age);
             }
         }
         acc
+    }
+
+    /// Fold a warm-failover replica from a previous root into live soft
+    /// state. Called when this node finds itself the acting root: the
+    /// replicated children/samples (re-aged relative to the local epoch
+    /// counter) let the very first report after a root crash cover the
+    /// whole grid instead of rebuilding over `child_ttl_epochs`.
+    fn adopt_replica(&mut self, me: Id, epoch: u64) {
+        if self.replica.as_ref().is_none_or(|r| r.root == me) {
+            return;
+        }
+        let Some(rep) = self.replica.take() else {
+            return;
+        };
+        let lag = epoch.saturating_sub(rep.received_epoch);
+        for (id, p, age) in rep.children {
+            if id == me {
+                continue;
+            }
+            let stamp = epoch.saturating_sub(age.saturating_add(lag));
+            let have_fresher = self.children.get(&id).is_some_and(|(_, e)| *e >= stamp);
+            if !have_fresher {
+                self.children.insert(id, (p, stamp));
+            }
+        }
+        for (id, v, age) in rep.raw {
+            if id == me {
+                continue;
+            }
+            let stamp = epoch.saturating_sub(age.saturating_add(lag));
+            let have_fresher = self.raw.get(&id).is_some_and(|(_, e)| *e >= stamp);
+            if !have_fresher {
+                self.raw.insert(id, (v, stamp));
+            }
+        }
+        // Continue the crashed root's fence so our next report supersedes
+        // anything a restarted old root could replay.
+        self.fence_seq = self.fence_seq.max(rep.seq);
     }
 }
 
@@ -318,6 +424,9 @@ impl DatProtocol {
             last_parent: None,
             prune_old: None,
             raw: HashMap::new(),
+            fence_seq: 0,
+            fence_root: None,
+            replica: None,
         });
     }
 
@@ -393,7 +502,10 @@ impl DatProtocol {
         let me = cx.me();
         let keys: Vec<Id> = self.aggs.keys().copied().collect();
         for key in keys {
-            let entry = &self.aggs[&key];
+            let Some(entry) = self.aggs.get(&key) else {
+                continue;
+            };
+            let local = entry.local;
             match entry.mode {
                 AggregationMode::Continuous => {
                     // Aggregation synchronization (§4): schedule this
@@ -416,13 +528,24 @@ impl DatProtocol {
                 }
                 AggregationMode::Centralized => {
                     if cx.owns(key) {
-                        let partial = entry.merged_raw(epoch, ttl);
+                        let (partial, seq) = match self.aggs.get_mut(&key) {
+                            Some(e) => {
+                                e.adopt_replica(me.id, epoch);
+                                e.fence_seq += 1;
+                                e.fence_root = Some(me.id);
+                                (e.merged_raw(epoch, ttl), e.fence_seq)
+                            }
+                            None => continue,
+                        };
+                        let completeness = self.completeness_for(cx, &partial, seq);
                         self.events.push(DatEvent::Report {
                             key,
                             epoch,
                             partial,
+                            completeness,
                         });
-                    } else if let Some(v) = entry.local {
+                        self.replicate_root_state(cx, key, seq);
+                    } else if let Some(v) = local {
                         let msg = DatMsg::RawSample {
                             key,
                             epoch,
@@ -509,16 +632,26 @@ impl DatProtocol {
             ParentDecision::IAmRoot => {
                 if let Some(e) = self.aggs.get_mut(&key) {
                     e.root_until = epoch + 2;
+                    // Warm failover: if a previous root replicated its soft
+                    // state here, fold it in before computing this epoch's
+                    // partial — the first report after a takeover already
+                    // covers the whole grid.
+                    e.adopt_replica(me.id, epoch);
                 }
             }
             _ => {
                 let pred_unknown = cx.table().predecessor().is_none();
-                let sticky = self
-                    .aggs
-                    .get(&key)
-                    .map(|e| e.root_until >= epoch)
-                    .unwrap_or(false);
-                if pred_unknown && sticky {
+                let e = self.aggs.get(&key);
+                let sticky = e.map(|e| e.root_until >= epoch).unwrap_or(false);
+                // Fencing (at most one report per key per epoch): a sticky
+                // ex-root stands down as soon as it has observed the live
+                // root's fence — a RootState replica with a sequence at or
+                // above its own. Without this, an evicted ex-root keeps
+                // reporting for up to 2 epochs *alongside* the true root.
+                let fenced_off = e
+                    .and_then(|e| e.fence_root)
+                    .is_some_and(|root| root != me.id);
+                if pred_unknown && sticky && !fenced_off {
                     decision = ParentDecision::IAmRoot;
                 }
             }
@@ -556,11 +689,22 @@ impl DatProtocol {
         }
         match decision {
             ParentDecision::IAmRoot => {
+                let seq = match self.aggs.get_mut(&key) {
+                    Some(e) => {
+                        e.fence_seq += 1;
+                        e.fence_root = Some(me.id);
+                        e.fence_seq
+                    }
+                    None => return,
+                };
+                let completeness = self.completeness_for(cx, &partial, seq);
                 self.events.push(DatEvent::Report {
                     key,
                     epoch,
                     partial,
+                    completeness,
                 });
+                self.replicate_root_state(cx, key, seq);
             }
             ParentDecision::Parent(p) => {
                 let msg = DatMsg::Update {
@@ -585,6 +729,71 @@ impl DatProtocol {
                 // Table still converging; try again next epoch.
                 entry_unknown_rollback(self.aggs.get_mut(&key), epoch);
             }
+        }
+    }
+
+    /// Completeness accounting for a root report: contributors vs the
+    /// ring-size estimate, plus the staleness bound in wall-clock terms.
+    fn completeness_for(&self, cx: &Ctx<'_>, partial: &AggPartial, seq: u64) -> Completeness {
+        let expected = ring_size_for_d0(cx.space(), self.d0(cx.table()));
+        Completeness {
+            contributors: partial.contributors,
+            expected,
+            ratio: if expected == 0 {
+                0.0
+            } else {
+                partial.contributors as f64 / expected as f64
+            },
+            staleness_ms: partial.age_epochs.saturating_mul(self.cfg.epoch_ms),
+            seq,
+            root: cx.me().id,
+        }
+    }
+
+    /// Warm root failover: ship this key's soft state (fresh child
+    /// partials + centralized samples, each with its age) and the report
+    /// fence to the first `replication_k` successors.
+    fn replicate_root_state(&mut self, cx: &mut Ctx<'_>, key: Id, seq: u64) {
+        if self.cfg.replication_k == 0 {
+            return;
+        }
+        let targets = cx.successors(self.cfg.replication_k);
+        if targets.is_empty() {
+            return;
+        }
+        let epoch = self.epoch;
+        let ttl = self.cfg.child_ttl_epochs;
+        let Some(entry) = self.aggs.get(&key) else {
+            return;
+        };
+        let children: Vec<(Id, AggPartial, u64)> = entry
+            .children
+            .iter()
+            .filter_map(|(id, (p, e))| {
+                let age = epoch.saturating_sub(*e);
+                (age <= ttl).then(|| (*id, p.clone(), age))
+            })
+            .collect();
+        let raw: Vec<(Id, f64, u64)> = entry
+            .raw
+            .iter()
+            .filter_map(|(id, (v, e))| {
+                let age = epoch.saturating_sub(*e);
+                (age <= ttl).then_some((*id, *v, age))
+            })
+            .collect();
+        let msg = DatMsg::RootState {
+            key,
+            seq,
+            root: cx.me(),
+            children,
+            raw,
+        };
+        let bytes = msg.encode();
+        let kind = msg.kind();
+        for t in targets {
+            self.metrics.count_sent_kind(kind);
+            cx.send(t, bytes.clone());
         }
     }
 
@@ -663,6 +872,32 @@ impl DatProtocol {
             DatMsg::Prune { key, sender } => {
                 if let Some(e) = self.aggs.get_mut(&key) {
                     e.children.remove(&sender.id);
+                }
+            }
+            DatMsg::RootState {
+                key,
+                seq,
+                root,
+                children,
+                raw,
+            } => {
+                let now_epoch = self.epoch;
+                if let Some(e) = self.aggs.get_mut(&key) {
+                    // Fences only move forward: a replica from a restarted
+                    // ex-root replaying a stale sequence is ignored, so it
+                    // can neither displace the live root's replica nor
+                    // un-fence a stood-down node.
+                    if seq >= e.fence_seq {
+                        e.fence_seq = seq;
+                        e.fence_root = Some(root.id);
+                        e.replica = Some(ReplicaState {
+                            root: root.id,
+                            seq,
+                            children,
+                            raw,
+                            received_epoch: now_epoch,
+                        });
+                    }
                 }
             }
             DatMsg::Result {
@@ -756,6 +991,7 @@ impl DatProtocol {
                 if let Some(x) = e.local {
                     p.absorb(x);
                 }
+                p.contributors = 1;
                 p
             }
             None => AggPartial::identity(),
@@ -1097,11 +1333,20 @@ mod tests {
                 key: k,
                 epoch,
                 partial,
+                completeness,
             } => {
                 assert_eq!(*k, key);
                 assert_eq!(*epoch, 1);
                 assert_eq!(partial.finalize(crate::aggregate::AggFunc::Sum), 55.0);
                 assert_eq!(partial.count, 1);
+                // A singleton ring is fully covered by its own report.
+                assert_eq!(partial.contributors, 1);
+                assert_eq!(completeness.contributors, 1);
+                assert_eq!(completeness.expected, 1);
+                assert_eq!(completeness.ratio, 1.0);
+                assert_eq!(completeness.staleness_ms, 0);
+                assert_eq!(completeness.seq, 1);
+                assert_eq!(completeness.root, Id(1));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1302,6 +1547,130 @@ mod tests {
                 assert!(dc < root_delay, "child {child} !< root");
             }
         }
+    }
+
+    #[test]
+    fn fenced_ex_root_stands_down() {
+        use dat_chord::FingerTable;
+        // A sticky ex-root (predecessor unknown, root_until in the future)
+        // keeps reporting — until it observes the live root's fence, after
+        // which at most one node reports per key per epoch.
+        let space = IdSpace::new(8);
+        let ccfg = ChordConfig {
+            space,
+            ..ChordConfig::default()
+        };
+        let mut probe = mk(1);
+        let key = probe.register("cpu-usage", AggregationMode::Continuous);
+        // Place ourselves half a ring away from the key with one successor
+        // just clockwise of us: the real parent decision is Parent(succ).
+        let me = NodeRef::new(Id((key.raw() + 128) % 256), NodeAddr(10));
+        let succ = NodeRef::new(Id((me.id.raw() + 1) % 256), NodeAddr(11));
+        let mut n =
+            StackNode::new(ccfg, me.id, me.addr).with_app(DatProtocol::new(DatConfig::default()));
+        let k2 = n.register("cpu-usage", AggregationMode::Continuous);
+        assert_eq!(key, k2);
+        let mut table = FingerTable::new(space, me, 4);
+        table.set_successor(succ);
+        let _ = n.start_with_table(table);
+        n.set_local(key, 5.0);
+        // Pretend we were recently the acting root.
+        n.app_mut::<DatProtocol>()
+            .aggs
+            .get_mut(&key)
+            .unwrap()
+            .root_until = 10;
+        let _ = n.fire_epoch_for_tests();
+        let reports = n
+            .take_events()
+            .into_iter()
+            .filter(|e| matches!(e, DatEvent::Report { .. }))
+            .count();
+        assert_eq!(reports, 1, "sticky ex-root keeps reporting while unfenced");
+        // The live root's replica arrives: seq at/above ours, another root.
+        let fence = DatMsg::RootState {
+            key,
+            seq: 7,
+            root: succ,
+            children: Vec::new(),
+            raw: Vec::new(),
+        };
+        let _ = n.handle(Input::Message {
+            from: succ.addr,
+            msg: dat_chord::ChordMsg::App {
+                proto: DAT_PROTO,
+                from: succ,
+                payload: fence.encode(),
+            },
+        });
+        let _ = n.fire_epoch_for_tests();
+        let evs = n.take_events();
+        assert!(
+            !evs.iter().any(|e| matches!(e, DatEvent::Report { .. })),
+            "fenced ex-root must stand down, got {evs:?}"
+        );
+    }
+
+    #[test]
+    fn adopted_replica_warms_first_report() {
+        use dat_chord::FingerTable;
+        // A node that becomes root with a RootState replica on hand must
+        // cover the crashed root's children in its *first* report and
+        // continue the report fence past the replicated sequence.
+        let space = IdSpace::new(8);
+        let ccfg = ChordConfig {
+            space,
+            ..ChordConfig::default()
+        };
+        let mut probe = mk(1);
+        let key = probe.register("cpu-usage", AggregationMode::Continuous);
+        // We own the key: predecessor just counter-clockwise of it.
+        let me = NodeRef::new(Id((key.raw() + 1) % 256), NodeAddr(10));
+        let pred = NodeRef::new(Id((key.raw() + 251) % 256), NodeAddr(11));
+        let succ = NodeRef::new(Id((me.id.raw() + 50) % 256), NodeAddr(12));
+        let mut n =
+            StackNode::new(ccfg, me.id, me.addr).with_app(DatProtocol::new(DatConfig::default()));
+        let _ = n.register("cpu-usage", AggregationMode::Continuous);
+        let mut table = FingerTable::new(space, me, 4);
+        table.set_successor(succ);
+        table.set_predecessor(Some(pred));
+        let _ = n.start_with_table(table);
+        n.set_local(key, 1.0);
+        let mut child_partial = AggPartial::of(5.0);
+        child_partial.contributors = 3; // a three-node subtree
+        let rep = DatMsg::RootState {
+            key,
+            seq: 7,
+            root: pred,
+            children: vec![(Id(99), child_partial, 0)],
+            raw: Vec::new(),
+        };
+        let _ = n.handle(Input::Message {
+            from: pred.addr,
+            msg: dat_chord::ChordMsg::App {
+                proto: DAT_PROTO,
+                from: pred,
+                payload: rep.encode(),
+            },
+        });
+        let _ = n.fire_epoch_for_tests();
+        let evs = n.take_events();
+        let (partial, completeness) = evs
+            .iter()
+            .find_map(|e| match e {
+                DatEvent::Report {
+                    partial,
+                    completeness,
+                    ..
+                } => Some((partial.clone(), *completeness)),
+                _ => None,
+            })
+            .expect("new root must report in its first epoch");
+        assert_eq!(partial.contributors, 4, "self + adopted 3-node subtree");
+        assert_eq!(partial.sum, 6.0);
+        assert_eq!(completeness.seq, 8, "fence continues past the replica");
+        // The adopted snapshot is one epoch old by local reckoning.
+        assert_eq!(completeness.staleness_ms, DatConfig::default().epoch_ms);
     }
 
     impl StackNode {

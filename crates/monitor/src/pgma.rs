@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 
 use dat_chord::{ChordConfig, Id, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
-use dat_core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
+use dat_core::{
+    AggFunc, AggregationMode, Completeness, DatConfig, DatEvent, DatProtocol, StackNode,
+};
 use dat_maan::{AttrSchema, MaanEvent, MaanProtocol, MaanStack, Resource};
 use dat_sim::harness::{addr_book, prestabilized_stack};
 use dat_sim::{LatencyModel, SimNet};
@@ -101,6 +103,10 @@ pub struct EpochRecord {
     pub reported_avg: Option<f64>,
     /// Number of nodes contributing to the report.
     pub reported_count: Option<u64>,
+    /// The report's completeness accounting (contributors vs estimated
+    /// ring size, staleness bound, report fence) — the consumer-side view
+    /// of how degraded the number is.
+    pub completeness: Option<Completeness>,
 }
 
 /// Accuracy summary over a run.
@@ -114,6 +120,11 @@ pub struct AccuracyStats {
     pub max_ape: f64,
     /// Mean node-count coverage (reported count / n).
     pub coverage: f64,
+    /// Mean self-reported completeness ratio over the counted epochs (the
+    /// root's own estimate, no global view — compare against `coverage`).
+    pub mean_completeness: f64,
+    /// Worst staleness bound (ms) over the counted epochs.
+    pub max_staleness_ms: u64,
 }
 
 /// The monitoring simulation: n nodes, one trace-driven sensor each,
@@ -295,8 +306,11 @@ impl GridMonitorSim {
                     .into_iter()
                     .filter_map(|e| match e {
                         DatEvent::Report {
-                            key: k, partial, ..
-                        } if k == key => Some(partial),
+                            key: k,
+                            partial,
+                            completeness,
+                            ..
+                        } if k == key => Some((partial, completeness)),
                         _ => None,
                     })
                     .next_back()
@@ -307,9 +321,10 @@ impl GridMonitorSim {
             t_s,
             actual_total,
             actual_avg: actual_total / n,
-            reported_total: report.as_ref().map(|p| p.finalize(AggFunc::Sum)),
-            reported_avg: report.as_ref().map(|p| p.finalize(AggFunc::Avg)),
-            reported_count: report.as_ref().map(|p| p.count),
+            reported_total: report.as_ref().map(|(p, _)| p.finalize(AggFunc::Sum)),
+            reported_avg: report.as_ref().map(|(p, _)| p.finalize(AggFunc::Avg)),
+            reported_count: report.as_ref().map(|(p, _)| p.count),
+            completeness: report.as_ref().map(|(_, c)| *c),
         });
     }
 
@@ -328,6 +343,8 @@ impl GridMonitorSim {
         let mut ape_sum = 0.0;
         let mut ape_max = 0.0f64;
         let mut cov_sum = 0.0;
+        let mut ratio_sum = 0.0;
+        let mut stale_max = 0u64;
         for r in &self.records {
             let (Some(total), Some(c)) = (r.reported_total, r.reported_count) else {
                 continue;
@@ -345,6 +362,10 @@ impl GridMonitorSim {
             ape_sum += ape;
             ape_max = ape_max.max(ape);
             cov_sum += c as f64 / n;
+            if let Some(cm) = r.completeness {
+                ratio_sum += cm.ratio;
+                stale_max = stale_max.max(cm.staleness_ms);
+            }
         }
         AccuracyStats {
             reported_epochs: count,
@@ -359,6 +380,12 @@ impl GridMonitorSim {
             } else {
                 cov_sum / count as f64
             },
+            mean_completeness: if count == 0 {
+                0.0
+            } else {
+                ratio_sum / count as f64
+            },
+            max_staleness_ms: stale_max,
         }
     }
 }
@@ -386,6 +413,11 @@ mod tests {
         // A constant signal must aggregate exactly once converged.
         assert!(acc.mape < 1e-6, "{acc:?}");
         assert!((acc.coverage - 1.0).abs() < 1e-9, "{acc:?}");
+        // The d0 hint makes the root's ring-size estimate exact, so the
+        // self-reported completeness agrees with the true coverage, and a
+        // healthy run's reports are at most a couple epochs stale.
+        assert!((acc.mean_completeness - 1.0).abs() < 1e-9, "{acc:?}");
+        assert!(acc.max_staleness_ms <= 2 * 1_000, "{acc:?}");
     }
 
     #[test]

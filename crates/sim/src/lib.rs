@@ -40,6 +40,7 @@ pub mod harness;
 pub mod latency;
 pub mod net;
 pub mod queue;
+pub mod soak;
 pub mod stats;
 pub mod time;
 
@@ -51,5 +52,6 @@ pub use harness::{
 pub use latency::{LatencyModel, LossModel};
 pub use net::{Actor, LinkStats, SimNet, UpcallRecord};
 pub use queue::EventQueue;
+pub use soak::{run_soak, SoakConfig, SoakOutcome, SoakReport};
 pub use stats::{imbalance_factor, percentile, rank_order, Tally};
 pub use time::SimTime;

@@ -10,11 +10,26 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> clippy: unwrap_used denied in self-healing modules"
+# The failure-semantics layer (PR 3) must not panic its way out of a
+# degraded state; the modules opt in via #![deny(clippy::unwrap_used)]
+# and this check keeps the attribute from being dropped silently.
+for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs; do
+  grep -q '#!\[deny(clippy::unwrap_used)\]' "$f" \
+    || { echo "missing #![deny(clippy::unwrap_used)] in $f"; exit 1; }
+done
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> soak smoke: bounded churn matrix (failing seeds print their replay line)"
+# Two simulated hours of seeded churn per seed; ~10 s wall-clock each
+# thanks to the per-crate opt-level overrides. Extend the matrix with
+# e.g. SOAK_SEEDS="2 9 41" for a deeper sweep.
+SOAK_SEEDS="${SOAK_SEEDS:-2}" cargo test -q --test soak_churn -- --nocapture
 
 echo "==> examples build"
 cargo build --release --examples

@@ -53,14 +53,18 @@ fn coverage_recovers_after_graceful_leaves() {
         net.run_for(1_000);
     }
     net.run_for(20_000);
-    let p = net
+    let (p, c) = net
         .node_mut(root_addr)
         .unwrap()
         .take_events()
         .into_iter()
         .rev()
         .find_map(|e| match e {
-            DatEvent::Report { partial, .. } => Some(partial),
+            DatEvent::Report {
+                partial,
+                completeness,
+                ..
+            } => Some((partial, completeness)),
             _ => None,
         })
         .expect("root keeps reporting");
@@ -69,6 +73,23 @@ fn coverage_recovers_after_graceful_leaves() {
         (50..=54).contains(&(p.count as usize)),
         "coverage after leaves: {}",
         p.count
+    );
+    // Completeness accounting tracks the shrunken ring: one contributor
+    // per live sample. `expected` comes from the root's *local* gap
+    // density (no global view), and the departures here cluster near the
+    // root, so the estimate can land a consistent-hashing factor off —
+    // the ratio stays within that spread rather than collapsing or
+    // exploding.
+    assert_eq!(c.contributors, p.count, "one contributor per sample");
+    assert!(
+        (0.5..=2.0).contains(&c.ratio),
+        "post-leave completeness {:.3}",
+        c.ratio
+    );
+    assert!(
+        (16..=80).contains(&(c.expected as usize)),
+        "ring-size estimate {} after 10 of 64 leave",
+        c.expected
     );
 }
 
@@ -104,14 +125,18 @@ fn coverage_recovers_after_crashes() {
         net.crash(v);
     }
     net.run_for(40_000);
-    let p = net
+    let (p, c) = net
         .node_mut(root_addr)
         .unwrap()
         .take_events()
         .into_iter()
         .rev()
         .find_map(|e| match e {
-            DatEvent::Report { partial, .. } => Some(partial),
+            DatEvent::Report {
+                partial,
+                completeness,
+                ..
+            } => Some((partial, completeness)),
             _ => None,
         })
         .expect("root reports after crashes");
@@ -119,6 +144,21 @@ fn coverage_recovers_after_crashes() {
         (52..=56).contains(&(p.count as usize)),
         "coverage after crashes: {} (want ~56)",
         p.count
+    );
+    // Crashed nodes fall out of both the sample and the contributor
+    // accounting — never double-counted, never resurrected.
+    assert_eq!(c.contributors, p.count, "one contributor per sample");
+    assert!(
+        c.contributors <= 56,
+        "contributors {} exceed the live ring",
+        c.contributors
+    );
+    // Reports stay fresh: the oldest constituent sample is bounded by the
+    // soft-state TTL.
+    assert!(
+        c.staleness_ms <= DatConfig::default().child_ttl_epochs * 1_000 + 1_000,
+        "staleness {} ms",
+        c.staleness_ms
     );
 }
 
@@ -158,18 +198,23 @@ fn live_joiners_enter_the_tree() {
         net.run_for(2_000);
     }
     net.run_for(25_000);
-    let p = net
+    let (p, c) = net
         .node_mut(root_addr)
         .unwrap()
         .take_events()
         .into_iter()
         .rev()
         .find_map(|e| match e {
-            DatEvent::Report { partial, .. } => Some(partial),
+            DatEvent::Report {
+                partial,
+                completeness,
+                ..
+            } => Some((partial, completeness)),
             _ => None,
         })
         .expect("report");
     assert_eq!(p.count, 40, "all 32 + 8 joiners must contribute");
+    assert_eq!(c.contributors, 40, "every joiner is accounted once");
 }
 
 #[test]
@@ -201,14 +246,18 @@ fn root_handoff_when_root_leaves() {
     net.run_for(8_000);
     net.with_node(old_root, |n| ((), n.leave()));
     net.run_for(25_000);
-    let p = net
+    let (p, c) = net
         .node_mut(new_root)
         .unwrap()
         .take_events()
         .into_iter()
         .rev()
         .find_map(|e| match e {
-            DatEvent::Report { partial, .. } => Some(partial),
+            DatEvent::Report {
+                partial,
+                completeness,
+                ..
+            } => Some((partial, completeness)),
             _ => None,
         })
         .expect("new root must take over reporting");
@@ -217,4 +266,7 @@ fn root_handoff_when_root_leaves() {
         "new root aggregates the ring: {}",
         p.count
     );
+    // The report fence names the failed-over root, so a consumer can see
+    // who is speaking for the key now.
+    assert_eq!(c.root, new_root_id, "fence carries the new root's id");
 }

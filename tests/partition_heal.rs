@@ -5,7 +5,9 @@
 //! schedules and final statistics.
 
 use libdat::chord::{ChordConfig, Id, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
-use libdat::core::{AggFunc, AggPartial, AggregationMode, DatConfig, DatEvent, StackNode};
+use libdat::core::{
+    AggFunc, AggPartial, AggregationMode, Completeness, DatConfig, DatEvent, StackNode,
+};
 use libdat::sim::harness::{addr_book, prestabilized_dat, ring_converged};
 use libdat::sim::{FaultPlan, SimNet};
 use rand::SeedableRng;
@@ -32,12 +34,21 @@ struct Outcome {
     traffic: Vec<(u64, u64)>,
     converged: bool,
     pre_count: u64,
+    pre_completeness: Completeness,
     mid_count: u64,
+    mid_completeness: Completeness,
     final_count: u64,
+    final_completeness: Completeness,
     final_sum_bits: u64,
+    /// First time (virtual ms) after the heal with full coverage.
+    recovered_at: Option<u64>,
 }
 
-fn last_report(net: &mut SimNet<StackNode>, root: NodeAddr, key: Id) -> Option<AggPartial> {
+fn last_report(
+    net: &mut SimNet<StackNode>,
+    root: NodeAddr,
+    key: Id,
+) -> Option<(AggPartial, Completeness)> {
     net.node_mut(root)
         .unwrap()
         .take_events()
@@ -45,8 +56,11 @@ fn last_report(net: &mut SimNet<StackNode>, root: NodeAddr, key: Id) -> Option<A
         .rev()
         .find_map(|e| match e {
             DatEvent::Report {
-                key: k, partial, ..
-            } if k == key => Some(partial),
+                key: k,
+                partial,
+                completeness,
+                ..
+            } if k == key => Some((partial, completeness)),
             _ => None,
         })
 }
@@ -90,15 +104,26 @@ fn run(seed: u64) -> Outcome {
 
     // Phase 1: healthy ring, full propagation before the partition fires.
     net.run_for(PARTITION_AT - 1_000);
-    let pre = last_report(&mut net, root, key).expect("pre-partition report");
+    let (pre, pre_c) = last_report(&mut net, root, key).expect("pre-partition report");
 
     // Phase 2: ride through the partition; sample just before it heals.
     net.run_for(HEAL_AT - 1_000 - net.now().as_millis());
-    let mid = last_report(&mut net, root, key).expect("mid-partition report");
+    let (mid, mid_c) = last_report(&mut net, root, key).expect("mid-partition report");
 
-    // Phase 3: heal and let the ring re-unify and the tree re-form.
-    net.run_for(END_AT - net.now().as_millis());
-    let fin = last_report(&mut net, root, key).expect("post-heal report");
+    // Phase 3: heal; drive epoch by epoch so the first full-coverage
+    // report timestamps the completeness recovery.
+    let mut recovered_at = None;
+    let mut last = None;
+    while net.now().as_millis() < END_AT {
+        net.run_for(1_000);
+        if let Some((p, c)) = last_report(&mut net, root, key) {
+            if recovered_at.is_none() && c.contributors >= N as u64 {
+                recovered_at = Some(net.now().as_millis());
+            }
+            last = Some((p, c));
+        }
+    }
+    let (fin, fin_c) = last.expect("post-heal report");
 
     let traffic = net
         .addrs()
@@ -114,9 +139,13 @@ fn run(seed: u64) -> Outcome {
         traffic,
         converged: ring_converged(&net, ring.ids()),
         pre_count: pre.count,
+        pre_completeness: pre_c,
         mid_count: mid.count,
+        mid_completeness: mid_c,
         final_count: fin.count,
+        final_completeness: fin_c,
         final_sum_bits: fin.finalize(AggFunc::Sum).to_bits(),
+        recovered_at,
     }
 }
 
@@ -125,14 +154,33 @@ fn partition_heals_ring_reunifies_and_aggregation_recovers() {
     let o = run(0xda7);
     let want = (N * (N - 1) / 2) as f64;
 
-    // Before the fault the continuous aggregation covers every node.
+    // Before the fault the continuous aggregation covers every node, and
+    // the completeness accounting agrees: the `d0` hint makes `expected`
+    // exact, so the ratio is exactly 1.0.
     assert_eq!(o.pre_count as usize, N, "pre-partition coverage");
+    assert_eq!(o.pre_completeness.contributors as usize, N);
+    assert!(
+        (o.pre_completeness.ratio - 1.0).abs() < 1e-9,
+        "pre-partition completeness {:.3}",
+        o.pre_completeness.ratio
+    );
     // During the partition the root's tree visibly degrades: at least the
-    // far side's contributions expire out of the soft state.
+    // far side's contributions expire out of the soft state, and the
+    // report *says so* via completeness < 1 instead of silently shifting.
     assert!(
         o.mid_count < N as u64,
         "partition must shrink coverage (got {})",
         o.mid_count
+    );
+    assert!(
+        o.mid_completeness.ratio < 1.0,
+        "mid-partition completeness must drop (got {:.3})",
+        o.mid_completeness.ratio
+    );
+    assert_eq!(
+        o.mid_completeness.contributors, o.mid_count,
+        "each node contributes exactly one sample here, so contributors \
+         must track the observation count"
     );
 
     // After healing the successor ring is exactly the ideal ring again...
@@ -150,6 +198,24 @@ fn partition_heals_ring_reunifies_and_aggregation_recovers() {
         "post-heal count {} vs {N}",
         o.final_count
     );
+    // Completeness is back to exactly 1.0, within the promised bound:
+    // soft-state expiry plus one cascade through the tree height after
+    // the successor ring has re-knit (the chord-layer fallen-peer probes
+    // take a bounded number of maintenance rounds; see DESIGN.md §10).
+    assert!(
+        (o.final_completeness.ratio - 1.0).abs() < 1e-9,
+        "post-heal completeness {:.3}",
+        o.final_completeness.ratio
+    );
+    let recovered_at = o.recovered_at.expect("completeness recovered");
+    let ttl_plus_height = DatConfig::default().child_ttl_epochs + (N as f64).log2().ceil() as u64;
+    let reknit_ms = 40_000; // fallen-peer probing across the healed cut
+    assert!(
+        recovered_at <= HEAL_AT + reknit_ms + ttl_plus_height * 1_000,
+        "completeness took {} ms past the heal (bound {} ms)",
+        recovered_at - HEAL_AT,
+        reknit_ms + ttl_plus_height * 1_000
+    );
 }
 
 #[test]
@@ -164,5 +230,11 @@ fn same_seed_replays_identical_fault_schedule_and_stats() {
         (a.pre_count, a.mid_count, a.final_count, a.final_sum_bits),
         (b.pre_count, b.mid_count, b.final_count, b.final_sum_bits),
         "aggregation outcomes differ",
+    );
+    assert_eq!(a.recovered_at, b.recovered_at, "recovery times differ");
+    assert_eq!(
+        (a.mid_completeness, a.final_completeness),
+        (b.mid_completeness, b.final_completeness),
+        "completeness accounting differs",
     );
 }

@@ -163,6 +163,128 @@ fn partial_merge_is_commutative_and_associative() {
 }
 
 #[test]
+fn contributor_merge_is_commutative_and_associative() {
+    // The completeness accounting rides on `merge`: contributors add,
+    // ages take max (with `merge_aged` shifting the other side first).
+    // Both must keep merge commutative and associative, or tree order
+    // would change what the root reports.
+    let mut rng = SmallRng::seed_from_u64(0xACC0);
+    let arb = |rng: &mut SmallRng| {
+        let mut p = AggPartial::identity();
+        for _ in 0..rng.random_range(0usize..4) {
+            p.absorb(rng.random_range(-1e3..1e3));
+        }
+        p.contributors = rng.random_range(0u64..1000);
+        p.age_epochs = rng.random_range(0u64..50);
+        p
+    };
+    for case in 0..CASES * 2 {
+        let (a, b, c) = (arb(&mut rng), arb(&mut rng), arb(&mut rng));
+        let ab = a.clone().merged(&b);
+        let ba = b.clone().merged(&a);
+        assert_eq!(ab.contributors, ba.contributors, "case {case}");
+        assert_eq!(ab.age_epochs, ba.age_epochs, "case {case}");
+        let ab_c = ab.merged(&c);
+        let bc = b.clone().merged(&c);
+        let a_bc = a.clone().merged(&bc);
+        assert_eq!(ab_c.contributors, a_bc.contributors, "case {case}");
+        assert_eq!(ab_c.age_epochs, a_bc.age_epochs, "case {case}");
+        // Identity is neutral for the new fields too.
+        let with_id = a.clone().merged(&AggPartial::identity());
+        assert_eq!(with_id.contributors, a.contributors, "case {case}");
+        assert_eq!(with_id.age_epochs, a.age_epochs, "case {case}");
+        // merge_aged shifts only the other side's age, never contributors,
+        // and max-aging is idempotent: re-aging by 0 changes nothing.
+        let extra = rng.random_range(0u64..10);
+        let mut aged = a.clone();
+        aged.merge_aged(&b, extra);
+        assert_eq!(
+            aged.contributors,
+            ab_c.contributors - c.contributors,
+            "case {case}"
+        );
+        assert_eq!(
+            aged.age_epochs,
+            a.age_epochs.max(b.age_epochs + extra),
+            "case {case}"
+        );
+        let mut again = aged.clone();
+        again.merge_aged(&AggPartial::identity(), extra);
+        assert_eq!(again, aged, "case {case}: re-aging the identity is a no-op");
+    }
+}
+
+#[test]
+fn duplicate_delivery_never_inflates_contributors() {
+    // The transport replays every datagram with high probability for the
+    // whole run; the continuous DAT's per-source soft-state slots must
+    // dedup, so the root's contributor count never exceeds the ring size.
+    use libdat::chord::{ChordConfig, NodeAddr};
+    use libdat::core::{AggregationMode, DatConfig, DatEvent, StackNode};
+    use libdat::sim::harness::{addr_book, prestabilized_dat};
+    use libdat::sim::{FaultPlan, SimNet};
+
+    let n = 32usize;
+    let space = IdSpace::new(24);
+    let mut rng = SmallRng::seed_from_u64(0xD0D0);
+    let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
+    let ccfg = ChordConfig {
+        space,
+        ..ChordConfig::default()
+    };
+    let dcfg = DatConfig {
+        scheme: RoutingScheme::Balanced,
+        epoch_ms: 1_000,
+        d0_hint: Some(ring.d0()),
+        ..DatConfig::default()
+    };
+    let mut net: SimNet<StackNode> = prestabilized_dat(&ring, ccfg, dcfg, 0xD0D0);
+    net.set_record_upcalls(false);
+    net.set_fault_plan(FaultPlan::new().duplication_at(0, 0.75));
+    let book = addr_book(&ring);
+    let mut key = Id(0);
+    for &id in ring.ids() {
+        let node = net.node_mut(book[&id]).unwrap();
+        key = node.register("cpu-usage", AggregationMode::Continuous);
+        node.set_local(key, 1.0);
+    }
+    let root: NodeAddr = book[&ring.successor(key)];
+    net.run_for(30_000);
+    let reports: Vec<_> = net
+        .node_mut(root)
+        .unwrap()
+        .take_events()
+        .into_iter()
+        .filter_map(|e| match e {
+            DatEvent::Report {
+                key: k,
+                partial,
+                completeness,
+                ..
+            } if k == key => Some((partial, completeness)),
+            _ => None,
+        })
+        .collect();
+    assert!(reports.len() >= 10, "duplication must not stall reporting");
+    for (i, (p, c)) in reports.iter().enumerate() {
+        assert!(
+            c.contributors <= n as u64,
+            "report {i}: {} contributors on a {n}-node ring — duplicates inflated \
+             the accounting",
+            c.contributors
+        );
+        assert_eq!(c.contributors, p.count, "report {i}: one sample per node");
+    }
+    // Steady state still reaches full coverage (duplicates are dropped,
+    // not the originals).
+    let last = &reports[reports.len() - 1];
+    assert_eq!(
+        last.1.contributors, n as u64,
+        "full coverage under duplication"
+    );
+}
+
+#[test]
 fn dat_codec_roundtrips() {
     let mut rng = SmallRng::seed_from_u64(0xF00D);
     for case in 0..CASES {

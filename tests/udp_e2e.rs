@@ -141,7 +141,9 @@ fn udp_continuous_reports_reach_root() {
         cluster.cast(NodeAddr(i as u64), move |node| node.start_join(bootstrap));
         std::thread::sleep(Duration::from_millis(80));
     }
-    // Poll every node for a full-coverage root report.
+    // Poll every node for a full-coverage root report. The completeness
+    // accounting must ride the real UDP transport intact: one contributor
+    // per node, a sane local ring-size estimate, bounded staleness.
     let deadline = Instant::now() + Duration::from_secs(20);
     'outer: loop {
         for i in 0..n {
@@ -149,9 +151,28 @@ fn udp_continuous_reports_reach_root() {
                 .call(NodeAddr(i as u64), |node| (node.take_events(), vec![]))
                 .unwrap_or_default();
             for e in events {
-                if let DatEvent::Report { partial, .. } = e {
+                if let DatEvent::Report {
+                    partial,
+                    completeness,
+                    ..
+                } = e
+                {
                     if partial.count as usize == n {
                         assert_eq!(partial.finalize(AggFunc::Sum), 7.0 * n as f64);
+                        assert_eq!(
+                            completeness.contributors as usize, n,
+                            "one contributor per node over UDP"
+                        );
+                        assert!(
+                            completeness.ratio > 0.2 && completeness.ratio <= 2.0,
+                            "completeness ratio {:.3} from the local density estimate",
+                            completeness.ratio
+                        );
+                        assert!(
+                            completeness.staleness_ms <= 4 * 120,
+                            "staleness {} ms",
+                            completeness.staleness_ms
+                        );
                         break 'outer;
                     }
                 }
