@@ -1,7 +1,7 @@
 //! `repro` — regenerate every figure/table of the paper.
 //!
 //! ```text
-//! repro [--check] [--quick] <experiment>
+//! repro [--check] [--quick] [--metrics] <experiment>
 //!
 //! experiments:
 //!   fig2 fig5     the 16-node worked example of Figs. 2 and 5
@@ -21,7 +21,9 @@
 //! ```
 //!
 //! `--check` exits non-zero if any qualitative claim of the paper fails;
-//! `--quick` shrinks sizes for fast smoke runs.
+//! `--quick` shrinks sizes for fast smoke runs; `--metrics` additionally
+//! dumps the fleet-merged Prometheus exposition of the run (where the
+//! experiment supports it) and fails the check if the dump does not parse.
 
 use dat_bench::experiments::{
     ablation, churn, crosscheck, degradation, fig25, fig7, fig8, fig9, gossip_exp, heights,
@@ -31,15 +33,21 @@ use dat_bench::experiments::{
 struct Opts {
     check: bool,
     quick: bool,
+    metrics: bool,
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let quick = args.iter().any(|a| a == "--quick");
+    let metrics = args.iter().any(|a| a == "--metrics");
     args.retain(|a| !a.starts_with("--"));
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let opts = Opts { check, quick };
+    let opts = Opts {
+        check,
+        quick,
+        metrics,
+    };
 
     let mut violations: Vec<String> = Vec::new();
     match what {
@@ -120,7 +128,20 @@ fn run_fig8a(o: &Opts) -> Vec<String> {
         fig.max_of(fig8::Scheme::Basic),
         fig.max_of(fig8::Scheme::Balanced)
     );
-    fig.check()
+    let mut bad = fig.check();
+    if o.metrics {
+        let snap_n = n.min(128);
+        eprintln!("[fig8a] fleet Prometheus snapshot ({snap_n} nodes) ...");
+        let text = fig8::prometheus_snapshot(snap_n, 0xF18A);
+        match dat_obs::validate_prometheus(&text) {
+            Ok(samples) => {
+                print!("{text}");
+                println!("# fleet dump: {samples} samples, parses clean");
+            }
+            Err(e) => bad.push(format!("fleet Prometheus dump invalid: {e}")),
+        }
+    }
+    bad
 }
 
 fn run_fig8b(o: &Opts) -> Vec<String> {
@@ -240,6 +261,7 @@ fn run_degradation(o: &Opts) -> Vec<String> {
     eprintln!("[degradation] randomized churn soak at n = {n} ...");
     let d = degradation::run(n, 0x50AC);
     d.table().print();
+    d.health_table().print();
     println!(
         "min completeness during churn {:.3}; recovered in {:?} epochs; \
          root failover {:?} ms with {:?} contributors  (seed {}, digest {:#018x})",

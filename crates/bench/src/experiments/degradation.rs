@@ -140,6 +140,29 @@ impl Degradation {
         t
     }
 
+    /// Fleet-wide transport-health tallies for the run — the timeout /
+    /// retransmission / drop counters every node keeps but (before the
+    /// observability registry) nothing ever reported.
+    pub fn health_table(&self) -> Table {
+        let mut t = Table::new(
+            &format!("transport health over the soak (n = {})", self.n),
+            &["metric", "fleet total"],
+        );
+        t.row(vec![
+            "request timeouts".into(),
+            self.outcome.fleet_timeouts.to_string(),
+        ]);
+        t.row(vec![
+            "datagram retransmits".into(),
+            self.outcome.fleet_retransmits.to_string(),
+        ]);
+        t.row(vec![
+            "undecodable payloads dropped".into(),
+            self.outcome.fleet_dropped.to_string(),
+        ]);
+        t
+    }
+
     /// Qualitative checks: visible degradation, bounded recovery, warm
     /// failover. The soak's own invariant scoring (double counting,
     /// split-brain reporters, fence monotonicity) feeds in directly.
@@ -184,6 +207,11 @@ mod tests {
         assert!(bad.is_empty(), "{bad:?}");
         let md = d.table().to_markdown();
         assert!(md.contains("min completeness"));
+        let health = d.health_table().to_markdown();
+        assert!(health.contains("request timeouts"));
+        // A churn soak crashes nodes mid-request: the fleet must have
+        // observed at least one timeout for the counters to be live.
+        assert!(d.outcome.fleet_timeouts > 0, "no timeouts ever counted");
         // The series spans all three phases.
         for phase in ["warmup", "churn", "quiesce"] {
             assert!(

@@ -15,6 +15,7 @@
 
 use dat_chord::{ChordConfig, IdPolicy, IdSpace, NodeAddr, RoutingScheme, StaticRing};
 use dat_core::{AggregationMode, DatConfig, StackNode};
+use dat_obs::LogHist;
 use dat_sim::harness::prestabilized_dat;
 use dat_sim::{imbalance_factor, rank_order, SimNet};
 use rand::rngs::SmallRng;
@@ -54,6 +55,29 @@ const BITS: u8 = 32;
 /// paper's metric ("the root node is the most loaded one with 511
 /// aggregation messages" in a 512-node centralized network).
 pub fn measure_message_counts(n: usize, scheme: Scheme, seed: u64, epochs: u64) -> Vec<f64> {
+    let mut net = build_loaded_net(n, scheme, seed);
+    net.run_for(epochs * 1_000);
+    // Per-node received aggregation messages / epoch.
+    net.addrs()
+        .iter()
+        .map(|&addr| {
+            let node = net.node(addr).unwrap();
+            let count = match scheme {
+                // Centralized load = `route` frames received (deliveries
+                // at the root plus forwarding burden on the way).
+                Scheme::Centralized => node.chord().metrics().received_of("route"),
+                // DAT load = updates received from children.
+                _ => node.dat_metrics().received_of("dat_update"),
+            };
+            count as f64 / epochs as f64
+        })
+        .collect()
+}
+
+/// Build the pre-converged, registered and warmed-up overlay every Fig. 8
+/// measurement starts from: metrics are reset at return, so whatever runs
+/// next is measured in isolation.
+fn build_loaded_net(n: usize, scheme: Scheme, seed: u64) -> SimNet<StackNode> {
     let space = IdSpace::new(BITS);
     let mut rng = SmallRng::seed_from_u64(seed);
     let ring = StaticRing::build(space, n, IdPolicy::Probed, &mut rng);
@@ -91,22 +115,30 @@ pub fn measure_message_counts(n: usize, scheme: Scheme, seed: u64, epochs: u64) 
     for &addr in &addrs {
         net.node_mut(addr).unwrap().reset_metrics();
     }
-    net.run_for(epochs * 1_000);
-    // Per-node received aggregation messages / epoch.
-    addrs
-        .iter()
-        .map(|&addr| {
-            let node = net.node(addr).unwrap();
-            let count = match scheme {
-                // Centralized load = `route` frames received (deliveries
-                // at the root plus forwarding burden on the way).
-                Scheme::Centralized => node.chord().metrics().received_of("route"),
-                // DAT load = updates received from children.
-                _ => node.dat_metrics().received_of("dat_update"),
-            };
-            count as f64 / epochs as f64
-        })
-        .collect()
+    net
+}
+
+/// Run a short balanced-DAT window and return the fleet's merged
+/// Prometheus dump — the exposition-format check `repro --metrics` (and
+/// CI) validates.
+pub fn prometheus_snapshot(n: usize, seed: u64) -> String {
+    let mut net = build_loaded_net(n, Scheme::Balanced, seed);
+    net.run_for(2_000);
+    dat_sim::fleet_prometheus(&net)
+}
+
+/// Fold per-node load counts into one fleet-merged [`LogHist`] (one
+/// single-sample histogram per node, merged pairwise) — the exact
+/// count/sum/min/max carried by the histogram must reproduce the ranked
+/// distribution's totals.
+pub fn fleet_load_hist(per_node: &[u64]) -> LogHist {
+    let mut fleet = LogHist::default();
+    for &c in per_node {
+        let mut one = LogHist::default();
+        one.observe(c);
+        fleet.merge(&one);
+    }
+    fleet
 }
 
 /// Fig. 8a: the rank-ordered distribution at `n` nodes.
@@ -153,13 +185,18 @@ impl Fig8a {
         t
     }
 
-    /// Max load per scheme.
-    pub fn max_of(&self, s: Scheme) -> u64 {
+    /// The fleet-merged load histogram for one scheme.
+    pub fn hist_of(&self, s: Scheme) -> LogHist {
         self.ranked
             .iter()
             .find(|(x, _)| *x == s)
-            .and_then(|(_, c)| c.first().copied())
-            .unwrap_or(0)
+            .map(|(_, c)| fleet_load_hist(c))
+            .unwrap_or_default()
+    }
+
+    /// Max load per scheme (read off the merged histogram's exact max).
+    pub fn max_of(&self, s: Scheme) -> u64 {
+        self.hist_of(s).max()
     }
 
     /// Qualitative checks vs the paper.
@@ -317,6 +354,33 @@ mod tests {
         let fig = run_b(&[50, 100, 200], 42);
         let bad = fig.check();
         assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn fleet_hist_reproduces_ranked_distribution_exactly() {
+        let fig = run_a(64, 42);
+        for (scheme, ranked) in &fig.ranked {
+            let h = fig.hist_of(*scheme);
+            assert_eq!(h.count(), ranked.len() as u64, "{scheme:?} count");
+            assert_eq!(h.sum(), ranked.iter().sum::<u64>(), "{scheme:?} sum");
+            assert_eq!(
+                h.max(),
+                ranked.first().copied().unwrap_or(0),
+                "{scheme:?} max"
+            );
+            assert_eq!(
+                h.min(),
+                ranked.last().copied().unwrap_or(0),
+                "{scheme:?} min"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_snapshot_validates() {
+        let text = prometheus_snapshot(32, 11);
+        let samples = dat_obs::validate_prometheus(&text).expect("dump parses");
+        assert!(samples > 0);
     }
 
     #[test]

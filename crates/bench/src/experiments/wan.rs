@@ -28,6 +28,13 @@ pub struct WanRow {
     pub coverage: f64,
     /// Fraction of epochs that produced a root report at all.
     pub report_rate: f64,
+    /// Fleet-wide request timeouts over the whole run (Chord maintenance
+    /// and lookups — DAT updates are unacked by design).
+    pub timeouts: u64,
+    /// Fleet-wide datagram retransmissions over the whole run.
+    pub retransmits: u64,
+    /// Fleet-wide undecodable payloads dropped over the whole run.
+    pub dropped: u64,
 }
 
 /// Experiment output.
@@ -118,9 +125,15 @@ fn run_one(n: usize, loss: f64, seed: u64) -> WanRow {
     }
     let reports = seen.len() as u64;
     let covered: f64 = seen.values().map(|&c| c as f64 / n as f64).sum();
+    // Loss-proportional retry pressure, read off the merged registry (the
+    // counters were always kept per node; now they get reported).
+    let fleet = dat_sim::fleet_registry(&net);
     WanRow {
         loss,
         median_latency_ms: median,
+        timeouts: fleet.counter_sum("timeouts_total"),
+        retransmits: fleet.counter_sum("retransmits_total"),
+        dropped: fleet.counter_sum("dropped_total"),
         coverage: if reports == 0 {
             0.0
         } else {
@@ -138,7 +151,15 @@ impl Wan {
                 "WAN robustness — log-normal latency, loss sweep (n = {})",
                 self.n
             ),
-            &["loss", "median RTT/2 (ms)", "coverage", "report rate"],
+            &[
+                "loss",
+                "median RTT/2 (ms)",
+                "coverage",
+                "report rate",
+                "timeouts",
+                "retransmits",
+                "dropped",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -146,6 +167,9 @@ impl Wan {
                 f(r.median_latency_ms),
                 format!("{:.3}", r.coverage),
                 format!("{:.2}", r.report_rate),
+                r.timeouts.to_string(),
+                r.retransmits.to_string(),
+                r.dropped.to_string(),
             ]);
         }
         t
@@ -221,7 +245,14 @@ mod tests {
         let w = run(48, 11);
         let bad = w.check();
         assert!(bad.is_empty(), "{bad:?}");
-        assert!(w.table().to_markdown().contains("report rate"));
+        assert!(w.table().to_markdown().contains("retransmits"));
+        // Retry pressure grows with loss. (Even the lossless run
+        // retransmits a little: log-normal latency tails overshoot the
+        // adaptive RTO — so compare, don't expect zero.)
+        assert!(
+            w.rows.last().unwrap().retransmits > w.rows[0].retransmits,
+            "20% loss did not raise retransmissions over lossless"
+        );
         // Lossless coverage is essentially exact; lossy runs may wobble a
         // few percent either way (transient double counting while subtrees
         // re-parent), so compare with tolerance.

@@ -1,20 +1,34 @@
-//! Per-node message counters.
+//! Per-node observability: message counters, histograms and event traces.
 //!
 //! The paper's evaluation is largely message-count based: the distribution
 //! of aggregation messages across nodes (Fig. 8a), imbalance factors
-//! (Fig. 8b) and maintenance overhead during churn. [`Metrics`] tallies
-//! sends and receives per message kind so experiments can slice traffic by
-//! category without instrumenting transports.
+//! (Fig. 8b) and maintenance overhead during churn. [`Metrics`] is the
+//! compat shim every layer keeps one of — the counting API predates the
+//! `dat-obs` registry, but all counts now land in an embedded
+//! [`Registry`], every kind-label increment flows through one helper
+//! ([`Dir`] + `count_kind`), and a bounded [`Tracer`] records typed events
+//! with causal trace ids alongside the tallies.
 
-use std::collections::HashMap;
+use dat_obs::{EventKind, Key, Registry, Tracer};
 
 use crate::msg::ChordMsg;
 
-/// Message counters kept by every protocol node.
+/// Which direction a kind-labeled count applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Outgoing traffic (`sent_total`).
+    Sent,
+    /// Incoming traffic (`received_total`).
+    Received,
+}
+
+/// Observability state kept by every protocol node: a metric registry
+/// (counters + histograms), an event tracer, and the three loose counters
+/// the transports bump directly.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    sent: HashMap<&'static str, u64>,
-    received: HashMap<&'static str, u64>,
+    reg: Registry,
+    tracer: Tracer,
     /// Requests that expired in the pending table.
     pub timeouts: u64,
     /// Requests re-sent after an RTO expiry (bounded-retry recovery).
@@ -24,44 +38,95 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// The single kind-label counting helper: every sent/received tally —
+    /// whole messages or bare kind labels — funnels through here.
+    fn count_kind(&mut self, dir: Dir, kind: &'static str) {
+        let name = match dir {
+            Dir::Sent => "sent_total",
+            Dir::Received => "received_total",
+        };
+        self.reg.counter_inc(Key::new(name).label("kind", kind));
+    }
+
     /// Record an outgoing message.
     pub fn count_sent(&mut self, msg: &ChordMsg) {
-        *self.sent.entry(msg.kind()).or_insert(0) += 1;
+        self.count_kind(Dir::Sent, msg.kind());
     }
 
     /// Record an incoming message.
     pub fn count_received(&mut self, msg: &ChordMsg) {
-        *self.received.entry(msg.kind()).or_insert(0) += 1;
+        self.count_kind(Dir::Received, msg.kind());
     }
 
     /// Record an outgoing message by kind label (for layers above Chord).
     pub fn count_sent_kind(&mut self, kind: &'static str) {
-        *self.sent.entry(kind).or_insert(0) += 1;
+        self.count_kind(Dir::Sent, kind);
     }
 
     /// Record an incoming message by kind label (for layers above Chord).
     pub fn count_received_kind(&mut self, kind: &'static str) {
-        *self.received.entry(kind).or_insert(0) += 1;
+        self.count_kind(Dir::Received, kind);
+    }
+
+    /// Count an outgoing message *and* trace it under `trace_id`
+    /// (`peer` is the destination node id, or the routing key for routed
+    /// sends).
+    pub fn on_send(&mut self, at_ms: u64, trace_id: u64, kind: &'static str, peer: u64) {
+        self.count_kind(Dir::Sent, kind);
+        self.tracer
+            .record(at_ms, trace_id, EventKind::Send { kind, to: peer });
+    }
+
+    /// Count an incoming message *and* trace it under `trace_id`.
+    pub fn on_recv(&mut self, at_ms: u64, trace_id: u64, kind: &'static str, peer: u64) {
+        self.count_kind(Dir::Received, kind);
+        self.tracer
+            .record(at_ms, trace_id, EventKind::Recv { kind, from: peer });
+    }
+
+    /// Record an arbitrary traced event (timers, epoch starts, reports…).
+    pub fn trace(&mut self, at_ms: u64, trace_id: u64, kind: EventKind) {
+        self.tracer.record(at_ms, trace_id, kind);
+    }
+
+    /// Record a histogram sample (e.g. `route_hops`, `rtt_ms`).
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.reg.observe(Key::new(name), v);
+    }
+
+    /// The embedded metric registry (read-only view).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// The embedded event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (enable/disable, resize, drain).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Total messages sent.
     pub fn sent_total(&self) -> u64 {
-        self.sent.values().sum()
+        self.reg.counter_sum("sent_total")
     }
 
     /// Total messages received.
     pub fn received_total(&self) -> u64 {
-        self.received.values().sum()
+        self.reg.counter_sum("received_total")
     }
 
     /// Messages sent of a given kind.
     pub fn sent_of(&self, kind: &str) -> u64 {
-        self.sent.get(kind).copied().unwrap_or(0)
+        self.reg.counter_with("sent_total", kind)
     }
 
     /// Messages received of a given kind.
     pub fn received_of(&self, kind: &str) -> u64 {
-        self.received.get(kind).copied().unwrap_or(0)
+        self.reg.counter_with("received_total", kind)
     }
 
     /// Sum of sent counts over `kinds`.
@@ -74,42 +139,56 @@ impl Metrics {
         kinds.iter().map(|k| self.received_of(k)).sum()
     }
 
-    /// Iterate `(kind, sent, received)` over every kind seen.
+    /// Iterate `(kind, sent, received)` over every kind seen, sorted.
     pub fn by_kind(&self) -> Vec<(&'static str, u64, u64)> {
-        let mut kinds: Vec<&'static str> = self
-            .sent
-            .keys()
-            .chain(self.received.keys())
-            .copied()
-            .collect();
-        kinds.sort_unstable();
-        kinds.dedup();
-        kinds
-            .into_iter()
-            .map(|k| (k, self.sent_of(k), self.received_of(k)))
-            .collect()
+        let mut rows: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for (key, v) in self.reg.counters() {
+            let kind = key.labels[0].1;
+            match key.name {
+                "sent_total" => rows.entry(kind).or_default().0 += v,
+                "received_total" => rows.entry(kind).or_default().1 += v,
+                _ => {}
+            }
+        }
+        rows.into_iter().map(|(k, (s, r))| (k, s, r)).collect()
     }
 
-    /// Merge another metrics snapshot into this one.
+    /// Merge another metrics snapshot into this one (registries merge;
+    /// the other's trace buffer is left alone — traces are per-node).
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.sent {
-            *self.sent.entry(k).or_insert(0) += v;
-        }
-        for (k, v) in &other.received {
-            *self.received.entry(k).or_insert(0) += v;
-        }
+        self.reg.merge(&other.reg);
         self.timeouts += other.timeouts;
         self.retransmits += other.retransmits;
         self.dropped += other.dropped;
     }
 
-    /// Reset every counter to zero.
+    /// Reset every counter, histogram and the trace buffer.
     pub fn reset(&mut self) {
-        self.sent.clear();
-        self.received.clear();
+        self.reg.reset();
+        self.tracer.clear();
         self.timeouts = 0;
         self.retransmits = 0;
         self.dropped = 0;
+    }
+
+    /// Fold this node's metrics into a wider registry, stamping every
+    /// series with `layer` (e.g. `chord`, `dat`) and materializing the
+    /// three loose counters as proper series.
+    pub fn export_into(&self, out: &mut Registry, layer: &'static str) {
+        out.merge_labeled(&self.reg, "layer", layer);
+        out.counter_add(
+            Key::new("timeouts_total").label("layer", layer),
+            self.timeouts,
+        );
+        out.counter_add(
+            Key::new("retransmits_total").label("layer", layer),
+            self.retransmits,
+        );
+        out.counter_add(
+            Key::new("dropped_total").label("layer", layer),
+            self.dropped,
+        );
     }
 }
 
@@ -171,5 +250,40 @@ mod tests {
         m.reset();
         assert_eq!(m.sent_total(), 0);
         assert_eq!(m.dropped, 0);
+    }
+
+    #[test]
+    fn send_recv_helpers_count_and_trace() {
+        let mut m = Metrics::default();
+        m.on_send(10, 42, "dat_update", 7);
+        m.on_recv(11, 42, "dat_update", 3);
+        assert_eq!(m.sent_of("dat_update"), 1);
+        assert_eq!(m.received_of("dat_update"), 1);
+        let evs: Vec<_> = m.tracer().events().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].trace_id, 42);
+        assert!(matches!(
+            evs[0].kind,
+            EventKind::Send {
+                kind: "dat_update",
+                to: 7
+            }
+        ));
+        m.reset();
+        assert!(m.tracer().is_empty());
+    }
+
+    #[test]
+    fn export_stamps_layer_and_loose_counters() {
+        let mut m = Metrics::default();
+        m.count_sent(&ping());
+        m.timeouts = 2;
+        m.observe("rtt_ms", 5);
+        let mut reg = Registry::new();
+        m.export_into(&mut reg, "chord");
+        assert_eq!(reg.counter_with("sent_total", "chord"), 1);
+        assert_eq!(reg.counter_with("timeouts_total", "chord"), 2);
+        assert_eq!(reg.hist_sum("rtt_ms").count(), 1);
+        dat_obs::validate_prometheus(&reg.render_prometheus()).expect("valid dump");
     }
 }

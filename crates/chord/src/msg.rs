@@ -150,6 +150,26 @@ pub enum ChordMsg {
         /// Broadcast tree depth so far (diagnostics).
         depth: u32,
     },
+    /// Ask a node for its observability snapshot. The receiving host
+    /// serves it via [`Upcall::StatsRequested`] (a protocol stack replies
+    /// with its merged Prometheus text dump); a host that does not serve
+    /// stats simply never answers.
+    StatsRequest {
+        /// Request id echoed by the reply.
+        req: ReqId,
+        /// The requesting node (reply target).
+        sender: NodeRef,
+    },
+    /// Reply to [`ChordMsg::StatsRequest`] carrying a Prometheus-style
+    /// text exposition.
+    StatsReply {
+        /// Request id of the answered request.
+        req: ReqId,
+        /// The responding node.
+        sender: NodeRef,
+        /// UTF-8 metrics text (Prometheus exposition format).
+        text: Vec<u8>,
+    },
 }
 
 impl ChordMsg {
@@ -170,6 +190,8 @@ impl ChordMsg {
             ChordMsg::Route { .. } => "route",
             ChordMsg::App { .. } => "app",
             ChordMsg::Broadcast { .. } => "broadcast",
+            ChordMsg::StatsRequest { .. } => "stats_request",
+            ChordMsg::StatsReply { .. } => "stats_reply",
         }
     }
 
@@ -288,6 +310,24 @@ pub enum Upcall {
     NeighborhoodChanged,
     /// An application-owned timer fired (see [`TimerKind::App`]).
     AppTimer(u64),
+    /// A [`ChordMsg::StatsRequest`] arrived; the host decides what (if
+    /// anything) to reply via [`crate::node::ChordNode::reply_stats`].
+    StatsRequested {
+        /// Request id to echo in the reply.
+        req: ReqId,
+        /// The requesting node (reply target).
+        from: NodeRef,
+    },
+    /// A [`ChordMsg::StatsReply`] arrived for a stats request this node
+    /// issued via [`crate::node::ChordNode::request_stats`].
+    StatsReceived {
+        /// Request id of the answered request.
+        req: ReqId,
+        /// The responding node.
+        from: NodeRef,
+        /// UTF-8 metrics text (Prometheus exposition format).
+        text: Vec<u8>,
+    },
 }
 
 /// Inputs driven into the node by its host.

@@ -18,6 +18,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use dat_obs::EventKind as ObsEventKind;
+
 use crate::finger::{FingerInfo, FingerTable, NodeAddr, NodeRef};
 use crate::id::{Id, IdSpace};
 use crate::metrics::Metrics;
@@ -270,7 +272,7 @@ impl ChordNode {
     }
 
     fn send(&mut self, out: &mut Vec<Output>, to: NodeRef, msg: ChordMsg) {
-        self.metrics.count_sent(&msg);
+        self.metrics.on_send(self.now_ms, 0, msg.kind(), to.id.0);
         out.push(Output::Send { to, msg });
     }
 
@@ -312,6 +314,7 @@ impl ChordNode {
     }
 
     fn observe_rtt(&mut self, sample_ms: u64) {
+        self.metrics.observe("rtt_ms", sample_ms);
         let s = sample_ms as f64;
         match self.srtt_ms {
             None => {
@@ -342,6 +345,7 @@ impl ChordNode {
         }
         self.pending.insert(req, kind);
         let rto = self.current_rto();
+        self.metrics.observe("rto_ms", rto);
         self.outstanding.insert(
             req,
             Outstanding {
@@ -517,6 +521,33 @@ impl ChordNode {
         out
     }
 
+    /// Ask `target` for its observability snapshot. The reply (if the
+    /// remote host serves stats) surfaces as [`Upcall::StatsReceived`].
+    /// Fire-and-forget: no retransmission, no timeout — stats are a
+    /// diagnostic, not a protocol dependency.
+    pub fn request_stats(&mut self, target: NodeRef) -> (ReqId, Vec<Output>) {
+        let mut out = Vec::new();
+        let req = self.fresh_req();
+        let msg = ChordMsg::StatsRequest {
+            req,
+            sender: self.me(),
+        };
+        self.send(&mut out, target, msg);
+        (req, out)
+    }
+
+    /// Build the reply to a [`Upcall::StatsRequested`] — hosts call this
+    /// with whatever exposition text they serve.
+    pub fn reply_stats(&mut self, to: NodeRef, req: ReqId, text: Vec<u8>) -> Output {
+        let msg = ChordMsg::StatsReply {
+            req,
+            sender: self.me(),
+            text,
+        };
+        self.metrics.on_send(self.now_ms, 0, msg.kind(), to.id.0);
+        Output::Send { to, msg }
+    }
+
     /// Send a direct application-layer message to `to` (single hop, no
     /// routing). The remote side receives [`Upcall::AppMessage`].
     pub fn send_app(&mut self, to: NodeRef, proto: u8, payload: Vec<u8>) -> Output {
@@ -525,7 +556,7 @@ impl ChordNode {
             from: self.me(),
             payload,
         };
-        self.metrics.count_sent(&msg);
+        self.metrics.on_send(self.now_ms, 0, msg.kind(), to.id.0);
         Output::Send { to, msg }
     }
 
@@ -586,7 +617,10 @@ impl ChordNode {
         match input {
             Input::Timer(kind) => self.on_timer(kind, &mut out),
             Input::Message { from, msg } => {
-                self.metrics.count_received(&msg);
+                // Trace peer is the transport address (the UDP transport
+                // reports a sentinel); cross-transport digests use the
+                // application-layer events, which carry real node ids.
+                self.metrics.on_recv(self.now_ms, 0, msg.kind(), from.0);
                 self.on_message(from, msg, &mut out);
             }
         }
@@ -889,6 +923,9 @@ impl ChordNode {
                     return;
                 }
                 if self.owns(key) {
+                    self.metrics.observe("route_hops", hops as u64);
+                    self.metrics
+                        .trace(self.now_ms, 0, ObsEventKind::RouteHop { key: key.0, hops });
                     out.push(Output::Upcall(Upcall::Routed {
                         key,
                         payload,
@@ -916,6 +953,16 @@ impl ChordNode {
                     proto,
                     from,
                     payload,
+                }));
+            }
+            ChordMsg::StatsRequest { req, sender } => {
+                out.push(Output::Upcall(Upcall::StatsRequested { req, from: sender }));
+            }
+            ChordMsg::StatsReply { req, sender, text } => {
+                out.push(Output::Upcall(Upcall::StatsReceived {
+                    req,
+                    from: sender,
+                    text,
                 }));
             }
             ChordMsg::Broadcast {
@@ -1034,6 +1081,7 @@ impl ChordNode {
                 self.table.set_finger(j, info);
             }
             Pending::Lookup => {
+                self.metrics.observe("route_hops", hops as u64);
                 out.push(Output::Upcall(Upcall::LookupDone {
                     req,
                     owner,

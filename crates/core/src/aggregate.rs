@@ -154,6 +154,13 @@ pub struct AggPartial {
     /// [`AggPartial::merge_aged`]). Merge takes the max, so the root's
     /// value bounds the staleness of the whole report.
     pub age_epochs: u64,
+    /// Causal trace id of the epoch this partial belongs to (0 when
+    /// untraced). The aggregation layer stamps every flush with
+    /// `dat_obs::trace_id_for(key, epoch)`; merge takes the max — which is
+    /// idempotent and keeps the merge associative/commutative with 0 as
+    /// the neutral element — so a report's trace id survives the fold and
+    /// the whole epoch can be replayed leaf→root from the event buffers.
+    pub trace_id: u64,
 }
 
 impl AggPartial {
@@ -169,6 +176,7 @@ impl AggPartial {
             distinct: None,
             contributors: 0,
             age_epochs: 0,
+            trace_id: 0,
         }
     }
 
@@ -262,6 +270,7 @@ impl AggPartial {
         self.age_epochs = self
             .age_epochs
             .max(other.age_epochs.saturating_add(extra_age));
+        self.trace_id = self.trace_id.max(other.trace_id);
         match (&mut self.histogram, &other.histogram) {
             (Some(a), Some(b)) => a.merge(b),
             (None, Some(b)) => self.histogram = Some(b.clone()),

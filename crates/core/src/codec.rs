@@ -23,7 +23,8 @@ pub use dat_chord::wire::{CodecError, Reader, Writer};
 ///
 /// v2: [`AggPartial`] gained `contributors`/`age_epochs` (completeness
 /// accounting) and [`DatMsg::RootState`] was added (warm root failover).
-pub const WIRE_VERSION: u8 = 2;
+/// v3: [`AggPartial`] gained `trace_id` (causal epoch tracing).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Application-protocol discriminator for DAT messages inside
 /// [`dat_chord::ChordMsg::App`].
@@ -43,7 +44,8 @@ impl WritePartial for Writer {
             .f64(p.min)
             .f64(p.max)
             .u64(p.contributors)
-            .u64(p.age_epochs);
+            .u64(p.age_epochs)
+            .u64(p.trace_id);
         match &p.histogram {
             Some(h) => {
                 self.u8(1).f64(h.lo).f64(h.hi).u32(h.buckets.len() as u32);
@@ -82,6 +84,7 @@ impl ReadPartial for Reader<'_> {
         let max = self.f64()?;
         let contributors = self.u64()?;
         let age_epochs = self.u64()?;
+        let trace_id = self.u64()?;
         let histogram = match self.u8()? {
             0 => None,
             _ => {
@@ -118,6 +121,7 @@ impl ReadPartial for Reader<'_> {
             distinct,
             contributors,
             age_epochs,
+            trace_id,
         })
     }
 }
@@ -439,6 +443,7 @@ mod tests {
         p.observe_item(b"site-b");
         p.contributors = 2;
         p.age_epochs = 3;
+        p.trace_id = 0xDEAD_BEEF;
         p
     }
 
@@ -580,7 +585,7 @@ mod tests {
         let mut w = Writer::new();
         w.u8(WIRE_VERSION).u8(1).id(Id(1)).u64(0);
         w.u64(1).f64(1.0).f64(1.0).f64(1.0).f64(1.0); // partial scalars
-        w.u64(1).u64(0); // contributors + age
+        w.u64(1).u64(0).u64(0); // contributors + age + trace_id
         w.u8(1).f64(0.0).f64(1.0).u32(1 << 30); // absurd bucket count
         let bytes = w.finish();
         assert!(matches!(

@@ -44,6 +44,18 @@ use dat_chord::{
     Actor, ChordConfig, ChordNode, FingerTable, Id, IdSpace, Input, Metrics, NodeAddr, NodeRef,
     NodeStatus, Output, ReqId, TimerKind, Upcall,
 };
+use dat_obs::{Event, Key, Registry};
+
+/// Human-readable layer label for a proto byte (metric `layer` label).
+pub fn proto_label(proto: u8) -> &'static str {
+    match proto {
+        1 => "dat",
+        2 => "explicit",
+        3 => "gossip",
+        4 => "maan",
+        _ => "app",
+    }
+}
 
 /// Bit position of the proto byte inside a `TimerKind::App` token.
 pub const PROTO_SHIFT: u32 = 56;
@@ -176,6 +188,19 @@ pub trait AppProtocol: Send + 'static {
     /// [`StackNode::reset_metrics`], e.g. after an experiment's warm-up).
     fn reset_metrics(&mut self) {}
 
+    /// This handler's metrics/tracer shim, if it keeps one. Handlers that
+    /// return `Some` are folded into [`StackNode::obs_registry`] under
+    /// their proto's layer label.
+    fn metrics(&self) -> Option<&Metrics> {
+        None
+    }
+
+    /// Mutable access to the handler's metrics shim, if any (e.g. to
+    /// enlarge or disable its event tracer).
+    fn metrics_mut(&mut self) -> Option<&mut Metrics> {
+        None
+    }
+
     /// Upcast for typed access via [`StackNode::app`].
     fn as_any(&self) -> &dyn Any;
 
@@ -295,6 +320,65 @@ impl StackNode {
     /// Chord-layer message counters (alias for `chord().metrics()`).
     pub fn chord_metrics(&self) -> &Metrics {
         self.chord.metrics()
+    }
+
+    /// One merged observability registry for this node: the Chord layer's
+    /// metrics stamped `layer="chord"`, each handler's metrics stamped with
+    /// its proto label ([`proto_label`]), plus the engine's own per-proto
+    /// payload tallies as `engine_sent_total` / `engine_received_total`.
+    ///
+    /// Snapshots from many nodes merge associatively
+    /// ([`Registry::merge`]) into fleet-wide totals and percentiles.
+    pub fn obs_registry(&self) -> Registry {
+        let mut reg = Registry::default();
+        self.chord.metrics().export_into(&mut reg, "chord");
+        for h in &self.handlers {
+            if let Some(m) = h.metrics() {
+                m.export_into(&mut reg, proto_label(h.proto()));
+            }
+        }
+        for (&p, &n) in &self.sent_by_proto {
+            reg.counter_add(
+                Key::new("engine_sent_total").label("layer", proto_label(p)),
+                n,
+            );
+        }
+        for (&p, &n) in &self.recv_by_proto {
+            reg.counter_add(
+                Key::new("engine_received_total").label("layer", proto_label(p)),
+                n,
+            );
+        }
+        reg
+    }
+
+    /// Ask `target` for its observability snapshot over the wire. The
+    /// remote stack answers with its merged Prometheus dump; the reply
+    /// surfaces here as `Upcall::StatsReceived`. Fire-and-forget, like the
+    /// underlying [`ChordNode::request_stats`].
+    pub fn request_stats(&mut self, target: NodeRef) -> (ReqId, Vec<Output>) {
+        let (req, outs) = self.chord.request_stats(target);
+        (req, self.dispatch(outs))
+    }
+
+    /// Prometheus text exposition of [`StackNode::obs_registry`]. Served
+    /// over the wire in reply to `ChordMsg::StatsRequest`.
+    pub fn render_prometheus(&self) -> String {
+        self.obs_registry().render_prometheus()
+    }
+
+    /// Every buffered trace event on this node: the Chord layer's tracer
+    /// followed by each handler's, in registration order. Feed these —
+    /// paired with this node's id — to `EpochTrace::assemble` or
+    /// `digest_events`.
+    pub fn trace_events(&self) -> Vec<Event> {
+        let mut ev: Vec<Event> = self.chord.metrics().tracer().events().cloned().collect();
+        for h in &self.handlers {
+            if let Some(m) = h.metrics() {
+                ev.extend(m.tracer().events().cloned());
+            }
+        }
+        ev
     }
 
     /// Typed read access to a registered handler, if present.
@@ -448,8 +532,26 @@ impl StackNode {
     }
 
     /// Drive one input through the stack.
+    ///
+    /// Stats requests are answered here rather than in the Chord layer: a
+    /// bare `ChordNode` only surfaces `Upcall::StatsRequested`, while the
+    /// stack consumes that upcall and replies with its merged
+    /// [`StackNode::render_prometheus`] dump (the one engine-level service
+    /// that does not pass through transparently).
     pub fn handle(&mut self, input: Input) -> Vec<Output> {
-        let outs = self.chord.handle(input);
+        let mut outs = self.chord.handle(input);
+        let mut stats: Vec<(ReqId, NodeRef)> = Vec::new();
+        outs.retain(|o| match o {
+            Output::Upcall(Upcall::StatsRequested { req, from }) => {
+                stats.push((*req, *from));
+                false
+            }
+            _ => true,
+        });
+        for (req, from) in stats {
+            let text = self.render_prometheus().into_bytes();
+            outs.push(self.chord.reply_stats(from, req, text));
+        }
         self.dispatch(outs)
     }
 

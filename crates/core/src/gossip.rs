@@ -219,6 +219,14 @@ impl AppProtocol for GossipProtocol {
         self.metrics.reset();
     }
 
+    fn metrics(&self) -> Option<&Metrics> {
+        Some(&self.metrics)
+    }
+
+    fn metrics_mut(&mut self) -> Option<&mut Metrics> {
+        Some(&mut self.metrics)
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -28,6 +28,7 @@ use dat_chord::{
     estimate_d0, hash_to_id, parent_for, ring_size_for_d0, FingerTable, Id, Metrics, NodeAddr,
     NodeRef, NodeStatus, Output, ParentDecision, RoutingScheme,
 };
+use dat_obs::{trace_id_for, EventKind};
 
 use crate::aggregate::AggPartial;
 use crate::codec::{DatMsg, DAT_PROTO};
@@ -351,6 +352,9 @@ pub struct DatProtocol {
     epoch_timer_armed: bool,
     /// Last epoch in which the DAT parent was liveness-pinged.
     parent_ping_epoch: u64,
+    /// Engine clock at the latest epoch tick; the root's report latency
+    /// (`epoch_completion_ms` histogram) is measured from here.
+    epoch_started_ms: u64,
 }
 
 impl DatProtocol {
@@ -368,12 +372,19 @@ impl DatProtocol {
             events: Vec::new(),
             epoch_timer_armed: false,
             parent_ping_epoch: 0,
+            epoch_started_ms: 0,
         }
     }
 
     /// DAT-layer message counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Mutable DAT-layer metrics (e.g. to resize or disable the event
+    /// tracer before a long run).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
     }
 
     /// The DAT configuration.
@@ -476,7 +487,9 @@ impl DatProtocol {
                 key,
                 requester: me,
             };
-            self.metrics.count_sent_kind(req.kind());
+            // Query traffic is traced under the request id (routed send:
+            // the "peer" is the rendezvous key, not a node).
+            self.metrics.on_send(cx.now_ms(), reqid, req.kind(), key.0);
             cx.route(key, req.encode());
         }
         reqid
@@ -497,11 +510,20 @@ impl DatProtocol {
     /// route centralized samples, emit root reports.
     fn on_epoch(&mut self, cx: &mut Ctx<'_>) {
         self.epoch += 1;
+        self.epoch_started_ms = cx.now_ms();
         let epoch = self.epoch;
         let ttl = self.cfg.child_ttl_epochs;
         let me = cx.me();
         let keys: Vec<Id> = self.aggs.keys().copied().collect();
         for key in keys {
+            // Every epoch of every aggregation gets a causal trace id
+            // (identical on every node in a lockstep ring), anchoring the
+            // leaf→root event tree for this slot.
+            self.metrics.trace(
+                cx.now_ms(),
+                trace_id_for(key.0, epoch),
+                EventKind::EpochStart { key: key.0, epoch },
+            );
             let Some(entry) = self.aggs.get(&key) else {
                 continue;
             };
@@ -538,6 +560,21 @@ impl DatProtocol {
                             None => continue,
                         };
                         let completeness = self.completeness_for(cx, &partial, seq);
+                        let tid = trace_id_for(key.0, epoch);
+                        self.metrics.trace(
+                            cx.now_ms(),
+                            tid,
+                            EventKind::Report {
+                                key: key.0,
+                                epoch,
+                                contributors: partial.contributors,
+                                seq,
+                            },
+                        );
+                        self.metrics.observe(
+                            "epoch_completion_ms",
+                            cx.now_ms().saturating_sub(self.epoch_started_ms),
+                        );
                         self.events.push(DatEvent::Report {
                             key,
                             epoch,
@@ -552,7 +589,12 @@ impl DatProtocol {
                             value: v,
                             sender: me,
                         };
-                        self.metrics.count_sent_kind(msg.kind());
+                        self.metrics.on_send(
+                            cx.now_ms(),
+                            trace_id_for(key.0, epoch),
+                            msg.kind(),
+                            key.0,
+                        );
                         cx.route(key, msg.encode());
                     }
                 }
@@ -623,6 +665,11 @@ impl DatProtocol {
             );
         }
         entry.flushed_epoch = epoch;
+        // Branching factor of the implicit DAT: how many recently-active
+        // children fold into this node's push (the paper's Fig. 6 metric).
+        let branching = entry.active_children(epoch).len() as u64;
+        self.metrics.observe("branching", branching);
+        let tid = trace_id_for(key.0, epoch);
         let mut decision = self.decide_parent(cx.table(), key);
         // Root stickiness: a transiently evicted predecessor makes the ring
         // position uncertain; a recent root keeps reporting rather than
@@ -636,7 +683,16 @@ impl DatProtocol {
                     // state here, fold it in before computing this epoch's
                     // partial — the first report after a takeover already
                     // covers the whole grid.
+                    let adopting = e.replica.as_ref().is_some_and(|r| r.root != me.id);
                     e.adopt_replica(me.id, epoch);
+                    if adopting {
+                        let seq = e.fence_seq;
+                        self.metrics.trace(
+                            cx.now_ms(),
+                            tid,
+                            EventKind::Failover { key: key.0, seq },
+                        );
+                    }
                 }
             }
             _ => {
@@ -651,14 +707,29 @@ impl DatProtocol {
                 let fenced_off = e
                     .and_then(|e| e.fence_root)
                     .is_some_and(|root| root != me.id);
-                if pred_unknown && sticky && !fenced_off {
-                    decision = ParentDecision::IAmRoot;
+                if pred_unknown && sticky {
+                    if fenced_off {
+                        // A sticky ex-root observed the live root's fence
+                        // and stands down instead of double-reporting.
+                        let seq = e.map(|e| e.fence_seq).unwrap_or(0);
+                        self.metrics.trace(
+                            cx.now_ms(),
+                            tid,
+                            EventKind::FenceReject { key: key.0, seq },
+                        );
+                    } else {
+                        decision = ParentDecision::IAmRoot;
+                    }
                 }
             }
         }
         let partial = {
             let entry = self.aggs.get(&key).expect("entry exists");
-            entry.merged_partial(epoch, ttl, decision.parent().map(|p| p.id))
+            let mut p = entry.merged_partial(epoch, ttl, decision.parent().map(|p| p.id));
+            // Thread the causal epoch id through the wire partial; merges
+            // max-combine it, so the root sees the newest epoch's id.
+            p.trace_id = p.trace_id.max(tid);
+            p
         };
         // Parent switch: tell the old parent to forget our partial so the
         // subtree is never counted along two paths at once. Prunes ride the
@@ -684,7 +755,7 @@ impl DatProtocol {
         });
         if let Some(old) = prune_to {
             let msg = DatMsg::Prune { key, sender: me };
-            self.metrics.count_sent_kind(msg.kind());
+            self.metrics.on_send(cx.now_ms(), tid, msg.kind(), old.id.0);
             cx.send(old, msg.encode());
         }
         match decision {
@@ -698,6 +769,20 @@ impl DatProtocol {
                     None => return,
                 };
                 let completeness = self.completeness_for(cx, &partial, seq);
+                self.metrics.trace(
+                    cx.now_ms(),
+                    tid,
+                    EventKind::Report {
+                        key: key.0,
+                        epoch,
+                        contributors: partial.contributors,
+                        seq,
+                    },
+                );
+                self.metrics.observe(
+                    "epoch_completion_ms",
+                    cx.now_ms().saturating_sub(self.epoch_started_ms),
+                );
                 self.events.push(DatEvent::Report {
                     key,
                     epoch,
@@ -713,7 +798,9 @@ impl DatProtocol {
                     partial,
                     sender: me,
                 };
-                self.metrics.count_sent_kind(msg.kind());
+                // The `dat_update` Send event is the edge record of the
+                // causal epoch trace: child = this node, parent = `to`.
+                self.metrics.on_send(cx.now_ms(), tid, msg.kind(), p.id.0);
                 cx.send(p, msg.encode());
                 // Updates are fire-and-forget; probe the parent's liveness
                 // once per epoch so a crashed or departed parent is evicted
@@ -791,9 +878,25 @@ impl DatProtocol {
         };
         let bytes = msg.encode();
         let kind = msg.kind();
+        let tid = trace_id_for(key.0, epoch);
         for t in targets {
-            self.metrics.count_sent_kind(kind);
+            self.metrics.on_send(cx.now_ms(), tid, kind, t.id.0);
             cx.send(t, bytes.clone());
+        }
+    }
+
+    /// The causal trace id carried by (or derivable from) a DAT message:
+    /// query traffic is traced under its request id, epoch traffic under
+    /// the partial's threaded [`AggPartial::trace_id`].
+    fn msg_trace_id(msg: &DatMsg) -> u64 {
+        match msg {
+            DatMsg::Update { partial, .. } => partial.trace_id,
+            DatMsg::Request { reqid, .. }
+            | DatMsg::Query { reqid, .. }
+            | DatMsg::Response { reqid, .. }
+            | DatMsg::Result { reqid, .. } => *reqid,
+            DatMsg::RawSample { key, epoch, .. } => trace_id_for(key.0, *epoch),
+            DatMsg::Prune { .. } | DatMsg::RootState { .. } => 0,
         }
     }
 
@@ -897,6 +1000,12 @@ impl DatProtocol {
                             raw,
                             received_epoch: now_epoch,
                         });
+                    } else {
+                        self.metrics.trace(
+                            cx.now_ms(),
+                            trace_id_for(key.0, now_epoch),
+                            EventKind::FenceReject { key: key.0, seq },
+                        );
                     }
                 }
             }
@@ -962,7 +1071,8 @@ impl DatProtocol {
                 partial: AggPartial::identity(),
                 sender: cx.me(),
             };
-            self.metrics.count_sent_kind(msg.kind());
+            self.metrics
+                .on_send(cx.now_ms(), reqid, msg.kind(), parent.id.0);
             cx.send(parent, msg.encode());
             return;
         }
@@ -1037,8 +1147,13 @@ impl DatProtocol {
                 parent: me,
                 depth,
             };
-            self.metrics.count_sent_kind(msg.kind());
+            self.metrics
+                .on_send(cx.now_ms(), reqid, msg.kind(), targets[i].id.0);
             cx.send(targets[i], msg.encode());
+        }
+        if count > 0 {
+            // Fan-out width per level of the on-demand broadcast tree.
+            self.metrics.observe("fanout", count as u64);
         }
         count
     }
@@ -1084,7 +1199,7 @@ impl DatProtocol {
                     partial,
                     sender: me,
                 };
-                self.metrics.count_sent_kind(msg.kind());
+                self.metrics.on_send(cx.now_ms(), reqid, msg.kind(), p.id.0);
                 cx.send(p, msg.encode());
             }
             None => match requester {
@@ -1101,7 +1216,7 @@ impl DatProtocol {
                         key,
                         partial,
                     };
-                    self.metrics.count_sent_kind(msg.kind());
+                    self.metrics.on_send(cx.now_ms(), reqid, msg.kind(), r.id.0);
                     cx.send(r, msg.encode());
                 }
                 None => {}
@@ -1122,7 +1237,10 @@ impl AppProtocol for DatProtocol {
     fn on_message(&mut self, cx: &mut Ctx<'_>, from: NodeRef, payload: &[u8]) {
         match DatMsg::decode(payload) {
             Ok(msg) => {
-                self.metrics.count_received_kind(msg.kind());
+                // App-level senders are real NodeRefs on both transports,
+                // so these Recv events are cross-transport comparable.
+                self.metrics
+                    .on_recv(cx.now_ms(), Self::msg_trace_id(&msg), msg.kind(), from.id.0);
                 self.on_dat_msg(cx, from.addr, msg);
             }
             Err(_) => self.metrics.dropped += 1,
@@ -1139,6 +1257,8 @@ impl AppProtocol for DatProtocol {
         let Some(t) = self.timers.remove(&sub) else {
             return;
         };
+        self.metrics
+            .trace(cx.now_ms(), 0, EventKind::Timer { token: sub });
         match t {
             DatTimer::EpochTick => {
                 self.epoch_timer_armed = false;
@@ -1153,7 +1273,12 @@ impl AppProtocol for DatProtocol {
     fn on_routed(&mut self, cx: &mut Ctx<'_>, _key: Id, origin: NodeRef, payload: &[u8]) {
         match DatMsg::decode(payload) {
             Ok(msg) => {
-                self.metrics.count_received_kind(msg.kind());
+                self.metrics.on_recv(
+                    cx.now_ms(),
+                    Self::msg_trace_id(&msg),
+                    msg.kind(),
+                    origin.id.0,
+                );
                 self.on_dat_msg(cx, origin.addr, msg);
             }
             Err(_) => self.metrics.dropped += 1,
@@ -1162,6 +1287,14 @@ impl AppProtocol for DatProtocol {
 
     fn reset_metrics(&mut self) {
         self.metrics.reset();
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        Some(&self.metrics)
+    }
+
+    fn metrics_mut(&mut self) -> Option<&mut Metrics> {
+        Some(&mut self.metrics)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -243,6 +243,13 @@ impl GridMonitorSim {
         &mut self.net
     }
 
+    /// The monitoring fleet's merged Prometheus dump — every node's
+    /// Chord + DAT + MAAN registries folded into one exposition, the same
+    /// text a single node serves over `ChordMsg::StatsRequest`.
+    pub fn fleet_prometheus(&self) -> String {
+        dat_sim::fleet_prometheus(&self.net)
+    }
+
     /// Register a Grid resource in the MAAN index (hosted on the same
     /// overlay nodes as the aggregation layer), entering at `at`.
     pub fn register_resource(&mut self, at: NodeAddr, resource: &Resource) {

@@ -1,0 +1,253 @@
+//! Causal epoch traces: reassemble one aggregation epoch leaf→root from
+//! fleet-wide event buffers and render it as ascii or dot.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::trace::{digest_events, Event, EventKind};
+
+/// One child→parent aggregation edge observed in an epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEdge {
+    /// The node that sent its merged partial upward.
+    pub child: u64,
+    /// The parent it sent to.
+    pub parent: u64,
+    /// Host clock of the send.
+    pub at_ms: u64,
+}
+
+/// The tree-shaped trace of one aggregation epoch, reassembled from the
+/// `Send{kind:"dat_update"}` events all nodes recorded under the epoch's
+/// causal trace id, plus the root's `Report` event.
+#[derive(Clone, Debug)]
+pub struct EpochTrace {
+    /// The causal id this trace was filtered by.
+    pub trace_id: u64,
+    /// The reporting root, when a `Report` event was found.
+    pub root: Option<u64>,
+    /// Child→parent edges, sorted by child id.
+    pub edges: Vec<TraceEdge>,
+    /// Every event carrying the trace id, as `(node, event)` pairs.
+    pub events: Vec<(u64, Event)>,
+}
+
+impl EpochTrace {
+    /// Filter `fleet` (pairs of node id and event) down to `trace_id` and
+    /// assemble the epoch tree.
+    pub fn assemble(trace_id: u64, fleet: &[(u64, Event)]) -> EpochTrace {
+        let mut edges = Vec::new();
+        let mut root = None;
+        let mut events = Vec::new();
+        for (node, e) in fleet.iter().filter(|(_, e)| e.trace_id == trace_id) {
+            match &e.kind {
+                EventKind::Send { kind, to } if *kind == "dat_update" => edges.push(TraceEdge {
+                    child: *node,
+                    parent: *to,
+                    at_ms: e.at_ms,
+                }),
+                EventKind::Report { .. } => root = Some(*node),
+                _ => {}
+            }
+            events.push((*node, e.clone()));
+        }
+        edges.sort_by_key(|e| (e.child, e.parent));
+        edges.dedup_by_key(|e| e.child);
+        EpochTrace {
+            trace_id,
+            root,
+            edges,
+            events,
+        }
+    }
+
+    /// Every node that contributed to the epoch: all senders plus the
+    /// root. On a converged ring this equals the report's
+    /// `Completeness.contributors`.
+    pub fn contributors(&self) -> BTreeSet<u64> {
+        let mut set: BTreeSet<u64> = self.edges.iter().map(|e| e.child).collect();
+        if let Some(r) = self.root {
+            set.insert(r);
+        }
+        set
+    }
+
+    /// Tree depth (longest child→…→root chain, root alone = 1); 0 when
+    /// the trace is empty.
+    pub fn depth(&self) -> usize {
+        let children = self.children_map();
+        match self.root {
+            Some(r) => Self::depth_under(&children, r, 0),
+            None => 0,
+        }
+    }
+
+    fn depth_under(children: &BTreeMap<u64, Vec<u64>>, node: u64, hops: usize) -> usize {
+        // Hop cap guards against malformed (cyclic) traces.
+        if hops > 1 << 16 {
+            return hops;
+        }
+        1 + children
+            .get(&node)
+            .map(|cs| {
+                cs.iter()
+                    .map(|c| Self::depth_under(children, *c, hops + 1))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+
+    fn children_map(&self) -> BTreeMap<u64, Vec<u64>> {
+        let mut m: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for e in &self.edges {
+            m.entry(e.parent).or_default().push(e.child);
+        }
+        m
+    }
+
+    /// Render the tree root-down as indented ascii.
+    pub fn render_ascii(&self) -> String {
+        let children = self.children_map();
+        let mut out = format!("epoch trace {:#018x}\n", self.trace_id);
+        match self.root {
+            Some(r) => Self::ascii_under(&children, r, 0, &mut out),
+            None => out.push_str("(no report event found)\n"),
+        }
+        out
+    }
+
+    fn ascii_under(children: &BTreeMap<u64, Vec<u64>>, node: u64, depth: usize, out: &mut String) {
+        if depth > 1 << 10 {
+            return;
+        }
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(if depth == 0 { "* " } else { "- " });
+        out.push_str(&format!("{node:#x}\n"));
+        for c in children.get(&node).into_iter().flatten() {
+            Self::ascii_under(children, *c, depth + 1, out);
+        }
+    }
+
+    /// Render the tree as Graphviz dot (`child -> parent` edges).
+    pub fn render_dot(&self) -> String {
+        let mut out = format!("digraph epoch_{:x} {{\n", self.trace_id);
+        if let Some(r) = self.root {
+            out.push_str(&format!("  \"{r:#x}\" [shape=doublecircle];\n"));
+        }
+        for e in &self.edges {
+            out.push_str(&format!("  \"{:#x}\" -> \"{:#x}\";\n", e.child, e.parent));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Order-insensitive digest of the trace's events.
+    pub fn digest(&self) -> u64 {
+        digest_events(self.events.iter().map(|(_, e)| e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace_id: u64, kind: EventKind) -> Event {
+        Event {
+            lts: 0,
+            at_ms: 0,
+            trace_id,
+            kind,
+        }
+    }
+
+    fn chain_fleet(tid: u64) -> Vec<(u64, Event)> {
+        // 1 -> 2 -> 4 (root), 3 -> 4; plus an unrelated trace id.
+        vec![
+            (
+                1,
+                ev(
+                    tid,
+                    EventKind::Send {
+                        kind: "dat_update",
+                        to: 2,
+                    },
+                ),
+            ),
+            (
+                2,
+                ev(
+                    tid,
+                    EventKind::Send {
+                        kind: "dat_update",
+                        to: 4,
+                    },
+                ),
+            ),
+            (
+                3,
+                ev(
+                    tid,
+                    EventKind::Send {
+                        kind: "dat_update",
+                        to: 4,
+                    },
+                ),
+            ),
+            (
+                4,
+                ev(
+                    tid,
+                    EventKind::Report {
+                        key: 9,
+                        epoch: 1,
+                        contributors: 4,
+                        seq: 1,
+                    },
+                ),
+            ),
+            (
+                7,
+                ev(
+                    tid + 1,
+                    EventKind::Send {
+                        kind: "dat_update",
+                        to: 4,
+                    },
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn assembles_tree_and_contributors() {
+        let t = EpochTrace::assemble(5, &chain_fleet(5));
+        assert_eq!(t.root, Some(4));
+        assert_eq!(t.edges.len(), 3, "foreign trace ids excluded");
+        assert_eq!(
+            t.contributors().into_iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn renders_ascii_and_dot() {
+        let t = EpochTrace::assemble(5, &chain_fleet(5));
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("* 0x4"));
+        assert!(ascii.contains("- 0x1"));
+        let dot = t.render_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"0x1\" -> \"0x2\""));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = EpochTrace::assemble(42, &[]);
+        assert_eq!(t.root, None);
+        assert!(t.contributors().is_empty());
+        assert_eq!(t.depth(), 0);
+        assert!(t.render_ascii().contains("no report"));
+    }
+}

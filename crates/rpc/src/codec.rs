@@ -115,6 +115,12 @@ pub fn encode(msg: &ChordMsg) -> Vec<u8> {
                 .node_ref(*origin)
                 .u32(*depth);
         }
+        ChordMsg::StatsRequest { req, sender } => {
+            w.u8(15).u64(*req).node_ref(*sender);
+        }
+        ChordMsg::StatsReply { req, sender, text } => {
+            w.u8(16).u64(*req).node_ref(*sender).bytes(text);
+        }
     }
     w.finish()
 }
@@ -202,6 +208,15 @@ pub fn decode(data: &[u8]) -> Result<ChordMsg, CodecError> {
             origin: r.node_ref()?,
             depth: r.u32()?,
         },
+        15 => ChordMsg::StatsRequest {
+            req: r.u64()?,
+            sender: r.node_ref()?,
+        },
+        16 => ChordMsg::StatsReply {
+            req: r.u64()?,
+            sender: r.node_ref()?,
+            text: r.bytes()?.to_vec(),
+        },
         t => return Err(CodecError::BadTag(t)),
     };
     r.expect_end()?;
@@ -283,6 +298,15 @@ mod tests {
                 payload: vec![9, 9],
                 origin: nr(32),
                 depth: 33,
+            },
+            ChordMsg::StatsRequest {
+                req: 34,
+                sender: nr(35),
+            },
+            ChordMsg::StatsReply {
+                req: 36,
+                sender: nr(37),
+                text: b"# TYPE sent_total counter\nsent_total 1\n".to_vec(),
             },
         ]
     }

@@ -39,6 +39,7 @@ pub mod fault;
 pub mod harness;
 pub mod latency;
 pub mod net;
+pub mod obs;
 pub mod queue;
 pub mod soak;
 pub mod stats;
@@ -51,6 +52,7 @@ pub use harness::{
 };
 pub use latency::{LatencyModel, LossModel};
 pub use net::{Actor, LinkStats, SimNet, UpcallRecord};
+pub use obs::{fleet_events, fleet_prometheus, fleet_registry};
 pub use queue::EventQueue;
 pub use soak::{run_soak, SoakConfig, SoakOutcome, SoakReport};
 pub use stats::{imbalance_factor, percentile, rank_order, Tally};

@@ -1,0 +1,92 @@
+//! Fleet-wide observability snapshots over a simulated overlay.
+//!
+//! Each [`StackNode`] keeps its own [`dat_obs::Registry`] (Chord layer +
+//! every stacked protocol, see `StackNode::obs_registry`) and per-layer
+//! event tracers. These helpers pull one snapshot per node and merge them
+//! into a single fleet view:
+//!
+//! * [`fleet_registry`] — element-wise merged counters/gauges/histograms,
+//!   so experiments read cross-node percentiles (e.g. the Fig. 8a per-node
+//!   message distribution) straight off one `LogHist`;
+//! * [`fleet_prometheus`] — the merged registry rendered as Prometheus
+//!   text (the same format a node serves over `ChordMsg::StatsRequest`);
+//! * [`fleet_events`] — every node's buffered trace events, each paired
+//!   with the node's Chord id, ready for `EpochTrace::assemble` or
+//!   `digest_events`.
+
+use dat_core::StackNode;
+use dat_obs::{Event, Registry};
+
+use crate::net::SimNet;
+
+/// Merge every node's registry into one fleet-wide registry.
+///
+/// Counters and histogram buckets add, gauges take the max — the merge is
+/// associative and commutative, so the result is independent of node
+/// order.
+pub fn fleet_registry(net: &SimNet<StackNode>) -> Registry {
+    let mut fleet = Registry::default();
+    for (_, node) in net.iter_nodes() {
+        fleet.merge(&node.obs_registry());
+    }
+    fleet
+}
+
+/// Render the merged fleet registry as Prometheus text exposition.
+pub fn fleet_prometheus(net: &SimNet<StackNode>) -> String {
+    fleet_registry(net).render_prometheus()
+}
+
+/// Collect every node's buffered trace events, tagged with the node's
+/// Chord id (the identity used in causal epoch traces).
+pub fn fleet_events(net: &SimNet<StackNode>) -> Vec<(u64, Event)> {
+    let mut out = Vec::new();
+    for (_, node) in net.iter_nodes() {
+        let id = node.me().id.0;
+        for ev in node.trace_events() {
+            out.push((id, ev));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dat_chord::{IdPolicy, IdSpace, StaticRing};
+    use dat_core::{AggregationMode, DatConfig};
+    use dat_obs::validate_prometheus;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fleet_snapshot_merges_and_renders() {
+        let space = IdSpace::new(24);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ring = StaticRing::build(space, 16, IdPolicy::Probed, &mut rng);
+        let ccfg = dat_chord::ChordConfig {
+            space,
+            ..Default::default()
+        };
+        let dcfg = DatConfig {
+            epoch_ms: 500,
+            d0_hint: Some(1 << 20), // 2^24-space / 16 nodes
+            ..Default::default()
+        };
+        let mut net = crate::harness::prestabilized_dat(&ring, ccfg, dcfg, 3);
+        for addr in net.addrs() {
+            net.with_node(addr, |n| {
+                let k = n.register("cpu", AggregationMode::Continuous);
+                n.set_local(k, 1.0);
+                ((), vec![])
+            });
+        }
+        net.run_for(3_000);
+        let reg = fleet_registry(&net);
+        assert!(reg.counter_sum("sent_total") > 0);
+        let text = fleet_prometheus(&net);
+        let samples = validate_prometheus(&text).expect("fleet dump parses");
+        assert!(samples > 0);
+        assert!(!fleet_events(&net).is_empty());
+    }
+}

@@ -154,6 +154,13 @@ pub struct SoakOutcome {
     pub failover_delay_ms: Option<u64>,
     /// Contributors in that first post-crash report (warm ≈ ring size).
     pub failover_contributors: Option<u64>,
+    /// Fleet-wide request timeouts over the whole run (all layers), from
+    /// the merged observability registry.
+    pub fleet_timeouts: u64,
+    /// Fleet-wide datagram retransmissions over the whole run.
+    pub fleet_retransmits: u64,
+    /// Fleet-wide undecodable/dropped payloads over the whole run.
+    pub fleet_dropped: u64,
 }
 
 /// Run one soak: build a pre-stabilized ring, inject the seeded fault
@@ -307,6 +314,15 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
         }
     }
     let live = net.addrs().len();
+    // Fleet-wide loss/retry tallies: counted per node all along, surfaced
+    // here via the merged observability registry (survivors only — a
+    // crashed incarnation's counters die with it, like real monitoring).
+    let fleet = crate::obs::fleet_registry(&net);
+    let fleet_totals = (
+        fleet.counter_sum("timeouts_total"),
+        fleet.counter_sum("retransmits_total"),
+        fleet.counter_sum("dropped_total"),
+    );
     score(
         cfg,
         digest,
@@ -314,6 +330,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
         live,
         log,
         root_crash_at_ms,
+        fleet_totals,
     )
 }
 
@@ -325,7 +342,9 @@ fn score(
     live_nodes_final: usize,
     log: Vec<SoakReport>,
     root_crash_at_ms: Option<u64>,
+    fleet_totals: (u64, u64, u64),
 ) -> SoakOutcome {
+    let (fleet_timeouts, fleet_retransmits, fleet_dropped) = fleet_totals;
     let seed = cfg.seed;
     let n = cfg.nodes as u64;
     let churn_end = cfg.churn_end_ms();
@@ -441,6 +460,9 @@ fn score(
         root_crash_at_ms,
         failover_delay_ms,
         failover_contributors,
+        fleet_timeouts,
+        fleet_retransmits,
+        fleet_dropped,
     }
 }
 

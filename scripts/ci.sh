@@ -10,11 +10,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> clippy: unwrap_used denied in self-healing modules"
+echo "==> clippy: unwrap_used denied in self-healing + observability modules"
 # The failure-semantics layer (PR 3) must not panic its way out of a
-# degraded state; the modules opt in via #![deny(clippy::unwrap_used)]
+# degraded state, and the observability crate (PR 4) must never crash the
+# node it instruments; the modules opt in via #![deny(clippy::unwrap_used)]
 # and this check keeps the attribute from being dropped silently.
-for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs; do
+for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs \
+         crates/obs/src/lib.rs; do
   grep -q '#!\[deny(clippy::unwrap_used)\]' "$f" \
     || { echo "missing #![deny(clippy::unwrap_used)] in $f"; exit 1; }
 done
@@ -24,6 +26,15 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> repro smoke: fig8a with tracing on; the fleet Prometheus dump must parse"
+# --metrics merges every node's registry and validates the exposition
+# (non-empty, grammar, no duplicate series); --check turns a validation
+# failure into a non-zero exit. Capture first: a -q grep would close the
+# pipe mid-dump and kill the producer with SIGPIPE under pipefail.
+metrics_out="$(cargo run --release -p dat-bench --bin repro -- --quick --check --metrics fig8a)"
+grep -q "parses clean" <<<"$metrics_out" \
+  || { echo "fig8a --metrics produced no validated Prometheus dump"; exit 1; }
 
 echo "==> soak smoke: bounded churn matrix (failing seeds print their replay line)"
 # Two simulated hours of seeded churn per seed; ~10 s wall-clock each

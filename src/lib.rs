@@ -19,7 +19,10 @@
 //!   sockets;
 //! * [`maan`] — the multi-attribute addressable network indexing layer;
 //! * [`monitor`] — the P-GMA monitoring stack (sensors → producers →
-//!   aggregation → consumers) with the synthetic CPU-usage trace.
+//!   aggregation → consumers) with the synthetic CPU-usage trace;
+//! * [`obs`] — the observability subsystem: mergeable counter/gauge/
+//!   histogram registries, structured event tracing with causal epoch
+//!   trace ids, and Prometheus text exposition.
 //!
 //! ## Five-minute tour
 //!
@@ -54,5 +57,6 @@ pub use dat_chord as chord;
 pub use dat_core as core;
 pub use dat_maan as maan;
 pub use dat_monitor as monitor;
+pub use dat_obs as obs;
 pub use dat_rpc as rpc;
 pub use dat_sim as sim;

@@ -156,4 +156,20 @@ fn one_stack_runs_aggregation_and_discovery_concurrently() {
         .sum();
     assert!(dat_total > 0, "continuous aggregation keeps running");
     assert_eq!(maan_total, 0, "idle MAAN sends nothing");
+
+    // The fleet-merged observability registry tells the same story without
+    // touching any node: the engine's per-layer series reproduce the tally
+    // sums exactly, nothing was dropped on this lossless run, and the
+    // whole dump parses as Prometheus text.
+    let fleet = libdat::sim::fleet_registry(&net);
+    assert_eq!(fleet.counter_with("engine_sent_total", "dat"), dat_total);
+    assert_eq!(fleet.counter_with("engine_sent_total", "maan"), maan_total);
+    assert_eq!(
+        fleet.counter_sum("dropped_total"),
+        0,
+        "lossless run dropped payloads"
+    );
+    let text = libdat::sim::fleet_prometheus(&net);
+    let samples = libdat::obs::validate_prometheus(&text).expect("fleet dump parses");
+    assert!(samples > 0);
 }

@@ -12,6 +12,7 @@ use libdat::chord::{ChordConfig, Id, IdSpace, NodeAddr, NodeStatus};
 use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
 use libdat::maan::{MaanEvent, MaanProtocol, MaanStack, Resource};
 use libdat::monitor::grid_schemas;
+use libdat::obs::{fnv1a, Event, EventKind};
 use libdat::rpc::RpcCluster;
 use libdat::sim::SimNet;
 use rand::{Rng, SeedableRng};
@@ -50,6 +51,12 @@ fn build_nodes() -> (Vec<StackNode>, Id) {
             .with_app(MaanProtocol::new(grid_schemas()));
         let key = node.register("cpu-usage", AggregationMode::Continuous);
         node.set_local(key, (i * 10) as f64);
+        // The query's trace events must survive until we snapshot them —
+        // widen the DAT ring well past the continuous-epoch chatter.
+        node.app_mut::<DatProtocol>()
+            .metrics_mut()
+            .tracer_mut()
+            .set_capacity(4096);
         nodes.push(node);
     }
     let key = libdat::chord::hash_to_id(chord_cfg().space, b"cpu-usage");
@@ -66,6 +73,41 @@ struct Answers {
     dat_count: u64,
     dat_sum: f64,
     discovered: Vec<String>,
+    /// Order-insensitive digest of the on-demand query's causal trace.
+    query_digest: u64,
+}
+
+/// Digest the query's receive-side trace: which node received which kind
+/// of query-path message, as a set. `reqid` is each transport's own trace
+/// id for the query, so it filters but is NOT hashed (the two transports
+/// allocate reqids independently); `from` and multiplicity are also
+/// excluded, since UDP may duplicate datagrams where the simulator never
+/// does. What's left — the set of `(node, kind)` pairs the query touched —
+/// is exactly the causal footprint both transports must share.
+fn query_digest(reqid: u64, per_node: &[(u64, Vec<Event>)]) -> u64 {
+    let mut set = std::collections::BTreeSet::new();
+    for (me, events) in per_node {
+        for e in events {
+            if e.trace_id != reqid {
+                continue;
+            }
+            if let EventKind::Recv { kind, .. } = &e.kind {
+                if matches!(*kind, "dat_query" | "dat_request" | "dat_result") {
+                    set.insert((*me, *kind));
+                }
+            }
+        }
+    }
+    assert!(
+        set.len() > 2,
+        "query trace touched only {} (node, kind) pairs: {set:?}",
+        set.len()
+    );
+    set.iter().fold(0u64, |acc, (me, kind)| {
+        let mut buf = me.to_le_bytes().to_vec();
+        buf.extend_from_slice(kind.as_bytes());
+        acc.wrapping_add(fnv1a(&buf))
+    })
 }
 
 fn run_in_simulator() -> Answers {
@@ -109,6 +151,26 @@ fn run_in_simulator() -> Answers {
         })
         .expect("sim query completes");
 
+    // Snapshot every node's DAT trace right away, before later traffic
+    // ages the rings.
+    let traces: Vec<(u64, Vec<Event>)> = net
+        .addrs()
+        .iter()
+        .map(|&a| {
+            let n = net.node_mut(a).unwrap();
+            let me = n.me().id.0;
+            let evs = n
+                .app_mut::<DatProtocol>()
+                .metrics_mut()
+                .tracer()
+                .events()
+                .cloned()
+                .collect();
+            (me, evs)
+        })
+        .collect();
+    let query_digest = query_digest(reqid, &traces);
+
     // MAAN discovery from node 5: machines with 2..=5 GHz.
     let qid = net
         .with_node(NodeAddr(5), |n| n.maan_range_query("cpu-speed", 2.0, 5.0))
@@ -132,6 +194,7 @@ fn run_in_simulator() -> Answers {
         dat_count: partial.count,
         dat_sum: partial.finalize(AggFunc::Sum),
         discovered,
+        query_digest,
     }
 }
 
@@ -205,6 +268,26 @@ fn run_over_udp() -> Answers {
         std::thread::sleep(Duration::from_millis(50));
     };
 
+    // Snapshot the DAT traces immediately, mirroring the sim run.
+    let mut traces: Vec<(u64, Vec<Event>)> = Vec::with_capacity(N);
+    for i in 0..N {
+        let snap = cluster
+            .call(NodeAddr(i as u64), |node| {
+                let me = node.me().id.0;
+                let evs: Vec<Event> = node
+                    .app_mut::<DatProtocol>()
+                    .metrics_mut()
+                    .tracer()
+                    .events()
+                    .cloned()
+                    .collect();
+                ((me, evs), vec![])
+            })
+            .expect("trace snapshot");
+        traces.push(snap);
+    }
+    let query_digest = query_digest(reqid, &traces);
+
     let qid = cluster
         .call(NodeAddr(5), |node| {
             node.maan_range_query("cpu-speed", 2.0, 5.0)
@@ -235,6 +318,7 @@ fn run_over_udp() -> Answers {
         dat_count: partial.count,
         dat_sum: partial.finalize(AggFunc::Sum),
         discovered,
+        query_digest,
     }
 }
 
