@@ -160,6 +160,18 @@ impl Degradation {
             "undecodable payloads dropped".into(),
             self.outcome.fleet_dropped.to_string(),
         ]);
+        t.row(vec![
+            "peers suspected (phi-accrual)".into(),
+            self.outcome.fleet_suspects.to_string(),
+        ]);
+        t.row(vec![
+            "peers quarantined (flap damping)".into(),
+            self.outcome.fleet_quarantines.to_string(),
+        ]);
+        t.row(vec![
+            "payloads shed (inbox backpressure)".into(),
+            self.outcome.fleet_sheds.to_string(),
+        ]);
         t
     }
 

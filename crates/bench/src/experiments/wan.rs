@@ -35,6 +35,14 @@ pub struct WanRow {
     pub retransmits: u64,
     /// Fleet-wide undecodable payloads dropped over the whole run.
     pub dropped: u64,
+    /// Fleet-wide phi-accrual suspicion transitions (Healthy → Suspect) —
+    /// loss-proportional on a WAN, since every lost probe stretches an
+    /// inter-arrival the detector has learned to expect shorter.
+    pub suspects: u64,
+    /// Fleet-wide payloads shed by the bounded engine inboxes. Zero here
+    /// (the WAN sweep runs without an inbox policy); the column keeps the
+    /// table aligned with the soak's transport-health reporting.
+    pub shed: u64,
 }
 
 /// Experiment output.
@@ -134,6 +142,8 @@ fn run_one(n: usize, loss: f64, seed: u64) -> WanRow {
         timeouts: fleet.counter_sum("timeouts_total"),
         retransmits: fleet.counter_sum("retransmits_total"),
         dropped: fleet.counter_sum("dropped_total"),
+        suspects: fleet.counter_sum("suspects_total"),
+        shed: fleet.counter_sum("engine_shed_total"),
         coverage: if reports == 0 {
             0.0
         } else {
@@ -159,6 +169,8 @@ impl Wan {
                 "timeouts",
                 "retransmits",
                 "dropped",
+                "suspects",
+                "shed",
             ],
         );
         for r in &self.rows {
@@ -170,6 +182,8 @@ impl Wan {
                 r.timeouts.to_string(),
                 r.retransmits.to_string(),
                 r.dropped.to_string(),
+                r.suspects.to_string(),
+                r.shed.to_string(),
             ]);
         }
         t

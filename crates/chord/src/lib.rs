@@ -47,6 +47,7 @@
 
 pub mod actor;
 pub mod finger;
+pub mod health;
 pub mod id;
 pub mod metrics;
 pub mod msg;
@@ -59,6 +60,7 @@ pub mod wire;
 
 pub use actor::Actor;
 pub use finger::{FingerInfo, FingerTable, NodeAddr, NodeRef};
+pub use health::{HealthConfig, HealthDetector, SuspicionLevel};
 pub use id::{ceil_log2, ceil_log2_ratio, Id, IdSpace};
 pub use metrics::{Dir, Metrics};
 pub use msg::{ChordMsg, Input, Output, ReqId, TimerKind, Upcall};

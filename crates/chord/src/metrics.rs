@@ -94,6 +94,19 @@ impl Metrics {
         self.reg.observe(Key::new(name), v);
     }
 
+    /// Bump an arbitrary unlabeled counter — for layers above Chord that
+    /// need bespoke tallies (e.g. `proactive_reparents_total`). Exported
+    /// with the layer stamp by [`Metrics::export_into`] like every other
+    /// series.
+    pub fn inc(&mut self, name: &'static str) {
+        self.reg.counter_inc(Key::new(name));
+    }
+
+    /// Read back a counter bumped with [`Metrics::inc`].
+    pub fn get(&self, name: &str) -> u64 {
+        self.reg.counter_sum(name)
+    }
+
     /// The embedded metric registry (read-only view).
     pub fn registry(&self) -> &Registry {
         &self.reg

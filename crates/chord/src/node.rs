@@ -21,6 +21,7 @@ use std::collections::{HashMap, VecDeque};
 use dat_obs::EventKind as ObsEventKind;
 
 use crate::finger::{FingerInfo, FingerTable, NodeAddr, NodeRef};
+use crate::health::{HealthDetector, SuspicionLevel};
 use crate::id::{Id, IdSpace};
 use crate::metrics::Metrics;
 use crate::msg::{ChordMsg, Input, Output, ReqId, TimerKind, Upcall};
@@ -174,6 +175,9 @@ pub struct ChordNode {
     /// Timeout-evicted peers remembered for ring unification, each with a
     /// remaining probe budget (FIFO, capped at `FALLEN_CAP`).
     fallen: VecDeque<(NodeRef, u8)>,
+    /// Phi-accrual failure detector: per-peer suspicion from the cadence
+    /// of acks/replies, with flap damping (see [`crate::health`]).
+    health: HealthDetector,
     metrics: Metrics,
 }
 
@@ -201,6 +205,7 @@ impl ChordNode {
             rttvar_ms: 0.0,
             outstanding: HashMap::new(),
             fallen: VecDeque::new(),
+            health: HealthDetector::default(),
             metrics: Metrics::default(),
         }
     }
@@ -255,6 +260,42 @@ impl ChordNode {
     /// Configuration in effect.
     pub fn config(&self) -> &ChordConfig {
         &self.cfg
+    }
+
+    /// The phi-accrual failure detector (read-only).
+    pub fn health(&self) -> &HealthDetector {
+        &self.health
+    }
+
+    /// Mutable access to the failure detector (harnesses tune thresholds
+    /// and quarantine durations).
+    pub fn health_mut(&mut self) -> &mut HealthDetector {
+        &mut self.health
+    }
+
+    /// Evaluate `peer`'s suspicion level at the current host time. This
+    /// advances the detector's Healthy↔Suspect↔Quarantined state machine
+    /// (silence alone raises suspicion), so it takes `&mut self`.
+    pub fn suspicion(&mut self, peer: Id) -> SuspicionLevel {
+        self.health.level(peer, self.now_ms)
+    }
+
+    /// Proactively evict a suspect peer from the routing table, *before*
+    /// any request to it times out. The peer is remembered on the fallen
+    /// list exactly like a timeout eviction, so it is probed and re-merged
+    /// once it stabilizes. Returns the resulting outputs (a
+    /// [`Upcall::NeighborhoodChanged`] when the table actually changed).
+    pub fn evict_suspect(&mut self, target: NodeRef) -> Vec<Output> {
+        let mut out = Vec::new();
+        if target.id == self.me().id {
+            return out;
+        }
+        self.strikes.remove(&target.id);
+        if self.table.evict(target.id) {
+            self.remember_fallen(target);
+            out.push(Output::Upcall(Upcall::NeighborhoodChanged));
+        }
+        out
     }
 
     fn fresh_req(&mut self) -> ReqId {
@@ -659,6 +700,7 @@ impl ChordNode {
                         self.send_tracked(out, p, msg, req, Pending::PingPred, true);
                     }
                     self.probe_fallen(out);
+                    self.keepalive_probe(out);
                 }
                 self.arm(out, TimerKind::CheckPredecessor, self.cfg.check_pred_ms);
             }
@@ -730,6 +772,42 @@ impl ChordNode {
         }
     }
 
+    /// Adaptive keepalive: ping the routing-table neighbor the detector
+    /// has heard from least recently (one per `CheckPredecessor` round,
+    /// only when its silence exceeds the keepalive bar). Regular protocol
+    /// chatter keeps busy links fed; this covers the quiet ones so the
+    /// phi estimate never starves — a peer the detector cannot hear is a
+    /// peer it cannot clear.
+    fn keepalive_probe(&mut self, out: &mut Vec<Output>) {
+        let me = self.me().id;
+        let mut neigh: Vec<NodeRef> = Vec::new();
+        let push = |n: NodeRef, neigh: &mut Vec<NodeRef>| {
+            if n.id != me && !neigh.iter().any(|x| x.id == n.id) {
+                neigh.push(n);
+            }
+        };
+        for s in self.table.successor_list() {
+            push(*s, &mut neigh);
+        }
+        if let Some(p) = self.table.predecessor() {
+            push(p, &mut neigh);
+        }
+        for (_, fi) in self.table.iter() {
+            push(fi.node, &mut neigh);
+        }
+        let ids: Vec<Id> = neigh.iter().map(|n| n.id).collect();
+        if let Some(target) = self.health.stalest(&ids, self.now_ms) {
+            if let Some(&r) = neigh.iter().find(|n| n.id == target) {
+                let req = self.fresh_req();
+                let msg = ChordMsg::Ping {
+                    req,
+                    sender: self.me(),
+                };
+                self.send_tracked(out, r, msg, req, Pending::PingNode, true);
+            }
+        }
+    }
+
     /// Remember a timeout-evicted peer so the ring can unify again if it
     /// (or the path to it) comes back. Deduplicated, FIFO-bounded.
     fn remember_fallen(&mut self, node: NodeRef) {
@@ -772,6 +850,9 @@ impl ChordNode {
         // network cannot tear down a live neighbor; finger fixing relearns
         // genuinely-alive nodes either way.
         if let Some(dead) = suspect {
+            // Hard evidence for the failure detector: the full retry
+            // budget burned with no reply.
+            self.health.miss(dead, self.now_ms);
             let s = self.strikes.entry(dead).or_insert(0);
             *s += 1;
             if *s >= 2 {
@@ -810,6 +891,28 @@ impl ChordNode {
 
     fn on_message(&mut self, from: NodeAddr, msg: ChordMsg, out: &mut Vec<Output>) {
         let _ = from;
+        // Any message that names its direct sender doubles as a heartbeat
+        // for the phi-accrual detector — the "every ack/reply the RTO
+        // machinery observes" feed, plus unsolicited traffic for free.
+        // (FindSuccessor/Route/Broadcast carry an *origin*, which may be
+        // several forwarding hops away; those are not direct evidence.)
+        let heard = match &msg {
+            ChordMsg::GetNeighbors { sender, .. }
+            | ChordMsg::Notify { sender }
+            | ChordMsg::Ping { sender, .. }
+            | ChordMsg::Pong { sender, .. }
+            | ChordMsg::StatsRequest { sender, .. }
+            | ChordMsg::StatsReply { sender, .. } => Some(*sender),
+            ChordMsg::Neighbors { me, .. } => Some(*me),
+            ChordMsg::FoundSuccessor { owner, .. } => Some(*owner),
+            ChordMsg::App { from, .. } => Some(*from),
+            _ => None,
+        };
+        if let Some(p) = heard {
+            if p.id != self.me().id {
+                self.health.heartbeat(p.id, self.now_ms);
+            }
+        }
         match msg {
             ChordMsg::FindSuccessor {
                 req,
@@ -1900,5 +2003,108 @@ mod tests {
         });
         assert_eq!(n.metrics().received_total(), 1);
         assert_eq!(n.metrics().sent_total(), 1); // the pong
+    }
+
+    /// Invariants the Karn/Jacobson estimator must hold for *any* sample
+    /// sequence: SRTT stays finite and non-negative, RTTVAR stays finite
+    /// and non-negative, and the armed RTO never escapes
+    /// `[rto_min_ms, rto_max_ms]`.
+    fn assert_rto_invariants(n: &ChordNode, context: &str) {
+        if let Some(srtt) = n.srtt_ms() {
+            assert!(srtt.is_finite(), "{context}: SRTT not finite: {srtt}");
+            assert!(srtt >= 0.0, "{context}: SRTT negative: {srtt}");
+        }
+        assert!(
+            n.rttvar_ms.is_finite() && n.rttvar_ms >= 0.0,
+            "{context}: RTTVAR bad: {}",
+            n.rttvar_ms
+        );
+        let rto = n.current_rto();
+        assert!(
+            (n.cfg.rto_min_ms..=n.cfg.rto_max_ms).contains(&rto),
+            "{context}: RTO {rto} escaped [{}, {}]",
+            n.cfg.rto_min_ms,
+            n.cfg.rto_max_ms
+        );
+    }
+
+    #[test]
+    fn rto_survives_all_zero_samples() {
+        let mut n = node(1);
+        for i in 0..64 {
+            n.observe_rtt(0);
+            assert_rto_invariants(&n, &format!("zero sample {i}"));
+        }
+        // Degenerate estimate clamps to the floor, not to zero.
+        assert_eq!(n.current_rto(), n.cfg.rto_min_ms);
+    }
+
+    #[test]
+    fn rto_survives_huge_samples() {
+        let mut n = node(1);
+        for &s in &[u64::MAX, u64::MAX / 2, 1 << 60, u64::MAX] {
+            n.observe_rtt(s);
+            assert_rto_invariants(&n, &format!("huge sample {s}"));
+        }
+        // Astronomical estimates clamp to the ceiling.
+        assert_eq!(n.current_rto(), n.cfg.rto_max_ms);
+    }
+
+    #[test]
+    fn rto_survives_monotone_decreasing_samples() {
+        let mut n = node(1);
+        let mut s = 1u64 << 40;
+        while s > 0 {
+            n.observe_rtt(s);
+            assert_rto_invariants(&n, &format!("decreasing sample {s}"));
+            s /= 3;
+        }
+        n.observe_rtt(0);
+        assert_rto_invariants(&n, "decreasing tail 0");
+    }
+
+    #[test]
+    fn rto_property_random_pathological_sequences() {
+        // Hand-rolled xorshift so the test needs no RNG dependency and
+        // every run replays the same 32 sequences.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for seq in 0..32 {
+            let mut n = node(1);
+            for step in 0..256 {
+                // Mix regimes: zeros, tiny, realistic, huge and
+                // alternating spikes within one sequence.
+                let r = next();
+                let sample = match r % 5 {
+                    0 => 0,
+                    1 => r % 3,
+                    2 => r % 10_000,
+                    3 => u64::MAX - (r % 1_000),
+                    _ => {
+                        if step % 2 == 0 {
+                            1
+                        } else {
+                            1 << 50
+                        }
+                    }
+                };
+                n.observe_rtt(sample);
+                assert_rto_invariants(&n, &format!("seq {seq} step {step} sample {sample}"));
+            }
+        }
+    }
+
+    #[test]
+    fn rto_without_retries_keeps_fixed_timeout() {
+        let mut n = node_no_retry(1);
+        for s in [0, u64::MAX, 5] {
+            n.observe_rtt(s);
+            assert_eq!(n.current_rto(), n.cfg.req_timeout_ms);
+        }
     }
 }

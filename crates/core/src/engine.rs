@@ -42,7 +42,7 @@ use std::collections::{HashMap, VecDeque};
 
 use dat_chord::{
     Actor, ChordConfig, ChordNode, FingerTable, Id, IdSpace, Input, Metrics, NodeAddr, NodeRef,
-    NodeStatus, Output, ReqId, TimerKind, Upcall,
+    NodeStatus, Output, ReqId, SuspicionLevel, TimerKind, Upcall,
 };
 use dat_obs::{Event, Key, Registry};
 
@@ -61,6 +61,61 @@ pub fn proto_label(proto: u8) -> &'static str {
 pub const PROTO_SHIFT: u32 = 56;
 /// Mask of the handler-private sub-token bits.
 pub const SUB_MASK: u64 = (1 << PROTO_SHIFT) - 1;
+
+/// Backpressure policy for the engine's per-node inbox.
+///
+/// The engine processes messages synchronously, so "queueing" is modelled
+/// in virtual time: every admitted application payload advances a
+/// busy-until horizon by [`InboxPolicy::service_ms`], and the backlog is
+/// how many service slots the horizon sits ahead of the clock. Once the
+/// backlog exceeds a class's capacity, further arrivals of that class are
+/// *shed* (dropped and counted) instead of processed — an overloaded node
+/// degrades loudly rather than stalling its whole subtree.
+///
+/// Priorities are expressed as capacities: Chord control traffic never
+/// passes through the inbox at all (it is what keeps the ring alive), the
+/// aggregation class gets [`InboxPolicy::agg_capacity`], and stats serving
+/// gets the smaller [`InboxPolicy::stats_capacity`] — so under pressure
+/// the order of sacrifice is stats first, aggregation second, control
+/// never.
+///
+/// The default `service_ms = 0` disables the model entirely: the inbox is
+/// unbounded and nothing is ever shed (the pre-health-plane behavior).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InboxPolicy {
+    /// Virtual service time per application payload (0 = unbounded inbox).
+    pub service_ms: u64,
+    /// Backlog (in service slots) above which aggregation-class payloads
+    /// (`AppMessage` / engine-tagged `Routed`) are shed.
+    pub agg_capacity: u64,
+    /// Backlog above which incoming stats requests are shed (answered
+    /// never, not late). Keep below `agg_capacity`: stats are diagnostics.
+    pub stats_capacity: u64,
+}
+
+impl Default for InboxPolicy {
+    fn default() -> Self {
+        InboxPolicy {
+            service_ms: 0,
+            agg_capacity: 64,
+            stats_capacity: 8,
+        }
+    }
+}
+
+/// Admit one payload of a class with the given backlog capacity, advancing
+/// the shared busy horizon on admission.
+fn inbox_admit(policy: &InboxPolicy, busy_until_ms: &mut u64, now_ms: u64, capacity: u64) -> bool {
+    if policy.service_ms == 0 {
+        return true;
+    }
+    let backlog = busy_until_ms.saturating_sub(now_ms) / policy.service_ms;
+    if backlog >= capacity {
+        return false;
+    }
+    *busy_until_ms = (*busy_until_ms).max(now_ms) + policy.service_ms;
+    true
+}
 
 /// The engine-side context handed to every [`AppProtocol`] callback.
 ///
@@ -136,6 +191,28 @@ impl Ctx<'_> {
     /// shared RTO estimator and failure detector).
     pub fn ping(&mut self, target: NodeRef) {
         let outs = self.chord.ping_node(target);
+        self.queue.extend(outs);
+    }
+
+    /// Evaluate a peer's suspicion level via the shared phi-accrual
+    /// failure detector (see `dat_chord::health`). Evaluation advances the
+    /// detector's state machine — silence alone can raise suspicion.
+    pub fn suspicion(&mut self, peer: Id) -> SuspicionLevel {
+        self.chord.suspicion(peer)
+    }
+
+    /// The raw phi value for a peer (diagnostics; prefer
+    /// [`Ctx::suspicion`] for decisions).
+    pub fn phi(&self, peer: Id) -> f64 {
+        self.chord.health().phi(peer, self.now_ms)
+    }
+
+    /// Proactively evict a suspect peer from the shared routing table,
+    /// before any request to it times out. The resulting
+    /// `NeighborhoodChanged` upcall flows through the engine queue, so
+    /// every stacked handler observes the change.
+    pub fn evict_suspect(&mut self, target: NodeRef) {
+        let outs = self.chord.evict_suspect(target);
         self.queue.extend(outs);
     }
 
@@ -220,6 +297,15 @@ pub struct StackNode {
     now_ms: u64,
     sent_by_proto: HashMap<u8, u64>,
     recv_by_proto: HashMap<u8, u64>,
+    /// Backpressure model for application payloads (default: unbounded).
+    inbox: InboxPolicy,
+    /// Virtual-time horizon up to which the inbox is busy serving
+    /// already-admitted payloads.
+    inbox_busy_until_ms: u64,
+    /// Aggregation-class payloads shed per proto byte.
+    shed_by_proto: HashMap<u8, u64>,
+    /// Stats requests shed (lowest priority class).
+    stats_shed: u64,
 }
 
 impl StackNode {
@@ -237,7 +323,37 @@ impl StackNode {
             now_ms: 0,
             sent_by_proto: HashMap::new(),
             recv_by_proto: HashMap::new(),
+            inbox: InboxPolicy::default(),
+            inbox_busy_until_ms: 0,
+            shed_by_proto: HashMap::new(),
+            stats_shed: 0,
         }
+    }
+
+    /// Install a bounded-inbox policy (builder style). See [`InboxPolicy`].
+    pub fn with_inbox_policy(mut self, policy: InboxPolicy) -> Self {
+        self.inbox = policy;
+        self
+    }
+
+    /// Install or change the bounded-inbox policy at runtime.
+    pub fn set_inbox_policy(&mut self, policy: InboxPolicy) {
+        self.inbox = policy;
+    }
+
+    /// The bounded-inbox policy in effect.
+    pub fn inbox_policy(&self) -> InboxPolicy {
+        self.inbox
+    }
+
+    /// Aggregation-class payloads shed so far for `proto`.
+    pub fn shed_count(&self, proto: u8) -> u64 {
+        self.shed_by_proto.get(&proto).copied().unwrap_or(0)
+    }
+
+    /// Stats requests shed so far.
+    pub fn stats_shed_count(&self) -> u64 {
+        self.stats_shed
     }
 
     /// Register an application protocol (builder style). Panics if the
@@ -255,6 +371,13 @@ impl StackNode {
     /// The underlying Chord node (read-only).
     pub fn chord(&self) -> &ChordNode {
         &self.chord
+    }
+
+    /// Replace the shared failure detector's tuning (phi threshold, flap
+    /// damping, quarantine length). One detector serves every stacked
+    /// protocol on this node.
+    pub fn set_health_config(&mut self, cfg: dat_chord::HealthConfig) {
+        *self.chord.health_mut().config_mut() = cfg;
     }
 
     /// This node's reference.
@@ -312,6 +435,12 @@ impl StackNode {
         self.chord.metrics_mut().reset();
         self.sent_by_proto.clear();
         self.recv_by_proto.clear();
+        self.shed_by_proto.clear();
+        self.stats_shed = 0;
+        let health = self.chord.health_mut();
+        health.suspects = 0;
+        health.quarantines = 0;
+        health.rejoins = 0;
         for h in &mut self.handlers {
             h.reset_metrics();
         }
@@ -349,6 +478,32 @@ impl StackNode {
                 n,
             );
         }
+        // Shed counters exist (at zero) for every registered handler and
+        // for the stats class, so the series are visible before the first
+        // shed; health-plane counters come from the shared detector.
+        for h in &self.handlers {
+            reg.counter_add(
+                Key::new("engine_shed_total").label("layer", proto_label(h.proto())),
+                self.shed_count(h.proto()),
+            );
+        }
+        reg.counter_add(
+            Key::new("engine_shed_total").label("layer", "stats"),
+            self.stats_shed,
+        );
+        let health = self.chord.health();
+        reg.counter_add(
+            Key::new("suspects_total").label("layer", "chord"),
+            health.suspects,
+        );
+        reg.counter_add(
+            Key::new("quarantines_total").label("layer", "chord"),
+            health.quarantines,
+        );
+        reg.counter_add(
+            Key::new("rejoins_total").label("layer", "chord"),
+            health.rejoins,
+        );
         reg
     }
 
@@ -549,6 +704,18 @@ impl StackNode {
             _ => true,
         });
         for (req, from) in stats {
+            // Stats are the lowest-priority class: under backlog they are
+            // shed outright (never answered late) so aggregation and
+            // control keep the remaining capacity.
+            if !inbox_admit(
+                &self.inbox,
+                &mut self.inbox_busy_until_ms,
+                self.now_ms,
+                self.inbox.stats_capacity,
+            ) {
+                self.stats_shed += 1;
+                continue;
+            }
             let text = self.render_prometheus().into_bytes();
             outs.push(self.chord.reply_stats(from, req, text));
         }
@@ -564,6 +731,10 @@ impl StackNode {
             now_ms,
             sent_by_proto,
             recv_by_proto,
+            inbox,
+            inbox_busy_until_ms,
+            shed_by_proto,
+            ..
         } = self;
         let now = *now_ms;
         let mut scan: VecDeque<Output> = outs.into();
@@ -606,6 +777,10 @@ impl StackNode {
                         payload,
                     } => {
                         if handlers.iter().any(|h| h.proto() == proto) {
+                            if !inbox_admit(inbox, inbox_busy_until_ms, now, inbox.agg_capacity) {
+                                *shed_by_proto.entry(proto).or_insert(0) += 1;
+                                continue;
+                            }
                             *recv_by_proto.entry(proto).or_insert(0) += 1;
                             fire(
                                 chord,
@@ -631,6 +806,10 @@ impl StackNode {
                         hops,
                     } => match payload.split_first() {
                         Some((&p, rest)) if handlers.iter().any(|h| h.proto() == p) => {
+                            if !inbox_admit(inbox, inbox_busy_until_ms, now, inbox.agg_capacity) {
+                                *shed_by_proto.entry(p).or_insert(0) += 1;
+                                continue;
+                            }
                             *recv_by_proto.entry(p).or_insert(0) += 1;
                             fire(
                                 chord,
@@ -883,6 +1062,105 @@ mod tests {
         let _ = StackNode::new(cfg(), Id(10), NodeAddr(1))
             .with_app(Echo::new(40))
             .with_app(Echo::new(40));
+    }
+
+    #[test]
+    fn inbox_policy_off_never_sheds() {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1)).with_app(Echo::new(40));
+        let _ = stack.start_create();
+        let peer = NodeRef::new(Id(20), NodeAddr(2));
+        for i in 0..200u8 {
+            let _ = stack.handle(Input::Message {
+                from: NodeAddr(2),
+                msg: ChordMsg::App {
+                    proto: 40,
+                    from: peer,
+                    payload: vec![i],
+                },
+            });
+        }
+        assert_eq!(stack.proto_received(40), 200);
+        assert_eq!(stack.shed_count(40), 0);
+        assert_eq!(stack.stats_shed_count(), 0);
+    }
+
+    #[test]
+    fn overload_sheds_aggregation_beyond_capacity() {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1))
+            .with_app(Echo::new(40))
+            .with_inbox_policy(InboxPolicy {
+                service_ms: 5,
+                agg_capacity: 4,
+                stats_capacity: 1,
+            });
+        let _ = stack.start_create();
+        let peer = NodeRef::new(Id(20), NodeAddr(2));
+        // A burst at one instant: the virtual-time inbox admits up to
+        // `agg_capacity` payloads before the backlog horizon fills.
+        for i in 0..10u8 {
+            let _ = stack.handle(Input::Message {
+                from: NodeAddr(2),
+                msg: ChordMsg::App {
+                    proto: 40,
+                    from: peer,
+                    payload: vec![i],
+                },
+            });
+        }
+        assert_eq!(stack.proto_received(40), 4);
+        assert_eq!(stack.shed_count(40), 6);
+        assert_eq!(stack.app::<Echo>().seen.len(), 4);
+        // Control traffic is never shed: chord pings still get pongs.
+        let outs = stack.handle(Input::Message {
+            from: NodeAddr(2),
+            msg: ChordMsg::Ping {
+                req: 77,
+                sender: peer,
+            },
+        });
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                msg: ChordMsg::Pong { req: 77, .. },
+                ..
+            }
+        )));
+        // Once virtual time drains the backlog, admission resumes.
+        stack.set_now(10_000);
+        let _ = stack.handle(Input::Message {
+            from: NodeAddr(2),
+            msg: ChordMsg::App {
+                proto: 40,
+                from: peer,
+                payload: vec![99],
+            },
+        });
+        assert_eq!(stack.proto_received(40), 5);
+        // Shed counters surface in the obs registry with a proto label.
+        let reg = stack.obs_registry();
+        assert_eq!(reg.counter_with("engine_shed_total", proto_label(40)), 6);
+    }
+
+    #[test]
+    fn stats_class_sheds_before_aggregation() {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1))
+            .with_app(Echo::new(40))
+            .with_inbox_policy(InboxPolicy {
+                service_ms: 5,
+                agg_capacity: 8,
+                stats_capacity: 2,
+            });
+        let _ = stack.start_create();
+        let peer = NodeRef::new(Id(20), NodeAddr(2));
+        for req in 0..6u64 {
+            let _ = stack.handle(Input::Message {
+                from: NodeAddr(2),
+                msg: ChordMsg::StatsRequest { req, sender: peer },
+            });
+        }
+        assert_eq!(stack.stats_shed_count(), 4);
+        let reg = stack.obs_registry();
+        assert_eq!(reg.counter_with("engine_shed_total", "stats"), 4);
     }
 
     #[test]

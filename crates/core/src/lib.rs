@@ -62,7 +62,7 @@ pub mod viz;
 pub use aggregate::{AggFunc, AggPartial, Histogram};
 pub use analysis::{centralized_message_counts, simulate_message_counts, TreeStats};
 pub use codec::{CodecError, DatMsg, DAT_PROTO};
-pub use engine::{proto_label, AppProtocol, Ctx, StackNode};
+pub use engine::{proto_label, AppProtocol, Ctx, InboxPolicy, StackNode};
 pub use explicit::{ExpMsg, ExplicitConfig, ExplicitProtocol, EXPLICIT_PROTO};
 pub use gossip::{GossipConfig, GossipProtocol, GOSSIP_PROTO};
 pub use proto::{

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 
 use dat_chord::{
     estimate_d0, hash_to_id, parent_for, ring_size_for_d0, FingerTable, Id, Metrics, NodeAddr,
-    NodeRef, NodeStatus, Output, ParentDecision, RoutingScheme,
+    NodeRef, NodeStatus, Output, ParentDecision, RoutingScheme, SuspicionLevel,
 };
 use dat_obs::{trace_id_for, EventKind};
 
@@ -671,6 +671,25 @@ impl DatProtocol {
         self.metrics.observe("branching", branching);
         let tid = trace_id_for(key.0, epoch);
         let mut decision = self.decide_parent(cx.table(), key);
+        // Proactive failover: a parent the phi-accrual detector suspects is
+        // routed around *now*, before any RTO fires — evict it from the
+        // routing table (it lands in the fallen queue, so a false positive
+        // unifies back) and recompute the parent against what remains.
+        // Bounded by the successor-list length so a wholly-suspect table
+        // cannot spin; if everything is suspect we push to the last
+        // candidate and let the timeout machinery sort it out.
+        let mut hops = cx.table().successor_list().len().max(1);
+        while let ParentDecision::Parent(p) = decision {
+            if hops == 0 || cx.suspicion(p.id) == SuspicionLevel::Healthy {
+                break;
+            }
+            hops -= 1;
+            self.metrics.inc("proactive_reparents_total");
+            self.metrics
+                .trace(cx.now_ms(), tid, EventKind::Suspect { node: p.id.0 });
+            cx.evict_suspect(p);
+            decision = self.decide_parent(cx.table(), key);
+        }
         // Root stickiness: a transiently evicted predecessor makes the ring
         // position uncertain; a recent root keeps reporting rather than
         // pushing its partial *down* the tree (which would both silence the
@@ -909,15 +928,24 @@ impl DatProtocol {
                 sender,
             } => {
                 let now_epoch = self.epoch;
-                let ready = match self.aggs.get_mut(&key) {
+                // Stamp with OUR epoch counter: nodes that joined at
+                // different times number epochs differently.
+                if let Some(e) = self.aggs.get_mut(&key) {
+                    e.children.insert(sender.id, (partial, now_epoch));
+                }
+                // Readiness: every recently-active child has delivered this
+                // epoch's partial. A child the failure detector suspects is
+                // NOT waited for — its last-known partial still merges
+                // (soft state), but the epoch cascades without it, so
+                // Completeness degrades instead of the report stalling
+                // behind a slow or gray-failed subtree.
+                let ready = match self.aggs.get(&key) {
                     Some(e) => {
-                        // Stamp with OUR epoch counter: nodes that joined at
-                        // different times number epochs differently.
-                        e.children.insert(sender.id, (partial, now_epoch));
                         e.flushed_epoch < now_epoch
-                            && e.active_children(now_epoch)
-                                .iter()
-                                .all(|c| e.children[c].1 == now_epoch)
+                            && e.active_children(now_epoch).iter().all(|c| {
+                                e.children[c].1 == now_epoch
+                                    || cx.suspicion(*c) != SuspicionLevel::Healthy
+                            })
                     }
                     None => false,
                 };

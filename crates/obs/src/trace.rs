@@ -95,6 +95,12 @@ pub enum EventKind {
         /// The rejected sequence number.
         seq: u64,
     },
+    /// The failure detector crossed its suspicion threshold for `node`
+    /// and the layer routed around it proactively (before any RTO).
+    Suspect {
+        /// The suspected node's id.
+        node: u64,
+    },
 }
 
 /// One traced event: logical timestamp, host clock, causal trace id, kind.
@@ -169,6 +175,10 @@ impl Event {
                 push(&[8], &mut n);
                 push(&key.to_le_bytes(), &mut n);
                 push(&seq.to_le_bytes(), &mut n);
+            }
+            EventKind::Suspect { node } => {
+                push(&[9], &mut n);
+                push(&node.to_le_bytes(), &mut n);
             }
         }
         fnv1a(&buf[..n])

@@ -88,6 +88,49 @@ pub enum FaultEvent {
         /// The node to bring back.
         node: NodeAddr,
     },
+    /// Gray failure: `node` keeps running but serializes message
+    /// processing, consuming `process_ms` of virtual time per delivered
+    /// message for the duration of the episode. The node never goes
+    /// silent — it answers *late*, the failure mode clean crash detection
+    /// cannot see.
+    Slowdown {
+        /// The slowed node.
+        node: NodeAddr,
+        /// Virtual processing time consumed per delivered message.
+        process_ms: u64,
+        /// Episode length (ms).
+        for_ms: u64,
+    },
+    /// Asymmetric gray degradation of the directed link `from → to`:
+    /// extra loss and latency plus per-message jitter drawn uniformly
+    /// from `0..=jitter_ms`, auto-expiring after `for_ms`. The reverse
+    /// direction is untouched, so the victim still *hears* its peer while
+    /// its own traffic wanders — the half-open-link shape.
+    DegradeLink {
+        /// Sending side.
+        from: NodeAddr,
+        /// Receiving side.
+        to: NodeAddr,
+        /// Baseline loss/latency override during the episode.
+        fault: LinkFault,
+        /// Upper bound of the uniform per-message latency jitter (ms).
+        jitter_ms: u64,
+        /// Episode length (ms).
+        for_ms: u64,
+    },
+    /// Overload burst: `msgs` junk application messages (an undecodable
+    /// DAT payload from a sentinel sender) are delivered to `node`,
+    /// spread evenly over `spread_ms`. They burn inbox capacity and
+    /// decode as garbage — exercising priority shedding rather than the
+    /// protocol itself.
+    Overload {
+        /// The node to swamp.
+        node: NodeAddr,
+        /// Number of junk messages injected.
+        msgs: u64,
+        /// Window over which the deliveries are spread (ms).
+        spread_ms: u64,
+    },
 }
 
 impl FaultEvent {
@@ -139,6 +182,61 @@ impl FaultEvent {
                 buf.push(7);
                 buf.extend(node.0.to_le_bytes());
             }
+            FaultEvent::Slowdown {
+                node,
+                process_ms,
+                for_ms,
+            } => {
+                buf.push(8);
+                buf.extend(node.0.to_le_bytes());
+                buf.extend(process_ms.to_le_bytes());
+                buf.extend(for_ms.to_le_bytes());
+            }
+            FaultEvent::DegradeLink {
+                from,
+                to,
+                fault,
+                jitter_ms,
+                for_ms,
+            } => {
+                buf.push(9);
+                buf.extend(from.0.to_le_bytes());
+                buf.extend(to.0.to_le_bytes());
+                buf.extend(fault.loss.to_bits().to_le_bytes());
+                buf.extend(fault.extra_latency_ms.to_le_bytes());
+                buf.extend(jitter_ms.to_le_bytes());
+                buf.extend(for_ms.to_le_bytes());
+            }
+            FaultEvent::Overload {
+                node,
+                msgs,
+                spread_ms,
+            } => {
+                buf.push(10);
+                buf.extend(node.0.to_le_bytes());
+                buf.extend(msgs.to_le_bytes());
+                buf.extend(spread_ms.to_le_bytes());
+            }
+        }
+    }
+
+    /// Build-time validation: every probability parameter must be a finite
+    /// value in `[0.0, 1.0]`. Catching a NaN or out-of-range loss here —
+    /// when the plan is *built* — beats silently misbehaving coin flips at
+    /// delivery time. Panics with the offending field and value.
+    fn validate(&self) {
+        fn check_prob(what: &str, p: f64) {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "{what} must be a finite probability in [0.0, 1.0], got {p}"
+            );
+        }
+        match self {
+            FaultEvent::SetLink { fault, .. }
+            | FaultEvent::FlakyLink { fault, .. }
+            | FaultEvent::DegradeLink { fault, .. } => check_prob("LinkFault.loss", fault.loss),
+            FaultEvent::SetDuplication { prob } => check_prob("duplication prob", *prob),
+            _ => {}
         }
     }
 }
@@ -160,7 +258,13 @@ impl FaultPlan {
     }
 
     /// Schedule `event` at virtual time `at_ms`.
+    ///
+    /// Every builder funnels through here, so probability parameters
+    /// (link loss, duplication) are validated into `[0.0, 1.0]` at build
+    /// time; an out-of-range or NaN value panics immediately instead of
+    /// corrupting coin flips mid-run.
     pub fn at(mut self, at_ms: u64, event: FaultEvent) -> Self {
+        event.validate();
         self.events.push((at_ms, event));
         self
     }
@@ -220,6 +324,52 @@ impl FaultPlan {
         self.at(at_ms, FaultEvent::Restart { node })
     }
 
+    /// A gray processing-slowdown episode on `node` starting at `at_ms`.
+    pub fn slowdown_at(self, at_ms: u64, node: NodeAddr, process_ms: u64, for_ms: u64) -> Self {
+        self.at(
+            at_ms,
+            FaultEvent::Slowdown {
+                node,
+                process_ms,
+                for_ms,
+            },
+        )
+    }
+
+    /// An asymmetric link-degradation episode on `from → to` at `at_ms`.
+    pub fn degrade_link_at(
+        self,
+        at_ms: u64,
+        from: NodeAddr,
+        to: NodeAddr,
+        fault: LinkFault,
+        jitter_ms: u64,
+        for_ms: u64,
+    ) -> Self {
+        self.at(
+            at_ms,
+            FaultEvent::DegradeLink {
+                from,
+                to,
+                fault,
+                jitter_ms,
+                for_ms,
+            },
+        )
+    }
+
+    /// An overload burst of `msgs` junk messages on `node` at `at_ms`.
+    pub fn overload_at(self, at_ms: u64, node: NodeAddr, msgs: u64, spread_ms: u64) -> Self {
+        self.at(
+            at_ms,
+            FaultEvent::Overload {
+                node,
+                msgs,
+                spread_ms,
+            },
+        )
+    }
+
     /// The scheduled `(at_ms, event)` pairs, in declaration order.
     pub fn events(&self) -> &[(u64, FaultEvent)] {
         &self.events
@@ -259,6 +409,10 @@ impl FaultPlan {
 pub(crate) enum FaultAction {
     Crash(NodeAddr),
     Restart(NodeAddr),
+    /// Install a processing slowdown: (node, process_ms, for_ms).
+    Slow(NodeAddr, u64, u64),
+    /// Schedule an overload burst: (node, msgs, spread_ms).
+    Overload(NodeAddr, u64, u64),
 }
 
 /// Live fault state derived from a [`FaultPlan`] as its events fire.
@@ -269,6 +423,10 @@ pub(crate) struct FaultController {
     partition: Option<HashSet<NodeAddr>>,
     /// Directed link overrides, with an optional expiry for flaky links.
     links: HashMap<(NodeAddr, NodeAddr), (LinkFault, Option<SimTime>)>,
+    /// Asymmetric gray-degradation overrides: `(fault, jitter_ms, expiry)`.
+    /// Kept apart from `links` so a degradation composes with (rather than
+    /// replaces) an ordinary override on the same link.
+    degraded: HashMap<(NodeAddr, NodeAddr), (LinkFault, u64, SimTime)>,
     dup_prob: f64,
 }
 
@@ -278,6 +436,7 @@ impl FaultController {
             plan,
             partition: None,
             links: HashMap::new(),
+            degraded: HashMap::new(),
             dup_prob: 0.0,
         }
     }
@@ -322,6 +481,27 @@ impl FaultController {
             }
             FaultEvent::Crash { node } => Some(FaultAction::Crash(node)),
             FaultEvent::Restart { node } => Some(FaultAction::Restart(node)),
+            FaultEvent::Slowdown {
+                node,
+                process_ms,
+                for_ms,
+            } => Some(FaultAction::Slow(node, process_ms, for_ms)),
+            FaultEvent::DegradeLink {
+                from,
+                to,
+                fault,
+                jitter_ms,
+                for_ms,
+            } => {
+                self.degraded
+                    .insert((from, to), (fault, jitter_ms, now + for_ms));
+                None
+            }
+            FaultEvent::Overload {
+                node,
+                msgs,
+                spread_ms,
+            } => Some(FaultAction::Overload(node, msgs, spread_ms)),
         }
     }
 
@@ -341,6 +521,24 @@ impl FaultController {
                 None
             }
             Some((fault, _)) => Some(*fault),
+            None => None,
+        }
+    }
+
+    /// The gray degradation on `from → to` as `(fault, jitter_ms)`,
+    /// expiring episodes lazily.
+    pub(crate) fn degrade(
+        &mut self,
+        from: NodeAddr,
+        to: NodeAddr,
+        now: SimTime,
+    ) -> Option<(LinkFault, u64)> {
+        match self.degraded.get(&(from, to)) {
+            Some((_, _, expiry)) if *expiry <= now => {
+                self.degraded.remove(&(from, to));
+                None
+            }
+            Some((fault, jitter, _)) => Some((*fault, *jitter)),
             None => None,
         }
     }
@@ -413,9 +611,81 @@ mod tests {
     }
 
     #[test]
-    fn duplication_clamped_and_crash_restart_surface_actions() {
+    #[should_panic(expected = "finite probability")]
+    fn link_loss_above_one_rejected_at_build_time() {
+        let _ = FaultPlan::new().link_fault_at(
+            0,
+            a(1),
+            a(2),
+            LinkFault {
+                loss: 1.5,
+                extra_latency_ms: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite probability")]
+    fn link_loss_nan_rejected_at_build_time() {
+        let _ = FaultPlan::new().flaky_link_at(
+            0,
+            a(1),
+            a(2),
+            LinkFault {
+                loss: f64::NAN,
+                extra_latency_ms: 0,
+            },
+            100,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite probability")]
+    fn duplication_prob_out_of_range_rejected_at_build_time() {
+        let _ = FaultPlan::new().duplication_at(0, -0.1);
+    }
+
+    #[test]
+    fn gray_events_surface_actions_and_cover_digest() {
+        let fault = LinkFault {
+            loss: 0.3,
+            extra_latency_ms: 20,
+        };
+        let build = || {
+            FaultPlan::new()
+                .slowdown_at(10, a(1), 500, 5_000)
+                .degrade_link_at(20, a(1), a(2), fault, 40, 5_000)
+                .overload_at(30, a(3), 64, 1_000)
+        };
+        // Every new variant lands in the canonical digest.
+        assert_eq!(build().digest(), build().digest());
+        let tweaked = FaultPlan::new()
+            .slowdown_at(10, a(1), 501, 5_000)
+            .degrade_link_at(20, a(1), a(2), fault, 40, 5_000)
+            .overload_at(30, a(3), 64, 1_000);
+        assert_ne!(build().digest(), tweaked.digest());
+
+        let mut fc = FaultController::new(build());
+        assert!(matches!(
+            fc.apply(0, SimTime(10)),
+            Some(FaultAction::Slow(n, 500, 5_000)) if n == a(1)
+        ));
+        assert!(fc.apply(1, SimTime(20)).is_none());
+        // Degradation is asymmetric, composes with `links`, and expires.
+        assert_eq!(fc.degrade(a(1), a(2), SimTime(100)), Some((fault, 40)));
+        assert_eq!(fc.degrade(a(2), a(1), SimTime(100)), None, "directed");
+        assert_eq!(fc.link(a(1), a(2), SimTime(100)), None, "separate maps");
+        assert_eq!(fc.degrade(a(1), a(2), SimTime(5_020)), None, "expired");
+        assert!(matches!(
+            fc.apply(2, SimTime(30)),
+            Some(FaultAction::Overload(n, 64, 1_000)) if n == a(3)
+        ));
+    }
+
+    #[test]
+    fn duplication_applies_and_crash_restart_surface_actions() {
         let plan = FaultPlan::new()
-            .duplication_at(0, 7.0)
+            .duplication_at(0, 1.0)
             .crash_at(1, a(9))
             .restart_at(2, a(9));
         let mut fc = FaultController::new(plan);

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fault;
+pub mod gray;
 pub mod harness;
 pub mod latency;
 pub mod net;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod time;
 
 pub use fault::{FaultEvent, FaultPlan, LinkFault};
+pub use gray::{run_gray, GrayConfig, GrayOutcome};
 pub use harness::{
     finger_convergence, prestabilized_chord, prestabilized_dat, prestabilized_explicit,
     prestabilized_gossip, prestabilized_stack, ring_converged, spawn_live_ring, ChordView,

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use dat_chord::{ChordMsg, Input, NodeAddr, Output, TimerKind, Upcall};
+use dat_chord::{ChordMsg, Id, Input, NodeAddr, NodeRef, Output, TimerKind, Upcall};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,6 +69,11 @@ pub struct SimNet<A: Actor> {
     /// across repeated crashes of the same address).
     retired_stats: HashMap<NodeAddr, LinkStats>,
     faults: Option<FaultController>,
+    /// Active processing slowdowns: `addr → (process_ms, episode end)`.
+    slow: HashMap<NodeAddr, (u64, SimTime)>,
+    /// Virtual-time busy horizon of each slowed node: deliveries landing
+    /// before it are requeued, so a slow node answers *late*, not never.
+    busy_until: HashMap<NodeAddr, SimTime>,
     /// Builds a fresh actor (plus its start outputs) for a
     /// [`crate::FaultEvent::Restart`] of the given address.
     #[allow(clippy::type_complexity)]
@@ -93,6 +98,8 @@ impl<A: Actor> SimNet<A> {
             stats: HashMap::new(),
             retired_stats: HashMap::new(),
             faults: None,
+            slow: HashMap::new(),
+            busy_until: HashMap::new(),
             restart_fn: None,
             dropped: 0,
             events_processed: 0,
@@ -220,6 +227,8 @@ impl<A: Actor> SimNet<A> {
     /// discover the failure via timeouts (ungraceful churn).
     pub fn crash(&mut self, addr: NodeAddr) -> Option<A> {
         let actor = self.nodes.remove(&addr)?;
+        self.slow.remove(&addr);
+        self.busy_until.remove(&addr);
         if let Some(s) = self.stats.remove(&addr) {
             let r = self.retired_stats.entry(addr).or_default();
             r.sent += s.sent;
@@ -238,13 +247,14 @@ impl<A: Actor> SimNet<A> {
                     // installed this consumes no randomness, preserving
                     // traces of fault-free runs byte for byte.
                     let now = self.queue.now();
-                    let (blocked, link, dup_prob) = match self.faults.as_mut() {
+                    let (blocked, link, degrade, dup_prob) = match self.faults.as_mut() {
                         Some(fc) => (
                             fc.blocked(from, to.addr),
                             fc.link(from, to.addr, now),
+                            fc.degrade(from, to.addr, now),
                             fc.dup_prob(),
                         ),
-                        None => (false, None, 0.0),
+                        None => (false, None, None, 0.0),
                     };
                     if blocked || self.loss.drops(&mut self.rng) {
                         self.dropped += 1;
@@ -256,7 +266,22 @@ impl<A: Actor> SimNet<A> {
                             continue;
                         }
                     }
-                    let extra = link.map_or(0, |l| l.extra_latency_ms);
+                    // Gray degradation composes on top of any plain link
+                    // override: its own loss coin, then extra latency plus
+                    // uniform per-message jitter.
+                    if let Some((lf, _)) = degrade {
+                        if lf.loss > 0.0 && self.rng.random::<f64>() < lf.loss {
+                            self.dropped += 1;
+                            continue;
+                        }
+                    }
+                    let mut extra = link.map_or(0, |l| l.extra_latency_ms);
+                    if let Some((lf, jitter)) = degrade {
+                        extra += lf.extra_latency_ms;
+                        if jitter > 0 {
+                            extra += self.rng.random_range(0..=jitter);
+                        }
+                    }
                     if dup_prob > 0.0 && self.rng.random::<f64>() < dup_prob {
                         let delay = self.latency.sample(&mut self.rng) + extra;
                         self.queue.push_after(
@@ -305,6 +330,29 @@ impl<A: Actor> SimNet<A> {
         let now_ms = self.queue.now().as_millis();
         match ev.event {
             SimEvent::Deliver { to, from, msg } => {
+                // Gray slowdown: a slowed node serializes processing in
+                // virtual time. A delivery landing while the node is busy
+                // is requeued at the busy horizon (never dropped — the
+                // node answers late, which is the whole point); an
+                // admitted delivery pushes the horizon out by the per-
+                // message processing cost. Episodes expire lazily.
+                if self.nodes.contains_key(&to) {
+                    if let Some(&(process_ms, until)) = self.slow.get(&to) {
+                        let now = self.queue.now();
+                        if now >= until {
+                            self.slow.remove(&to);
+                            self.busy_until.remove(&to);
+                        } else {
+                            let busy = self.busy_until.get(&to).copied().unwrap_or(now);
+                            if busy > now {
+                                self.queue
+                                    .push_at(busy, SimEvent::Deliver { to, from, msg });
+                                return true;
+                            }
+                            self.busy_until.insert(to, now + process_ms);
+                        }
+                    }
+                }
                 let Some(node) = self.nodes.get_mut(&to) else {
                     self.dropped += 1; // destination crashed
                     return true;
@@ -335,6 +383,35 @@ impl<A: Actor> SimNet<A> {
                             let addr = actor.addr();
                             self.add_node(actor);
                             self.apply(addr, out);
+                        }
+                    }
+                    Some(FaultAction::Slow(node, process_ms, for_ms)) => {
+                        self.slow.insert(node, (process_ms, now + for_ms));
+                    }
+                    Some(FaultAction::Overload(node, msgs, spread_ms)) => {
+                        // Junk DAT-proto messages from a sentinel sender:
+                        // they burn inbox slots on delivery and fail to
+                        // decode at the protocol layer (counted dropped).
+                        // Scheduled deterministically — no RNG consumed.
+                        let junk = NodeRef::new(Id(u64::MAX), NodeAddr(u64::MAX));
+                        for i in 0..msgs {
+                            let delay = if msgs > 1 {
+                                i * spread_ms / (msgs - 1)
+                            } else {
+                                0
+                            };
+                            self.queue.push_after(
+                                delay,
+                                SimEvent::Deliver {
+                                    to: node,
+                                    from: NodeAddr(u64::MAX),
+                                    msg: ChordMsg::App {
+                                        proto: 1,
+                                        from: junk,
+                                        payload: vec![0xFF],
+                                    },
+                                },
+                            );
                         }
                     }
                     // Restart of a still-live node, or no action due.
@@ -672,6 +749,85 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn slowdown_delays_but_never_silences() {
+        // A slowed node still answers — late. Compare time-to-converge
+        // of a join under a slowdown episode vs the same seed without.
+        let run = |slow: bool| {
+            let mut net = two_node_net();
+            if slow {
+                net.set_fault_plan(FaultPlan::new().slowdown_at(0, NodeAddr(1), 400, 20_000));
+            }
+            net.run_for(15_000);
+            let b = net.node(NodeAddr(2)).unwrap();
+            (b.status(), net.events_processed())
+        };
+        let (status_slow, ev_slow) = run(true);
+        let (status_fast, ev_fast) = run(false);
+        assert_eq!(status_fast, dat_chord::NodeStatus::Active);
+        // The slowed run serializes every delivery through a 400 ms
+        // processing budget, so it requeues (extra events) and falls
+        // behind — but nothing is dropped by the slowdown itself.
+        assert!(ev_slow != ev_fast, "slowdown must perturb the schedule");
+        // After the episode ends the backlog drains and the join finishes.
+        let mut net = two_node_net();
+        net.set_fault_plan(FaultPlan::new().slowdown_at(0, NodeAddr(1), 400, 20_000));
+        net.run_for(60_000);
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_eq!(b.status(), dat_chord::NodeStatus::Active);
+        let _ = status_slow;
+    }
+
+    #[test]
+    fn degraded_link_is_asymmetric() {
+        // Degrade only 1 → 2 with total loss: node 2's requests still
+        // reach node 1 (the healthy direction keeps `delivered` climbing)
+        // but every reply wanders into the void, so the join stalls —
+        // the half-open-link shape.
+        let mut net = two_node_net();
+        net.set_fault_plan(FaultPlan::new().degrade_link_at(
+            0,
+            NodeAddr(1),
+            NodeAddr(2),
+            crate::fault::LinkFault {
+                loss: 1.0,
+                extra_latency_ms: 0,
+            },
+            25,
+            20_000,
+        ));
+        net.run_for(15_000);
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_ne!(b.status(), dat_chord::NodeStatus::Active);
+        assert!(net.dropped > 0, "degradation loss coin must fire");
+        assert!(
+            net.link_stats(NodeAddr(1)).delivered > 0,
+            "reverse direction must stay clean"
+        );
+        // Episode expires; the retry machinery completes the join.
+        net.run_for(120_000);
+        let b = net.node(NodeAddr(2)).unwrap();
+        assert_eq!(b.status(), dat_chord::NodeStatus::Active);
+    }
+
+    #[test]
+    fn overload_burst_delivers_junk_deterministically() {
+        let run = || {
+            let mut net = two_node_net();
+            net.run_for(30_000);
+            let before = net.link_stats(NodeAddr(1)).delivered;
+            net.set_fault_plan(FaultPlan::new().overload_at(31_000, NodeAddr(1), 50, 2_000));
+            net.run_for(30_000);
+            (before, net.link_stats(NodeAddr(1)).delivered)
+        };
+        let (before, after) = run();
+        assert!(
+            after >= before + 50,
+            "all 50 junk messages must be delivered ({before} → {after})"
+        );
+        assert_eq!(run(), (before, after), "burst replays identically");
     }
 
     #[test]

@@ -161,6 +161,14 @@ pub struct SoakOutcome {
     pub fleet_retransmits: u64,
     /// Fleet-wide undecodable/dropped payloads over the whole run.
     pub fleet_dropped: u64,
+    /// Fleet-wide failure-detector suspicion transitions (Healthy →
+    /// Suspect) over the whole run.
+    pub fleet_suspects: u64,
+    /// Fleet-wide flap-damping quarantines over the whole run.
+    pub fleet_quarantines: u64,
+    /// Fleet-wide payloads shed by the bounded engine inboxes (all
+    /// classes) over the whole run.
+    pub fleet_sheds: u64,
 }
 
 /// Run one soak: build a pre-stabilized ring, inject the seeded fault
@@ -322,6 +330,9 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
         fleet.counter_sum("timeouts_total"),
         fleet.counter_sum("retransmits_total"),
         fleet.counter_sum("dropped_total"),
+        fleet.counter_sum("suspects_total"),
+        fleet.counter_sum("quarantines_total"),
+        fleet.counter_sum("engine_shed_total"),
     );
     score(
         cfg,
@@ -342,9 +353,16 @@ fn score(
     live_nodes_final: usize,
     log: Vec<SoakReport>,
     root_crash_at_ms: Option<u64>,
-    fleet_totals: (u64, u64, u64),
+    fleet_totals: (u64, u64, u64, u64, u64, u64),
 ) -> SoakOutcome {
-    let (fleet_timeouts, fleet_retransmits, fleet_dropped) = fleet_totals;
+    let (
+        fleet_timeouts,
+        fleet_retransmits,
+        fleet_dropped,
+        fleet_suspects,
+        fleet_quarantines,
+        fleet_sheds,
+    ) = fleet_totals;
     let seed = cfg.seed;
     let n = cfg.nodes as u64;
     let churn_end = cfg.churn_end_ms();
@@ -463,6 +481,9 @@ fn score(
         fleet_timeouts,
         fleet_retransmits,
         fleet_dropped,
+        fleet_suspects,
+        fleet_quarantines,
+        fleet_sheds,
     }
 }
 

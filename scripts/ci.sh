@@ -10,13 +10,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> clippy: unwrap_used denied in self-healing + observability modules"
+echo "==> clippy: unwrap_used denied in self-healing + observability + health modules"
 # The failure-semantics layer (PR 3) must not panic its way out of a
-# degraded state, and the observability crate (PR 4) must never crash the
-# node it instruments; the modules opt in via #![deny(clippy::unwrap_used)]
-# and this check keeps the attribute from being dropped silently.
+# degraded state, the observability crate (PR 4) must never crash the
+# node it instruments, and the health plane (PR 6) must never panic the
+# failure detector it runs inside; the modules opt in via
+# #![deny(clippy::unwrap_used)] and this check keeps the attribute from
+# being dropped silently.
 for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs \
-         crates/obs/src/lib.rs; do
+         crates/obs/src/lib.rs crates/chord/src/health.rs \
+         crates/sim/src/gray.rs; do
   grep -q '#!\[deny(clippy::unwrap_used)\]' "$f" \
     || { echo "missing #![deny(clippy::unwrap_used)] in $f"; exit 1; }
 done
@@ -41,6 +44,12 @@ echo "==> soak smoke: bounded churn matrix (failing seeds print their replay lin
 # thanks to the per-crate opt-level overrides. Extend the matrix with
 # e.g. SOAK_SEEDS="2 9 41" for a deeper sweep.
 SOAK_SEEDS="${SOAK_SEEDS:-2}" cargo test -q --test soak_churn -- --nocapture
+
+echo "==> gray-failure smoke: slow/half-open/overload/flapping matrix"
+# Four scored gray-fault episodes against a 32-node continuous
+# aggregation (~1 s wall-clock per seed); failing seeds print their
+# replay line. Extend with e.g. GRAY_SEEDS="3 5 8" for a deeper sweep.
+GRAY_SEEDS="${GRAY_SEEDS:-2}" cargo test -q --test gray_failures -- --nocapture
 
 echo "==> examples build"
 cargo build --release --examples

@@ -8,8 +8,10 @@
 
 use std::time::{Duration, Instant};
 
-use libdat::chord::{ChordConfig, Id, IdSpace, NodeAddr, NodeStatus};
-use libdat::core::{AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
+use libdat::chord::{ChordConfig, Id, IdSpace, NodeAddr, NodeStatus, SuspicionLevel};
+use libdat::core::{
+    AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode, DAT_PROTO,
+};
 use libdat::maan::{MaanEvent, MaanProtocol, MaanStack, Resource};
 use libdat::monitor::grid_schemas;
 use libdat::obs::{fnv1a, Event, EventKind};
@@ -75,6 +77,46 @@ struct Answers {
     discovered: Vec<String>,
     /// Order-insensitive digest of the on-demand query's causal trace.
     query_digest: u64,
+    /// Canonical per-node health-plane + inbox-shed bytes (sorted by node
+    /// id): both transports must agree on every neighbor's suspicion level
+    /// and on every shed counter, byte for byte.
+    health_shed: Vec<Vec<u8>>,
+}
+
+/// Canonical health/shed snapshot for one node: its id, then for every
+/// routed neighbor (predecessor + successor list, sorted, deduped) the
+/// neighbor's id and coarse suspicion level, then the engine's shed
+/// counters. Raw phi values differ across transports (wall-clock vs
+/// virtual timing), so only the coarse level is encoded — and in this
+/// benign scenario it must be Healthy everywhere with zero sheds; the
+/// parity claim is that the failure detector and the inbox accounting
+/// reach the identical state over the simulator and over real UDP.
+fn health_shed_snapshot(node: &StackNode) -> (u64, Vec<u8>) {
+    let chord = node.chord();
+    let mut peers: Vec<Id> = chord
+        .table()
+        .successor_list()
+        .iter()
+        .map(|r| r.id)
+        .collect();
+    if let Some(p) = chord.table().predecessor() {
+        peers.push(p.id);
+    }
+    peers.sort_unstable();
+    peers.dedup();
+    let me = node.me().id.0;
+    let mut buf = me.to_le_bytes().to_vec();
+    for p in peers {
+        buf.extend_from_slice(&p.0.to_le_bytes());
+        buf.push(match chord.health().peek(p) {
+            SuspicionLevel::Healthy => 0,
+            SuspicionLevel::Suspect => 1,
+            SuspicionLevel::Quarantined => 2,
+        });
+    }
+    buf.extend_from_slice(&node.shed_count(DAT_PROTO).to_le_bytes());
+    buf.extend_from_slice(&node.stats_shed_count().to_le_bytes());
+    (me, buf)
 }
 
 /// Digest the query's receive-side trace: which node received which kind
@@ -190,11 +232,20 @@ fn run_in_simulator() -> Answers {
         .map(|r| r.uri)
         .collect();
     discovered.sort();
+
+    let mut health_shed: Vec<(u64, Vec<u8>)> = net
+        .addrs()
+        .iter()
+        .map(|&a| health_shed_snapshot(net.node(a).expect("sim node alive")))
+        .collect();
+    health_shed.sort();
+
     Answers {
         dat_count: partial.count,
         dat_sum: partial.finalize(AggFunc::Sum),
         discovered,
         query_digest,
+        health_shed: health_shed.into_iter().map(|(_, b)| b).collect(),
     }
 }
 
@@ -311,6 +362,17 @@ fn run_over_udp() -> Answers {
     };
     discovered.sort();
 
+    let mut health_shed: Vec<(u64, Vec<u8>)> = Vec::with_capacity(N);
+    for i in 0..N {
+        let snap = cluster
+            .call(NodeAddr(i as u64), |node| {
+                (health_shed_snapshot(node), vec![])
+            })
+            .expect("health snapshot");
+        health_shed.push(snap);
+    }
+    health_shed.sort();
+
     let stats = cluster.stats();
     assert_eq!(stats.decode_errors, 0, "{stats:?}");
     cluster.shutdown();
@@ -319,6 +381,7 @@ fn run_over_udp() -> Answers {
         dat_sum: partial.finalize(AggFunc::Sum),
         discovered,
         query_digest,
+        health_shed: health_shed.into_iter().map(|(_, b)| b).collect(),
     }
 }
 
@@ -339,5 +402,19 @@ fn simulator_and_udp_cluster_agree() {
             "grid://node-5"
         ]
     );
+    // Benign scenario: the agreed health state must be the all-healthy
+    // one — no neighbor suspected over either transport, nothing shed.
+    assert_eq!(sim.health_shed.len(), N);
+    for buf in &sim.health_shed {
+        let (peers, sheds) = buf[8..].split_at(buf.len() - 8 - 16);
+        assert!(
+            peers.chunks(9).all(|c| c[8] == 0),
+            "spurious suspicion in snapshot {buf:?}"
+        );
+        assert!(
+            sheds.iter().all(|b| *b == 0),
+            "spurious shed in snapshot {buf:?}"
+        );
+    }
     assert_eq!(sim, udp, "simulator and UDP cluster disagree");
 }
