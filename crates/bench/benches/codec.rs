@@ -62,7 +62,7 @@ fn bench_udp_frame(c: &mut Criterion) {
     let app = ChordMsg::App {
         proto: 1,
         from: nr(3),
-        payload: vec![0u8; 1024],
+        payload: vec![0u8; 1024].into(),
     };
     let app_frame = dat_rpc::encode(&app);
     g.throughput(Throughput::Bytes(app_frame.len() as u64));

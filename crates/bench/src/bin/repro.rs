@@ -21,9 +21,12 @@
 //! ```
 //!
 //! `--check` exits non-zero if any qualitative claim of the paper fails;
-//! `--quick` shrinks sizes for fast smoke runs; `--metrics` additionally
-//! dumps the fleet-merged Prometheus exposition of the run (where the
-//! experiment supports it) and fails the check if the dump does not parse.
+//! `--quick` shrinks sizes for fast smoke runs; `--scale` extends the
+//! size sweeps past the paper's 8192-node ceiling (fig7/heights to
+//! 32768, fig8b to 16384) to exercise the million-node event engine;
+//! `--metrics` additionally dumps the fleet-merged Prometheus exposition
+//! of the run (where the experiment supports it) and fails the check if
+//! the dump does not parse.
 
 use dat_bench::experiments::{
     ablation, churn, crosscheck, degradation, fig25, fig7, fig8, fig9, gossip_exp, heights,
@@ -33,6 +36,7 @@ use dat_bench::experiments::{
 struct Opts {
     check: bool,
     quick: bool,
+    scale: bool,
     metrics: bool,
 }
 
@@ -40,12 +44,18 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let quick = args.iter().any(|a| a == "--quick");
+    let scale = args.iter().any(|a| a == "--scale");
     let metrics = args.iter().any(|a| a == "--metrics");
     args.retain(|a| !a.starts_with("--"));
     let what = args.first().map(String::as_str).unwrap_or("all");
+    if quick && scale {
+        eprintln!("--quick and --scale are mutually exclusive");
+        std::process::exit(2);
+    }
     let opts = Opts {
         check,
         quick,
+        scale,
         metrics,
     };
 
@@ -105,7 +115,13 @@ fn main() {
 }
 
 fn run_fig7(o: &Opts, what: &str) -> Vec<String> {
-    let (max_n, seeds, keys) = if o.quick { (512, 2, 2) } else { (8192, 3, 3) };
+    let (max_n, seeds, keys) = if o.quick {
+        (512, 2, 2)
+    } else if o.scale {
+        (32_768, 3, 3)
+    } else {
+        (8192, 3, 3)
+    };
     eprintln!("[fig7] building trees up to n = {max_n} ...");
     let fig = fig7::run(max_n, seeds, keys);
     if what != "fig7b" {
@@ -145,11 +161,16 @@ fn run_fig8a(o: &Opts) -> Vec<String> {
 }
 
 fn run_fig8b(o: &Opts) -> Vec<String> {
-    let sizes: Vec<usize> = if o.quick {
+    let mut sizes: Vec<usize> = if o.quick {
         vec![100, 200, 400]
     } else {
         (1..=10).map(|i| i * 100).collect()
     };
+    if o.scale {
+        // Past the paper's ceiling: the load-balance claims must hold as
+        // the engine scales, not just at the published sizes.
+        sizes.extend([2048, 8192, 16_384]);
+    }
     eprintln!("[fig8b] imbalance sweep over {sizes:?} ...");
     let fig = fig8::run_b(&sizes, 0xF18B);
     fig.table().print();
@@ -170,7 +191,13 @@ fn run_fig9(o: &Opts) -> Vec<String> {
 }
 
 fn run_heights(o: &Opts) -> Vec<String> {
-    let max_n = if o.quick { 1024 } else { 8192 };
+    let max_n = if o.quick {
+        1024
+    } else if o.scale {
+        32_768
+    } else {
+        8192
+    };
     eprintln!("[heights] measuring up to n = {max_n} ...");
     let h = heights::run(max_n, 3);
     h.table().print();

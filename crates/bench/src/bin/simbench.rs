@@ -1,0 +1,193 @@
+//! `simbench` — event-engine throughput trajectory, tracked in
+//! `BENCH_sim.json`.
+//!
+//! ```text
+//! simbench [--sizes 8192,65536,262144] [--virtual-ms 10000]
+//!          [--scheduler wheel|heap|both] [--budget-s N]
+//!          [--out BENCH_sim.json] [--quiet]
+//! ```
+//!
+//! Runs one maintenance epoch per (size, scheduler) pair, ascending by
+//! size so the process's peak RSS reflects each size's own footprint, and
+//! writes a machine-readable JSON report. `--budget-s` stops the sweep
+//! once total wall time exceeds the budget (remaining sizes are recorded
+//! as skipped, never silently dropped) — this is what keeps the CI smoke
+//! bounded. A 1M-node epoch is the same invocation with
+//! `--sizes 1048576 --budget-s 0`; it is documented offline rather than
+//! run in CI.
+
+use std::time::Instant;
+
+use dat_sim::queue::SchedulerKind;
+use dat_sim::scale::{run_scale, ScaleConfig, ScaleReport};
+
+struct Opts {
+    sizes: Vec<usize>,
+    virtual_ms: u64,
+    schedulers: Vec<SchedulerKind>,
+    budget_s: u64,
+    out: String,
+    quiet: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        sizes: vec![8_192, 65_536, 262_144],
+        virtual_ms: 10_000,
+        schedulers: vec![SchedulerKind::Wheel],
+        budget_s: 0, // 0 = unbounded
+        out: "BENCH_sim.json".into(),
+        quiet: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {arg}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg {
+            "--sizes" => {
+                o.sizes = val(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad size `{s}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--virtual-ms" => {
+                o.virtual_ms = val(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("bad --virtual-ms");
+                    std::process::exit(2);
+                });
+            }
+            "--scheduler" => {
+                o.schedulers = match val(&mut i).as_str() {
+                    "wheel" => vec![SchedulerKind::Wheel],
+                    "heap" => vec![SchedulerKind::Heap],
+                    "both" => vec![SchedulerKind::Wheel, SchedulerKind::Heap],
+                    other => {
+                        eprintln!("unknown scheduler `{other}` (wheel|heap|both)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--budget-s" => {
+                o.budget_s = val(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("bad --budget-s");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => o.out = val(&mut i),
+            "--quiet" => o.quiet = true,
+            other => {
+                eprintln!("unknown flag `{other}`; see simbench source header");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o.sizes.sort_unstable();
+    o
+}
+
+fn sched_name(k: SchedulerKind) -> &'static str {
+    match k {
+        SchedulerKind::Wheel => "wheel",
+        SchedulerKind::Heap => "heap",
+    }
+}
+
+fn json_entry(r: &ScaleReport) -> String {
+    format!(
+        "    {{\"n\": {}, \"scheduler\": \"{}\", \"virtual_ms\": {}, \
+         \"build_wall_ms\": {}, \"run_wall_ms\": {}, \"events\": {}, \
+         \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
+         \"dropped\": {}, \"clamped\": {}, \"backlog\": {}, \
+         \"peak_rss_mib\": {}}}",
+        r.n,
+        sched_name(r.scheduler),
+        r.virtual_ms,
+        r.build_wall_ms,
+        r.run_wall_ms,
+        r.events,
+        r.events_per_sec,
+        r.ns_per_event,
+        r.dropped,
+        r.clamped,
+        r.backlog,
+        match r.peak_rss_mib {
+            Some(m) => m.to_string(),
+            None => "null".into(),
+        }
+    )
+}
+
+fn main() {
+    let o = parse_opts();
+    let started = Instant::now();
+    let mut entries: Vec<String> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    for &n in &o.sizes {
+        for &sched in &o.schedulers {
+            if o.budget_s > 0 && started.elapsed().as_secs() >= o.budget_s {
+                skipped.push(format!(
+                    "{{\"n\": {n}, \"scheduler\": \"{}\"}}",
+                    sched_name(sched)
+                ));
+                if !o.quiet {
+                    eprintln!("[simbench] budget exhausted; skipping n={n} {sched:?}");
+                }
+                continue;
+            }
+            if !o.quiet {
+                eprintln!("[simbench] n={n} scheduler={} ...", sched_name(sched));
+            }
+            let r = run_scale(ScaleConfig {
+                n,
+                virtual_ms: o.virtual_ms,
+                scheduler: sched,
+                ..ScaleConfig::default()
+            });
+            if !o.quiet {
+                eprintln!("[simbench]   {}", r.summary());
+            }
+            if r.clamped > 0 {
+                eprintln!(
+                    "[simbench] WARNING: {} past-scheduled events clamped at n={n}",
+                    r.clamped
+                );
+            }
+            entries.push(json_entry(&r));
+        }
+    }
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"generated_unix\": {unix_secs},\n  \"virtual_ms\": {},\n  \
+         \"wall_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"skipped\": [{}]\n}}\n",
+        o.virtual_ms,
+        started.elapsed().as_secs(),
+        entries.join(",\n"),
+        skipped.join(", ")
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("[simbench] cannot write {}: {e}", o.out);
+        std::process::exit(1);
+    }
+    if !o.quiet {
+        eprintln!("[simbench] wrote {} ({} runs)", o.out, entries.len());
+    }
+    println!("{json}");
+}

@@ -46,12 +46,14 @@
 #![forbid(unsafe_code)]
 
 pub mod actor;
+pub mod codec;
 pub mod finger;
 pub mod health;
 pub mod id;
 pub mod metrics;
 pub mod msg;
 pub mod node;
+pub mod payload;
 pub mod probing;
 pub mod ring;
 pub mod routing;
@@ -65,6 +67,7 @@ pub use id::{ceil_log2, ceil_log2_ratio, Id, IdSpace};
 pub use metrics::{Dir, Metrics};
 pub use msg::{ChordMsg, Input, Output, ReqId, TimerKind, Upcall};
 pub use node::{ChordConfig, ChordNode, NodeStatus};
+pub use payload::Payload;
 pub use ring::{IdPolicy, StaticRing};
 pub use routing::{
     estimate_d0, estimate_ring_size, finger_limit, ideal_parent_balanced, ideal_parent_basic,

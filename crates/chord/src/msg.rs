@@ -8,6 +8,7 @@
 
 use crate::finger::{NodeAddr, NodeRef};
 use crate::id::Id;
+use crate::payload::Payload;
 
 /// Request identifiers are locally unique per issuing node; replies echo
 /// them so the issuer can match its pending table.
@@ -118,8 +119,8 @@ pub enum ChordMsg {
     Route {
         /// The key being resolved / routed to.
         key: Id,
-        /// Opaque application payload.
-        payload: Vec<u8>,
+        /// Opaque application payload (shared buffer; clones are cheap).
+        payload: Payload,
         /// The node that initiated the request and receives the reply/upcall.
         origin: NodeRef,
         /// Hops traversed so far.
@@ -134,8 +135,8 @@ pub enum ChordMsg {
         proto: u8,
         /// The sending node.
         from: NodeRef,
-        /// Opaque application payload.
-        payload: Vec<u8>,
+        /// Opaque application payload (shared buffer; clones are cheap).
+        payload: Payload,
     },
     /// Ring broadcast (El-Ansary style, the `broadcast` primitive of §4):
     /// the receiver owns responsibility for `(receiver, limit)` and
@@ -143,8 +144,8 @@ pub enum ChordMsg {
     Broadcast {
         /// End of the identifier range this branch must cover (exclusive).
         limit: Id,
-        /// Opaque application payload.
-        payload: Vec<u8>,
+        /// Opaque application payload (shared buffer; clones are cheap).
+        payload: Payload,
         /// The node that initiated the request and receives the reply/upcall.
         origin: NodeRef,
         /// Broadcast tree depth so far (diagnostics).
@@ -168,7 +169,7 @@ pub enum ChordMsg {
         /// The responding node.
         sender: NodeRef,
         /// UTF-8 metrics text (Prometheus exposition format).
-        text: Vec<u8>,
+        text: Payload,
     },
 }
 
@@ -276,8 +277,8 @@ pub enum Upcall {
     Routed {
         /// The key being resolved / routed to.
         key: Id,
-        /// Opaque application payload.
-        payload: Vec<u8>,
+        /// Opaque application payload (shared buffer; clones are cheap).
+        payload: Payload,
         /// The node that initiated the request and receives the reply/upcall.
         origin: NodeRef,
         /// Hops traversed so far.
@@ -286,8 +287,8 @@ pub enum Upcall {
     /// A broadcast payload arrived (each node receives it exactly once per
     /// broadcast when the ring is stable).
     Broadcast {
-        /// Opaque application payload.
-        payload: Vec<u8>,
+        /// Opaque application payload (shared buffer; clones are cheap).
+        payload: Payload,
         /// The node that initiated the request and receives the reply/upcall.
         origin: NodeRef,
         /// Broadcast tree depth.
@@ -302,8 +303,8 @@ pub enum Upcall {
         proto: u8,
         /// The sending node.
         from: NodeRef,
-        /// Opaque application payload.
-        payload: Vec<u8>,
+        /// Opaque application payload (shared buffer; clones are cheap).
+        payload: Payload,
     },
     /// The local neighborhood (successor/predecessor) changed; upper layers
     /// may need to recompute DAT parents.
@@ -326,7 +327,7 @@ pub enum Upcall {
         /// The responding node.
         from: NodeRef,
         /// UTF-8 metrics text (Prometheus exposition format).
-        text: Vec<u8>,
+        text: Payload,
     },
 }
 
@@ -352,7 +353,7 @@ mod tests {
     fn maintenance_classification() {
         let route = ChordMsg::Route {
             key: Id(1),
-            payload: vec![],
+            payload: vec![].into(),
             origin: NodeRef::new(Id(0), NodeAddr(0)),
             hops: 0,
         };

@@ -25,6 +25,7 @@ use crate::health::{HealthDetector, SuspicionLevel};
 use crate::id::{Id, IdSpace};
 use crate::metrics::Metrics;
 use crate::msg::{ChordMsg, Input, Output, ReqId, TimerKind, Upcall};
+use crate::payload::Payload;
 
 /// Tunables for the Chord layer. Times are in host milliseconds (virtual
 /// milliseconds under simulation).
@@ -506,7 +507,8 @@ impl ChordNode {
 
     /// Route an opaque payload to the owner of `key`
     /// ([`Upcall::Routed`] fires there).
-    pub fn route(&mut self, key: Id, payload: Vec<u8>) -> Vec<Output> {
+    pub fn route(&mut self, key: Id, payload: impl Into<Payload>) -> Vec<Output> {
+        let payload = payload.into();
         let mut out = Vec::new();
         if self.owns(key) {
             out.push(Output::Upcall(Upcall::Routed {
@@ -532,9 +534,12 @@ impl ChordNode {
     /// Broadcast a payload to every ring member (the `broadcast` primitive
     /// of §4). The local upcall fires immediately; remote nodes receive
     /// [`Upcall::Broadcast`] exactly once on a stable ring.
-    pub fn broadcast(&mut self, payload: Vec<u8>) -> Vec<Output> {
+    pub fn broadcast(&mut self, payload: impl Into<Payload>) -> Vec<Output> {
+        let payload = payload.into();
         let mut out = Vec::new();
         let me = self.me();
+        // Shared-buffer payload: the local upcall and every fan-out branch
+        // alias one allocation instead of deep-copying per finger.
         out.push(Output::Upcall(Upcall::Broadcast {
             payload: payload.clone(),
             origin: me,
@@ -579,11 +584,11 @@ impl ChordNode {
 
     /// Build the reply to a [`Upcall::StatsRequested`] — hosts call this
     /// with whatever exposition text they serve.
-    pub fn reply_stats(&mut self, to: NodeRef, req: ReqId, text: Vec<u8>) -> Output {
+    pub fn reply_stats(&mut self, to: NodeRef, req: ReqId, text: impl Into<Payload>) -> Output {
         let msg = ChordMsg::StatsReply {
             req,
             sender: self.me(),
-            text,
+            text: text.into(),
         };
         self.metrics.on_send(self.now_ms, 0, msg.kind(), to.id.0);
         Output::Send { to, msg }
@@ -591,11 +596,11 @@ impl ChordNode {
 
     /// Send a direct application-layer message to `to` (single hop, no
     /// routing). The remote side receives [`Upcall::AppMessage`].
-    pub fn send_app(&mut self, to: NodeRef, proto: u8, payload: Vec<u8>) -> Output {
+    pub fn send_app(&mut self, to: NodeRef, proto: u8, payload: impl Into<Payload>) -> Output {
         let msg = ChordMsg::App {
             proto,
             from: self.me(),
-            payload,
+            payload: payload.into(),
         };
         self.metrics.on_send(self.now_ms, 0, msg.kind(), to.id.0);
         Output::Send { to, msg }
@@ -1336,7 +1341,7 @@ impl ChordNode {
         &mut self,
         out: &mut Vec<Output>,
         limit: Id,
-        payload: &[u8],
+        payload: &Payload,
         origin: NodeRef,
         depth: u32,
     ) {
@@ -1365,7 +1370,7 @@ impl ChordNode {
             };
             let msg = ChordMsg::Broadcast {
                 limit: sub_limit,
-                payload: payload.to_vec(),
+                payload: payload.clone(),
                 origin,
                 depth,
             };
@@ -1697,7 +1702,7 @@ mod tests {
             from: NodeAddr(15),
             msg: ChordMsg::Route {
                 key: Id(6),
-                payload: vec![],
+                payload: vec![].into(),
                 origin: NodeRef::new(Id(15), NodeAddr(15)),
                 hops: n.config().max_hops,
             },

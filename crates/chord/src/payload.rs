@@ -1,0 +1,209 @@
+//! Shared, cheaply-cloneable message payloads.
+//!
+//! Application payloads travel through several fan-out points — broadcast
+//! re-transmission to every covering finger, DAT multicast to a child set,
+//! duplication faults in the simulator — and each used to deep-copy its
+//! `Vec<u8>`. [`Payload`] wraps the bytes in an `Arc<[u8]>` plus a window,
+//! so cloning is a reference-count bump and sub-slicing (e.g. stripping a
+//! protocol tag byte) shares the same allocation. The type dereferences to
+//! `&[u8]`, so decoding code is unaffected; producers keep passing
+//! `Vec<u8>`s through `impl Into<Payload>` APIs.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// An immutable byte payload backed by a shared, atomically reference
+/// counted buffer. Cloning never copies the bytes.
+#[derive(Clone)]
+pub struct Payload {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Payload {
+    /// An empty payload (no allocation is shared; still cheap).
+    pub fn empty() -> Self {
+        Payload {
+            buf: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Number of visible bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the visible window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy sub-window relative to this payload's window. The returned
+    /// payload shares the same backing buffer.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (mirrors slice indexing).
+    pub fn slice(&self, range: Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "payload slice {}..{} out of bounds (len {})",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Payload {
+            buf: Arc::clone(&self.buf),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the visible bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// The visible bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Payload {
+            buf: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload {
+            buf: Arc::from(v),
+            start: 0,
+            end: v.len(),
+        }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Self {
+        Payload::from(&v[..])
+    }
+}
+
+impl From<&str> for Payload {
+    fn from(v: &str) -> Self {
+        Payload::from(v.as_bytes())
+    }
+}
+
+impl core::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Payload({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == &other[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_backing_buffer() {
+        let p = Payload::from(vec![1u8, 2, 3, 4]);
+        let q = p.clone();
+        assert!(Arc::ptr_eq(&p.buf, &q.buf));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_windowed() {
+        let p = Payload::from(vec![9u8, 1, 2, 3]);
+        let body = p.slice(1..4);
+        assert!(Arc::ptr_eq(&p.buf, &body.buf));
+        assert_eq!(body, vec![1, 2, 3]);
+        let inner = body.slice(1..3);
+        assert_eq!(inner, [2u8, 3]);
+        assert_eq!(inner.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Payload::from(vec![1u8]).slice(0..2);
+    }
+
+    #[test]
+    fn equality_and_deref() {
+        let p = Payload::from(&b"abc"[..]);
+        assert_eq!(p, vec![b'a', b'b', b'c']);
+        assert_eq!(&p[..2], b"ab");
+        assert_eq!(p.first(), Some(&b'a'));
+        assert!(Payload::empty().is_empty());
+        assert_eq!(Payload::default().len(), 0);
+    }
+}

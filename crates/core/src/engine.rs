@@ -1014,7 +1014,7 @@ mod tests {
             msg: ChordMsg::App {
                 proto: 40,
                 from: peer,
-                payload: vec![1, 2, 3],
+                payload: vec![1, 2, 3].into(),
             },
         });
         // Handler consumed it and echoed back.
@@ -1034,7 +1034,7 @@ mod tests {
             msg: ChordMsg::App {
                 proto: 99,
                 from: peer,
-                payload: vec![9],
+                payload: vec![9].into(),
             },
         });
         assert!(outs
@@ -1075,7 +1075,7 @@ mod tests {
                 msg: ChordMsg::App {
                     proto: 40,
                     from: peer,
-                    payload: vec![i],
+                    payload: vec![i].into(),
                 },
             });
         }
@@ -1103,7 +1103,7 @@ mod tests {
                 msg: ChordMsg::App {
                     proto: 40,
                     from: peer,
-                    payload: vec![i],
+                    payload: vec![i].into(),
                 },
             });
         }
@@ -1132,7 +1132,7 @@ mod tests {
             msg: ChordMsg::App {
                 proto: 40,
                 from: peer,
-                payload: vec![99],
+                payload: vec![99].into(),
             },
         });
         assert_eq!(stack.proto_received(40), 5);

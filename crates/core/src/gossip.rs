@@ -301,7 +301,7 @@ mod tests {
             msg: dat_chord::ChordMsg::App {
                 proto: GOSSIP_PROTO,
                 from: NodeRef::new(Id(2), NodeAddr(2)),
-                payload: share.encode(),
+                payload: share.encode().into(),
             },
         });
         // (10 + 5) / (1 + 0.5) = 10

@@ -1552,7 +1552,7 @@ mod tests {
             msg: dat_chord::ChordMsg::App {
                 proto: DAT_PROTO,
                 from: child,
-                payload: upd.encode(),
+                payload: upd.encode().into(),
             },
         });
         assert_eq!(root.aggregation(key).unwrap().live_children(1, 3), 1);
@@ -1595,7 +1595,7 @@ mod tests {
                 msg: dat_chord::ChordMsg::App {
                     proto: DAT_PROTO,
                     from: child,
-                    payload: upd.encode(),
+                    payload: upd.encode().into(),
                 },
             });
         }
@@ -1631,7 +1631,7 @@ mod tests {
             msg: dat_chord::ChordMsg::App {
                 proto: DAT_PROTO,
                 from: child,
-                payload: upd.encode(),
+                payload: upd.encode().into(),
             },
         });
         // Advance well past the TTL (ttl = 3): 6 epochs.
@@ -1661,7 +1661,7 @@ mod tests {
             msg: dat_chord::ChordMsg::App {
                 proto: DAT_PROTO,
                 from: NodeRef::new(Id(5), NodeAddr(5)),
-                payload: vec![0xde, 0xad],
+                payload: vec![0xde, 0xad].into(),
             },
         });
         assert_eq!(n.dat_metrics().dropped, 1);
@@ -1761,7 +1761,7 @@ mod tests {
             msg: dat_chord::ChordMsg::App {
                 proto: DAT_PROTO,
                 from: succ,
-                payload: fence.encode(),
+                payload: fence.encode().into(),
             },
         });
         let _ = n.fire_epoch_for_tests();
@@ -1811,7 +1811,7 @@ mod tests {
             msg: dat_chord::ChordMsg::App {
                 proto: DAT_PROTO,
                 from: pred,
-                payload: rep.encode(),
+                payload: rep.encode().into(),
             },
         });
         let _ = n.fire_epoch_for_tests();

@@ -242,11 +242,20 @@ pub fn run_gray(cfg: &GrayConfig) -> GrayOutcome {
     let total = cfg.total_ms();
     let step = (cfg.epoch_ms / 2).max(1);
     let mut log: Vec<SoakReport> = Vec::new();
+    // Gray faults never change membership (nothing crashes), so one
+    // sorted address snapshot serves the whole drive loop; the membership
+    // epoch check is belt-and-braces against future fault kinds.
+    let mut cached_addrs = net.addrs();
+    let mut cached_epoch = net.membership_epoch();
     while net.now().as_millis() < total {
         let now = net.now().as_millis();
         net.run_for(step.min(total - now));
         let t = net.now().as_millis();
-        for addr in net.addrs() {
+        if net.membership_epoch() != cached_epoch {
+            cached_addrs = net.addrs();
+            cached_epoch = net.membership_epoch();
+        }
+        for &addr in &cached_addrs {
             let Some(node) = net.node_mut(addr) else {
                 continue;
             };

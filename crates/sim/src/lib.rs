@@ -18,6 +18,8 @@
 //!   interprets their outputs, counts transport traffic;
 //! * [`harness`] — builds whole overlays: live protocol joins, or
 //!   pre-stabilized 8192-node rings materialised from a global view;
+//! * [`scale`] — 10⁴–10⁶-node throughput epochs (events/sec, ns/event,
+//!   peak RSS) tracking the engine's performance trajectory;
 //! * [`stats`] — tallies, percentiles and the paper's imbalance factor.
 //!
 //! ```
@@ -42,6 +44,7 @@ pub mod latency;
 pub mod net;
 pub mod obs;
 pub mod queue;
+pub mod scale;
 pub mod soak;
 pub mod stats;
 pub mod time;
@@ -55,7 +58,8 @@ pub use harness::{
 pub use latency::{LatencyModel, LossModel};
 pub use net::{Actor, LinkStats, SimNet, UpcallRecord};
 pub use obs::{fleet_events, fleet_prometheus, fleet_registry};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, SchedulerKind};
+pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use soak::{run_soak, SoakConfig, SoakOutcome, SoakReport};
 pub use stats::{imbalance_factor, percentile, rank_order, Tally};
 pub use time::SimTime;

@@ -1,6 +1,32 @@
 //! The simulated network: hosts sans-io actors, delivers messages with
 //! modeled latency/loss, and fires timers — all in deterministic virtual
 //! time.
+//!
+//! ## Storage layout (the million-node hot path)
+//!
+//! Nodes live in an arena (`Vec<Slot>`) addressed by dense indices, with a
+//! generation counter per slot so crash/restart can reuse both slots and
+//! transport addresses without aliasing. Every internally scheduled event
+//! carries a `(slot, generation)` hint captured at schedule time: on the
+//! fast path a delivery resolves its target with a single `Vec` index and
+//! a generation compare instead of the five `HashMap` probes (`nodes`,
+//! `stats`, `slow`, `busy_until`, plus the delivered-counter update) the
+//! old layout paid. Per-link counters, slowdown state and busy horizons
+//! are fields of the same slot, so one cache line serves the whole
+//! delivery. A stale hint (the target crashed, and possibly a new node
+//! took its address) falls back to the address map, which preserves the
+//! original semantics exactly: in-flight traffic to a re-used address
+//! reaches the *new* incarnation, and traffic to a dead address is
+//! counted in [`SimNet::dropped`].
+//!
+//! Messages pass between co-hosted actors zero-copy: the decoded
+//! [`ChordMsg`] moves through the queue by value and payload bytes are
+//! shared `Arc` buffers ([`dat_chord::Payload`]). The optional codec
+//! parity mode ([`SimNet::set_codec_parity`]) re-encodes and decodes every
+//! delivered message through the real wire codec and asserts equality,
+//! proving in-memory delivery and wire delivery agree byte for byte.
+
+#![deny(clippy::unwrap_used)]
 
 use std::collections::HashMap;
 
@@ -10,21 +36,39 @@ use rand::{Rng, SeedableRng};
 
 use crate::fault::{FaultAction, FaultController, FaultPlan};
 use crate::latency::{LatencyModel, LossModel};
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, SchedulerKind};
 use crate::time::SimTime;
 
 pub use dat_chord::Actor;
+
+/// A `(slot index, generation)` pair captured when an event is scheduled.
+/// Resolving it is one bounds check + one compare; a mismatch (slot reused
+/// after a crash) falls back to the address map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SlotHint {
+    idx: u32,
+    gen: u32,
+}
+
+impl SlotHint {
+    const NONE: SlotHint = SlotHint {
+        idx: u32::MAX,
+        gen: u32::MAX,
+    };
+}
 
 /// Events the engine schedules internally.
 #[derive(Clone, Debug)]
 enum SimEvent {
     Deliver {
         to: NodeAddr,
+        hint: SlotHint,
         from: NodeAddr,
         msg: ChordMsg,
     },
     Timer {
         node: NodeAddr,
+        hint: SlotHint,
         kind: TimerKind,
     },
     /// The `i`-th event of the installed [`FaultPlan`] comes due.
@@ -51,6 +95,24 @@ pub struct LinkStats {
     pub delivered: u64,
 }
 
+/// One arena cell: the hosted actor plus all per-node engine state that
+/// the delivery hot path touches.
+struct Slot<A> {
+    /// Transport address of the current (or last) occupant.
+    addr: NodeAddr,
+    /// Bumped every time the slot is re-occupied; stale hints miss on it.
+    gen: u32,
+    /// The hosted actor; `None` after a crash until the slot is reused.
+    actor: Option<A>,
+    /// Live transport counters of the occupant.
+    stats: LinkStats,
+    /// Active processing slowdown: `(process_ms, episode end)`.
+    slow: Option<(u64, SimTime)>,
+    /// Virtual-time busy horizon of a slowed node: deliveries landing
+    /// before it are requeued, so a slow node answers *late*, not never.
+    busy_until: SimTime,
+}
+
 /// The discrete-event network engine.
 ///
 /// Generic over the hosted [`Actor`] so the same engine runs bare Chord
@@ -58,26 +120,32 @@ pub struct LinkStats {
 /// layering of the paper's prototype simulator (§4).
 pub struct SimNet<A: Actor> {
     queue: EventQueue<SimEvent>,
-    nodes: HashMap<NodeAddr, A>,
+    /// Arena of node slots; crashed slots are reused via `free`.
+    slots: Vec<Slot<A>>,
+    free: Vec<u32>,
+    /// Address → slot index for the cold paths (API lookups, stale hints).
+    addr_map: HashMap<NodeAddr, u32>,
+    live: usize,
+    /// Bumped on every add/crash so hosts can cache membership-derived
+    /// structures (address lists, id maps) and rebuild only on change.
+    membership_epoch: u64,
     rng: SmallRng,
     latency: LatencyModel,
     loss: LossModel,
     upcalls: Vec<UpcallRecord>,
     record_upcalls: bool,
-    stats: HashMap<NodeAddr, LinkStats>,
     /// Counters of nodes that crashed, frozen at crash time (accumulated
     /// across repeated crashes of the same address).
     retired_stats: HashMap<NodeAddr, LinkStats>,
     faults: Option<FaultController>,
-    /// Active processing slowdowns: `addr → (process_ms, episode end)`.
-    slow: HashMap<NodeAddr, (u64, SimTime)>,
-    /// Virtual-time busy horizon of each slowed node: deliveries landing
-    /// before it are requeued, so a slow node answers *late*, not never.
-    busy_until: HashMap<NodeAddr, SimTime>,
     /// Builds a fresh actor (plus its start outputs) for a
     /// [`crate::FaultEvent::Restart`] of the given address.
     #[allow(clippy::type_complexity)]
     restart_fn: Option<Box<dyn FnMut(NodeAddr) -> Option<(A, Vec<Output>)>>>,
+    /// Round-trip every delivered message through the wire codec and
+    /// assert equality (zero-copy parity proof; costs an encode+decode
+    /// per delivery, so it is opt-in).
+    codec_parity: bool,
     /// Messages dropped by the loss model, an active partition/link fault,
     /// or addressed to dead nodes.
     pub dropped: u64,
@@ -85,25 +153,40 @@ pub struct SimNet<A: Actor> {
 }
 
 impl<A: Actor> SimNet<A> {
-    /// A fresh engine with the given determinism seed.
+    /// A fresh engine with the given determinism seed (timer-wheel
+    /// scheduler).
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, SchedulerKind::Wheel)
+    }
+
+    /// A fresh engine with an explicit event-scheduler backend. Both
+    /// backends produce byte-identical schedules; the heap exists for
+    /// parity tests and benchmarks.
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
         SimNet {
-            queue: EventQueue::new(),
-            nodes: HashMap::new(),
+            queue: EventQueue::with_scheduler(kind),
+            slots: Vec::new(),
+            free: Vec::new(),
+            addr_map: HashMap::new(),
+            live: 0,
+            membership_epoch: 0,
             rng: SmallRng::seed_from_u64(seed),
             latency: LatencyModel::default(),
             loss: LossModel::NONE,
             upcalls: Vec::new(),
             record_upcalls: true,
-            stats: HashMap::new(),
             retired_stats: HashMap::new(),
             faults: None,
-            slow: HashMap::new(),
-            busy_until: HashMap::new(),
             restart_fn: None,
+            codec_parity: false,
             dropped: 0,
             events_processed: 0,
         }
+    }
+
+    /// Which scheduler backs the event queue.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.scheduler()
     }
 
     /// Install a fault schedule. Each event becomes a queue event at its
@@ -150,6 +233,13 @@ impl<A: Actor> SimNet<A> {
         self.record_upcalls = on;
     }
 
+    /// Enable the zero-copy/wire parity proof: every delivered message is
+    /// encoded with [`dat_chord::codec`], decoded back, and compared. Any
+    /// divergence panics with the offending message. Off by default.
+    pub fn set_codec_parity(&mut self, on: bool) {
+        self.codec_parity = on;
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -157,12 +247,12 @@ impl<A: Actor> SimNet<A> {
 
     /// Number of hosted (live) nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     /// `true` when no nodes are hosted.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.live == 0
     }
 
     /// Total events processed so far.
@@ -175,35 +265,119 @@ impl<A: Actor> SimNet<A> {
         self.queue.len()
     }
 
+    /// Events that were scheduled in the past and clamped to "now" by the
+    /// queue. Persistently growing values point at stale-deadline bugs in
+    /// hosts; surfaced here so scale runs can assert on it.
+    pub fn clamped_events(&self) -> u64 {
+        self.queue.clamped_events()
+    }
+
+    /// Bumped on every membership change (add or crash). Hosts that
+    /// derive per-node structures from the address list can cache them
+    /// keyed on this epoch instead of rebuilding each iteration.
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
     /// Add a node. Panics if the address is taken.
     pub fn add_node(&mut self, actor: A) {
         let addr = actor.addr();
-        let prev = self.nodes.insert(addr, actor);
-        assert!(prev.is_none(), "duplicate node address {addr:?}");
-        self.stats.entry(addr).or_default();
+        assert!(
+            !self.addr_map.contains_key(&addr),
+            "duplicate node address {addr:?}"
+        );
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.addr = addr;
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.actor = Some(actor);
+                slot.stats = LinkStats::default();
+                slot.slow = None;
+                slot.busy_until = SimTime::ZERO;
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    addr,
+                    gen: 0,
+                    actor: Some(actor),
+                    stats: LinkStats::default(),
+                    slow: None,
+                    busy_until: SimTime::ZERO,
+                });
+                idx
+            }
+        };
+        self.addr_map.insert(addr, idx);
+        self.live += 1;
+        self.membership_epoch += 1;
+    }
+
+    /// Slot index of a live node.
+    fn idx_of(&self, addr: NodeAddr) -> Option<usize> {
+        let idx = *self.addr_map.get(&addr)? as usize;
+        self.slots[idx].actor.as_ref()?;
+        Some(idx)
+    }
+
+    /// Resolve a delivery target: generation-checked arena hit first,
+    /// address-map fallback second (slot reused, or event scheduled before
+    /// the target existed).
+    fn resolve(&self, to: NodeAddr, hint: SlotHint) -> Option<usize> {
+        let idx = hint.idx as usize;
+        if idx < self.slots.len() {
+            let s = &self.slots[idx];
+            if s.gen == hint.gen && s.actor.is_some() {
+                debug_assert_eq!(s.addr, to, "hint generation matched a different address");
+                return Some(idx);
+            }
+        }
+        self.idx_of(to)
+    }
+
+    /// The hint to stamp on an event targeting `addr` right now.
+    fn hint_for(&self, addr: NodeAddr) -> SlotHint {
+        match self.addr_map.get(&addr) {
+            Some(&idx) => SlotHint {
+                idx,
+                gen: self.slots[idx as usize].gen,
+            },
+            None => SlotHint::NONE,
+        }
     }
 
     /// Immutable access to a node.
     pub fn node(&self, addr: NodeAddr) -> Option<&A> {
-        self.nodes.get(&addr)
+        self.slots[self.idx_of(addr)?].actor.as_ref()
     }
 
     /// Mutable access to a node (does not process outputs — use
     /// [`Self::with_node`] to run protocol actions).
     pub fn node_mut(&mut self, addr: NodeAddr) -> Option<&mut A> {
-        self.nodes.get_mut(&addr)
+        let idx = self.idx_of(addr)?;
+        self.slots[idx].actor.as_mut()
     }
 
-    /// All live node addresses (unordered).
+    /// All live node addresses (sorted).
     pub fn addrs(&self) -> Vec<NodeAddr> {
-        let mut a: Vec<NodeAddr> = self.nodes.keys().copied().collect();
+        let mut a: Vec<NodeAddr> = self
+            .slots
+            .iter()
+            .filter(|s| s.actor.is_some())
+            .map(|s| s.addr)
+            .collect();
         a.sort_unstable();
         a
     }
 
-    /// Iterate over live nodes.
+    /// Iterate over live nodes (arena order: insertion order with slot
+    /// reuse after crashes — deterministic, unlike the old map order).
     pub fn iter_nodes(&self) -> impl Iterator<Item = (&NodeAddr, &A)> {
-        self.nodes.iter()
+        self.slots
+            .iter()
+            .filter_map(|s| s.actor.as_ref().map(|a| (&s.addr, a)))
     }
 
     /// Run `f` against node `addr` and process the outputs it returns.
@@ -213,10 +387,11 @@ impl<A: Actor> SimNet<A> {
         F: FnOnce(&mut A) -> (R, Vec<Output>),
     {
         let now = self.queue.now().as_millis();
-        let actor = self.nodes.get_mut(&addr)?;
+        let idx = self.idx_of(addr)?;
+        let actor = self.slots[idx].actor.as_mut()?;
         actor.set_now(now);
         let (r, out) = f(actor);
-        self.apply(addr, out);
+        self.apply_from(Some(idx), addr, out);
         Some(r)
     }
 
@@ -226,23 +401,38 @@ impl<A: Actor> SimNet<A> {
     /// [`SimNet::retired_link_stats`] rather than left to go stale; peers
     /// discover the failure via timeouts (ungraceful churn).
     pub fn crash(&mut self, addr: NodeAddr) -> Option<A> {
-        let actor = self.nodes.remove(&addr)?;
-        self.slow.remove(&addr);
-        self.busy_until.remove(&addr);
-        if let Some(s) = self.stats.remove(&addr) {
-            let r = self.retired_stats.entry(addr).or_default();
-            r.sent += s.sent;
-            r.delivered += s.delivered;
-        }
+        let idx = *self.addr_map.get(&addr)?;
+        let slot = &mut self.slots[idx as usize];
+        let actor = slot.actor.take()?;
+        let s = slot.stats;
+        slot.stats = LinkStats::default();
+        slot.slow = None;
+        slot.busy_until = SimTime::ZERO;
+        let r = self.retired_stats.entry(addr).or_default();
+        r.sent += s.sent;
+        r.delivered += s.delivered;
+        self.addr_map.remove(&addr);
+        self.free.push(idx);
+        self.live -= 1;
+        self.membership_epoch += 1;
         Some(actor)
     }
 
     /// Process the outputs `from` produced.
     pub fn apply(&mut self, from: NodeAddr, outputs: Vec<Output>) {
+        let idx = self.idx_of(from);
+        self.apply_from(idx, from, outputs);
+    }
+
+    /// Output processing with the sender's slot already resolved (the hot
+    /// path hands it down so sends don't re-probe the address map).
+    fn apply_from(&mut self, from_idx: Option<usize>, from: NodeAddr, outputs: Vec<Output>) {
         for o in outputs {
             match o {
                 Output::Send { to, msg } => {
-                    self.stats.entry(from).or_default().sent += 1;
+                    if let Some(i) = from_idx {
+                        self.slots[i].stats.sent += 1;
+                    }
                     // Consult the fault controller first; when no plan is
                     // installed this consumes no randomness, preserving
                     // traces of fault-free runs byte for byte.
@@ -282,13 +472,17 @@ impl<A: Actor> SimNet<A> {
                             extra += self.rng.random_range(0..=jitter);
                         }
                     }
+                    let hint = self.hint_for(to.addr);
                     if dup_prob > 0.0 && self.rng.random::<f64>() < dup_prob {
                         let delay = self.latency.sample(&mut self.rng) + extra;
                         self.queue.push_after(
                             delay,
                             SimEvent::Deliver {
                                 to: to.addr,
+                                hint,
                                 from,
+                                // Shared payload buffers make this clone a
+                                // refcount bump, not a byte copy.
                                 msg: msg.clone(),
                             },
                         );
@@ -298,14 +492,28 @@ impl<A: Actor> SimNet<A> {
                         delay,
                         SimEvent::Deliver {
                             to: to.addr,
+                            hint,
                             from,
                             msg,
                         },
                     );
                 }
                 Output::SetTimer { kind, delay_ms } => {
-                    self.queue
-                        .push_after(delay_ms, SimEvent::Timer { node: from, kind });
+                    let hint = match from_idx {
+                        Some(i) => SlotHint {
+                            idx: i as u32,
+                            gen: self.slots[i].gen,
+                        },
+                        None => SlotHint::NONE,
+                    };
+                    self.queue.push_after(
+                        delay_ms,
+                        SimEvent::Timer {
+                            node: from,
+                            hint,
+                            kind,
+                        },
+                    );
                 }
                 Output::Upcall(upcall) => {
                     if self.record_upcalls {
@@ -320,8 +528,32 @@ impl<A: Actor> SimNet<A> {
         }
     }
 
-    /// Pop and process a single event. Returns `false` when the queue is
-    /// empty.
+    /// Deliver one admitted message to the resolved slot: parity check,
+    /// counters, actor input, output processing.
+    fn deliver_one(&mut self, idx: usize, from: NodeAddr, msg: ChordMsg) {
+        if self.codec_parity {
+            let bytes = dat_chord::codec::encode(&msg);
+            match dat_chord::codec::decode(&bytes) {
+                Ok(rt) => assert_eq!(rt, msg, "codec parity: wire round-trip changed the message"),
+                Err(e) => panic!("codec parity: {e} while round-tripping {:?}", msg.kind()),
+            }
+        }
+        let now_ms = self.queue.now().as_millis();
+        let slot = &mut self.slots[idx];
+        slot.stats.delivered += 1;
+        let to_addr = slot.addr;
+        let Some(actor) = slot.actor.as_mut() else {
+            return;
+        };
+        actor.set_now(now_ms);
+        let out = actor.on_input(Input::Message { from, msg });
+        self.apply_from(Some(idx), to_addr, out);
+    }
+
+    /// Pop and process a single queue entry. Returns `false` when the
+    /// queue is empty. A delivery additionally batch-drains the target's
+    /// same-instant inbox (consecutive due deliveries to the same slot)
+    /// without re-entering the pop machinery per message.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
@@ -329,46 +561,91 @@ impl<A: Actor> SimNet<A> {
         self.events_processed += 1;
         let now_ms = self.queue.now().as_millis();
         match ev.event {
-            SimEvent::Deliver { to, from, msg } => {
+            SimEvent::Deliver {
+                to,
+                hint,
+                from,
+                msg,
+            } => {
+                let Some(idx) = self.resolve(to, hint) else {
+                    self.dropped += 1; // destination crashed
+                    return true;
+                };
                 // Gray slowdown: a slowed node serializes processing in
                 // virtual time. A delivery landing while the node is busy
                 // is requeued at the busy horizon (never dropped — the
                 // node answers late, which is the whole point); an
                 // admitted delivery pushes the horizon out by the per-
                 // message processing cost. Episodes expire lazily.
-                if self.nodes.contains_key(&to) {
-                    if let Some(&(process_ms, until)) = self.slow.get(&to) {
-                        let now = self.queue.now();
-                        if now >= until {
-                            self.slow.remove(&to);
-                            self.busy_until.remove(&to);
-                        } else {
-                            let busy = self.busy_until.get(&to).copied().unwrap_or(now);
-                            if busy > now {
-                                self.queue
-                                    .push_at(busy, SimEvent::Deliver { to, from, msg });
-                                return true;
-                            }
-                            self.busy_until.insert(to, now + process_ms);
+                let slot = &mut self.slots[idx];
+                if let Some((process_ms, until)) = slot.slow {
+                    let now = self.queue.now();
+                    if now >= until {
+                        slot.slow = None;
+                        slot.busy_until = SimTime::ZERO;
+                    } else {
+                        let busy = slot.busy_until;
+                        if busy > now {
+                            let hint = SlotHint {
+                                idx: idx as u32,
+                                gen: slot.gen,
+                            };
+                            self.queue.push_at(
+                                busy,
+                                SimEvent::Deliver {
+                                    to,
+                                    hint,
+                                    from,
+                                    msg,
+                                },
+                            );
+                            return true;
                         }
+                        slot.busy_until = now + process_ms;
                     }
                 }
-                let Some(node) = self.nodes.get_mut(&to) else {
-                    self.dropped += 1; // destination crashed
-                    return true;
+                self.deliver_one(idx, from, msg);
+                // Batch drain: take the rest of this node's due inbox —
+                // consecutive head-of-queue deliveries at the same instant
+                // whose hints match this slot's current generation. Taking
+                // only head events preserves the exact sequential order,
+                // and outputs pushed mid-batch carry later sequence
+                // numbers, so the schedule is byte-identical to stepping.
+                // Slowed nodes are excluded (each admission must move the
+                // busy horizon through the requeue path above).
+                let gen = self.slots[idx].gen;
+                let want = SlotHint {
+                    idx: idx as u32,
+                    gen,
                 };
-                self.stats.entry(to).or_default().delivered += 1;
-                node.set_now(now_ms);
-                let out = node.on_input(Input::Message { from, msg });
-                self.apply(to, out);
+                while self.slots[idx].slow.is_none() {
+                    let next = self
+                        .queue
+                        .pop_if(|e| matches!(e, SimEvent::Deliver { hint, .. } if *hint == want));
+                    let Some(next) = next else {
+                        break;
+                    };
+                    self.events_processed += 1;
+                    let SimEvent::Deliver { from, msg, .. } = next.event else {
+                        break;
+                    };
+                    self.deliver_one(idx, from, msg);
+                }
             }
-            SimEvent::Timer { node: addr, kind } => {
-                let Some(node) = self.nodes.get_mut(&addr) else {
+            SimEvent::Timer {
+                node: addr,
+                hint,
+                kind,
+            } => {
+                let Some(idx) = self.resolve(addr, hint) else {
                     return true; // node gone; timer dies silently
+                };
+                let Some(node) = self.slots[idx].actor.as_mut() else {
+                    return true;
                 };
                 node.set_now(now_ms);
                 let out = node.on_input(Input::Timer(kind));
-                self.apply(addr, out);
+                self.apply_from(Some(idx), addr, out);
             }
             SimEvent::Fault(i) => {
                 let now = self.queue.now();
@@ -377,7 +654,7 @@ impl<A: Actor> SimNet<A> {
                     Some(FaultAction::Crash(node)) => {
                         let _ = self.crash(node);
                     }
-                    Some(FaultAction::Restart(node)) if !self.nodes.contains_key(&node) => {
+                    Some(FaultAction::Restart(node)) if self.idx_of(node).is_none() => {
                         let spawned = self.restart_fn.as_mut().and_then(|f| f(node));
                         if let Some((actor, out)) = spawned {
                             let addr = actor.addr();
@@ -386,14 +663,19 @@ impl<A: Actor> SimNet<A> {
                         }
                     }
                     Some(FaultAction::Slow(node, process_ms, for_ms)) => {
-                        self.slow.insert(node, (process_ms, now + for_ms));
+                        if let Some(idx) = self.idx_of(node) {
+                            self.slots[idx].slow = Some((process_ms, now + for_ms));
+                        }
                     }
                     Some(FaultAction::Overload(node, msgs, spread_ms)) => {
                         // Junk DAT-proto messages from a sentinel sender:
                         // they burn inbox slots on delivery and fail to
                         // decode at the protocol layer (counted dropped).
                         // Scheduled deterministically — no RNG consumed.
+                        // One shared payload buffer for the whole burst.
                         let junk = NodeRef::new(Id(u64::MAX), NodeAddr(u64::MAX));
+                        let junk_payload = dat_chord::Payload::from(vec![0xFF]);
+                        let hint = self.hint_for(node);
                         for i in 0..msgs {
                             let delay = if msgs > 1 {
                                 i * spread_ms / (msgs - 1)
@@ -404,11 +686,12 @@ impl<A: Actor> SimNet<A> {
                                 delay,
                                 SimEvent::Deliver {
                                     to: node,
+                                    hint,
                                     from: NodeAddr(u64::MAX),
                                     msg: ChordMsg::App {
                                         proto: 1,
                                         from: junk,
-                                        payload: vec![0xFF],
+                                        payload: junk_payload.clone(),
                                     },
                                 },
                             );
@@ -449,7 +732,10 @@ impl<A: Actor> SimNet<A> {
 
     /// Transport counters for one node.
     pub fn link_stats(&self, addr: NodeAddr) -> LinkStats {
-        self.stats.get(&addr).copied().unwrap_or_default()
+        match self.idx_of(addr) {
+            Some(idx) => self.slots[idx].stats,
+            None => LinkStats::default(),
+        }
     }
 
     /// Transport counters retired when `addr` crashed (zero if it never
@@ -461,13 +747,14 @@ impl<A: Actor> SimNet<A> {
 
     /// Reset all transport counters (e.g. after warm-up).
     pub fn reset_link_stats(&mut self) {
-        for s in self.stats.values_mut() {
-            *s = LinkStats::default();
+        for s in &mut self.slots {
+            s.stats = LinkStats::default();
         }
         self.dropped = 0;
     }
 }
 
+#[allow(clippy::unwrap_used)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -840,5 +1127,106 @@ mod tests {
         assert!(s2.sent > 0 && s2.delivered > 0);
         net.reset_link_stats();
         assert_eq!(net.link_stats(NodeAddr(1)).sent, 0);
+    }
+
+    #[test]
+    fn codec_parity_mode_round_trips_all_traffic() {
+        // Every message a converging two-node ring exchanges must survive
+        // a wire round-trip unchanged, or delivery panics.
+        let mut net = two_node_net();
+        net.set_codec_parity(true);
+        net.run_for(30_000);
+        assert!(net.link_stats(NodeAddr(1)).delivered > 0);
+        let a = net.node(NodeAddr(1)).unwrap();
+        assert_eq!(
+            a.table().successor().unwrap().id,
+            Id(40_000),
+            "ring must converge with parity checks on"
+        );
+    }
+
+    #[test]
+    fn clamped_events_are_counted() {
+        let mut net = two_node_net();
+        assert_eq!(net.clamped_events(), 0);
+        net.run_for(10_000);
+        // A fault plan whose event time is already in the past gets
+        // clamped to "now" by the queue — and counted.
+        let plan = FaultPlan::new().crash_at(5_000, NodeAddr(2));
+        net.set_fault_plan(plan);
+        assert_eq!(net.clamped_events(), 1);
+        net.run_for(1_000);
+        assert!(net.node(NodeAddr(2)).is_none(), "clamped crash still fires");
+    }
+
+    #[test]
+    fn membership_epoch_tracks_adds_and_crashes() {
+        let mut net: SimNet<ChordNode> = SimNet::new(1);
+        assert_eq!(net.membership_epoch(), 0);
+        let mut a = ChordNode::new(cfg(), Id(100), NodeAddr(1));
+        let out = a.start_create();
+        net.add_node(a);
+        net.apply(NodeAddr(1), out);
+        assert_eq!(net.membership_epoch(), 1);
+        let b = ChordNode::new(cfg(), Id(200), NodeAddr(2));
+        net.add_node(b);
+        assert_eq!(net.membership_epoch(), 2);
+        net.crash(NodeAddr(2));
+        assert_eq!(net.membership_epoch(), 3);
+        // Crashing an unknown address is a no-op on the epoch.
+        net.crash(NodeAddr(99));
+        assert_eq!(net.membership_epoch(), 3);
+    }
+
+    #[test]
+    fn slot_reuse_after_crash_keeps_addresses_distinct() {
+        // Crash a node, add a *different* address: the freed slot is
+        // reused with a bumped generation, and lookups stay correct.
+        let mut net: SimNet<ChordNode> = SimNet::new(1);
+        let mut a = ChordNode::new(cfg(), Id(100), NodeAddr(1));
+        let out = a.start_create();
+        net.add_node(a);
+        net.apply(NodeAddr(1), out);
+        let b = ChordNode::new(cfg(), Id(200), NodeAddr(2));
+        net.add_node(b);
+        net.crash(NodeAddr(2));
+        let c = ChordNode::new(cfg(), Id(300), NodeAddr(3));
+        net.add_node(c);
+        assert_eq!(net.len(), 2);
+        assert!(net.node(NodeAddr(2)).is_none());
+        assert!(net.node(NodeAddr(3)).is_some());
+        let addrs = net.addrs();
+        assert_eq!(addrs, vec![NodeAddr(1), NodeAddr(3)]);
+    }
+
+    #[test]
+    fn heap_and_wheel_schedulers_produce_identical_runs() {
+        // Same seed, same workload, both scheduler backends: every
+        // externally observable counter must match exactly.
+        let run = |kind: SchedulerKind| {
+            let mut net = SimNet::with_scheduler(7, kind);
+            let mut a = ChordNode::new(cfg(), Id(100), NodeAddr(1));
+            let out = a.start_create();
+            net.add_node(a);
+            net.apply(NodeAddr(1), out);
+            let mut b = ChordNode::new(cfg(), Id(40_000), NodeAddr(2));
+            let bootstrap = net.node(NodeAddr(1)).unwrap().me();
+            let out = b.start_join(bootstrap);
+            net.add_node(b);
+            net.apply(NodeAddr(2), out);
+            net.run_for(60_000);
+            let s1 = net.link_stats(NodeAddr(1));
+            let s2 = net.link_stats(NodeAddr(2));
+            (
+                net.events_processed(),
+                net.dropped,
+                s1.sent,
+                s1.delivered,
+                s2.sent,
+                s2.delivered,
+                net.now(),
+            )
+        };
+        assert_eq!(run(SchedulerKind::Wheel), run(SchedulerKind::Heap));
     }
 }

@@ -1,13 +1,38 @@
-//! The heap-based event queue.
+//! The deterministic event queue: a hierarchical timer wheel.
 //!
 //! The paper's prototype uses "a heap-based event queue … to insert and
 //! fire those events in a chronological order" (§4). Ours additionally
 //! breaks timestamp ties with a monotone sequence number, which makes every
 //! simulation run fully deterministic for a given seed — equal-time events
 //! fire in insertion order.
+//!
+//! At 10^5–10^6 simulated nodes the `O(log n)` sift per heap operation
+//! dominates the engine, so the default scheduler is now a hierarchical
+//! timer wheel ([`SchedulerKind::Wheel`]): six levels of 64 slots at 1 ms
+//! granularity, spanning 2^36 ms (~2.2 years of virtual time) with `O(1)`
+//! insertion. Events beyond the wheel span overflow into the old binary
+//! heap and migrate in when the clock reaches their epoch. The original
+//! heap scheduler is retained ([`SchedulerKind::Heap`]) so parity tests can
+//! prove both produce byte-identical pop sequences: **both schedulers obey
+//! the exact same strict `(at, seq)` order**, which is what the digest
+//! tests in `tests/determinism.rs` rely on.
+//!
+//! ## Why the wheel preserves `(at, seq)` order
+//!
+//! * Every event in a level-0 slot shares one firing time: level-0 events
+//!   differ from the cursor only in their low 6 bits, so a drained slot `s`
+//!   holds exactly the events firing at `(now & !63) | s`. Sorting the
+//!   drained slot by `seq` therefore restores full `(at, seq)` order no
+//!   matter how cascading or overflow migration interleaved insertions.
+//! * Higher-level slots are cascaded (redistributed one level down) when
+//!   the cursor enters their period, never popped directly.
+//! * Events pushed at exactly `now` go to a FIFO ready queue; their
+//!   sequence numbers are monotone, so FIFO order is `seq` order.
+
+#![deny(clippy::unwrap_used)]
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -42,12 +67,269 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A deterministic min-heap of timestamped events.
+/// Which scheduler backs an [`EventQueue`].
+///
+/// Both produce the exact same pop order; the heap exists so determinism
+/// parity can be proven against the original implementation and as a
+/// reference for benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel with far-future overflow heap (default).
+    Wheel,
+    /// The original binary min-heap.
+    Heap,
+}
+
+/// Bits consumed per wheel level (64 slots).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels; the wheel spans `2^(LEVEL_BITS * LEVELS)` ms.
+const LEVELS: usize = 6;
+
+/// The hierarchical timer wheel. All time arithmetic is on raw `u64`
+/// milliseconds; `now` is owned by the enclosing [`EventQueue`] and passed
+/// in so the cursor and the public clock can never disagree.
+#[derive(Debug)]
+struct Wheel<E> {
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<Scheduled<E>>>,
+    /// One occupancy bitmap per level (bit `s` set ⇔ slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Events due exactly at `now`, in `seq` order.
+    ready: VecDeque<Scheduled<E>>,
+    /// Events beyond the wheel span, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Total pending events across ready + slots + overflow.
+    len: usize,
+    /// Cached exact firing time of the earliest pending event.
+    next_at: Option<SimTime>,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            slots: std::iter::repeat_with(Vec::new)
+                .take(LEVELS * SLOTS)
+                .collect(),
+            occupied: [0; LEVELS],
+            ready: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+            next_at: None,
+        }
+    }
+
+    /// Level an event at `at` belongs to, given cursor `now`:
+    /// the highest 6-bit group in which `at` and `now` differ.
+    /// `at == now` is the caller's problem (ready queue); `>= LEVELS`
+    /// means overflow.
+    fn level_of(now: u64, at: u64) -> usize {
+        debug_assert!(at > now);
+        ((63 - (at ^ now).leading_zeros()) / LEVEL_BITS) as usize
+    }
+
+    /// File one event relative to cursor `now`. `at >= now` required.
+    fn place(&mut self, now: u64, ev: Scheduled<E>) {
+        let at = ev.at.0;
+        if at == now {
+            // Monotone seq ⇒ FIFO append keeps the ready queue in
+            // (at, seq) order.
+            self.ready.push_back(ev);
+            return;
+        }
+        let lvl = Self::level_of(now, at);
+        if lvl >= LEVELS {
+            self.overflow.push(ev);
+            return;
+        }
+        let slot = ((at >> (LEVEL_BITS * lvl as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[lvl * SLOTS + slot].push(ev);
+        self.occupied[lvl] |= 1u64 << slot;
+    }
+
+    fn push(&mut self, now: u64, ev: Scheduled<E>) {
+        self.next_at = Some(match self.next_at {
+            Some(n) => n.min(ev.at),
+            None => ev.at,
+        });
+        self.len += 1;
+        self.place(now, ev);
+    }
+
+    /// Make the ready queue non-empty if any event is pending, advancing
+    /// the cursor no further than the earliest pending event's firing
+    /// time. Returns `false` when the queue is empty.
+    fn refill_ready(&mut self, now: &mut u64) -> bool {
+        loop {
+            // The cursor can be moved onto a pending event's exact firing
+            // time from *outside* (`advance_to` is bounded by `peek_time`,
+            // which is inclusive). Events due at `now` may then be parked
+            // in two places a plain ready-first pop would miss, firing
+            // them late and out of seq order behind fresh `at == now`
+            // pushes:
+            //
+            // * the overflow heap, when `now` crossed a `2^36`-epoch
+            //   boundary while the wheel still held events;
+            // * a cursor-digit slot — the slot at `now`'s own digit of
+            //   some level, the only slots whose period contains `now` —
+            //   when the event was filed there relative to an older
+            //   cursor.
+            //
+            // Sweep both into place relative to the current cursor before
+            // consulting `ready`: due events join `ready`, everything
+            // else lands at slots strictly past the cursor (a re-placed
+            // event's highest digit differing from `now` is necessarily
+            // larger than the cursor's, so this single ascending pass
+            // never re-occupies a cursor-digit slot it already drained).
+            let mut due_swept = false;
+            while let Some(e) = self.overflow.peek() {
+                if e.at.0 != *now && Self::level_of(*now, e.at.0) >= LEVELS {
+                    break;
+                }
+                if let Some(e) = self.overflow.pop() {
+                    due_swept |= e.at.0 == *now;
+                    self.place(*now, e);
+                }
+            }
+            for lvl in 0..LEVELS {
+                let shift = LEVEL_BITS * lvl as u32;
+                let s = (*now >> shift) & (SLOTS as u64 - 1);
+                if self.occupied[lvl] & (1u64 << s) == 0 {
+                    continue;
+                }
+                let idx = lvl * SLOTS + s as usize;
+                let evs = std::mem::take(&mut self.slots[idx]);
+                self.occupied[lvl] &= !(1u64 << s);
+                for ev in evs {
+                    debug_assert!(ev.at.0 >= *now, "pending event in the past");
+                    due_swept |= ev.at.0 == *now;
+                    self.place(*now, ev);
+                }
+            }
+            if due_swept {
+                // Everything in `ready` fires at exactly `now`; swept-in
+                // events may carry smaller seqs than ones pushed after the
+                // cursor arrived here, so restore seq order.
+                self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+            }
+            if !self.ready.is_empty() {
+                return true;
+            }
+            let Some(lvl) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                // Wheel empty: jump the cursor to the overflow epoch and
+                // migrate everything within the new span in.
+                let Some(t) = self.overflow.peek().map(|e| e.at.0) else {
+                    return false;
+                };
+                debug_assert!(t >= *now, "overflow event in the past");
+                *now = t;
+                while let Some(e) = self.overflow.peek() {
+                    if e.at.0 != *now && Self::level_of(*now, e.at.0) >= LEVELS {
+                        break;
+                    }
+                    // Heap pops in (at, seq) order, so same-`at` events
+                    // reach the ready queue already in seq order.
+                    if let Some(e) = self.overflow.pop() {
+                        self.place(*now, e);
+                    }
+                }
+                continue;
+            };
+            let shift = LEVEL_BITS * lvl as u32;
+            let cur = (*now >> shift) & (SLOTS as u64 - 1);
+            let mask = self.occupied[lvl] & (!0u64 << cur);
+            debug_assert!(mask != 0, "occupied slot behind the cursor at level {lvl}");
+            let mask = if mask != 0 { mask } else { self.occupied[lvl] };
+            let s = mask.trailing_zeros() as u64;
+            let idx = lvl * SLOTS + s as usize;
+            let mut evs = std::mem::take(&mut self.slots[idx]);
+            self.occupied[lvl] &= !(1u64 << s);
+            if lvl == 0 {
+                // Every event here fires at the same instant (see module
+                // docs); seq-sort restores insertion order exactly.
+                let t0 = (*now & !(SLOTS as u64 - 1)) | s;
+                debug_assert!(t0 >= *now, "level-0 slot in the past");
+                debug_assert!(evs.iter().all(|e| e.at.0 == t0));
+                *now = (*now).max(t0);
+                evs.sort_unstable_by_key(|e| e.seq);
+                self.ready = evs.into();
+            } else {
+                // Cascade: enter the slot's period and redistribute its
+                // events to lower levels. `base` is the period start; all
+                // events in the slot fire within [base, base + 64^lvl), so
+                // advancing the cursor to it skips no pending event.
+                let span_below = 1u64 << (shift + LEVEL_BITS);
+                let base = (*now & !(span_below - 1)) | (s << shift);
+                *now = (*now).max(base);
+                for ev in evs {
+                    self.place(*now, ev);
+                }
+            }
+        }
+    }
+
+    /// Recompute the cached earliest firing time (exact, not a lower
+    /// bound). Called after pops; pushes maintain the cache incrementally.
+    fn recompute_next(&mut self, now: u64) {
+        if let Some(front) = self.ready.front() {
+            self.next_at = Some(front.at);
+            return;
+        }
+        let mut best: Option<u64> = self.overflow.peek().map(|e| e.at.0);
+        for lvl in 0..LEVELS {
+            if self.occupied[lvl] == 0 {
+                continue;
+            }
+            let shift = LEVEL_BITS * lvl as u32;
+            let cur = (now >> shift) & (SLOTS as u64 - 1);
+            let mask = self.occupied[lvl] & (!0u64 << cur);
+            let mask = if mask != 0 { mask } else { self.occupied[lvl] };
+            let s = mask.trailing_zeros() as u64;
+            let cand = if lvl == 0 {
+                // Level-0 slots hold a single firing time.
+                (now & !(SLOTS as u64 - 1)) | s
+            } else {
+                // Earliest event within the level's first upcoming slot.
+                self.slots[lvl * SLOTS + s as usize]
+                    .iter()
+                    .map(|e| e.at.0)
+                    .min()
+                    .unwrap_or(u64::MAX)
+            };
+            best = Some(match best {
+                Some(b) => b.min(cand),
+                None => cand,
+            });
+        }
+        self.next_at = best.map(SimTime);
+    }
+
+    fn clear(&mut self) {
+        for v in &mut self.slots {
+            v.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.ready.clear();
+        self.overflow.clear();
+        self.len = 0;
+        self.next_at = None;
+    }
+}
+
+#[derive(Debug)]
+enum Inner<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
+/// A deterministic queue of timestamped events: earliest `(at, seq)` first.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    inner: Inner<E>,
     next_seq: u64,
     now: SimTime,
+    clamped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -57,12 +339,29 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at time zero.
+    /// An empty queue at time zero, backed by the timer wheel.
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::Wheel)
+    }
+
+    /// An empty queue at time zero with an explicit scheduler backend.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            inner: match kind {
+                SchedulerKind::Wheel => Inner::Wheel(Wheel::new()),
+                SchedulerKind::Heap => Inner::Heap(BinaryHeap::new()),
+            },
             next_seq: 0,
             now: SimTime::ZERO,
+            clamped: 0,
+        }
+    }
+
+    /// Which scheduler backs this queue.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.inner {
+            Inner::Wheel(_) => SchedulerKind::Wheel,
+            Inner::Heap(_) => SchedulerKind::Heap,
         }
     }
 
@@ -73,12 +372,23 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Wheel(w) => w.len,
+            Inner::Heap(h) => h.len(),
+        }
     }
 
     /// `true` when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// How many events were scheduled in the past and clamped to `now`.
+    /// A non-zero value usually means a host computed a stale absolute
+    /// deadline — harmless for determinism, but at scale it hides
+    /// scheduling bugs, so the counter makes it observable.
+    pub fn clamped_events(&self) -> u64 {
+        self.clamped
     }
 
     /// Schedule `event` `delay_ms` after the current time.
@@ -88,25 +398,89 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` at absolute time `at`. Events in the past fire
     /// "now" (they are clamped to the current time) — the engine never
-    /// travels backwards.
+    /// travels backwards. Clamped events are counted in
+    /// [`EventQueue::clamped_events`].
     pub fn push_at(&mut self, at: SimTime, event: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let ev = Scheduled { at, seq, event };
+        match &mut self.inner {
+            Inner::Wheel(w) => w.push(self.now.0, ev),
+            Inner::Heap(h) => h.push(ev),
+        }
     }
 
     /// Pop the earliest event, advancing virtual time to its firing time.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        let ev = self.heap.pop()?;
+        let ev = match &mut self.inner {
+            Inner::Wheel(w) => {
+                let mut cursor = self.now.0;
+                if !w.refill_ready(&mut cursor) {
+                    return None;
+                }
+                let ev = w.ready.pop_front()?;
+                w.len -= 1;
+                debug_assert!(ev.at.0 >= cursor);
+                let cursor = cursor.max(ev.at.0);
+                w.recompute_next(cursor);
+                self.now = SimTime(cursor);
+                ev
+            }
+            Inner::Heap(h) => h.pop()?,
+        };
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         Some(ev)
     }
 
+    /// Pop the earliest event only if it fires at exactly the current time
+    /// and satisfies `pred`. Never advances the clock on a `None` return —
+    /// this is what batch-drain delivery uses to take the rest of a node's
+    /// same-instant inbox without paying a full pop per message.
+    pub fn pop_if(&mut self, pred: impl FnOnce(&E) -> bool) -> Option<Scheduled<E>> {
+        if self.peek_time() != Some(self.now) {
+            return None;
+        }
+        match &mut self.inner {
+            Inner::Wheel(w) => {
+                let mut cursor = self.now.0;
+                if !w.refill_ready(&mut cursor) {
+                    return None;
+                }
+                // next_at == now, so the refill cannot have moved the
+                // cursor: every cascade/migration target is >= cursor and
+                // the front event fires at exactly `now`.
+                debug_assert!(cursor == self.now.0);
+                let front = w.ready.front()?;
+                debug_assert!(front.at == self.now);
+                if !pred(&front.event) {
+                    return None;
+                }
+                let ev = w.ready.pop_front()?;
+                w.len -= 1;
+                w.recompute_next(cursor);
+                Some(ev)
+            }
+            Inner::Heap(h) => {
+                let front = h.peek()?;
+                if front.at != self.now || !pred(&front.event) {
+                    return None;
+                }
+                h.pop()
+            }
+        }
+    }
+
     /// Firing time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.inner {
+            Inner::Wheel(w) => w.next_at,
+            Inner::Heap(h) => h.peek().map(|e| e.at),
+        }
     }
 
     /// Advance the clock to `t` without firing anything (used by
@@ -122,68 +496,253 @@ impl<E> EventQueue<E> {
 
     /// Drop every pending event (used on teardown).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.inner {
+            Inner::Wheel(w) => w.clear(),
+            Inner::Heap(h) => h.clear(),
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<&'static str>; 2] {
+        [
+            EventQueue::with_scheduler(SchedulerKind::Wheel),
+            EventQueue::with_scheduler(SchedulerKind::Heap),
+        ]
+    }
+
     #[test]
     fn chronological_order() {
-        let mut q = EventQueue::new();
-        q.push_after(30, "c");
-        q.push_after(10, "a");
-        q.push_after(20, "b");
-        assert_eq!(q.pop().unwrap().event, "a");
-        assert_eq!(q.now(), SimTime(10));
-        assert_eq!(q.pop().unwrap().event, "b");
-        assert_eq!(q.pop().unwrap().event, "c");
-        assert!(q.pop().is_none());
-        assert_eq!(q.now(), SimTime(30));
+        for mut q in both() {
+            q.push_after(30, "c");
+            q.push_after(10, "a");
+            q.push_after(20, "b");
+            assert_eq!(q.pop().unwrap().event, "a");
+            assert_eq!(q.now(), SimTime(10));
+            assert_eq!(q.pop().unwrap().event, "b");
+            assert_eq!(q.pop().unwrap().event, "c");
+            assert!(q.pop().is_none());
+            assert_eq!(q.now(), SimTime(30));
+        }
     }
 
     #[test]
     fn ties_fire_in_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push_at(SimTime(5), i);
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut q = EventQueue::with_scheduler(kind);
+            for i in 0..100 {
+                q.push_at(SimTime(5), i);
+            }
+            let fired: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+            assert_eq!(fired, (0..100).collect::<Vec<_>>());
         }
-        let fired: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
-        assert_eq!(fired, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn relative_scheduling_uses_current_time() {
-        let mut q = EventQueue::new();
-        q.push_after(10, "first");
-        q.pop();
-        q.push_after(10, "second"); // at t=20, not t=10
-        let e = q.pop().unwrap();
-        assert_eq!(e.at, SimTime(20));
+        for mut q in both() {
+            q.push_after(10, "first");
+            q.pop();
+            q.push_after(10, "second"); // at t=20, not t=10
+            let e = q.pop().unwrap();
+            assert_eq!(e.at, SimTime(20));
+        }
     }
 
     #[test]
-    fn past_events_clamped_to_now() {
-        let mut q = EventQueue::new();
-        q.push_after(50, "later");
-        q.pop();
-        q.push_at(SimTime(10), "stale");
-        let e = q.pop().unwrap();
-        assert_eq!(e.at, SimTime(50));
-        assert_eq!(e.event, "stale");
+    fn past_events_clamped_to_now_and_counted() {
+        for mut q in both() {
+            q.push_after(50, "later");
+            q.pop();
+            assert_eq!(q.clamped_events(), 0);
+            q.push_at(SimTime(10), "stale");
+            assert_eq!(q.clamped_events(), 1);
+            let e = q.pop().unwrap();
+            assert_eq!(e.at, SimTime(50));
+            assert_eq!(e.event, "stale");
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert!(q.peek_time().is_none());
-        q.push_after(7, ());
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.peek_time(), Some(SimTime(7)));
-        q.clear();
-        assert!(q.is_empty());
+        for mut q in both() {
+            assert!(q.is_empty());
+            assert!(q.peek_time().is_none());
+            q.push_after(7, "x");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.peek_time(), Some(SimTime(7)));
+            q.clear();
+            assert!(q.is_empty());
+            assert!(q.peek_time().is_none());
+        }
+    }
+
+    #[test]
+    fn far_future_overflow_and_migration() {
+        // Beyond the 2^36 ms wheel span: must overflow to the heap and
+        // still fire in exact order.
+        let mut q = EventQueue::with_scheduler(SchedulerKind::Wheel);
+        let span = 1u64 << 36;
+        q.push_at(SimTime(span + 5), "far-b");
+        q.push_at(SimTime(span + 2), "far-a");
+        q.push_at(SimTime(3), "near");
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.pop().unwrap().event, "near");
+        assert_eq!(q.peek_time(), Some(SimTime(span + 2)));
+        assert_eq!(q.pop().unwrap().event, "far-a");
+        assert_eq!(q.now(), SimTime(span + 2));
+        assert_eq!(q.pop().unwrap().event, "far-b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cascade_preserves_equal_time_order() {
+        // Push an event far enough to land on level >= 1, then another at
+        // the same instant after time has advanced so it lands on level 0
+        // directly; the cascade must not reorder them.
+        let mut q = EventQueue::with_scheduler(SchedulerKind::Wheel);
+        q.push_at(SimTime(200), "early-seq");
+        q.push_at(SimTime(64), "mover");
+        q.pop(); // now = 64; 200 still parked on level 1
+        q.push_at(SimTime(200), "late-seq");
+        assert_eq!(q.pop().unwrap().event, "early-seq");
+        assert_eq!(q.pop().unwrap().event, "late-seq");
+    }
+
+    #[test]
+    fn pop_if_takes_only_due_matching_events() {
+        for mut q in both() {
+            q.push_at(SimTime(5), "a");
+            q.push_at(SimTime(5), "b");
+            q.push_at(SimTime(9), "later");
+            assert!(q.pop_if(|_| true).is_none(), "nothing due at t=0");
+            assert_eq!(q.pop().unwrap().event, "a");
+            assert_eq!(q.pop_if(|e| *e == "b").unwrap().event, "b");
+            assert!(q.pop_if(|_| true).is_none(), "later event not due yet");
+            assert_eq!(q.now(), SimTime(5), "failed pop_if must not advance time");
+            assert_eq!(q.pop().unwrap().event, "later");
+        }
+    }
+
+    #[test]
+    fn advance_to_then_equal_group_cascade() {
+        // Advance the clock into an occupied higher-level slot's period,
+        // then make sure both the pre-existing and a newly pushed earlier
+        // event fire in order.
+        let mut q = EventQueue::with_scheduler(SchedulerKind::Wheel);
+        q.push_at(SimTime(140), "parked"); // level 1 relative to t=0
+        q.advance_to(SimTime(130));
+        q.push_at(SimTime(135), "nearer");
+        assert_eq!(q.pop().unwrap().event, "nearer");
+        assert_eq!(q.pop().unwrap().event, "parked");
+        assert_eq!(q.now(), SimTime(140));
+    }
+
+    #[test]
+    fn property_wheel_equals_heap_over_randomized_schedule() {
+        // 10⁵ randomized operations against both backends in lockstep:
+        // every pop must return the same (at, seq, event) triple. The mix
+        // deliberately hammers the wheel's edge cases — equal-time bursts
+        // (FIFO among ties), far-future pushes (overflow heap + epoch
+        // migration), interleaved `advance_to` jumps (cascades into
+        // occupied periods), and conditional `pop_if` on the due head.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(0x9e3779b97f4a7c15 ^ seed);
+            let mut wheel: EventQueue<u64> = EventQueue::with_scheduler(SchedulerKind::Wheel);
+            let mut heap: EventQueue<u64> = EventQueue::with_scheduler(SchedulerKind::Heap);
+            let mut tag = 0u64;
+            for op in 0..100_000u32 {
+                match rng.random_range(0u32..100) {
+                    // Push: mostly short horizons, some equal-time bursts,
+                    // a far-future tail that only the overflow heap holds.
+                    0..=54 => {
+                        let delay = match rng.random_range(0u32..20) {
+                            0 => 0,                                // due now
+                            1..=2 => rng.random_range(1u64..4),    // tie-heavy
+                            3 => 1 << rng.random_range(30u32..40), // far future
+                            _ => rng.random_range(1u64..5_000),
+                        };
+                        let burst = if rng.random_range(0u32..10) == 0 {
+                            rng.random_range(2usize..6)
+                        } else {
+                            1
+                        };
+                        for _ in 0..burst {
+                            wheel.push_after(delay, tag);
+                            heap.push_after(delay, tag);
+                            tag += 1;
+                        }
+                    }
+                    // Pop: both must agree on the full triple.
+                    55..=84 => {
+                        let w = wheel.pop();
+                        let h = heap.pop();
+                        match (w, h) {
+                            (None, None) => {}
+                            (Some(w), Some(h)) => {
+                                assert_eq!(
+                                    (w.at, w.seq, w.event),
+                                    (h.at, h.seq, h.event),
+                                    "pop diverged at op {op} (seed {seed})"
+                                );
+                            }
+                            (w, h) => panic!(
+                                "emptiness diverged at op {op} (seed {seed}): \
+                                 wheel {:?} heap {:?}",
+                                w.map(|e| e.event),
+                                h.map(|e| e.event)
+                            ),
+                        }
+                    }
+                    // Conditional pop of the due head (the batch-drain
+                    // primitive): same predicate, same outcome.
+                    85..=92 => {
+                        let want = tag; // never matches: pure peek path
+                        let w = wheel.pop_if(|&e| e % 3 == 0 && e != want);
+                        let h = heap.pop_if(|&e| e % 3 == 0 && e != want);
+                        assert_eq!(
+                            w.as_ref().map(|e| (e.at, e.seq, e.event)),
+                            h.as_ref().map(|e| (e.at, e.seq, e.event)),
+                            "pop_if diverged at op {op} (seed {seed})"
+                        );
+                    }
+                    // Clock jump, occasionally far enough to cross wheel
+                    // epochs and force overflow migration.
+                    _ => {
+                        let jump = if rng.random_range(0u32..20) == 0 {
+                            1 << rng.random_range(30u32..38)
+                        } else {
+                            rng.random_range(0u64..10_000)
+                        };
+                        let target = wheel.now() + jump;
+                        let bounded = match wheel.peek_time() {
+                            Some(next) if next < target => next, // never skip events
+                            _ => target,
+                        };
+                        wheel.advance_to(bounded);
+                        heap.advance_to(bounded);
+                        assert_eq!(wheel.now(), heap.now());
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len(), "len diverged at op {op}");
+                assert_eq!(wheel.peek_time(), heap.peek_time());
+            }
+            // Drain: the complete residual order must match.
+            loop {
+                match (wheel.pop(), heap.pop()) {
+                    (None, None) => break,
+                    (Some(w), Some(h)) => {
+                        assert_eq!((w.at, w.seq, w.event), (h.at, h.seq, h.event))
+                    }
+                    _ => panic!("drain length diverged (seed {seed})"),
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,234 @@
+//! Scale harness: drive the event engine with 10⁴–10⁶-node overlays and
+//! measure what it costs.
+//!
+//! The paper evaluates up to 8192 nodes; this module is how we push the
+//! engine itself well past that (100k in CI, 1M offline) and track the
+//! throughput trajectory release over release. A run builds a
+//! pre-stabilized Chord overlay of `n` nodes, executes a window of
+//! virtual time — pure protocol maintenance: stabilization timers,
+//! finger fixes, the resulting message traffic — and reports wall-clock
+//! throughput (events/sec, ns/event) plus engine health counters
+//! (clamped events, drops, backlog) and process memory.
+//!
+//! Determinism is preserved: a [`ScaleConfig`] with a fixed seed produces
+//! the same virtual schedule on every run and on both scheduler
+//! backends; only the wall-clock numbers vary by machine.
+
+#![deny(clippy::unwrap_used)]
+
+use std::time::Instant;
+
+use dat_chord::{ChordConfig, ChordNode, IdPolicy, IdSpace, StaticRing};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::net::SimNet;
+use crate::queue::SchedulerKind;
+
+/// Parameters of one scale run.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Overlay size (number of nodes).
+    pub n: usize,
+    /// Virtual window to simulate, in milliseconds.
+    pub virtual_ms: u64,
+    /// Determinism seed (ring build + engine).
+    pub seed: u64,
+    /// Identifier-space width in bits.
+    pub bits: u8,
+    /// Scheduler backend to drive.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            n: 8192,
+            virtual_ms: 10_000,
+            seed: 0x5ca1e,
+            bits: 40,
+            scheduler: SchedulerKind::Wheel,
+        }
+    }
+}
+
+/// What one scale run measured.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleReport {
+    /// Overlay size.
+    pub n: usize,
+    /// Virtual window simulated, in milliseconds.
+    pub virtual_ms: u64,
+    /// Scheduler backend driven.
+    pub scheduler: SchedulerKind,
+    /// Wall-clock cost of building the overlay, in milliseconds.
+    pub build_wall_ms: u64,
+    /// Wall-clock cost of the simulated window, in milliseconds.
+    pub run_wall_ms: u64,
+    /// Events processed inside the window.
+    pub events: u64,
+    /// Events per wall-clock second (0 when the window was too fast to
+    /// time, which does not happen at the sizes this harness targets).
+    pub events_per_sec: f64,
+    /// Mean wall-clock nanoseconds per event.
+    pub ns_per_event: f64,
+    /// Messages the transport dropped (loss/faults/dead targets).
+    pub dropped: u64,
+    /// Past-scheduled events clamped to "now" (stale-deadline signal —
+    /// expected to be 0 for pure maintenance).
+    pub clamped: u64,
+    /// Events still queued when the window closed (engine backlog).
+    pub backlog: usize,
+    /// Peak resident set of the whole process, in MiB (`VmHWM`), if the
+    /// platform exposes it. Monotone across a process's lifetime: when
+    /// sweeping sizes in one process, sweep ascending so each report's
+    /// peak reflects its own size.
+    pub peak_rss_mib: Option<u64>,
+}
+
+impl ScaleReport {
+    /// One-line human rendering.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} sched={:?} build={}ms run={}ms events={} ({:.0}/s, {:.0} ns/event) \
+             dropped={} clamped={} backlog={} peak_rss={}",
+            self.n,
+            self.scheduler,
+            self.build_wall_ms,
+            self.run_wall_ms,
+            self.events,
+            self.events_per_sec,
+            self.ns_per_event,
+            self.dropped,
+            self.clamped,
+            self.backlog,
+            match self.peak_rss_mib {
+                Some(m) => format!("{m}MiB"),
+                None => "n/a".into(),
+            }
+        )
+    }
+}
+
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`), if the platform exposes it.
+pub fn peak_rss_mib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb / 1024);
+        }
+    }
+    None
+}
+
+/// Run one scale epoch: build an `n`-node pre-stabilized overlay, simulate
+/// `virtual_ms` of maintenance, measure.
+pub fn run_scale(cfg: ScaleConfig) -> ScaleReport {
+    let space = IdSpace::new(cfg.bits);
+    let ccfg = ChordConfig {
+        space,
+        ..ChordConfig::default()
+    };
+    let build_start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let ring = StaticRing::build(space, cfg.n, IdPolicy::Random, &mut rng);
+    let mut net: SimNet<ChordNode> = {
+        // Same construction as `prestabilized_chord`, but on the requested
+        // scheduler backend.
+        let book = crate::harness::addr_book(&ring);
+        let addr_of = |id| book[&id];
+        let mut net = SimNet::with_scheduler(cfg.seed, cfg.scheduler);
+        for &id in ring.ids() {
+            let mut node = ChordNode::new(ccfg, id, addr_of(id));
+            let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
+            let outs = node.start_with_table(table);
+            let addr = node.me().addr;
+            net.add_node(node);
+            net.apply(addr, outs);
+        }
+        net
+    };
+    let build_wall_ms = build_start.elapsed().as_millis() as u64;
+    // Upcall records would grow without bound over a long window.
+    net.set_record_upcalls(false);
+
+    let run_start = Instant::now();
+    let before = net.events_processed();
+    net.run_for(cfg.virtual_ms);
+    let run_wall = run_start.elapsed();
+    let events = net.events_processed() - before;
+    let secs = run_wall.as_secs_f64();
+    ScaleReport {
+        n: cfg.n,
+        virtual_ms: cfg.virtual_ms,
+        scheduler: cfg.scheduler,
+        build_wall_ms,
+        run_wall_ms: run_wall.as_millis() as u64,
+        events,
+        events_per_sec: if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        },
+        ns_per_event: if events > 0 {
+            run_wall.as_nanos() as f64 / events as f64
+        } else {
+            0.0
+        },
+        dropped: net.dropped,
+        clamped: net.clamped_events(),
+        backlog: net.pending_events(),
+        peak_rss_mib: peak_rss_mib(),
+    }
+}
+
+/// Sanity check used by doctests/smokes: the same config must process the
+/// same number of events on both scheduler backends.
+pub fn schedulers_agree(cfg: ScaleConfig) -> bool {
+    let w = run_scale(ScaleConfig {
+        scheduler: SchedulerKind::Wheel,
+        ..cfg
+    });
+    let h = run_scale(ScaleConfig {
+        scheduler: SchedulerKind::Heap,
+        ..cfg
+    });
+    w.events == h.events && w.dropped == h.dropped && w.backlog == h.backlog
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_run_reports_sane_numbers() {
+        let r = run_scale(ScaleConfig {
+            n: 64,
+            virtual_ms: 3_000,
+            ..ScaleConfig::default()
+        });
+        assert_eq!(r.n, 64);
+        assert!(r.events > 0, "maintenance must generate events");
+        assert!(r.ns_per_event > 0.0);
+        assert_eq!(r.clamped, 0, "maintenance never schedules in the past");
+        assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn wheel_and_heap_process_identical_event_counts() {
+        assert!(schedulers_agree(ScaleConfig {
+            n: 48,
+            virtual_ms: 3_000,
+            ..ScaleConfig::default()
+        }));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        assert!(peak_rss_mib().is_some());
+    }
+}

@@ -274,11 +274,24 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
     let rejoin_after_ms = 4 * cfg.epoch_ms;
     let mut joining_since: HashMap<NodeAddr, u64> = HashMap::new();
     let mut log: Vec<SoakReport> = Vec::new();
+    // The sorted address list is only rebuilt when membership actually
+    // changed (crash/restart), not on every half-epoch step — the engine's
+    // membership epoch is the cache key. Within a step the cache may
+    // briefly name a node the supervisor below just tore down; the
+    // per-address lookups already tolerate that (dead → `None` → skip),
+    // exactly as a fresh `addrs()` snapshot taken before the teardown
+    // would.
+    let mut cached_addrs: Vec<NodeAddr> = net.addrs();
+    let mut cached_epoch = net.membership_epoch();
     while net.now().as_millis() < total {
         let now = net.now().as_millis();
         net.run_for(step.min(total - now));
         let t = net.now().as_millis();
-        for addr in net.addrs() {
+        if net.membership_epoch() != cached_epoch {
+            cached_addrs = net.addrs();
+            cached_epoch = net.membership_epoch();
+        }
+        for &addr in &cached_addrs {
             let Some(node) = net.node_mut(addr) else {
                 continue;
             };
@@ -301,7 +314,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
                 }
             }
         }
-        for addr in net.addrs() {
+        for &addr in &cached_addrs {
             let stuck = net
                 .node(addr)
                 .is_some_and(|n| n.status() == dat_chord::NodeStatus::Joining);

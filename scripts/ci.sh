@@ -19,7 +19,8 @@ echo "==> clippy: unwrap_used denied in self-healing + observability + health mo
 # being dropped silently.
 for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs \
          crates/obs/src/lib.rs crates/chord/src/health.rs \
-         crates/sim/src/gray.rs; do
+         crates/sim/src/gray.rs crates/sim/src/queue.rs crates/sim/src/net.rs \
+         crates/sim/src/scale.rs; do
   grep -q '#!\[deny(clippy::unwrap_used)\]' "$f" \
     || { echo "missing #![deny(clippy::unwrap_used)] in $f"; exit 1; }
 done
@@ -50,6 +51,39 @@ echo "==> gray-failure smoke: slow/half-open/overload/flapping matrix"
 # aggregation (~1 s wall-clock per seed); failing seeds print their
 # replay line. Extend with e.g. GRAY_SEEDS="3 5 8" for a deeper sweep.
 GRAY_SEEDS="${GRAY_SEEDS:-2}" cargo test -q --test gray_failures -- --nocapture
+
+echo "==> event-engine bench smoke: simbench at small sizes emits BENCH_sim.json"
+# A fast sweep (512 and 2048 nodes, 2 s virtual) through the same binary
+# that produced the committed BENCH_sim.json; validates the harness and
+# the JSON shape without the multi-minute full sweep. Writes to a temp
+# file so the committed trajectory is not clobbered by smoke numbers.
+simbench_out="$(mktemp)"
+cargo run --release -p dat-bench --bin simbench -- \
+  --sizes 512,2048 --virtual-ms 2000 --scheduler both --quiet \
+  --out "$simbench_out"
+grep -q '"events_per_sec"' "$simbench_out" \
+  || { echo "simbench smoke produced no throughput figures"; exit 1; }
+rm -f "$simbench_out"
+
+echo "==> scale smoke: 100k-node ring, 1 s virtual, bounded wall clock"
+# The million-node engine's CI-sized proxy: build a 100k-node
+# prestabilized ring and run one virtual second through the timer wheel.
+# The wall-clock budget (default 300 s, enforced by timeout(1) since
+# simbench's own --budget-s only gates between sweep entries) catches
+# complexity regressions in the hot path — at the measured ~300k
+# events/s this finishes in well under half the budget, so a trip means
+# something got slower in kind, not degree. Raise SCALE_BUDGET_S on
+# slow hardware.
+scale_out="$(mktemp)"
+timeout "${SCALE_BUDGET_S:-300}" \
+  cargo run --release -p dat-bench --bin simbench -- \
+  --sizes 98304 --virtual-ms 1000 --quiet --out "$scale_out" \
+  || { echo "100k scale smoke failed or exceeded ${SCALE_BUDGET_S:-300}s budget"; exit 1; }
+grep -q '"n": 98304' "$scale_out" \
+  || { echo "100k scale smoke produced no report entry"; exit 1; }
+grep -q '"clamped": 0' "$scale_out" \
+  || { echo "100k scale smoke clamped timestamps (wheel span exceeded)"; exit 1; }
+rm -f "$scale_out"
 
 echo "==> examples build"
 cargo build --release --examples

@@ -3,9 +3,9 @@
 //! on), and different seeds genuinely differ.
 
 use libdat::chord::{ChordConfig, IdPolicy, IdSpace, RoutingScheme, StaticRing};
-use libdat::core::{AggregationMode, DatConfig, DatEvent};
-use libdat::sim::harness::{addr_book, prestabilized_dat};
-use libdat::sim::{LatencyModel, LossModel};
+use libdat::core::{AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode};
+use libdat::sim::harness::addr_book;
+use libdat::sim::{LatencyModel, LossModel, SchedulerKind, SimNet};
 use rand::SeedableRng;
 
 /// Run a lossy, jittery aggregation network and produce a fingerprint of
@@ -13,6 +13,10 @@ use rand::SeedableRng;
 type Fingerprint = (u64, u64, Vec<(u64, u64)>, Vec<(u64, u64)>);
 
 fn fingerprint(seed: u64) -> Fingerprint {
+    fingerprint_on(seed, SchedulerKind::Wheel)
+}
+
+fn fingerprint_on(seed: u64, scheduler: SchedulerKind) -> Fingerprint {
     let space = IdSpace::new(32);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let ring = StaticRing::build(space, 96, IdPolicy::Probed, &mut rng);
@@ -29,7 +33,21 @@ fn fingerprint(seed: u64) -> Fingerprint {
         d0_hint: Some(ring.d0()),
         ..DatConfig::default()
     };
-    let mut net = prestabilized_dat(&ring, ccfg, dcfg, seed);
+    // Same construction as `prestabilized_dat`, but on an explicit
+    // scheduler backend so the wheel/heap parity test below can drive the
+    // identical workload through both.
+    let mut net: SimNet<StackNode> = SimNet::with_scheduler(seed, scheduler);
+    {
+        let book = addr_book(&ring);
+        for &id in ring.ids() {
+            let addr = book[&id];
+            let mut node = StackNode::new(ccfg, id, addr).with_app(DatProtocol::new(dcfg));
+            let table = ring.table_of_with(id, ccfg.succ_list_len, &|id| book[&id]);
+            let outs = node.start_with_table(table);
+            net.add_node(node);
+            net.apply(addr, outs);
+        }
+    }
     net.set_latency(LatencyModel::Uniform { lo: 2, hi: 40 });
     net.set_loss(LossModel::new(0.02));
     net.set_record_upcalls(false);
@@ -79,4 +97,19 @@ fn different_seeds_diverge() {
     let b = fingerprint(2);
     // Different rings, latencies and losses: traffic cannot coincide.
     assert_ne!(a.2, b.2, "distinct seeds must produce distinct traffic");
+}
+
+#[test]
+fn wheel_and_heap_schedulers_are_schedule_identical() {
+    // The timer wheel is a drop-in for the heap: the same seed must
+    // produce the exact same fingerprint — event counts, every node's
+    // traffic, every root report — on both backends. This is the
+    // guarantee that lets the wheel be the default without invalidating
+    // any recorded digest.
+    let w = fingerprint_on(0xBEEF, SchedulerKind::Wheel);
+    let h = fingerprint_on(0xBEEF, SchedulerKind::Heap);
+    assert_eq!(w.0, h.0, "events processed");
+    assert_eq!(w.1, h.1, "messages dropped");
+    assert_eq!(w.2, h.2, "per-node traffic");
+    assert_eq!(w.3, h.3, "root reports");
 }

@@ -187,7 +187,7 @@ fn stats_are_served_over_the_simulated_wire() {
             _ => None,
         })
         .expect("stats reply arrives");
-    let text = String::from_utf8(text).expect("exposition is utf-8");
+    let text = String::from_utf8(text.to_vec()).expect("exposition is utf-8");
     let samples = validate_prometheus(&text).expect("remote dump parses");
     assert!(samples > 10, "a live node serves a non-trivial dump");
     assert!(text.contains("layer=\"chord\""));
@@ -264,7 +264,7 @@ fn stats_are_served_over_udp() {
         std::thread::sleep(Duration::from_millis(50));
     };
     cluster.shutdown();
-    let text = String::from_utf8(text).expect("exposition is utf-8");
+    let text = String::from_utf8(text.to_vec()).expect("exposition is utf-8");
     let samples = validate_prometheus(&text).expect("UDP-served dump parses");
     assert!(samples > 10);
     assert!(text.contains("layer=\"dat\""));
