@@ -15,16 +15,22 @@
 //! zero-copy in-memory delivery and wire delivery agree byte for byte.
 
 use crate::msg::ChordMsg;
-use crate::wire::{Reader, Writer};
+use crate::wire::{crc32c, Reader, Writer};
 
 pub use crate::wire::CodecError;
 
 /// First byte of every valid frame.
 pub const MAGIC: u8 = 0xD7;
-/// Wire-format version.
-pub const VERSION: u8 = 1;
+/// Wire-format version. v2 appended the CRC32C trailer; v1 frames are
+/// rejected as [`CodecError::BadVersion`].
+pub const VERSION: u8 = 2;
 /// Maximum accepted frame payload (defensive bound).
 pub const MAX_FRAME: usize = 64 * 1024;
+/// Bytes of CRC32C trailer at the end of every frame (little-endian,
+/// computed over everything before it, magic and version included).
+pub const CRC_TRAILER: usize = 4;
+/// Shortest well-formed frame: magic + version + tag + trailer.
+const MIN_FRAME: usize = 3 + CRC_TRAILER;
 
 /// Encode one message into a frame payload.
 pub fn encode(msg: &ChordMsg) -> Vec<u8> {
@@ -127,10 +133,18 @@ pub fn encode(msg: &ChordMsg) -> Vec<u8> {
             w.u8(16).u64(*req).node_ref(*sender).bytes(text);
         }
     }
-    w.finish()
+    let mut frame = w.finish();
+    let crc = crc32c(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
 }
 
 /// Decode a frame payload into a message.
+///
+/// Order of defenses: size bound, magic, version (so probes and old-format
+/// frames get their precise error), then the CRC32C trailer over the whole
+/// body, and only then field parsing — a corrupted frame is rejected by
+/// the checksum before any of its lengths or tags are believed.
 pub fn decode(data: &[u8]) -> Result<ChordMsg, CodecError> {
     if data.len() > MAX_FRAME {
         return Err(CodecError::BadLength(data.len() as u64));
@@ -144,6 +158,19 @@ pub fn decode(data: &[u8]) -> Result<ChordMsg, CodecError> {
     if ver != VERSION {
         return Err(CodecError::BadVersion(ver));
     }
+    if data.len() < MIN_FRAME {
+        return Err(CodecError::Truncated);
+    }
+    let body = &data[..data.len() - CRC_TRAILER];
+    let mut trailer = [0u8; CRC_TRAILER];
+    trailer.copy_from_slice(&data[data.len() - CRC_TRAILER..]);
+    let stored = u32::from_le_bytes(trailer);
+    let computed = crc32c(body);
+    if stored != computed {
+        return Err(CodecError::BadChecksum { computed, stored });
+    }
+    // Re-read the verified body past magic + version.
+    let mut r = Reader::new(&body[2..]);
     let tag = r.u8()?;
     let msg = match tag {
         1 => ChordMsg::FindSuccessor {
@@ -338,19 +365,46 @@ mod tests {
         }
     }
 
+    /// Append a valid CRC32C trailer to a hand-built body, producing a
+    /// frame that reaches the field parser.
+    fn sealed(body: &[u8]) -> Vec<u8> {
+        let mut v = body.to_vec();
+        v.extend_from_slice(&crc32c(body).to_le_bytes());
+        v
+    }
+
     #[test]
     fn bad_magic_version_tag() {
         assert_eq!(decode(&[0x00, VERSION, 1]), Err(CodecError::BadMagic(0)));
         assert_eq!(decode(&[MAGIC, 99, 1]), Err(CodecError::BadVersion(99)));
-        assert_eq!(decode(&[MAGIC, VERSION, 200]), Err(CodecError::BadTag(200)));
+        assert_eq!(
+            decode(&sealed(&[MAGIC, VERSION, 200])),
+            Err(CodecError::BadTag(200))
+        );
         assert_eq!(decode(&[]), Err(CodecError::Truncated));
+        // Too short to even carry a trailer.
+        assert_eq!(decode(&[MAGIC, VERSION, 1]), Err(CodecError::Truncated));
+        // A v1 frame (no trailer) from an old peer is rejected by version,
+        // not misread as truncated garbage.
+        assert_eq!(decode(&[MAGIC, 1, 5, 0]), Err(CodecError::BadVersion(1)));
     }
 
     #[test]
     fn trailing_garbage_rejected() {
+        // Bytes appended after the trailer shift the CRC window: checksum
+        // catches it.
         let mut bytes = encode(&ChordMsg::Notify { sender: nr(1) });
         bytes.extend_from_slice(&[0xAA, 0xBB]);
-        assert_eq!(decode(&bytes), Err(CodecError::TrailingBytes(2)));
+        assert!(matches!(
+            decode(&bytes),
+            Err(CodecError::BadChecksum { .. })
+        ));
+        // Garbage *inside* the checksummed body still reaches the field
+        // parser and is rejected as trailing bytes.
+        let good = encode(&ChordMsg::Notify { sender: nr(1) });
+        let mut body = good[..good.len() - CRC_TRAILER].to_vec();
+        body.extend_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(decode(&sealed(&body)), Err(CodecError::TrailingBytes(2)));
     }
 
     #[test]
@@ -365,7 +419,7 @@ mod tests {
             .u8(0)
             .u16(u16::MAX);
         assert_eq!(
-            decode(&w.finish()),
+            decode(&sealed(&w.finish())),
             Err(CodecError::BadLength(u16::MAX as u64))
         );
     }
@@ -374,5 +428,45 @@ mod tests {
     fn oversized_frame_rejected() {
         let huge = vec![0u8; MAX_FRAME + 1];
         assert!(matches!(decode(&huge), Err(CodecError::BadLength(_))));
+    }
+
+    #[test]
+    fn checksum_catches_every_single_bit_flip() {
+        // Flip each bit of each encoded variant: no flipped frame may
+        // decode (most die on BadChecksum; flips in magic/version die on
+        // their own checks — either way, never Ok).
+        for m in all_messages() {
+            let bytes = encode(&m);
+            for byte in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut evil = bytes.clone();
+                    evil[byte] ^= 1 << bit;
+                    assert!(
+                        decode(&evil).is_err(),
+                        "{} survived flipping bit {bit} of byte {byte}",
+                        m.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_layout_is_pinned() {
+        // Golden bytes for the simplest variant: any accidental format
+        // change (field order, endianness, trailer) breaks this first.
+        let frame = encode(&ChordMsg::Notify { sender: nr(1) });
+        let body = [
+            MAGIC, VERSION, 5, // tag
+            1, 0, 0, 0, 0, 0, 0, 0, // id = 1, LE
+            3, 0, 0, 0, 0, 0, 0, 0, // addr = 3, LE
+        ];
+        assert_eq!(&frame[..body.len()], &body);
+        assert_eq!(frame.len(), body.len() + CRC_TRAILER);
+        assert_eq!(
+            &frame[body.len()..],
+            crc32c(&body).to_le_bytes(),
+            "CRC trailer is little-endian CRC32C over magic..body"
+        );
     }
 }

@@ -343,6 +343,18 @@ pub enum Input {
         /// The delivered message.
         msg: ChordMsg,
     },
+    /// The transport received a frame that failed to decode (bad
+    /// checksum, truncation, unknown tag …). The frame carried no trusted
+    /// content, so only its provenance and the error kind are surfaced;
+    /// hosts use this to score and eventually quarantine poisoned peers.
+    BadFrame {
+        /// Transport endpoint the frame came from, when the transport can
+        /// attribute it (UDP keeps a socket→address reverse map; an
+        /// unattributable datagram reports `None`).
+        from: Option<NodeAddr>,
+        /// Why the frame was rejected.
+        error: crate::wire::CodecError,
+    },
 }
 
 #[cfg(test)]

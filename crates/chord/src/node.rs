@@ -669,8 +669,33 @@ impl ChordNode {
                 self.metrics.on_recv(self.now_ms, 0, msg.kind(), from.0);
                 self.on_message(from, msg, &mut out);
             }
+            // An undecodable frame carried nothing the ring layer can act
+            // on by itself; the stack host scores it per peer and feeds
+            // the failure detector (see `core::engine`).
+            Input::BadFrame { .. } => {}
         }
         out
+    }
+
+    /// Resolve a transport address to the known peer behind it, if that
+    /// peer is anywhere in the routing state (successor list, predecessor
+    /// or fingers).
+    pub fn peer_by_addr(&self, addr: NodeAddr) -> Option<NodeRef> {
+        self.table
+            .known_nodes()
+            .into_iter()
+            .find(|n| n.addr == addr)
+    }
+
+    /// Register hard evidence that the peer behind `addr` is poisoning
+    /// the wire (a burst of undecodable frames). Forces the peer Suspect
+    /// in the failure detector — repeated episodes trip its flap-damped
+    /// quarantine — and returns the peer it resolved to, or `None` when
+    /// the address maps to no known peer (nothing to quarantine).
+    pub fn suspect_addr(&mut self, addr: NodeAddr) -> Option<NodeRef> {
+        let peer = self.peer_by_addr(addr)?;
+        self.health.miss(peer.id, self.now_ms);
+        Some(peer)
     }
 
     fn on_timer(&mut self, kind: TimerKind, out: &mut Vec<Output>) {

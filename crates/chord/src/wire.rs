@@ -5,6 +5,13 @@
 //! discovery codec (`dat-maan`) and the UDP datagram framing (`dat-rpc`) all
 //! build on these primitives instead of maintaining parallel copies. The
 //! format is little-endian, TLV-free, length-prefixed where variable.
+//!
+//! The module also owns the workspace's frame checksum: a table-driven
+//! CRC32C ([`crc32c`]) appended as a little-endian trailer by the framing
+//! codec, so bit-flips and truncations that survive UDP's 16-bit checksum
+//! are rejected instead of decoded into a silently-wrong aggregate.
+
+#![deny(clippy::unwrap_used)]
 
 use crate::finger::{NodeAddr, NodeRef};
 use crate::id::Id;
@@ -24,6 +31,50 @@ pub enum CodecError {
     BadLength(u64),
     /// Trailing bytes after a complete message.
     TrailingBytes(usize),
+    /// Frame checksum trailer does not match the frame body.
+    BadChecksum {
+        /// CRC32C computed over the received body.
+        computed: u32,
+        /// CRC32C the frame claimed in its trailer.
+        stored: u32,
+    },
+    /// A length-prefixed string field held invalid UTF-8.
+    BadUtf8,
+}
+
+/// Every [`CodecError::kind_label`] value, in [`CodecError::kind_index`]
+/// order — lets hosts pre-register one counter per kind so a quiet wire
+/// still exports a complete (zeroed) error taxonomy.
+pub const ERROR_KINDS: [&str; 8] = [
+    "truncated",
+    "bad_magic",
+    "bad_tag",
+    "bad_version",
+    "bad_length",
+    "trailing_bytes",
+    "bad_checksum",
+    "bad_utf8",
+];
+
+impl CodecError {
+    /// Stable label for this error kind (metric label / log field).
+    pub fn kind_label(&self) -> &'static str {
+        ERROR_KINDS[self.kind_index()]
+    }
+
+    /// Dense index of this error kind into [`ERROR_KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            CodecError::Truncated => 0,
+            CodecError::BadMagic(_) => 1,
+            CodecError::BadTag(_) => 2,
+            CodecError::BadVersion(_) => 3,
+            CodecError::BadLength(_) => 4,
+            CodecError::TrailingBytes(_) => 5,
+            CodecError::BadChecksum { .. } => 6,
+            CodecError::BadUtf8 => 7,
+        }
+    }
 }
 
 impl core::fmt::Display for CodecError {
@@ -35,11 +86,50 @@ impl core::fmt::Display for CodecError {
             CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             CodecError::BadLength(l) => write!(f, "implausible length {l}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+            CodecError::BadChecksum { computed, stored } => write!(
+                f,
+                "checksum mismatch: frame claims {stored:#010x}, body hashes to {computed:#010x}"
+            ),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// CRC32C (Castagnoli) lookup table, built at compile time from the
+/// reflected polynomial 0x82F63B78.
+const CRC32C_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32C (Castagnoli) of `data` — the checksum iSCSI and ext4 use, chosen
+/// over CRC32 (IEEE) for its better error-detection spectrum on short
+/// frames. Table-driven, no dependencies; standard check value:
+/// `crc32c(b"123456789") == 0xE3069283`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Append-only encoder.
 #[derive(Default)]
@@ -156,6 +246,15 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Length-checked fixed-size read (the slice is exactly `N` bytes, so
+    /// the copy cannot fail — this keeps the primitives panic-free).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     /// Read a `u8`.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
@@ -163,22 +262,22 @@ impl<'a> Reader<'a> {
 
     /// Read a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read an `f64`.
     pub fn f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a ring identifier.
@@ -223,9 +322,15 @@ impl<'a> Reader<'a> {
         self.take(len)
     }
 
-    /// Read a length-prefixed UTF-8 string (lossy on invalid UTF-8).
+    /// Read a length-prefixed UTF-8 string. Invalid UTF-8 is rejected
+    /// ([`CodecError::BadUtf8`]) rather than lossily replaced — a
+    /// corrupted attribute name must not be aggregated under a garbled
+    /// key.
     pub fn str(&mut self) -> Result<String, CodecError> {
-        Ok(String::from_utf8_lossy(self.bytes()?).into_owned())
+        let raw = self.bytes()?;
+        core::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::BadUtf8)
     }
 
     /// Assert the input is fully consumed.
@@ -239,6 +344,7 @@ impl<'a> Reader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -303,5 +409,49 @@ mod tests {
             Reader::new(&bytes).bytes(),
             Err(CodecError::BadLength(1 << 30))
         );
+    }
+
+    #[test]
+    fn invalid_utf8_rejected_not_mangled() {
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE, b'x']);
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).str(), Err(CodecError::BadUtf8));
+        // Valid UTF-8 (including multibyte) still round-trips.
+        let mut w = Writer::new();
+        w.str("grid-λ");
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).str().unwrap(), "grid-λ");
+    }
+
+    #[test]
+    fn crc32c_matches_standard_check_value() {
+        // The canonical CRC32C test vector (RFC 3720 appendix / every
+        // hardware implementation).
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // Sensitivity: one flipped bit changes the checksum.
+        assert_ne!(crc32c(&[0x00, 0x01]), crc32c(&[0x00, 0x03]));
+    }
+
+    #[test]
+    fn error_kind_labels_are_dense_and_stable() {
+        let samples = [
+            CodecError::Truncated,
+            CodecError::BadMagic(0),
+            CodecError::BadTag(0),
+            CodecError::BadVersion(0),
+            CodecError::BadLength(0),
+            CodecError::TrailingBytes(0),
+            CodecError::BadChecksum {
+                computed: 0,
+                stored: 1,
+            },
+            CodecError::BadUtf8,
+        ];
+        for (i, e) in samples.iter().enumerate() {
+            assert_eq!(e.kind_index(), i);
+            assert_eq!(e.kind_label(), ERROR_KINDS[i]);
+        }
     }
 }

@@ -103,6 +103,42 @@ impl Default for InboxPolicy {
     }
 }
 
+/// Scoring policy for undecodable frames ([`Input::BadFrame`]).
+///
+/// A lossy WAN produces the odd mangled datagram even from honest peers,
+/// so one bad frame is noise; a *burst* from one peer is a poisoned link
+/// or a hostile sender. The engine counts bad frames per source address
+/// inside a sliding window, and when a window accumulates
+/// [`BadFrameConfig::threshold`] frames the peer is reported to the shared
+/// failure detector as a hard miss (forced Suspect). Repeated episodes
+/// then ride the detector's existing flap damping into a bounded-length
+/// quarantine — the same machinery that contains flapping-slow peers
+/// contains wire-poisoning ones.
+///
+/// The per-peer table is bounded at [`BadFrameConfig::max_tracked`]
+/// entries (stalest window evicted first) so a spray of spoofed source
+/// addresses cannot grow node memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BadFrameConfig {
+    /// Sliding window (engine ms) over which bad frames from one peer
+    /// accumulate toward the threshold.
+    pub window_ms: u64,
+    /// Bad frames inside one window that force the peer Suspect.
+    pub threshold: u32,
+    /// Upper bound on concurrently tracked source addresses.
+    pub max_tracked: usize,
+}
+
+impl Default for BadFrameConfig {
+    fn default() -> Self {
+        BadFrameConfig {
+            window_ms: 10_000,
+            threshold: 3,
+            max_tracked: 64,
+        }
+    }
+}
+
 /// Admit one payload of a class with the given backlog capacity, advancing
 /// the shared busy horizon on admission.
 fn inbox_admit(policy: &InboxPolicy, busy_until_ms: &mut u64, now_ms: u64, capacity: u64) -> bool {
@@ -306,6 +342,14 @@ pub struct StackNode {
     shed_by_proto: HashMap<u8, u64>,
     /// Stats requests shed (lowest priority class).
     stats_shed: u64,
+    /// Poisoned-peer scoring policy for undecodable frames.
+    bad_frame_cfg: BadFrameConfig,
+    /// Undecodable frames seen, by [`dat_chord::wire::ERROR_KINDS`] index.
+    bad_frames_by_kind: [u64; dat_chord::wire::ERROR_KINDS.len()],
+    /// Per-source sliding window: (window start, bad frames in window).
+    bad_peer_window: HashMap<NodeAddr, (u64, u32)>,
+    /// Bad-frame bursts that escalated into a failure-detector miss.
+    bad_frame_suspects: u64,
 }
 
 impl StackNode {
@@ -327,7 +371,48 @@ impl StackNode {
             inbox_busy_until_ms: 0,
             shed_by_proto: HashMap::new(),
             stats_shed: 0,
+            bad_frame_cfg: BadFrameConfig::default(),
+            bad_frames_by_kind: [0; dat_chord::wire::ERROR_KINDS.len()],
+            bad_peer_window: HashMap::new(),
+            bad_frame_suspects: 0,
         }
+    }
+
+    /// Install or change the poisoned-peer scoring policy.
+    pub fn set_bad_frame_config(&mut self, cfg: BadFrameConfig) {
+        self.bad_frame_cfg = cfg;
+    }
+
+    /// The poisoned-peer scoring policy in effect.
+    pub fn bad_frame_config(&self) -> BadFrameConfig {
+        self.bad_frame_cfg
+    }
+
+    /// Undecodable frames seen so far, all error kinds summed.
+    pub fn bad_frames_total(&self) -> u64 {
+        self.bad_frames_by_kind.iter().sum()
+    }
+
+    /// Undecodable frames of one error kind (a
+    /// [`dat_chord::wire::ERROR_KINDS`] label); unknown labels read 0.
+    pub fn bad_frame_count(&self, kind: &str) -> u64 {
+        dat_chord::wire::ERROR_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .map(|i| self.bad_frames_by_kind[i])
+            .unwrap_or(0)
+    }
+
+    /// Bad-frame bursts that escalated into a forced-Suspect report
+    /// against a resolved peer.
+    pub fn bad_frame_suspects(&self) -> u64 {
+        self.bad_frame_suspects
+    }
+
+    /// Source addresses currently tracked by the bad-frame scorer (always
+    /// ≤ [`BadFrameConfig::max_tracked`]).
+    pub fn bad_peers_tracked(&self) -> usize {
+        self.bad_peer_window.len()
     }
 
     /// Install a bounded-inbox policy (builder style). See [`InboxPolicy`].
@@ -437,6 +522,9 @@ impl StackNode {
         self.recv_by_proto.clear();
         self.shed_by_proto.clear();
         self.stats_shed = 0;
+        self.bad_frames_by_kind = [0; dat_chord::wire::ERROR_KINDS.len()];
+        self.bad_peer_window.clear();
+        self.bad_frame_suspects = 0;
         let health = self.chord.health_mut();
         health.suspects = 0;
         health.quarantines = 0;
@@ -503,6 +591,18 @@ impl StackNode {
         reg.counter_add(
             Key::new("rejoins_total").label("layer", "chord"),
             health.rejoins,
+        );
+        // The full decode-error taxonomy is pre-registered at zero, so a
+        // clean wire still exports every kind and fleet merges line up.
+        for (i, &kind) in dat_chord::wire::ERROR_KINDS.iter().enumerate() {
+            reg.counter_add(
+                Key::new("bad_frames_total").label("kind", kind),
+                self.bad_frames_by_kind[i],
+            );
+        }
+        reg.counter_add(
+            Key::new("bad_frame_suspects_total").label("layer", "chord"),
+            self.bad_frame_suspects,
         );
         reg
     }
@@ -694,6 +794,10 @@ impl StackNode {
     /// [`StackNode::render_prometheus`] dump (the one engine-level service
     /// that does not pass through transparently).
     pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        if let Input::BadFrame { from, error } = input {
+            self.on_bad_frame(from, error);
+            return Vec::new();
+        }
         let mut outs = self.chord.handle(input);
         let mut stats: Vec<(ReqId, NodeRef)> = Vec::new();
         outs.retain(|o| match o {
@@ -720,6 +824,53 @@ impl StackNode {
             outs.push(self.chord.reply_stats(from, req, text));
         }
         self.dispatch(outs)
+    }
+
+    /// Score one undecodable frame: count it by error kind, advance the
+    /// source's sliding window, and when the window crosses the threshold
+    /// report the resolved peer to the failure detector as a hard miss
+    /// (forced Suspect — repeat episodes quarantine via flap damping).
+    fn on_bad_frame(&mut self, from: Option<NodeAddr>, error: dat_chord::wire::CodecError) {
+        self.bad_frames_by_kind[error.kind_index()] += 1;
+        let Some(addr) = from else {
+            // Unattributable garbage: counted, nobody to score.
+            return;
+        };
+        let now = self.now_ms;
+        let cfg = self.bad_frame_cfg;
+        if !self.bad_peer_window.contains_key(&addr)
+            && self.bad_peer_window.len() >= cfg.max_tracked
+        {
+            // Bounded table: evict the stalest window so spoofed source
+            // sprays cannot grow node memory.
+            if let Some(stale) = self
+                .bad_peer_window
+                .iter()
+                .min_by_key(|(a, (start, _))| (*start, a.0))
+                .map(|(a, _)| *a)
+            {
+                self.bad_peer_window.remove(&stale);
+            }
+        }
+        let entry = self.bad_peer_window.entry(addr).or_insert((now, 0));
+        if now.saturating_sub(entry.0) > cfg.window_ms {
+            *entry = (now, 0);
+        }
+        entry.1 += 1;
+        if entry.1 >= cfg.threshold {
+            // Reset the window so the *next* burst escalates again — each
+            // escalation is one Suspect episode, and it is the episode
+            // cadence the detector's flap damping turns into quarantine.
+            *entry = (now, 0);
+            if let Some(peer) = self.chord.suspect_addr(addr) {
+                self.bad_frame_suspects += 1;
+                self.chord.metrics_mut().trace(
+                    now,
+                    0,
+                    dat_obs::EventKind::Poisoned { node: peer.id.0 },
+                );
+            }
+        }
     }
 
     /// Intercept chord outputs: dispatch upcalls to the matching handlers,
@@ -1181,5 +1332,170 @@ mod tests {
             }]
         ));
         assert_eq!(stack.proto_sent(40), 1);
+    }
+
+    /// A stack whose chord node knows one peer (taught via Notify).
+    fn stack_with_peer() -> (StackNode, NodeRef) {
+        let mut stack = StackNode::new(cfg(), Id(10), NodeAddr(1));
+        let _ = stack.start_create();
+        let peer = NodeRef::new(Id(20), NodeAddr(2));
+        let _ = stack.handle(Input::Message {
+            from: NodeAddr(2),
+            msg: ChordMsg::Notify { sender: peer },
+        });
+        assert!(stack.chord().peer_by_addr(NodeAddr(2)).is_some());
+        (stack, peer)
+    }
+
+    fn checksum_err() -> dat_chord::wire::CodecError {
+        dat_chord::wire::CodecError::BadChecksum {
+            computed: 1,
+            stored: 2,
+        }
+    }
+
+    #[test]
+    fn bad_frame_bursts_escalate_to_suspicion() {
+        let (mut stack, peer) = stack_with_peer();
+        // Two bad frames inside the window: counted but below threshold.
+        for _ in 0..2 {
+            let outs = stack.handle(Input::BadFrame {
+                from: Some(NodeAddr(2)),
+                error: checksum_err(),
+            });
+            assert!(outs.is_empty(), "a bad frame produces no outputs");
+        }
+        assert_eq!(stack.bad_frames_total(), 2);
+        assert_eq!(stack.bad_frame_count("bad_checksum"), 2);
+        assert_eq!(stack.bad_frame_suspects(), 0);
+        assert_eq!(
+            stack.chord().health().peek(peer.id),
+            SuspicionLevel::Healthy
+        );
+        // The third crosses the default threshold: forced Suspect + trace.
+        let _ = stack.handle(Input::BadFrame {
+            from: Some(NodeAddr(2)),
+            error: checksum_err(),
+        });
+        assert_eq!(stack.bad_frame_suspects(), 1);
+        assert_eq!(
+            stack.chord().health().peek(peer.id),
+            SuspicionLevel::Suspect
+        );
+        assert!(stack
+            .trace_events()
+            .iter()
+            .any(|e| matches!(e.kind, dat_obs::EventKind::Poisoned { node } if node == peer.id.0)));
+        let reg = stack.obs_registry();
+        assert_eq!(reg.counter_with("bad_frames_total", "bad_checksum"), 3);
+        assert_eq!(reg.counter_sum("bad_frame_suspects_total"), 1);
+    }
+
+    #[test]
+    fn unattributable_and_unknown_sources_count_without_scoring() {
+        let (mut stack, peer) = stack_with_peer();
+        for _ in 0..10 {
+            let _ = stack.handle(Input::BadFrame {
+                from: None,
+                error: dat_chord::wire::CodecError::Truncated,
+            });
+        }
+        // An address that resolves to no known peer is scored but cannot
+        // be suspected.
+        for _ in 0..10 {
+            let _ = stack.handle(Input::BadFrame {
+                from: Some(NodeAddr(99)),
+                error: checksum_err(),
+            });
+        }
+        assert_eq!(stack.bad_frames_total(), 20);
+        assert_eq!(stack.bad_frame_count("truncated"), 10);
+        assert_eq!(stack.bad_frame_suspects(), 0);
+        assert_eq!(
+            stack.chord().health().peek(peer.id),
+            SuspicionLevel::Healthy
+        );
+    }
+
+    #[test]
+    fn bad_frame_window_expires_and_table_is_bounded() {
+        let (mut stack, _) = stack_with_peer();
+        stack.set_bad_frame_config(BadFrameConfig {
+            window_ms: 1_000,
+            threshold: 3,
+            max_tracked: 4,
+        });
+        // Two bad frames, then the window expires: the next two do not
+        // reach the threshold either.
+        for t in [0u64, 100] {
+            stack.set_now(t);
+            let _ = stack.handle(Input::BadFrame {
+                from: Some(NodeAddr(2)),
+                error: checksum_err(),
+            });
+        }
+        for t in [5_000u64, 5_100] {
+            stack.set_now(t);
+            let _ = stack.handle(Input::BadFrame {
+                from: Some(NodeAddr(2)),
+                error: checksum_err(),
+            });
+        }
+        assert_eq!(stack.bad_frame_suspects(), 0);
+        // A spray of spoofed sources stays bounded at max_tracked.
+        for i in 0..100u64 {
+            let _ = stack.handle(Input::BadFrame {
+                from: Some(NodeAddr(1_000 + i)),
+                error: checksum_err(),
+            });
+        }
+        assert!(stack.bad_peers_tracked() <= 4);
+    }
+
+    #[test]
+    fn repeated_poisoning_episodes_quarantine_then_release() {
+        let (mut stack, peer) = stack_with_peer();
+        stack.set_health_config(dat_chord::HealthConfig {
+            flap_window_ms: 60_000,
+            flap_threshold: 3,
+            quarantine_ms: 5_000,
+            ..dat_chord::HealthConfig::default()
+        });
+        let mut now = 0u64;
+        // Three poison-burst → heartbeat-recovery cycles inside the flap
+        // window: the third recovery trips quarantine.
+        for _ in 0..3 {
+            for _ in 0..3 {
+                now += 10;
+                stack.set_now(now);
+                let _ = stack.handle(Input::BadFrame {
+                    from: Some(NodeAddr(2)),
+                    error: checksum_err(),
+                });
+            }
+            now += 500;
+            stack.set_now(now);
+            let _ = stack.handle(Input::Message {
+                from: NodeAddr(2),
+                msg: ChordMsg::Notify { sender: peer },
+            });
+        }
+        assert_eq!(
+            stack.chord().health().peek(peer.id),
+            SuspicionLevel::Quarantined
+        );
+        assert_eq!(stack.chord().health().quarantines, 1);
+        // Quarantine served + the peer talking again → it rejoins.
+        now += 6_000;
+        stack.set_now(now);
+        let _ = stack.handle(Input::Message {
+            from: NodeAddr(2),
+            msg: ChordMsg::Notify { sender: peer },
+        });
+        assert_eq!(
+            stack.chord().health().peek(peer.id),
+            SuspicionLevel::Healthy
+        );
+        assert_eq!(stack.chord().health().rejoins, 1);
     }
 }

@@ -101,6 +101,13 @@ pub enum EventKind {
         /// The suspected node's id.
         node: u64,
     },
+    /// A burst of undecodable frames from one peer crossed the bad-frame
+    /// scoring threshold: the peer was reported to the failure detector
+    /// as poisoning the wire (repeat offenders end up quarantined).
+    Poisoned {
+        /// The poisoning node's id.
+        node: u64,
+    },
 }
 
 /// One traced event: logical timestamp, host clock, causal trace id, kind.
@@ -178,6 +185,10 @@ impl Event {
             }
             EventKind::Suspect { node } => {
                 push(&[9], &mut n);
+                push(&node.to_le_bytes(), &mut n);
+            }
+            EventKind::Poisoned { node } => {
+                push(&[10], &mut n);
                 push(&node.to_le_bytes(), &mut n);
             }
         }

@@ -17,10 +17,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Sender};
+use dat_chord::wire::ERROR_KINDS;
 use dat_chord::{Actor, Input, NodeAddr, Output, TimerKind, Upcall};
 use parking_lot::Mutex;
 
 use crate::codec;
+
+/// Number of distinct decode-failure kinds the transport classifies
+/// (one counter slot per [`dat_chord::wire::ERROR_KINDS`] label).
+const KINDS: usize = ERROR_KINDS.len();
 
 /// Runtime knobs for [`RpcCluster`] — everything that used to be a magic
 /// constant in the transport loops.
@@ -93,6 +98,21 @@ pub struct ClusterStats {
     pub received: u64,
     /// Datagrams that failed to decode.
     pub decode_errors: u64,
+    /// `decode_errors` broken down by failure kind, indexed like
+    /// [`dat_chord::wire::ERROR_KINDS`].
+    pub decode_errors_by_kind: [u64; KINDS],
+}
+
+impl ClusterStats {
+    /// The per-kind decode-error tallies paired with their wire labels,
+    /// ready for logging or metric export.
+    pub fn decode_error_kinds(&self) -> [(&'static str, u64); KINDS] {
+        let mut out = [("", 0u64); KINDS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (ERROR_KINDS[i], self.decode_errors_by_kind[i]);
+        }
+        out
+    }
 }
 
 /// A running cluster of UDP-backed protocol nodes.
@@ -107,7 +127,9 @@ pub struct RpcCluster<A: Actor> {
     sent: Arc<AtomicU64>,
     received: Arc<AtomicU64>,
     decode_errors: Arc<AtomicU64>,
+    decode_errors_by_kind: Arc<[AtomicU64; KINDS]>,
     addr_book: Arc<HashMap<NodeAddr, SocketAddr>>,
+    sockets: Vec<UdpSocket>,
     cfg: ClusterConfig,
 }
 
@@ -134,12 +156,20 @@ impl<A: Actor> RpcCluster<A> {
             book.insert(NodeAddr(i as u64), sock.local_addr()?);
             sockets.push(sock);
         }
+        // Reverse book: source socket -> logical address, so a damaged
+        // frame can still be attributed to the peer that sent it (the
+        // payload is untrustworthy by definition, the UDP source is the
+        // best evidence available).
+        let rev_book: Arc<HashMap<SocketAddr, NodeAddr>> =
+            Arc::new(book.iter().map(|(&n, &s)| (s, n)).collect());
         let addr_book = Arc::new(book);
         let shutdown = Arc::new(AtomicBool::new(false));
         let upcalls = Arc::new(Mutex::new(Vec::new()));
         let sent = Arc::new(AtomicU64::new(0));
         let received = Arc::new(AtomicU64::new(0));
         let decode_errors = Arc::new(AtomicU64::new(0));
+        let decode_errors_by_kind: Arc<[AtomicU64; KINDS]> =
+            Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
 
         let (timer_tx, timer_rx) = unbounded::<TimerReq>();
         let mut inboxes = HashMap::with_capacity(n);
@@ -154,17 +184,24 @@ impl<A: Actor> RpcCluster<A> {
             let (tx, rx) = unbounded::<Control<A>>();
             inboxes.insert(addr, tx.clone());
 
-            // Receiver thread: datagrams -> inbox.
+            // Receiver thread: datagrams -> inbox. Every inbound frame
+            // passes the full decode (magic, version, structure, CRC32C
+            // trailer); a failure is classified by kind and handed to the
+            // actor as `Input::BadFrame` so the engine's per-peer scoring
+            // and quarantine pipeline runs over real UDP exactly as it
+            // does in the simulator.
             let sock_recv = sockets[i].try_clone()?;
             let inbox = tx.clone();
             let stop = Arc::clone(&shutdown);
             let rx_count = Arc::clone(&received);
             let err_count = Arc::clone(&decode_errors);
+            let err_kinds = Arc::clone(&decode_errors_by_kind);
+            let sources = Arc::clone(&rev_book);
             receivers.push(std::thread::spawn(move || {
                 let mut buf = vec![0u8; codec::MAX_FRAME];
                 while !stop.load(Ordering::Relaxed) {
                     match sock_recv.recv_from(&mut buf) {
-                        Ok((len, _peer)) => match codec::decode(&buf[..len]) {
+                        Ok((len, peer)) => match codec::decode(&buf[..len]) {
                             Ok(msg) => {
                                 rx_count.fetch_add(1, Ordering::Relaxed);
                                 // `from` is carried inside the message where
@@ -175,8 +212,13 @@ impl<A: Actor> RpcCluster<A> {
                                     msg,
                                 }));
                             }
-                            Err(_) => {
+                            Err(error) => {
                                 err_count.fetch_add(1, Ordering::Relaxed);
+                                err_kinds[error.kind_index()].fetch_add(1, Ordering::Relaxed);
+                                let _ = inbox.send(Control::Input(Input::BadFrame {
+                                    from: sources.get(&peer).copied(),
+                                    error,
+                                }));
                             }
                         },
                         Err(e)
@@ -267,7 +309,9 @@ impl<A: Actor> RpcCluster<A> {
             sent,
             received,
             decode_errors,
+            decode_errors_by_kind,
             addr_book,
+            sockets,
             cfg,
         })
     }
@@ -285,6 +329,22 @@ impl<A: Actor> RpcCluster<A> {
     /// The UDP socket address of a logical node.
     pub fn socket_addr(&self, addr: NodeAddr) -> Option<SocketAddr> {
         self.addr_book.get(&addr).copied()
+    }
+
+    /// Send raw bytes from `from`'s socket to `to`'s socket, bypassing the
+    /// codec entirely — a byte-level fault-injection hook for hostile-wire
+    /// tests. The receiver attributes whatever arrives to `from` via the
+    /// source address, exactly as it would a genuinely corrupted datagram.
+    pub fn send_raw(&self, from: NodeAddr, to: NodeAddr, bytes: &[u8]) -> std::io::Result<()> {
+        let sock = self
+            .sockets
+            .get(from.0 as usize)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unknown sender"))?;
+        let peer = self
+            .addr_book
+            .get(&to)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unknown target"))?;
+        sock.send_to(bytes, peer).map(|_| ())
     }
 
     /// Run `f` against the actor at `addr` asynchronously; its outputs are
@@ -328,10 +388,15 @@ impl<A: Actor> RpcCluster<A> {
 
     /// Transport counters.
     pub fn stats(&self) -> ClusterStats {
+        let mut by_kind = [0u64; KINDS];
+        for (slot, counter) in by_kind.iter_mut().zip(self.decode_errors_by_kind.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         ClusterStats {
             sent: self.sent.load(Ordering::Relaxed),
             received: self.received.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            decode_errors_by_kind: by_kind,
         }
     }
 
@@ -488,5 +553,114 @@ mod tests {
     fn launch_validates_addresses() {
         let a = ChordNode::new(fast_cfg(), Id(5), NodeAddr(7));
         let _ = RpcCluster::launch(vec![a]);
+    }
+
+    /// A minimal actor that records every `BadFrame` it is handed, so the
+    /// test can see exactly what the receiver thread forwarded.
+    struct Recorder {
+        addr: NodeAddr,
+        bad: Vec<(Option<NodeAddr>, &'static str)>,
+        messages: u64,
+    }
+
+    impl Actor for Recorder {
+        fn addr(&self) -> NodeAddr {
+            self.addr
+        }
+        fn on_input(&mut self, input: Input) -> Vec<Output> {
+            match input {
+                Input::BadFrame { from, error } => self.bad.push((from, error.kind_label())),
+                Input::Message { .. } => self.messages += 1,
+                _ => {}
+            }
+            vec![]
+        }
+    }
+
+    #[test]
+    fn damaged_datagrams_are_classified_attributed_and_forwarded() {
+        let recorder = |i: u64| Recorder {
+            addr: NodeAddr(i),
+            bad: Vec::new(),
+            messages: 0,
+        };
+        let cluster = RpcCluster::launch(vec![recorder(0), recorder(1)]).unwrap();
+
+        let valid = codec::encode(&dat_chord::ChordMsg::Ping {
+            req: 7,
+            sender: dat_chord::NodeRef::new(Id(42), NodeAddr(1)),
+        });
+        // One intact control: a clean frame must still arrive as a Message.
+        cluster.send_raw(NodeAddr(1), NodeAddr(0), &valid).unwrap();
+        // Four damaged frames from node 1, one per failure class the
+        // decode pipeline distinguishes at these offsets.
+        cluster
+            .send_raw(NodeAddr(1), NodeAddr(0), &valid[..1])
+            .unwrap(); // truncated
+        cluster
+            .send_raw(NodeAddr(1), NodeAddr(0), b"not a chord frame")
+            .unwrap(); // bad_magic
+        let mut wrong_version = valid.clone();
+        wrong_version[1] = 0x7F;
+        cluster
+            .send_raw(NodeAddr(1), NodeAddr(0), &wrong_version)
+            .unwrap(); // bad_version
+        let mut flipped = valid.clone();
+        let body_end = flipped.len() - dat_chord::codec::CRC_TRAILER;
+        flipped[body_end - 1] ^= 0x01;
+        cluster
+            .send_raw(NodeAddr(1), NodeAddr(0), &flipped)
+            .unwrap(); // bad_checksum
+                       // And one from a socket the cluster has never heard of: the frame
+                       // must still be counted and forwarded, but with no attribution.
+        let outsider = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let target = cluster.socket_addr(NodeAddr(0)).unwrap();
+        outsider.send_to(b"zzzz", target).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut seen = Vec::new();
+        let mut messages = 0;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            let (bad, msgs) = cluster
+                .call(NodeAddr(0), |a| ((a.bad.clone(), a.messages), vec![]))
+                .unwrap();
+            if bad.len() >= 5 && msgs >= 1 {
+                seen = bad;
+                messages = msgs;
+                break;
+            }
+        }
+        let stats = cluster.stats();
+        cluster.shutdown();
+
+        assert_eq!(messages, 1, "the intact frame should decode and deliver");
+        assert_eq!(seen.len(), 5, "all five damaged frames should forward");
+        let from_peer = |kind: &str| {
+            seen.iter()
+                .filter(|(f, k)| *f == Some(NodeAddr(1)) && *k == kind)
+                .count()
+        };
+        assert_eq!(from_peer("truncated"), 1);
+        assert_eq!(from_peer("bad_magic"), 1);
+        assert_eq!(from_peer("bad_version"), 1);
+        assert_eq!(from_peer("bad_checksum"), 1);
+        assert_eq!(
+            seen.iter()
+                .filter(|(f, k)| f.is_none() && *k == "bad_magic")
+                .count(),
+            1,
+            "the outsider's frame should arrive unattributed"
+        );
+
+        assert_eq!(stats.received, 1);
+        assert_eq!(stats.decode_errors, 5);
+        let kinds: HashMap<&str, u64> = stats.decode_error_kinds().into_iter().collect();
+        assert_eq!(kinds["truncated"], 1);
+        assert_eq!(kinds["bad_magic"], 2);
+        assert_eq!(kinds["bad_version"], 1);
+        assert_eq!(kinds["bad_checksum"], 1);
+        assert_eq!(kinds["bad_tag"], 0);
+        assert_eq!(stats.decode_errors_by_kind.iter().sum::<u64>(), 5);
     }
 }

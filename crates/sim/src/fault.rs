@@ -26,6 +26,48 @@ pub struct LinkFault {
     pub extra_latency_ms: u64,
 }
 
+/// How a corrupted frame's bytes are mutated (see
+/// [`FaultEvent::CorruptLink`]). Each mode models a different wire
+/// pathology; all of them must be caught by the frame checksum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptMode {
+    /// Flip one random bit — the classic undetected-by-UDP single-bit
+    /// error.
+    BitFlip,
+    /// Cut the frame at a random offset — a fragmented or clipped
+    /// datagram.
+    Truncate,
+    /// Replace a random run of bytes with random garbage — memory
+    /// corruption in a middlebox, or a hostile writer.
+    Garbage,
+    /// Overwrite the message-tag byte with a random value — the
+    /// "parseable but wrong message" shape that most tempts a decoder
+    /// into silent misinterpretation.
+    TagRewrite,
+}
+
+impl CorruptMode {
+    /// Canonical byte for digest encoding.
+    fn code(self) -> u8 {
+        match self {
+            CorruptMode::BitFlip => 0,
+            CorruptMode::Truncate => 1,
+            CorruptMode::Garbage => 2,
+            CorruptMode::TagRewrite => 3,
+        }
+    }
+
+    /// Stable label (reports, replay lines).
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptMode::BitFlip => "bit_flip",
+            CorruptMode::Truncate => "truncate",
+            CorruptMode::Garbage => "garbage",
+            CorruptMode::TagRewrite => "tag_rewrite",
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultEvent {
@@ -131,6 +173,25 @@ pub enum FaultEvent {
         /// Window over which the deliveries are spread (ms).
         spread_ms: u64,
     },
+    /// Byte-level wire corruption on the directed link `from → to`: each
+    /// delivered message independently has its encoded frame mutated with
+    /// probability `prob` (mode picks the mutation shape), auto-expiring
+    /// after `for_ms`. Mutated frames travel through the real codec — the
+    /// receiver sees whatever the decoder makes of the damaged bytes, so
+    /// this exercises checksum detection, bad-frame accounting, and
+    /// poisoned-peer quarantine end to end.
+    CorruptLink {
+        /// Sending side.
+        from: NodeAddr,
+        /// Receiving side.
+        to: NodeAddr,
+        /// Per-message corruption probability in `[0, 1]`.
+        prob: f64,
+        /// Byte-mutation shape.
+        mode: CorruptMode,
+        /// Episode length (ms); must be non-zero.
+        for_ms: u64,
+    },
 }
 
 impl FaultEvent {
@@ -217,6 +278,20 @@ impl FaultEvent {
                 buf.extend(msgs.to_le_bytes());
                 buf.extend(spread_ms.to_le_bytes());
             }
+            FaultEvent::CorruptLink {
+                from,
+                to,
+                prob,
+                mode,
+                for_ms,
+            } => {
+                buf.push(11);
+                buf.extend(from.0.to_le_bytes());
+                buf.extend(to.0.to_le_bytes());
+                buf.extend(prob.to_bits().to_le_bytes());
+                buf.push(mode.code());
+                buf.extend(for_ms.to_le_bytes());
+            }
         }
     }
 
@@ -236,6 +311,13 @@ impl FaultEvent {
             | FaultEvent::FlakyLink { fault, .. }
             | FaultEvent::DegradeLink { fault, .. } => check_prob("LinkFault.loss", fault.loss),
             FaultEvent::SetDuplication { prob } => check_prob("duplication prob", *prob),
+            FaultEvent::CorruptLink { prob, for_ms, .. } => {
+                check_prob("corruption prob", *prob);
+                assert!(
+                    *for_ms > 0,
+                    "corruption episode must have a non-zero length, got for_ms = 0"
+                );
+            }
             _ => {}
         }
     }
@@ -370,6 +452,28 @@ impl FaultPlan {
         )
     }
 
+    /// A byte-corruption episode on `from → to` starting at `at_ms`.
+    pub fn corrupt_link_at(
+        self,
+        at_ms: u64,
+        from: NodeAddr,
+        to: NodeAddr,
+        prob: f64,
+        mode: CorruptMode,
+        for_ms: u64,
+    ) -> Self {
+        self.at(
+            at_ms,
+            FaultEvent::CorruptLink {
+                from,
+                to,
+                prob,
+                mode,
+                for_ms,
+            },
+        )
+    }
+
     /// The scheduled `(at_ms, event)` pairs, in declaration order.
     pub fn events(&self) -> &[(u64, FaultEvent)] {
         &self.events
@@ -427,6 +531,9 @@ pub(crate) struct FaultController {
     /// Kept apart from `links` so a degradation composes with (rather than
     /// replaces) an ordinary override on the same link.
     degraded: HashMap<(NodeAddr, NodeAddr), (LinkFault, u64, SimTime)>,
+    /// Byte-corruption episodes: `(prob, mode, expiry)`. Separate from the
+    /// loss maps — a corrupted frame is still *delivered*, just damaged.
+    corrupt: HashMap<(NodeAddr, NodeAddr), (f64, CorruptMode, SimTime)>,
     dup_prob: f64,
 }
 
@@ -437,6 +544,7 @@ impl FaultController {
             partition: None,
             links: HashMap::new(),
             degraded: HashMap::new(),
+            corrupt: HashMap::new(),
             dup_prob: 0.0,
         }
     }
@@ -502,6 +610,16 @@ impl FaultController {
                 msgs,
                 spread_ms,
             } => Some(FaultAction::Overload(node, msgs, spread_ms)),
+            FaultEvent::CorruptLink {
+                from,
+                to,
+                prob,
+                mode,
+                for_ms,
+            } => {
+                self.corrupt.insert((from, to), (prob, mode, now + for_ms));
+                None
+            }
         }
     }
 
@@ -541,6 +659,32 @@ impl FaultController {
             Some((fault, jitter, _)) => Some((*fault, *jitter)),
             None => None,
         }
+    }
+
+    /// The corruption episode on `from → to` as `(prob, mode)`, expiring
+    /// lazily. Returns `None` — without consuming any randomness — when no
+    /// episode is active, so runs without corruption events keep their
+    /// seeded digests byte-identical.
+    pub(crate) fn corrupt(
+        &mut self,
+        from: NodeAddr,
+        to: NodeAddr,
+        now: SimTime,
+    ) -> Option<(f64, CorruptMode)> {
+        match self.corrupt.get(&(from, to)) {
+            Some((_, _, expiry)) if *expiry <= now => {
+                self.corrupt.remove(&(from, to));
+                None
+            }
+            Some((prob, mode, _)) => Some((*prob, *mode)),
+            None => None,
+        }
+    }
+
+    /// `true` while any corruption episode is installed (cheap gate so the
+    /// hot delivery path skips the per-link lookup entirely in clean runs).
+    pub(crate) fn any_corrupt(&self) -> bool {
+        !self.corrupt.is_empty()
     }
 
     pub(crate) fn dup_prob(&self) -> f64 {
@@ -680,6 +824,76 @@ mod tests {
             fc.apply(2, SimTime(30)),
             Some(FaultAction::Overload(n, 64, 1_000)) if n == a(3)
         ));
+    }
+
+    #[test]
+    fn corrupt_link_covers_digest_and_expires() {
+        let build = || {
+            FaultPlan::new()
+                .corrupt_link_at(100, a(1), a(2), 0.05, CorruptMode::BitFlip, 5_000)
+                .corrupt_link_at(200, a(2), a(3), 0.5, CorruptMode::Garbage, 1_000)
+        };
+        assert_eq!(build().digest(), build().digest());
+        let other_mode = FaultPlan::new()
+            .corrupt_link_at(100, a(1), a(2), 0.05, CorruptMode::Truncate, 5_000)
+            .corrupt_link_at(200, a(2), a(3), 0.5, CorruptMode::Garbage, 1_000);
+        assert_ne!(build().digest(), other_mode.digest(), "mode is content");
+        let other_prob = FaultPlan::new()
+            .corrupt_link_at(100, a(1), a(2), 0.06, CorruptMode::BitFlip, 5_000)
+            .corrupt_link_at(200, a(2), a(3), 0.5, CorruptMode::Garbage, 1_000);
+        assert_ne!(build().digest(), other_prob.digest(), "prob is content");
+
+        let mut fc = FaultController::new(build());
+        assert!(!fc.any_corrupt());
+        assert!(fc.apply(0, SimTime(100)).is_none());
+        assert!(fc.any_corrupt());
+        assert_eq!(
+            fc.corrupt(a(1), a(2), SimTime(5_099)),
+            Some((0.05, CorruptMode::BitFlip))
+        );
+        assert_eq!(fc.corrupt(a(2), a(1), SimTime(200)), None, "directed");
+        assert_eq!(fc.corrupt(a(1), a(2), SimTime(5_100)), None, "episode over");
+        assert_eq!(
+            fc.corrupt(a(1), a(2), SimTime(300)),
+            None,
+            "removed for good"
+        );
+        assert!(!fc.any_corrupt(), "lazy expiry empties the map");
+    }
+
+    #[test]
+    fn corrupt_link_digest_vector_is_pinned() {
+        // Golden digest: guards the canonical encoding (tag 11, LE fields,
+        // mode code byte) against accidental re-numbering. If this changes,
+        // every recorded replay line referencing a corruption plan breaks.
+        let plan = FaultPlan::new().corrupt_link_at(
+            1_000,
+            a(7),
+            a(9),
+            0.25,
+            CorruptMode::TagRewrite,
+            30_000,
+        );
+        assert_eq!(plan.digest(), 0x94d5_7ce2_0f49_7c04);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite probability")]
+    fn corruption_prob_nan_rejected_at_build_time() {
+        let _ =
+            FaultPlan::new().corrupt_link_at(0, a(1), a(2), f64::NAN, CorruptMode::BitFlip, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite probability")]
+    fn corruption_prob_above_one_rejected_at_build_time() {
+        let _ = FaultPlan::new().corrupt_link_at(0, a(1), a(2), 1.01, CorruptMode::Garbage, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero length")]
+    fn zero_length_corruption_episode_rejected_at_build_time() {
+        let _ = FaultPlan::new().corrupt_link_at(0, a(1), a(2), 0.5, CorruptMode::Truncate, 0);
     }
 
     #[test]

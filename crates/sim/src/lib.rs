@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod corrupt;
 pub mod fault;
+pub mod fuzz;
 pub mod gray;
 pub mod harness;
 pub mod latency;
@@ -49,7 +51,9 @@ pub mod soak;
 pub mod stats;
 pub mod time;
 
-pub use fault::{FaultEvent, FaultPlan, LinkFault};
+pub use corrupt::{run_corrupt, CorruptConfig, CorruptOutcome};
+pub use fault::{CorruptMode, FaultEvent, FaultPlan, LinkFault};
+pub use fuzz::{fuzz_codec, FuzzReport, FuzzTarget, ALL_TARGETS};
 pub use gray::{run_gray, GrayConfig, GrayOutcome};
 pub use harness::{
     finger_convergence, prestabilized_chord, prestabilized_dat, prestabilized_explicit,

@@ -34,7 +34,7 @@ use dat_chord::{ChordMsg, Id, Input, NodeAddr, NodeRef, Output, TimerKind, Upcal
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::fault::{FaultAction, FaultController, FaultPlan};
+use crate::fault::{CorruptMode, FaultAction, FaultController, FaultPlan};
 use crate::latency::{LatencyModel, LossModel};
 use crate::queue::{EventQueue, SchedulerKind};
 use crate::time::SimTime;
@@ -149,7 +149,28 @@ pub struct SimNet<A: Actor> {
     /// Messages dropped by the loss model, an active partition/link fault,
     /// or addressed to dead nodes.
     pub dropped: u64,
+    /// Wire-corruption bookkeeping (all zero unless a
+    /// [`crate::FaultEvent::CorruptLink`] episode fired).
+    pub corruption: CorruptionStats,
     events_processed: u64,
+}
+
+/// Counters for byte-level wire corruption injected by
+/// [`crate::FaultEvent::CorruptLink`] episodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorruptionStats {
+    /// Frames whose bytes were actually mutated (the per-message coin
+    /// landed inside an active episode).
+    pub injected: u64,
+    /// Mutated frames the decoder rejected — delivered to the victim as
+    /// [`Input::BadFrame`] so its containment layer sees the attack.
+    pub rejected: u64,
+    /// Mutated frames that still decoded — either the mutation was a
+    /// no-op (random bytes matched the originals) or a hostile rewrite
+    /// produced a different-but-valid frame. Delivered as whatever the
+    /// decoder produced, because that is exactly what a real receiver
+    /// would see.
+    pub passed: u64,
 }
 
 impl<A: Actor> SimNet<A> {
@@ -180,6 +201,7 @@ impl<A: Actor> SimNet<A> {
             restart_fn: None,
             codec_parity: false,
             dropped: 0,
+            corruption: CorruptionStats::default(),
             events_processed: 0,
         }
     }
@@ -528,25 +550,68 @@ impl<A: Actor> SimNet<A> {
         }
     }
 
-    /// Deliver one admitted message to the resolved slot: parity check,
-    /// counters, actor input, output processing.
+    /// Deliver one admitted message to the resolved slot: wire corruption
+    /// (if an episode covers the link), parity check, counters, actor
+    /// input, output processing.
     fn deliver_one(&mut self, idx: usize, from: NodeAddr, msg: ChordMsg) {
-        if self.codec_parity {
-            let bytes = dat_chord::codec::encode(&msg);
-            match dat_chord::codec::decode(&bytes) {
-                Ok(rt) => assert_eq!(rt, msg, "codec parity: wire round-trip changed the message"),
-                Err(e) => panic!("codec parity: {e} while round-tripping {:?}", msg.kind()),
+        let to_addr = self.slots[idx].addr;
+        // Byte-level corruption rides the real codec path: the message is
+        // encoded, its bytes damaged, and the damaged frame decoded —
+        // whatever the decoder makes of it is what the victim receives.
+        // The `any_corrupt` gate plus per-link lookup mean clean runs draw
+        // zero randomness here, keeping their seeded digests byte-identical.
+        let mut input = None;
+        if let Some(fc) = self.faults.as_mut() {
+            if fc.any_corrupt() {
+                let now = self.queue.now();
+                if let Some((prob, mode)) = fc.corrupt(from, to_addr, now) {
+                    if prob > 0.0 && self.rng.random::<f64>() < prob {
+                        self.corruption.injected += 1;
+                        let mut bytes = dat_chord::codec::encode(&msg);
+                        corrupt_frame(&mut bytes, mode, &mut self.rng);
+                        input = Some(match dat_chord::codec::decode(&bytes) {
+                            Ok(survived) => {
+                                self.corruption.passed += 1;
+                                Input::Message {
+                                    from,
+                                    msg: survived,
+                                }
+                            }
+                            Err(error) => {
+                                self.corruption.rejected += 1;
+                                Input::BadFrame {
+                                    from: Some(from),
+                                    error,
+                                }
+                            }
+                        });
+                    }
+                }
             }
         }
+        let input = match input {
+            Some(i) => i,
+            None => {
+                if self.codec_parity {
+                    let bytes = dat_chord::codec::encode(&msg);
+                    match dat_chord::codec::decode(&bytes) {
+                        Ok(rt) => {
+                            assert_eq!(rt, msg, "codec parity: wire round-trip changed the message")
+                        }
+                        Err(e) => panic!("codec parity: {e} while round-tripping {:?}", msg.kind()),
+                    }
+                }
+                Input::Message { from, msg }
+            }
+        };
         let now_ms = self.queue.now().as_millis();
         let slot = &mut self.slots[idx];
         slot.stats.delivered += 1;
-        let to_addr = slot.addr;
         let Some(actor) = slot.actor.as_mut() else {
             return;
         };
         actor.set_now(now_ms);
-        let out = actor.on_input(Input::Message { from, msg });
+        let out = actor.on_input(input);
         self.apply_from(Some(idx), to_addr, out);
     }
 
@@ -751,6 +816,45 @@ impl<A: Actor> SimNet<A> {
             s.stats = LinkStats::default();
         }
         self.dropped = 0;
+        self.corruption = CorruptionStats::default();
+    }
+}
+
+/// Damage an encoded frame in place according to `mode`. All randomness
+/// comes from the engine's seeded generator, so a corruption episode
+/// replays byte-identically for a given seed.
+fn corrupt_frame(bytes: &mut Vec<u8>, mode: CorruptMode, rng: &mut SmallRng) {
+    if bytes.is_empty() {
+        return;
+    }
+    match mode {
+        CorruptMode::BitFlip => {
+            let bit = rng.random_range(0..bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+        CorruptMode::Truncate => {
+            let keep = rng.random_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        CorruptMode::Garbage => {
+            let start = rng.random_range(0..bytes.len());
+            let len = rng.random_range(1..=bytes.len() - start);
+            for b in &mut bytes[start..start + len] {
+                *b = rng.random();
+            }
+        }
+        CorruptMode::TagRewrite => {
+            // A hostile *writer*, not line noise: rewrite the message tag
+            // and recompute a valid checksum, so the decoder's own tag and
+            // structure validation — not the CRC — must catch the frame.
+            let trailer = dat_chord::codec::CRC_TRAILER;
+            if bytes.len() > 2 + trailer {
+                bytes[2] = rng.random();
+                let body_end = bytes.len() - trailer;
+                let crc = dat_chord::wire::crc32c(&bytes[..body_end]);
+                bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+            }
+        }
     }
 }
 
@@ -867,6 +971,110 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corruption_episode_is_detected_counted_and_deterministic() {
+        let run = || {
+            let mut net = two_node_net();
+            net.run_for(30_000);
+            // Every frame 1 → 2 is bit-flipped for 10 s. CRC32C detects
+            // all single-bit errors, so every injected frame must be
+            // rejected and surfaced as a BadFrame — never silently
+            // delivered damaged.
+            let plan = FaultPlan::new().corrupt_link_at(
+                30_000,
+                NodeAddr(1),
+                NodeAddr(2),
+                1.0,
+                CorruptMode::BitFlip,
+                10_000,
+            );
+            net.set_fault_plan(plan);
+            net.run_for(60_000);
+            net.corruption
+        };
+        let stats = run();
+        assert!(stats.injected > 0, "traffic flowed through the episode");
+        assert_eq!(
+            stats.rejected, stats.injected,
+            "a single bit flip must never survive the checksum"
+        );
+        assert_eq!(stats.passed, 0);
+        assert_eq!(run(), stats, "corruption replays byte-identically");
+
+        // The ring survives: the episode expires and stabilization heals.
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        net.set_fault_plan(FaultPlan::new().corrupt_link_at(
+            30_000,
+            NodeAddr(1),
+            NodeAddr(2),
+            1.0,
+            CorruptMode::Garbage,
+            10_000,
+        ));
+        net.run_for(60_000);
+        let a = net.node(NodeAddr(1)).unwrap();
+        assert_eq!(a.table().successor().unwrap().id, Id(40_000));
+    }
+
+    #[test]
+    fn idle_corruption_episode_leaves_the_run_untouched() {
+        // An episode on a link that carries no traffic must not perturb
+        // the rest of the run: no coins drawn, identical transport stats.
+        let baseline = || {
+            let mut net = two_node_net();
+            net.run_for(60_000);
+            (
+                net.link_stats(NodeAddr(1)).sent,
+                net.link_stats(NodeAddr(2)).delivered,
+                net.dropped,
+            )
+        };
+        let with_idle_episode = || {
+            let mut net = two_node_net();
+            net.set_fault_plan(FaultPlan::new().corrupt_link_at(
+                1_000,
+                NodeAddr(77),
+                NodeAddr(78),
+                1.0,
+                CorruptMode::Garbage,
+                50_000,
+            ));
+            net.run_for(60_000);
+            assert_eq!(net.corruption, CorruptionStats::default());
+            (
+                net.link_stats(NodeAddr(1)).sent,
+                net.link_stats(NodeAddr(2)).delivered,
+                net.dropped,
+            )
+        };
+        assert_eq!(baseline(), with_idle_episode());
+    }
+
+    #[test]
+    fn tag_rewrite_forges_valid_checksums() {
+        // TagRewrite models a hostile writer who computes correct CRCs:
+        // rejections must come from structural validation (BadTag and
+        // friends), and some frames may legitimately survive — decoding
+        // as a different-but-valid message. What matters is that nothing
+        // panics and the episode is fully accounted.
+        let mut net = two_node_net();
+        net.run_for(30_000);
+        net.set_fault_plan(FaultPlan::new().corrupt_link_at(
+            30_000,
+            NodeAddr(2),
+            NodeAddr(1),
+            1.0,
+            CorruptMode::TagRewrite,
+            10_000,
+        ));
+        net.run_for(60_000);
+        let stats = net.corruption;
+        assert!(stats.injected > 0);
+        assert_eq!(stats.rejected + stats.passed, stats.injected);
+        assert!(stats.rejected > 0, "random tags are mostly invalid");
     }
 
     #[test]

@@ -13,14 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> clippy: unwrap_used denied in self-healing + observability + health modules"
 # The failure-semantics layer (PR 3) must not panic its way out of a
 # degraded state, the observability crate (PR 4) must never crash the
-# node it instruments, and the health plane (PR 6) must never panic the
-# failure detector it runs inside; the modules opt in via
-# #![deny(clippy::unwrap_used)] and this check keeps the attribute from
-# being dropped silently.
+# node it instruments, the health plane (PR 6) must never panic the
+# failure detector it runs inside, and the wire-robustness layer (PR 8:
+# codec error paths, fuzz driver, corruption soak) must never panic on
+# hostile input; the modules opt in via #![deny(clippy::unwrap_used)]
+# and this check keeps the attribute from being dropped silently.
 for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs \
          crates/obs/src/lib.rs crates/chord/src/health.rs \
          crates/sim/src/gray.rs crates/sim/src/queue.rs crates/sim/src/net.rs \
-         crates/sim/src/scale.rs; do
+         crates/sim/src/scale.rs crates/chord/src/wire.rs \
+         crates/sim/src/fuzz.rs crates/sim/src/corrupt.rs; do
   grep -q '#!\[deny(clippy::unwrap_used)\]' "$f" \
     || { echo "missing #![deny(clippy::unwrap_used)] in $f"; exit 1; }
 done
@@ -51,6 +53,22 @@ echo "==> gray-failure smoke: slow/half-open/overload/flapping matrix"
 # aggregation (~1 s wall-clock per seed); failing seeds print their
 # replay line. Extend with e.g. GRAY_SEEDS="3 5 8" for a deeper sweep.
 GRAY_SEEDS="${GRAY_SEEDS:-2}" cargo test -q --test gray_failures -- --nocapture
+
+echo "==> decode fuzz smoke: 50k seeded mutations per wire codec"
+# Structure-aware mutation fuzz over all four decoders (chord frames,
+# DAT payloads, MAAN payloads, Prometheus text); a hit prints the seed,
+# iteration and hex input for offline replay. Plain `cargo test` runs
+# 5k per codec; CI runs 50k. Deepen with e.g. FUZZ_ITERS=500000.
+FUZZ_ITERS="${FUZZ_ITERS:-50000}" cargo test -q --test codec_fuzz -- --nocapture
+
+echo "==> corruption soak smoke: scored byte-damage campaign, 3 seeds"
+# ~3 simulated minutes of wire damage per seed (bit-flip noise floor, a
+# garbage jam on the biggest subtree's uplink, a poisoning burst on a
+# ring-neighbor link) against a 24-node continuous aggregation. Scored:
+# zero silently-wrong reports, detection counted, completeness dips and
+# heals, poisoned peer quarantined and released. Failing seeds print
+# their replay line. Extend with e.g. CORRUPT_SEEDS="9 17".
+cargo test -q --test corruption_soak -- --nocapture
 
 echo "==> event-engine bench smoke: simbench at small sizes emits BENCH_sim.json"
 # A fast sweep (512 and 2048 nodes, 2 s virtual) through the same binary

@@ -1,0 +1,147 @@
+//! Decode-never-panics property tests over every wire codec in the
+//! workspace — chord frames, DAT payloads, MAAN payloads, and the
+//! Prometheus text parser — plus the seeded structure-aware fuzz smoke
+//! (see `dat_sim::fuzz`).
+//!
+//! Everything here runs under plain `cargo test` with fixed seeds: same
+//! binary, same inputs, same verdict. CI scales the mutation count up
+//! via `FUZZ_ITERS=50000 cargo test --test codec_fuzz`.
+
+use dat_sim::fuzz::{chord_corpus, dat_corpus, fuzz_codec, maan_corpus, FuzzTarget, ALL_TARGETS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Mutations per codec for the fuzz smoke: 5k under plain `cargo test`,
+/// raised via `FUZZ_ITERS` (CI runs 50k per codec).
+fn fuzz_iters() -> u64 {
+    std::env::var("FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000)
+}
+
+#[test]
+fn seeded_fuzz_smoke_finds_no_panic_in_any_codec() {
+    let iters = fuzz_iters();
+    for target in ALL_TARGETS {
+        // fuzz_codec panics (with seed + hex input) on any decoder panic
+        // or re-encode instability; returning at all is the pass.
+        let report = fuzz_codec(target, 0xC0FFEE, iters);
+        eprintln!(
+            "fuzz {}: {} mutations over {} corpus frames — {} rejected, {} survived",
+            target.label(),
+            report.iterations,
+            report.corpus,
+            report.rejected,
+            report.survived
+        );
+        assert_eq!(report.iterations, iters);
+        assert_eq!(report.rejected + report.survived, iters);
+        assert!(
+            report.rejected > 0,
+            "{}: no mutation was ever rejected — the mutator is broken",
+            target.label()
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_never_panics() {
+    for msg in chord_corpus() {
+        let bytes = dat_chord::codec::encode(&msg);
+        for cut in 0..bytes.len() {
+            assert!(
+                dat_chord::codec::decode(&bytes[..cut]).is_err(),
+                "chord {:?}: {cut}-byte prefix decoded",
+                msg.kind()
+            );
+        }
+    }
+    for msg in dat_corpus() {
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            // No panic is the property; a short prefix must error.
+            assert!(
+                dat_core::codec::DatMsg::decode(&bytes[..cut]).is_err(),
+                "DAT {}: {cut}-byte prefix decoded",
+                msg.kind()
+            );
+        }
+    }
+    for msg in maan_corpus() {
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                dat_maan::MaanMsg::decode(&bytes[..cut]).is_err(),
+                "MAAN {}: {cut}-byte prefix decoded",
+                msg.kind()
+            );
+        }
+    }
+}
+
+/// Chord frames carry a CRC32C trailer, so *every* single-bit flip of a
+/// valid frame must be rejected. DAT and MAAN payloads travel inside
+/// checksummed chord frames and have no trailer of their own — for them
+/// the property is only that a flip never panics the decoder.
+#[test]
+fn single_bit_flips_never_panic_and_chord_rejects_them_all() {
+    for msg in chord_corpus() {
+        let bytes = dat_chord::codec::encode(&msg);
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                dat_chord::codec::decode(&flipped).is_err(),
+                "chord {:?}: flipping bit {bit} went undetected",
+                msg.kind()
+            );
+        }
+    }
+    for msg in dat_corpus() {
+        let bytes = msg.encode();
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            let _ = dat_core::codec::DatMsg::decode(&flipped);
+        }
+    }
+    for msg in maan_corpus() {
+        let bytes = msg.encode();
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            let _ = dat_maan::MaanMsg::decode(&flipped);
+        }
+    }
+}
+
+#[test]
+fn pure_random_bytes_never_panic_any_decoder() {
+    let mut rng = SmallRng::seed_from_u64(0xBAD5EED);
+    for _ in 0..2_000 {
+        let n = rng.random_range(0..256usize);
+        let mut bytes = vec![0u8; n];
+        for b in &mut bytes {
+            *b = rng.random();
+        }
+        let _ = dat_chord::codec::decode(&bytes);
+        let _ = dat_core::codec::DatMsg::decode(&bytes);
+        let _ = dat_maan::MaanMsg::decode(&bytes);
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = dat_obs::validate_prometheus(text);
+        }
+    }
+}
+
+/// The fuzzer itself is a deterministic function of its seed — the replay
+/// handle a CI failure prints is trustworthy.
+#[test]
+fn fuzz_reports_are_reproducible() {
+    for target in [FuzzTarget::Chord, FuzzTarget::Stats] {
+        assert_eq!(
+            fuzz_codec(target, 0xFEED, 1_000),
+            fuzz_codec(target, 0xFEED, 1_000)
+        );
+    }
+}

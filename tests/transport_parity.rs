@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use libdat::chord::{ChordConfig, Id, IdSpace, NodeAddr, NodeStatus, SuspicionLevel};
+use libdat::chord::{ChordConfig, HealthConfig, Id, IdSpace, NodeAddr, NodeStatus, SuspicionLevel};
 use libdat::core::{
     AggFunc, AggregationMode, DatConfig, DatEvent, DatProtocol, StackNode, DAT_PROTO,
 };
@@ -16,7 +16,7 @@ use libdat::maan::{MaanEvent, MaanProtocol, MaanStack, Resource};
 use libdat::monitor::grid_schemas;
 use libdat::obs::{fnv1a, Event, EventKind};
 use libdat::rpc::RpcCluster;
-use libdat::sim::SimNet;
+use libdat::sim::{CorruptMode, FaultPlan, SimNet};
 use rand::{Rng, SeedableRng};
 
 const N: usize = 8;
@@ -249,17 +249,8 @@ fn run_in_simulator() -> Answers {
     }
 }
 
-fn run_over_udp() -> Answers {
-    let (nodes, key) = build_nodes();
-    let cluster = RpcCluster::launch(nodes).expect("bind loopback sockets");
-    let bootstrap = cluster
-        .call(NodeAddr(0), |node| (node.me(), node.start_create()))
-        .unwrap();
-    for i in 1..N {
-        cluster.cast(NodeAddr(i as u64), move |node| node.start_join(bootstrap));
-        std::thread::sleep(Duration::from_millis(50));
-    }
-    // Wait for every node to be active with a closed successor ring.
+/// Wait for every node to be active with a closed successor ring.
+fn wait_udp_ring(cluster: &RpcCluster<StackNode>) {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
         let mut infos = Vec::new();
@@ -291,6 +282,19 @@ fn run_over_udp() -> Answers {
         assert!(Instant::now() < deadline, "UDP ring did not converge");
         std::thread::sleep(Duration::from_millis(100));
     }
+}
+
+fn run_over_udp() -> Answers {
+    let (nodes, key) = build_nodes();
+    let cluster = RpcCluster::launch(nodes).expect("bind loopback sockets");
+    let bootstrap = cluster
+        .call(NodeAddr(0), |node| (node.me(), node.start_create()))
+        .unwrap();
+    for i in 1..N {
+        cluster.cast(NodeAddr(i as u64), move |node| node.start_join(bootstrap));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    wait_udp_ring(&cluster);
 
     for i in 0..N {
         let res = resource(i);
@@ -383,6 +387,254 @@ fn run_over_udp() -> Answers {
         query_digest,
         health_shed: health_shed.into_iter().map(|(_, b)| b).collect(),
     }
+}
+
+/// Coarse containment verdict both transports must reach after the same
+/// hostile-wire episode: one peer whose frames keep arriving damaged.
+/// Exact counter values differ (wall-clock vs virtual timing drive
+/// different traffic volumes), so the parity claim is the *state machine's
+/// trajectory*: damage detected → source suspected → flapping quarantined →
+/// quarantine served and released → overlay answers exactly again.
+#[derive(Debug, PartialEq)]
+struct HostileVerdict {
+    /// The victim counted undecodable frames (`bad_frames_total`).
+    detected: bool,
+    /// Bad-frame scoring escalated the source to the failure detector.
+    suspected: bool,
+    /// The flapping source was quarantined at least once.
+    quarantined: bool,
+    /// The quarantine was later served and released.
+    rejoined: bool,
+    /// After the episode the victim again trusts the attacker.
+    attacker_finally_healthy: bool,
+    /// Contributors to a post-episode on-demand aggregate: the overlay
+    /// must answer exactly (all `N` nodes) once the wire is clean.
+    query_count: u64,
+}
+
+/// Short quarantine so the release leg fits a wall-clock UDP test.
+fn hostile_health_cfg() -> HealthConfig {
+    HealthConfig {
+        quarantine_ms: 2_000,
+        flap_window_ms: 60_000,
+        flap_threshold: 3,
+        ..HealthConfig::default()
+    }
+}
+
+fn hostile_verdict(node: &StackNode, attacker: Id, query_count: u64) -> HostileVerdict {
+    let health = node.chord().health();
+    HostileVerdict {
+        detected: node.bad_frames_total() > 0,
+        suspected: node.bad_frame_suspects() > 0,
+        quarantined: health.quarantines >= 1,
+        rejoined: health.rejoins >= 1,
+        attacker_finally_healthy: health.peek(attacker) == SuspicionLevel::Healthy,
+        query_count,
+    }
+}
+
+fn hostile_in_simulator() -> HostileVerdict {
+    let (mut nodes, key) = build_nodes();
+    for n in &mut nodes {
+        n.set_health_config(hostile_health_cfg());
+    }
+    let mut net: SimNet<StackNode> = SimNet::new(11);
+    let bootstrap = nodes[0].me();
+    let outs = nodes[0].start_create();
+    let mut queued = vec![(NodeAddr(0), outs)];
+    for (i, node) in nodes.iter_mut().enumerate().skip(1) {
+        queued.push((NodeAddr(i as u64), node.start_join(bootstrap)));
+    }
+    for node in nodes {
+        net.add_node(node);
+    }
+    for (addr, outs) in queued {
+        net.apply(addr, outs);
+    }
+    net.run_for(20_000); // joins + stabilization + DAT warm-up
+
+    let victim = NodeAddr(0);
+    let attacker = net
+        .node(victim)
+        .and_then(|n| n.chord().table().successor())
+        .expect("victim has a successor");
+    // 90% of the successor's frames arrive as garbage for 15 s: enough
+    // survivors keep heartbeats trickling, so the victim sees the
+    // Suspect↔recover flapping that the detector turns into quarantine.
+    net.set_fault_plan(FaultPlan::new().corrupt_link_at(
+        21_000,
+        attacker.addr,
+        victim,
+        0.9,
+        CorruptMode::Garbage,
+        15_000,
+    ));
+    net.run_for(31_000); // episode + quarantine expiry + clean recovery
+
+    let reqid = net.with_node(victim, |n| n.query(key)).expect("sim query");
+    let mut count = 0;
+    for _ in 0..3 {
+        net.run_for(5_000);
+        let done = net
+            .node_mut(victim)
+            .expect("victim alive")
+            .take_events()
+            .into_iter()
+            .find_map(|e| match e {
+                DatEvent::QueryDone {
+                    reqid: r, partial, ..
+                } if r == reqid => Some(partial.count),
+                _ => None,
+            });
+        if let Some(c) = done {
+            count = c;
+            break;
+        }
+    }
+    assert!(net.corruption.injected > 0, "sim episode injected nothing");
+    assert!(net.corruption.rejected > 0, "sim checksum rejected nothing");
+    hostile_verdict(net.node(victim).expect("victim alive"), attacker.id, count)
+}
+
+fn hostile_over_udp() -> HostileVerdict {
+    let (mut nodes, key) = build_nodes();
+    for n in &mut nodes {
+        n.set_health_config(hostile_health_cfg());
+    }
+    let cluster = RpcCluster::launch(nodes).expect("bind loopback sockets");
+    let bootstrap = cluster
+        .call(NodeAddr(0), |node| (node.me(), node.start_create()))
+        .unwrap();
+    for i in 1..N {
+        cluster.cast(NodeAddr(i as u64), move |node| node.start_join(bootstrap));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    wait_udp_ring(&cluster);
+
+    let victim = NodeAddr(0);
+    let attacker = cluster
+        .call(victim, |node| (node.chord().table().successor(), vec![]))
+        .unwrap()
+        .expect("victim has a successor");
+
+    // Damage bursts from the attacker's own socket, each wide enough to
+    // cross the scoring threshold (one Suspect episode). The attacker's
+    // genuine heartbeats between bursts recover it — and that flapping
+    // cadence is exactly what the detector quarantines.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let quarantines = cluster
+            .call(victim, |n| (n.chord().health().quarantines, vec![]))
+            .unwrap();
+        if quarantines >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "UDP quarantine never fired");
+        for _ in 0..4 {
+            cluster
+                .send_raw(attacker.addr, victim, b"\xFFdamaged beyond recognition")
+                .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+
+    // Attack over. The quarantine must be served and released on the
+    // strength of the attacker's now-clean traffic alone.
+    let attacker_id = attacker.id;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (rejoins, level) = cluster
+            .call(victim, move |n| {
+                (
+                    (
+                        n.chord().health().rejoins,
+                        n.chord().health().peek(attacker_id),
+                    ),
+                    vec![],
+                )
+            })
+            .unwrap();
+        if rejoins >= 1 && level == SuspicionLevel::Healthy {
+            break;
+        }
+        assert!(Instant::now() < deadline, "quarantined peer never rejoined");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    std::thread::sleep(Duration::from_millis(2_000)); // ring re-stabilizes
+
+    // Post-episode exactness: retry until the on-demand aggregate counts
+    // every node again (eventual healing is the claim on a wall clock).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let count = loop {
+        let reqid = cluster
+            .call(victim, move |node| node.query(key))
+            .expect("UDP query");
+        let inner = Instant::now() + Duration::from_secs(10);
+        let done = loop {
+            let found = cluster
+                .call(victim, |node| (node.take_events(), vec![]))
+                .unwrap_or_default()
+                .into_iter()
+                .find_map(|e| match e {
+                    DatEvent::QueryDone {
+                        reqid: r, partial, ..
+                    } if r == reqid => Some(partial.count),
+                    _ => None,
+                });
+            if let Some(c) = found {
+                break c;
+            }
+            assert!(Instant::now() < inner, "UDP post-episode query timed out");
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        if done == N as u64 || Instant::now() >= deadline {
+            break done;
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    };
+
+    let stats = cluster.stats();
+    assert!(stats.decode_errors > 0, "no damage ever reached the wire");
+    assert_eq!(
+        stats.decode_errors,
+        stats.decode_errors_by_kind.iter().sum::<u64>(),
+        "per-kind classification leaks: {:?}",
+        stats.decode_error_kinds()
+    );
+    let verdict = cluster
+        .call(victim, move |n| {
+            // Transport decode failures must surface in the node's own
+            // metric export (the same text StatsReply ships).
+            let prom = n.render_prometheus();
+            assert!(
+                prom.contains("bad_frames_total{kind=\"bad_magic\"}"),
+                "bad_frames_total missing from the victim's exposition"
+            );
+            (hostile_verdict(n, attacker_id, count), vec![])
+        })
+        .expect("verdict snapshot");
+    cluster.shutdown();
+    verdict
+}
+
+/// §5.1 parity under fire: the identical hostile-wire episode (a ring
+/// neighbor whose frames arrive damaged) must drive the identical
+/// containment trajectory over the simulator and over real UDP.
+#[test]
+fn hostile_wire_containment_agrees_across_transports() {
+    let sim = hostile_in_simulator();
+    let udp = hostile_over_udp();
+    assert_eq!(
+        sim, udp,
+        "simulator and UDP cluster disagree on containment"
+    );
+    assert!(sim.detected, "damage went uncounted");
+    assert!(sim.suspected, "scoring never escalated the source");
+    assert!(sim.quarantined, "the flapping source was never quarantined");
+    assert!(sim.rejoined, "the quarantine was never released");
+    assert!(sim.attacker_finally_healthy, "trust was never restored");
+    assert_eq!(sim.query_count, N as u64, "post-episode answer not exact");
 }
 
 #[test]
