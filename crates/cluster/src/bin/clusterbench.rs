@@ -1,0 +1,188 @@
+//! `clusterbench` — real-cluster scaling trajectory, tracked in
+//! `BENCH_cluster.json`.
+//!
+//! ```text
+//! clusterbench [--sizes 64,256,1024] [--epochs 12] [--epoch-ms 500]
+//!              [--budget-s N] [--out BENCH_cluster.json] [--quiet]
+//! ```
+//!
+//! Runs the full harness (prestabilized boot, DAT+MAAN workload, scrape,
+//! invariant check) once per size, ascending, and records node count vs
+//! epochs/sec at the root, report-latency percentiles and shed totals.
+//! `--budget-s` stops the sweep once total wall time exceeds the budget;
+//! remaining sizes are recorded as skipped, never silently dropped.
+
+#![deny(clippy::unwrap_used)]
+
+use std::time::Instant;
+
+use dat_cluster::{run_harness, HarnessConfig};
+
+struct Opts {
+    sizes: Vec<usize>,
+    epochs: u64,
+    epoch_ms: u64,
+    budget_s: u64,
+    out: String,
+    quiet: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        sizes: vec![64, 256, 1024],
+        epochs: 12,
+        epoch_ms: 500,
+        budget_s: 0, // 0 = unbounded
+        out: "BENCH_cluster.json".into(),
+        quiet: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {arg}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse_u64 = |s: String, what: &str| -> u64 {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad {what} `{s}`");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--sizes" => {
+                o.sizes = val(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad size `{s}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--epochs" => o.epochs = parse_u64(val(&mut i), "--epochs"),
+            "--epoch-ms" => o.epoch_ms = parse_u64(val(&mut i), "--epoch-ms"),
+            "--budget-s" => o.budget_s = parse_u64(val(&mut i), "--budget-s"),
+            "--out" => o.out = val(&mut i),
+            "--quiet" => o.quiet = true,
+            other => {
+                eprintln!("unknown flag `{other}`; see clusterbench source header");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o.sizes.sort_unstable();
+    o
+}
+
+fn main() {
+    let opts = parse_opts();
+    let sweep_t0 = Instant::now();
+    let mut entries: Vec<String> = Vec::new();
+    let mut skipped: Vec<usize> = Vec::new();
+    let mut failed = false;
+    for &n in &opts.sizes {
+        if opts.budget_s > 0 && sweep_t0.elapsed().as_secs() > opts.budget_s {
+            skipped.push(n);
+            continue;
+        }
+        if !opts.quiet {
+            eprintln!("clusterbench: {n} real nodes…");
+        }
+        let t0 = Instant::now();
+        match run_harness(HarnessConfig {
+            nodes: n,
+            epochs: opts.epochs,
+            epoch_ms: opts.epoch_ms,
+            ..HarnessConfig::default()
+        }) {
+            Ok(r) => {
+                let wall_s = t0.elapsed().as_secs_f64();
+                let epochs_per_sec = if r.run_ms > 0 {
+                    r.reports_seen as f64 / (r.run_ms as f64 / 1000.0)
+                } else {
+                    0.0
+                };
+                if !r.ok() {
+                    failed = true;
+                    eprintln!(
+                        "clusterbench: n={n} FAILED invariants (exact={}, complete={})",
+                        r.exact, r.complete
+                    );
+                }
+                entries.push(format!(
+                    "    {{\"n\": {}, \"boot_ms\": {}, \"run_ms\": {}, \"wall_s\": {:.1}, \
+                     \"reports\": {}, \"epochs_per_sec\": {:.2}, \
+                     \"report_ms_p50\": {}, \"report_ms_p99\": {}, \
+                     \"sent\": {}, \"received\": {}, \"shed_total\": {}, \
+                     \"socket_errors\": {}, \"exact\": {}, \"complete\": {}}}",
+                    r.nodes,
+                    r.boot_ms,
+                    r.run_ms,
+                    wall_s,
+                    r.reports_seen,
+                    epochs_per_sec,
+                    r.report_interval_pct(0.50),
+                    r.report_interval_pct(0.99),
+                    r.stats.sent,
+                    r.stats.received,
+                    r.sheds,
+                    r.stats.socket_recv_errors + r.stats.socket_send_errors,
+                    r.exact,
+                    r.complete,
+                ));
+                if !opts.quiet {
+                    eprintln!(
+                        "clusterbench: n={n} done in {wall_s:.1}s — {:.2} epochs/s, \
+                         p50 {} ms, p99 {} ms, sheds {}",
+                        epochs_per_sec,
+                        r.report_interval_pct(0.50),
+                        r.report_interval_pct(0.99),
+                        r.sheds
+                    );
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("clusterbench: n={n} harness error: {e}");
+            }
+        }
+    }
+    let skipped_json = skipped
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let doc = format!(
+        "{{\n  \"generated_unix\": {},\n  \"epochs\": {},\n  \"epoch_ms\": {},\n  \
+         \"wall_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"skipped\": [{}]\n}}\n",
+        unix,
+        opts.epochs,
+        opts.epoch_ms,
+        sweep_t0.elapsed().as_secs(),
+        entries.join(",\n"),
+        skipped_json,
+    );
+    if let Err(e) = std::fs::write(&opts.out, &doc) {
+        eprintln!("clusterbench: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    if !opts.quiet {
+        eprintln!("clusterbench: wrote {}", opts.out);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

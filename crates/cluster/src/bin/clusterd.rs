@@ -1,0 +1,126 @@
+//! `clusterd` — boot a real cluster on this machine and run the
+//! DAT+MAAN multi-service workload end to end.
+//!
+//! ```text
+//! clusterd [--nodes 1024] [--seed 0x5AC] [--epochs 16] [--epoch-ms 500]
+//!          [--boot prestab|staged] [--batch 32] [--settle-ms 500]
+//!          [--machines 16] [--quiet]
+//! ```
+//!
+//! Every node is a tokio task trio around its own UDP socket (see
+//! `dat_cluster::host`). The process exits 0 only when the run met the
+//! paper's invariants: the root's continuous report is **exact**
+//! (`sum == Σ values`, every node contributed) and **complete**
+//! (coverage ratio 1.0), and every node's Prometheus exposition parsed.
+
+#![deny(clippy::unwrap_used)]
+
+use dat_cluster::{run_harness, BootMode, HarnessConfig};
+
+struct Opts {
+    cfg: HarnessConfig,
+    quiet: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        cfg: HarnessConfig::default(),
+        quiet: false,
+    };
+    let mut boot = ("prestab".to_string(), 32usize, 500u64);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {arg}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        let parse_u64 = |s: String, what: &str| -> u64 {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|_| {
+                eprintln!("bad {what} `{s}`");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--nodes" => o.cfg.nodes = parse_u64(val(&mut i), "--nodes") as usize,
+            "--seed" => o.cfg.seed = parse_u64(val(&mut i), "--seed"),
+            "--epochs" => o.cfg.epochs = parse_u64(val(&mut i), "--epochs"),
+            "--epoch-ms" => o.cfg.epoch_ms = parse_u64(val(&mut i), "--epoch-ms"),
+            "--machines" => o.cfg.machines = parse_u64(val(&mut i), "--machines") as usize,
+            "--boot" => boot.0 = val(&mut i),
+            "--batch" => boot.1 = parse_u64(val(&mut i), "--batch") as usize,
+            "--settle-ms" => boot.2 = parse_u64(val(&mut i), "--settle-ms"),
+            "--quiet" => o.quiet = true,
+            other => {
+                eprintln!("unknown flag `{other}`; see clusterd source header");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o.cfg.boot = match boot.0.as_str() {
+        "prestab" => BootMode::Prestabilized,
+        "staged" => BootMode::StagedJoin {
+            batch: boot.1,
+            settle_ms: boot.2,
+        },
+        other => {
+            eprintln!("unknown boot mode `{other}` (prestab|staged)");
+            std::process::exit(2);
+        }
+    };
+    o
+}
+
+fn main() {
+    let opts = parse_opts();
+    if !opts.quiet {
+        eprintln!(
+            "clusterd: booting {} real nodes (boot={:?}, epoch_ms={}, epochs={})",
+            opts.cfg.nodes, opts.cfg.boot, opts.cfg.epoch_ms, opts.cfg.epochs
+        );
+    }
+    match run_harness(opts.cfg) {
+        Ok(report) => {
+            println!("{}", report.to_json());
+            if report.ok() {
+                if !opts.quiet {
+                    eprintln!(
+                        "clusterd: OK — {} nodes, sum {} == {}, completeness {:.3}, {} reports",
+                        report.nodes,
+                        report.root_sum,
+                        report.expected_sum,
+                        report.completeness,
+                        report.reports_seen
+                    );
+                }
+            } else {
+                eprintln!(
+                    "clusterd: INVARIANTS FAILED — exact={} complete={} reports={} (sum {} vs {})",
+                    report.exact,
+                    report.complete,
+                    report.reports_seen,
+                    report.root_sum,
+                    report.expected_sum
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("clusterd: harness error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -101,6 +101,10 @@ pub struct ClusterStats {
     /// `decode_errors` broken down by failure kind, indexed like
     /// [`dat_chord::wire::ERROR_KINDS`].
     pub decode_errors_by_kind: [u64; KINDS],
+    /// `recv_from` socket errors (other than the poll timeout).
+    pub socket_recv_errors: u64,
+    /// `send_to` socket errors.
+    pub socket_send_errors: u64,
 }
 
 impl ClusterStats {
@@ -121,13 +125,18 @@ pub struct RpcCluster<A: Actor> {
     workers: Vec<JoinHandle<A>>,
     receivers: Vec<JoinHandle<()>>,
     timer_thread: Option<JoinHandle<()>>,
-    timer_tx: Sender<TimerReq>,
+    // `Some` while running; taken (and thereby disconnected, once the
+    // workers' clones are gone) during teardown so the timer thread's
+    // channel wait ends immediately instead of at the next poll tick.
+    timer_tx: Option<Sender<TimerReq>>,
     upcalls: Arc<Mutex<Vec<(NodeAddr, Upcall)>>>,
     shutdown: Arc<AtomicBool>,
     sent: Arc<AtomicU64>,
     received: Arc<AtomicU64>,
     decode_errors: Arc<AtomicU64>,
     decode_errors_by_kind: Arc<[AtomicU64; KINDS]>,
+    socket_recv_errors: Arc<AtomicU64>,
+    socket_send_errors: Arc<AtomicU64>,
     addr_book: Arc<HashMap<NodeAddr, SocketAddr>>,
     sockets: Vec<UdpSocket>,
     cfg: ClusterConfig,
@@ -170,6 +179,8 @@ impl<A: Actor> RpcCluster<A> {
         let decode_errors = Arc::new(AtomicU64::new(0));
         let decode_errors_by_kind: Arc<[AtomicU64; KINDS]> =
             Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+        let socket_recv_errors = Arc::new(AtomicU64::new(0));
+        let socket_send_errors = Arc::new(AtomicU64::new(0));
 
         let (timer_tx, timer_rx) = unbounded::<TimerReq>();
         let mut inboxes = HashMap::with_capacity(n);
@@ -196,6 +207,7 @@ impl<A: Actor> RpcCluster<A> {
             let rx_count = Arc::clone(&received);
             let err_count = Arc::clone(&decode_errors);
             let err_kinds = Arc::clone(&decode_errors_by_kind);
+            let recv_errs = Arc::clone(&socket_recv_errors);
             let sources = Arc::clone(&rev_book);
             receivers.push(std::thread::spawn(move || {
                 let mut buf = vec![0u8; codec::MAX_FRAME];
@@ -224,7 +236,10 @@ impl<A: Actor> RpcCluster<A> {
                         Err(e)
                             if e.kind() == std::io::ErrorKind::WouldBlock
                                 || e.kind() == std::io::ErrorKind::TimedOut => {}
-                        Err(_) => break,
+                        Err(_) => {
+                            recv_errs.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
                     }
                 }
             }));
@@ -235,6 +250,7 @@ impl<A: Actor> RpcCluster<A> {
             let tt = timer_tx.clone();
             let ups = Arc::clone(&upcalls);
             let tx_count = Arc::clone(&sent);
+            let send_errs = Arc::clone(&socket_send_errors);
             let seq = Arc::new(AtomicU64::new(0));
             workers.push(std::thread::spawn(move || {
                 let mut actor = actor;
@@ -252,6 +268,8 @@ impl<A: Actor> RpcCluster<A> {
                                     let frame = codec::encode(&msg);
                                     if sock_send.send_to(&frame, peer).is_ok() {
                                         tx_count.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        send_errs.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
                             }
@@ -303,13 +321,15 @@ impl<A: Actor> RpcCluster<A> {
             workers,
             receivers,
             timer_thread: Some(timer_thread),
-            timer_tx,
+            timer_tx: Some(timer_tx),
             upcalls,
             shutdown,
             sent,
             received,
             decode_errors,
             decode_errors_by_kind,
+            socket_recv_errors,
+            socket_send_errors,
             addr_book,
             sockets,
             cfg,
@@ -397,11 +417,35 @@ impl<A: Actor> RpcCluster<A> {
             received: self.received.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             decode_errors_by_kind: by_kind,
+            socket_recv_errors: self.socket_recv_errors.load(Ordering::Relaxed),
+            socket_send_errors: self.socket_send_errors.load(Ordering::Relaxed),
         }
     }
 
-    /// Stop every thread and return the actors for inspection.
-    pub fn shutdown(mut self) -> Vec<A> {
+    /// Transport-level metrics as an obs registry, in the shared
+    /// [`dat_obs::transport`] vocabulary (`transport="threads"`). The
+    /// shed layers exist at zero: this host's channels are unbounded, so
+    /// nothing sheds here — but the series stay comparable with the
+    /// bounded tokio host's.
+    pub fn transport_registry(&self) -> dat_obs::Registry {
+        let stats = self.stats();
+        dat_obs::transport_registry(&dat_obs::TransportCounters {
+            transport: "threads",
+            sent: stats.sent,
+            received: stats.received,
+            decode_errors_by_kind: stats.decode_error_kinds().to_vec(),
+            shed_rx: 0,
+            shed_tx: 0,
+            socket_recv_errors: stats.socket_recv_errors,
+            socket_send_errors: stats.socket_send_errors,
+        })
+    }
+
+    /// Teardown shared by `shutdown` and `Drop`: stop markers on the
+    /// control plane, raise the flag, join workers (collecting actors),
+    /// then receivers, then disconnect and join the timer thread.
+    /// Idempotent — the second run finds nothing left to stop.
+    fn stop_all(&mut self) -> Vec<A> {
         for tx in self.inboxes.values() {
             let _ = tx.send(Control::Stop);
         }
@@ -415,12 +459,29 @@ impl<A: Actor> RpcCluster<A> {
         for r in self.receivers.drain(..) {
             let _ = r.join();
         }
-        drop(self.timer_tx.clone());
+        // The workers' timer senders died with their threads; dropping
+        // ours disconnects the channel, so the timer thread wakes from
+        // its wait immediately rather than at the next granularity tick.
+        drop(self.timer_tx.take());
         if let Some(t) = self.timer_thread.take() {
             let _ = t.join();
         }
+        actors
+    }
+
+    /// Stop every thread and return the actors for inspection.
+    pub fn shutdown(mut self) -> Vec<A> {
+        let mut actors = self.stop_all();
         actors.sort_by_key(|a| a.addr());
         actors
+    }
+}
+
+impl<A: Actor> Drop for RpcCluster<A> {
+    /// Dropping an un-shutdown cluster must not leak threads: run the
+    /// same teardown, discarding the actors.
+    fn drop(&mut self) {
+        let _ = self.stop_all();
     }
 }
 
@@ -662,5 +723,49 @@ mod tests {
         assert_eq!(kinds["bad_checksum"], 1);
         assert_eq!(kinds["bad_tag"], 0);
         assert_eq!(stats.decode_errors_by_kind.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_every_thread() {
+        let a = ChordNode::new(fast_cfg(), Id(1_000), NodeAddr(0));
+        let b = ChordNode::new(fast_cfg(), Id(2_000_000), NodeAddr(1));
+        let cluster = RpcCluster::launch(vec![a, b]).unwrap();
+        cluster.cast(NodeAddr(0), |n| n.start_create());
+        std::thread::sleep(Duration::from_millis(100));
+        // The shutdown flag is cloned into every receiver thread; once
+        // Drop has joined them all, ours is the last strong reference.
+        let weak = Arc::downgrade(&cluster.shutdown);
+        drop(cluster);
+        assert!(
+            weak.upgrade().is_none(),
+            "Drop must join the worker/receiver/timer threads, not leak them"
+        );
+    }
+
+    #[test]
+    fn registry_speaks_the_shared_transport_vocabulary() {
+        let a = ChordNode::new(fast_cfg(), Id(1_000), NodeAddr(0));
+        let b = ChordNode::new(fast_cfg(), Id(2_000_000), NodeAddr(1));
+        let cluster = RpcCluster::launch(vec![a, b]).unwrap();
+        let bootstrap = cluster
+            .call(NodeAddr(0), |n| (n.me(), n.start_create()))
+            .unwrap();
+        cluster.cast(NodeAddr(1), move |n| n.start_join(bootstrap));
+        std::thread::sleep(Duration::from_millis(300));
+        let reg = cluster.transport_registry();
+        cluster.shutdown();
+
+        let text = reg.render_prometheus();
+        let samples = dat_obs::validate_prometheus(&text).expect("well-formed exposition");
+        // 2 dirs + 8 decode kinds + 2 socket ops + 2 shed layers.
+        assert_eq!(
+            samples, 14,
+            "full vocabulary must exist even at zero:\n{text}"
+        );
+        assert!(reg.counter_with("transport_datagrams_total", "sent") > 0);
+        assert!(reg.counter_with("transport_datagrams_total", "received") > 0);
+        assert_eq!(reg.counter_sum("engine_shed_total"), 0);
+        assert_eq!(reg.counter_sum("transport_socket_errors_total"), 0);
+        assert!(text.contains("transport=\"threads\""));
     }
 }

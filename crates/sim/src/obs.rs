@@ -15,7 +15,7 @@
 //!   `digest_events`.
 
 use dat_core::StackNode;
-use dat_obs::{Event, Registry};
+use dat_obs::{Event, Key, Registry};
 
 use crate::net::SimNet;
 
@@ -23,12 +23,16 @@ use crate::net::SimNet;
 ///
 /// Counters and histogram buckets add, gauges take the max — the merge is
 /// associative and commutative, so the result is independent of node
-/// order.
+/// order. The simulator's own engine counters ride along: the timer-wheel
+/// clamp count ([`SimNet::clamped_events`]) is exported zero-initialized
+/// as `sim_clamped_events_total`, so a run whose horizon never clamped
+/// still exposes the series.
 pub fn fleet_registry(net: &SimNet<StackNode>) -> Registry {
     let mut fleet = Registry::default();
     for (_, node) in net.iter_nodes() {
         fleet.merge(&node.obs_registry());
     }
+    fleet.counter_add(Key::new("sim_clamped_events_total"), net.clamped_events());
     fleet
 }
 
@@ -88,5 +92,33 @@ mod tests {
         let samples = validate_prometheus(&text).expect("fleet dump parses");
         assert!(samples > 0);
         assert!(!fleet_events(&net).is_empty());
+        // The engine's clamp counter is part of the fleet view even when
+        // nothing clamped — zero-initialized series, never absent.
+        assert_eq!(reg.counter_sum("sim_clamped_events_total"), 0);
+        assert!(text.contains("sim_clamped_events_total 0"));
+    }
+
+    #[test]
+    fn clamped_events_flow_into_the_fleet_registry() {
+        let space = IdSpace::new(24);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let ring = StaticRing::build(space, 4, IdPolicy::Probed, &mut rng);
+        let ccfg = dat_chord::ChordConfig {
+            space,
+            ..Default::default()
+        };
+        let mut net = crate::harness::prestabilized_dat(&ring, ccfg, DatConfig::default(), 2);
+        net.run_for(10_000);
+        // A fault whose event time is already in the past is clamped to
+        // "now" by the queue — the fleet registry must report it.
+        let plan = crate::fault::FaultPlan::new().crash_at(5_000, net.addrs()[0]);
+        net.set_fault_plan(plan);
+        assert!(net.clamped_events() > 0);
+        let reg = fleet_registry(&net);
+        assert_eq!(
+            reg.counter_sum("sim_clamped_events_total"),
+            net.clamped_events()
+        );
+        validate_prometheus(&reg.render_prometheus()).expect("parses");
     }
 }

@@ -16,13 +16,17 @@ echo "==> clippy: unwrap_used denied in self-healing + observability + health mo
 # node it instruments, the health plane (PR 6) must never panic the
 # failure detector it runs inside, and the wire-robustness layer (PR 8:
 # codec error paths, fuzz driver, corruption soak) must never panic on
-# hostile input; the modules opt in via #![deny(clippy::unwrap_used)]
-# and this check keeps the attribute from being dropped silently.
+# hostile input, and the async cluster host + its bins (PR 9) must never
+# panic a 1k-node fleet; the modules opt in via
+# #![deny(clippy::unwrap_used)] and this check keeps the attribute from
+# being dropped silently.
 for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs \
          crates/obs/src/lib.rs crates/chord/src/health.rs \
          crates/sim/src/gray.rs crates/sim/src/queue.rs crates/sim/src/net.rs \
          crates/sim/src/scale.rs crates/chord/src/wire.rs \
-         crates/sim/src/fuzz.rs crates/sim/src/corrupt.rs; do
+         crates/sim/src/fuzz.rs crates/sim/src/corrupt.rs \
+         crates/cluster/src/lib.rs crates/cluster/src/bin/clusterd.rs \
+         crates/cluster/src/bin/clusterbench.rs; do
   grep -q '#!\[deny(clippy::unwrap_used)\]' "$f" \
     || { echo "missing #![deny(clippy::unwrap_used)] in $f"; exit 1; }
 done
@@ -102,6 +106,16 @@ grep -q '"n": 98304' "$scale_out" \
 grep -q '"clamped": 0' "$scale_out" \
   || { echo "100k scale smoke clamped timestamps (wheel span exceeded)"; exit 1; }
 rm -f "$scale_out"
+
+echo "==> cluster smoke: 64 real UDP nodes through the tokio host"
+# Boots 64 real nodes (one UDP socket + three tasks each) with the
+# prestabilized harness, runs 6 DAT epochs + a MAAN discovery, scrapes
+# every node, and exits non-zero unless the root answer was exact
+# (sum 64·63/2) and completeness held at 1.0. ~5 s wall-clock; scale
+# with e.g. CLUSTER_SMOKE_NODES=256. The full 1024-node run backs the
+# committed BENCH_cluster.json (see clusterbench).
+cargo run --release -p dat-cluster --bin clusterd -- \
+  --nodes "${CLUSTER_SMOKE_NODES:-64}" --epochs 6 --epoch-ms 500 --quiet
 
 echo "==> examples build"
 cargo build --release --examples

@@ -1,0 +1,165 @@
+//! The task executor: a shared run queue drained by worker threads.
+//!
+//! Tasks are `Arc`s implementing [`std::task::Wake`]; waking pushes the
+//! task back on the queue exactly once (an atomic `queued` flag dedupes
+//! concurrent wakes). A panicking task is caught, its future dropped, and
+//! the drop of its completion guard resolves the `JoinHandle` with a
+//! `JoinError` — the worker thread survives.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::task::{JoinHandle, JoinState};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// State shared by every worker thread of one runtime.
+pub(crate) struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    condvar: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn new() -> Arc<Shared> {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            condvar: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    fn push(&self, task: Arc<Task>) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(task);
+        self.condvar.notify_one();
+    }
+
+    /// Signal workers to exit and wake them all; pending tasks are dropped
+    /// (their `JoinHandle`s resolve with `JoinError`).
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.clear();
+        self.condvar.notify_all();
+    }
+
+    /// Worker loop: pop and poll tasks until shutdown.
+    pub(crate) fn run_worker(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    q = self.condvar.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            task.poll();
+        }
+    }
+}
+
+/// One spawned task: its future plus requeue bookkeeping.
+struct Task {
+    shared: Arc<Shared>,
+    future: Mutex<Option<BoxFuture>>,
+    /// `true` while the task sits in the run queue (or is about to be
+    /// pushed); wakes while set are coalesced.
+    queued: AtomicBool,
+}
+
+impl Task {
+    fn poll(self: Arc<Self>) {
+        // Clear before polling so a wake that lands mid-poll re-queues.
+        self.queued.store(false, Ordering::SeqCst);
+        let mut slot = self.future.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(fut) = slot.as_mut() else {
+            return; // already completed by an earlier poll
+        };
+        let waker = Waker::from(Arc::clone(&self));
+        let mut cx = Context::from_waker(&waker);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        match result {
+            Ok(Poll::Pending) => {}
+            // Completed or panicked: drop the future either way. On panic
+            // the completion guard inside resolves the JoinHandle with an
+            // error as it unwinds/drops.
+            Ok(Poll::Ready(())) | Err(_) => *slot = None,
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::SeqCst) {
+            let shared = Arc::clone(&self.shared);
+            shared.push(self);
+        }
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        Arc::clone(self).wake();
+    }
+}
+
+/// Resolves the paired [`JoinHandle`] when the task finishes — including
+/// by panic or cancellation, via `Drop`.
+struct Completion<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+    done: bool,
+}
+
+impl<T> Completion<T> {
+    fn finish(&mut self, value: Option<T>) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.result = value;
+        s.finished = true;
+        if let Some(w) = s.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for Completion<T> {
+    fn drop(&mut self) {
+        self.finish(None);
+    }
+}
+
+/// Spawn `future` onto `shared`, returning its join handle.
+pub(crate) fn spawn_on<T, F>(shared: &Arc<Shared>, future: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState::new()));
+    let mut completion = Completion {
+        state: Arc::clone(&state),
+        done: false,
+    };
+    let wrapped = async move {
+        let out = future.await;
+        completion.finish(Some(out));
+    };
+    let task = Arc::new(Task {
+        shared: Arc::clone(shared),
+        future: Mutex::new(Some(Box::pin(wrapped))),
+        queued: AtomicBool::new(true),
+    });
+    shared.push(Arc::clone(&task));
+    JoinHandle::new(state)
+}

@@ -1,0 +1,37 @@
+//! Offline drop-in subset of the `tokio` 1.x API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of tokio it actually uses — enough to host
+//! one async task per cluster node over real UDP sockets:
+//!
+//! * [`runtime`] — a multi-threaded work queue (`Builder`, `Runtime`,
+//!   `Handle`) built on `std::thread` workers and the `std::task::Wake`
+//!   trait; `block_on` parks the calling thread.
+//! * [`task`] — `spawn` / `JoinHandle` / `yield_now`.
+//! * [`net`] — an async [`net::UdpSocket`] over a nonblocking std socket,
+//!   readiness-driven by one epoll(7) reactor thread per runtime
+//!   (level-triggered + `EPOLLONESHOT`, re-armed only while a task waits).
+//! * [`sync`] — bounded [`sync::mpsc`] channels with `try_send` (the shed
+//!   path), async `send`/`recv` (the backpressure path) and
+//!   `blocking_send`/`blocking_recv` for non-async control planes.
+//! * [`time`] — `sleep` / `timeout` serviced by one timer thread per
+//!   runtime holding a deadline min-heap.
+//!
+//! Semantics intentionally match tokio where the workspace can observe
+//! them: channel closure wakes senders and receivers, dropped runtimes
+//! stop their worker/reactor/timer threads, a panicking task resolves its
+//! `JoinHandle` with a [`task::JoinError`] instead of killing the worker.
+//! The only `unsafe` is the epoll FFI in the reactor module.
+
+#![warn(missing_docs)]
+
+mod executor;
+pub mod net;
+mod park;
+mod reactor;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;

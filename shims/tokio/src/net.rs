@@ -1,0 +1,72 @@
+//! Async networking: a readiness-driven [`UdpSocket`].
+
+use std::future::poll_fn;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::task::Poll;
+
+use crate::reactor::{Direction, IoState, ReactorShared};
+
+/// A UDP socket usable from async tasks. All methods take `&self`, so one
+/// socket wrapped in an `Arc` can serve a reader task and a writer task
+/// concurrently — the pattern the cluster host uses.
+pub struct UdpSocket {
+    io: std::net::UdpSocket,
+    state: Arc<IoState>,
+    reactor: Arc<ReactorShared>,
+}
+
+impl UdpSocket {
+    /// Adopt a std socket into the current runtime's reactor. The socket
+    /// is switched to nonblocking mode. Must be called inside a runtime
+    /// context.
+    pub fn from_std(io: std::net::UdpSocket) -> io::Result<UdpSocket> {
+        io.set_nonblocking(true)?;
+        let reactor = crate::runtime::Handle::current().reactor();
+        let state = reactor.register(io.as_raw_fd())?;
+        Ok(UdpSocket { io, state, reactor })
+    }
+
+    /// Bind a new UDP socket on `addr` inside the current runtime.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        UdpSocket::from_std(std::net::UdpSocket::bind(addr)?)
+    }
+
+    /// The local address the socket is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.io.local_addr()
+    }
+
+    /// Receive one datagram, waiting for readability if necessary.
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        poll_fn(|cx| match self.io.recv_from(buf) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.reactor.wait(&self.state, Direction::Read, cx.waker());
+                Poll::Pending
+            }
+            r => Poll::Ready(r),
+        })
+        .await
+    }
+
+    /// Send one datagram to `target`, waiting for writability if the
+    /// kernel send buffer is full.
+    pub async fn send_to(&self, buf: &[u8], target: SocketAddr) -> io::Result<usize> {
+        poll_fn(|cx| match self.io.send_to(buf, target) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.reactor.wait(&self.state, Direction::Write, cx.waker());
+                Poll::Pending
+            }
+            r => Poll::Ready(r),
+        })
+        .await
+    }
+}
+
+impl Drop for UdpSocket {
+    fn drop(&mut self) {
+        self.reactor.deregister(&self.state);
+    }
+}

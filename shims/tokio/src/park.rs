@@ -1,0 +1,47 @@
+//! Thread-parking waker: the primitive under `block_on`, `blocking_send`
+//! and `blocking_recv`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Wakes a parked thread. The `notified` flag closes the race between a
+/// wake landing just before the thread parks.
+struct ThreadParker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadParker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Drive `future` to completion on the calling thread, parking between
+/// polls. Usable from any thread, inside or outside a runtime.
+pub(crate) fn block_on<F: Future>(future: F) -> F::Output {
+    let parker = Arc::new(ThreadParker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        if let Poll::Ready(out) = Pin::new(&mut future).as_mut().poll(&mut cx) {
+            return out;
+        }
+        while !parker.notified.swap(false, Ordering::SeqCst) {
+            std::thread::park();
+        }
+    }
+}

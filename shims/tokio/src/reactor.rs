@@ -1,0 +1,212 @@
+//! I/O readiness reactor: one epoll(7) instance and one dispatcher thread
+//! per runtime.
+//!
+//! Sockets register once at creation with no interest armed. A task that
+//! hits `WouldBlock` stores its waker and arms the socket's current
+//! interest set with `EPOLLONESHOT`; the dispatcher wakes the stored
+//! waker(s) and re-arms whatever interest remains. Level-triggered
+//! semantics close the arm/readiness race: if the socket became ready
+//! between the failed syscall and the arm, epoll reports it immediately.
+//!
+//! This module owns the crate's only `unsafe` code — four libc calls
+//! (`epoll_create1` / `epoll_ctl` / `epoll_wait` / `close`) declared by
+//! hand because the build environment has no `libc` crate; the symbols
+//! resolve from the C library `std` already links.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::Waker;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLONESHOT: u32 = 1 << 30;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+
+// The kernel ABI packs the struct on x86-64 (12 bytes); other arches use
+// natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// Readiness interest one registered fd currently waits on.
+#[derive(Default)]
+struct Interest {
+    read: Option<Waker>,
+    write: Option<Waker>,
+}
+
+/// Per-socket registration shared between the socket and the dispatcher.
+pub(crate) struct IoState {
+    fd: RawFd,
+    interest: Mutex<Interest>,
+}
+
+/// Direction a task wants to wait for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    Read,
+    Write,
+}
+
+/// The reactor: epoll fd plus the registration table.
+pub(crate) struct ReactorShared {
+    epfd: RawFd,
+    regs: Mutex<HashMap<u64, Arc<IoState>>>,
+    shutdown: AtomicBool,
+}
+
+impl ReactorShared {
+    pub(crate) fn new() -> io::Result<Arc<ReactorShared>> {
+        // SAFETY: plain syscall, no pointers involved.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Arc::new(ReactorShared {
+            epfd,
+            regs: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        }))
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: fd as u64,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Register a socket with the reactor (no interest armed yet).
+    pub(crate) fn register(&self, fd: RawFd) -> io::Result<Arc<IoState>> {
+        self.ctl(EPOLL_CTL_ADD, fd, EPOLLONESHOT)?;
+        let state = Arc::new(IoState {
+            fd,
+            interest: Mutex::new(Interest::default()),
+        });
+        self.regs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fd as u64, Arc::clone(&state));
+        Ok(state)
+    }
+
+    /// Remove a socket from the reactor (called on socket drop, before the
+    /// fd itself closes).
+    pub(crate) fn deregister(&self, state: &IoState) {
+        self.regs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(state.fd as u64));
+        let _ = self.ctl(EPOLL_CTL_DEL, state.fd, 0);
+    }
+
+    /// Park `waker` until `state`'s fd is ready in `dir`. The waker is
+    /// stored and the combined interest re-armed under one lock, so a
+    /// concurrent dispatch cannot observe a half-armed registration.
+    pub(crate) fn wait(&self, state: &IoState, dir: Direction, waker: &Waker) {
+        let mut interest = state.interest.lock().unwrap_or_else(|e| e.into_inner());
+        match dir {
+            Direction::Read => interest.read = Some(waker.clone()),
+            Direction::Write => interest.write = Some(waker.clone()),
+        }
+        self.arm_locked(state.fd, &interest);
+    }
+
+    fn arm_locked(&self, fd: RawFd, interest: &Interest) {
+        let mut events = EPOLLONESHOT;
+        if interest.read.is_some() {
+            events |= EPOLLIN;
+        }
+        if interest.write.is_some() {
+            events |= EPOLLOUT;
+        }
+        // A failed re-arm (e.g. fd racing a close) is recovered by the
+        // caller's next WouldBlock round trip, not escalated here.
+        let _ = self.ctl(EPOLL_CTL_MOD, fd, events);
+    }
+
+    /// Ask the dispatcher thread to exit on its next wakeup.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Dispatcher loop: wait for readiness, wake parked tasks, re-arm any
+    /// remaining interest.
+    pub(crate) fn run_dispatcher(&self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+        while !self.shutdown.load(Ordering::SeqCst) {
+            // SAFETY: `events` is a live, writable buffer of the declared
+            // capacity; the kernel fills at most `maxevents` entries.
+            let n = unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, 100) };
+            if n < 0 {
+                // EINTR — retry; anything else would repeat, so still retry
+                // after the poll-timeout backoff built into epoll_wait.
+                continue;
+            }
+            for ev in events.iter().take(n as usize) {
+                let (bits, token) = (ev.events, ev.data);
+                let state = {
+                    let regs = self.regs.lock().unwrap_or_else(|e| e.into_inner());
+                    regs.get(&token).cloned()
+                };
+                let Some(state) = state else { continue };
+                let mut interest = state.interest.lock().unwrap_or_else(|e| e.into_inner());
+                let err = bits & (EPOLLERR | EPOLLHUP) != 0;
+                if err || bits & EPOLLIN != 0 {
+                    if let Some(w) = interest.read.take() {
+                        w.wake();
+                    }
+                }
+                if err || bits & EPOLLOUT != 0 {
+                    if let Some(w) = interest.write.take() {
+                        w.wake();
+                    }
+                }
+                if interest.read.is_some() || interest.write.is_some() {
+                    self.arm_locked(state.fd, &interest);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ReactorShared {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this struct and closed exactly once.
+        unsafe { close(self.epfd) };
+    }
+}

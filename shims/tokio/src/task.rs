@@ -1,0 +1,98 @@
+//! Task handles: `spawn`, `JoinHandle`, `yield_now`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Shared slot the spawned task resolves and the handle awaits.
+pub(crate) struct JoinState<T> {
+    pub(crate) result: Option<T>,
+    pub(crate) finished: bool,
+    pub(crate) waker: Option<Waker>,
+}
+
+impl<T> JoinState<T> {
+    pub(crate) fn new() -> Self {
+        JoinState {
+            result: None,
+            finished: false,
+            waker: None,
+        }
+    }
+}
+
+/// The task was cancelled or panicked before producing a value.
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task failed (panicked or cancelled)")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// An owned permission to await a spawned task's output.
+///
+/// Unlike tokio's, dropping this handle never detaches mid-flight state
+/// the workspace relies on — the task keeps running either way.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(state: Arc<Mutex<JoinState<T>>>) -> Self {
+        JoinHandle { state }
+    }
+
+    /// `true` once the task has completed (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.finished {
+            return Poll::Ready(s.result.take().ok_or(JoinError(())));
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Spawn a future onto the current runtime. Panics outside a runtime
+/// context, like tokio's free function.
+pub fn spawn<T, F>(future: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+{
+    crate::runtime::Handle::current().spawn(future)
+}
+
+/// Yield back to the scheduler once, letting other ready tasks run.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow(false).await
+}

@@ -1,0 +1,207 @@
+//! Timers: `sleep` and `timeout`, serviced by one timer thread per
+//! runtime holding a deadline min-heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Timer errors.
+pub mod error {
+    /// The future given to [`super::timeout`] did not complete in time.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct Elapsed(pub(crate) ());
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+}
+
+struct SleepState {
+    fired: bool,
+    waker: Option<Waker>,
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    state: Arc<Mutex<SleepState>>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// Deadline heap shared between `Sleep` futures and the timer thread.
+pub(crate) struct TimerShared {
+    heap: Mutex<BinaryHeap<Reverse<TimerEntry>>>,
+    condvar: Condvar,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+}
+
+impl TimerShared {
+    pub(crate) fn new() -> Arc<TimerShared> {
+        Arc::new(TimerShared {
+            heap: Mutex::new(BinaryHeap::new()),
+            condvar: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    fn register(&self, deadline: Instant, state: Arc<Mutex<SleepState>>) {
+        let entry = TimerEntry {
+            deadline,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            state,
+        };
+        let mut heap = self.heap.lock().unwrap_or_else(|e| e.into_inner());
+        heap.push(Reverse(entry));
+        // The new deadline may be the earliest; re-evaluate the wait.
+        self.condvar.notify_one();
+    }
+
+    /// Ask the timer thread to exit on its next wakeup.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.condvar.notify_all();
+    }
+
+    /// Timer loop: fire due entries, sleep until the next deadline.
+    pub(crate) fn run_driver(&self) {
+        let mut heap = self.heap.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            while heap.peek().is_some_and(|Reverse(e)| e.deadline <= now) {
+                if let Some(Reverse(entry)) = heap.pop() {
+                    let mut s = entry.state.lock().unwrap_or_else(|e| e.into_inner());
+                    s.fired = true;
+                    if let Some(w) = s.waker.take() {
+                        w.wake();
+                    }
+                }
+            }
+            let wait = heap
+                .peek()
+                .map(|Reverse(e)| e.deadline.saturating_duration_since(now))
+                .unwrap_or(Duration::from_secs(1));
+            let (guard, _) = self
+                .condvar
+                .wait_timeout(heap, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            heap = guard;
+        }
+    }
+}
+
+/// Future returned by [`sleep`]; completes when its deadline passes.
+pub struct Sleep {
+    deadline: Instant,
+    state: Arc<Mutex<SleepState>>,
+    registered: bool,
+    timer: Arc<TimerShared>,
+}
+
+impl Sleep {
+    /// The instant this sleep completes at.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let me = self.get_mut();
+        if Instant::now() >= me.deadline {
+            return Poll::Ready(());
+        }
+        {
+            let mut s = me.state.lock().unwrap_or_else(|e| e.into_inner());
+            if s.fired {
+                return Poll::Ready(());
+            }
+            s.waker = Some(cx.waker().clone());
+        }
+        if !me.registered {
+            me.registered = true;
+            me.timer.register(me.deadline, Arc::clone(&me.state));
+        }
+        Poll::Pending
+    }
+}
+
+/// Sleep for `duration`. Must be called inside a runtime context.
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Sleep until `deadline`. Must be called inside a runtime context.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep {
+        deadline,
+        state: Arc::new(Mutex::new(SleepState {
+            fired: false,
+            waker: None,
+        })),
+        registered: false,
+        timer: crate::runtime::Handle::current().timer(),
+    }
+}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F: Future> {
+    future: Pin<Box<F>>,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, error::Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = self.get_mut();
+        if let Poll::Ready(out) = me.future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        match Pin::new(&mut me.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(error::Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Run `future` with a deadline `duration` from now; `Err(Elapsed)` if the
+/// deadline wins. The inner future is polled first, so a result that is
+/// already available beats a simultaneous timeout.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future: Box::pin(future),
+        sleep: sleep(duration),
+    }
+}

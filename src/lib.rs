@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub use dat_chord as chord;
+pub use dat_cluster as cluster;
 pub use dat_core as core;
 pub use dat_maan as maan;
 pub use dat_monitor as monitor;
