@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! simbench [--sizes 8192,65536,262144] [--virtual-ms 10000]
-//!          [--scheduler wheel|heap|both] [--budget-s N]
-//!          [--out BENCH_sim.json] [--quiet]
+//!          [--scheduler wheel|heap|both] [--shards 1,2,4,8]
+//!          [--budget-s N] [--out BENCH_sim.json] [--quiet]
 //! ```
 //!
 //! Runs one maintenance epoch per (size, scheduler) pair, ascending by
@@ -15,6 +15,16 @@
 //! bounded. A 1M-node epoch is the same invocation with
 //! `--sizes 1048576 --budget-s 0`; it is documented offline rather than
 //! run in CI.
+//!
+//! `--shards` adds a multi-core sweep per size: each listed shard count
+//! drives the `ShardedNet` engine over the same seeded workload. The
+//! 1-shard run (inserted automatically if absent) is the baseline: every
+//! other shard count must reproduce its digest bit for bit — any
+//! divergence is a determinism bug and exits non-zero — and its wall
+//! clock is the denominator of `speedup_vs_1shard`. The top-level
+//! `cores` field records how much hardware parallelism the host actually
+//! had, so a ~1× speedup on a 1-core box reads as expected, not as a
+//! regression.
 
 use std::time::Instant;
 
@@ -25,6 +35,7 @@ struct Opts {
     sizes: Vec<usize>,
     virtual_ms: u64,
     schedulers: Vec<SchedulerKind>,
+    shards: Vec<usize>,
     budget_s: u64,
     out: String,
     quiet: bool,
@@ -35,6 +46,7 @@ fn parse_opts() -> Opts {
         sizes: vec![8_192, 65_536, 262_144],
         virtual_ms: 10_000,
         schedulers: vec![SchedulerKind::Wheel],
+        shards: Vec::new(),
         budget_s: 0, // 0 = unbounded
         out: "BENCH_sim.json".into(),
         quiet: false,
@@ -81,6 +93,17 @@ fn parse_opts() -> Opts {
                     }
                 };
             }
+            "--shards" => {
+                o.shards = val(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad shard count `{s}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
             "--budget-s" => {
                 o.budget_s = val(&mut i).parse().unwrap_or_else(|_| {
                     eprintln!("bad --budget-s");
@@ -97,6 +120,13 @@ fn parse_opts() -> Opts {
         i += 1;
     }
     o.sizes.sort_unstable();
+    o.shards.sort_unstable();
+    o.shards.dedup();
+    if o.shards.first().is_some_and(|&s| s != 1) {
+        // The 1-shard run is both the digest baseline and the speedup
+        // denominator; a sweep without it cannot be checked.
+        o.shards.insert(0, 1);
+    }
     o
 }
 
@@ -104,18 +134,26 @@ fn sched_name(k: SchedulerKind) -> &'static str {
     match k {
         SchedulerKind::Wheel => "wheel",
         SchedulerKind::Heap => "heap",
+        SchedulerKind::Sharded { .. } => "sharded",
     }
 }
 
-fn json_entry(r: &ScaleReport) -> String {
+fn json_entry(r: &ScaleReport, speedup_vs_1shard: Option<f64>) -> String {
     format!(
-        "    {{\"n\": {}, \"scheduler\": \"{}\", \"virtual_ms\": {}, \
+        "    {{\"n\": {}, \"scheduler\": \"{}\", \"shards\": {}, \
+         \"virtual_ms\": {}, \
          \"build_wall_ms\": {}, \"run_wall_ms\": {}, \"events\": {}, \
          \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
          \"dropped\": {}, \"clamped\": {}, \"backlog\": {}, \
-         \"peak_rss_mib\": {}}}",
+         \"peak_rss_mib\": {}, \"digest\": \"{:016x}\", \
+         \"speedup_vs_1shard\": {}}}",
         r.n,
-        sched_name(r.scheduler),
+        if r.shards > 0 {
+            "sharded"
+        } else {
+            sched_name(r.scheduler)
+        },
+        r.shards,
         r.virtual_ms,
         r.build_wall_ms,
         r.run_wall_ms,
@@ -127,6 +165,11 @@ fn json_entry(r: &ScaleReport) -> String {
         r.backlog,
         match r.peak_rss_mib {
             Some(m) => m.to_string(),
+            None => "null".into(),
+        },
+        r.digest,
+        match speedup_vs_1shard {
+            Some(s) => format!("{s:.2}"),
             None => "null".into(),
         }
     )
@@ -167,15 +210,67 @@ fn main() {
                     r.clamped
                 );
             }
-            entries.push(json_entry(&r));
+            entries.push(json_entry(&r, None));
+        }
+        let mut base: Option<ScaleReport> = None;
+        for &s in &o.shards {
+            if o.budget_s > 0 && started.elapsed().as_secs() >= o.budget_s {
+                skipped.push(format!("{{\"n\": {n}, \"shards\": {s}}}"));
+                if !o.quiet {
+                    eprintln!("[simbench] budget exhausted; skipping n={n} shards={s}");
+                }
+                continue;
+            }
+            if !o.quiet {
+                eprintln!("[simbench] n={n} shards={s} ...");
+            }
+            let r = run_scale(ScaleConfig {
+                n,
+                virtual_ms: o.virtual_ms,
+                shards: s,
+                ..ScaleConfig::default()
+            });
+            if !o.quiet {
+                eprintln!("[simbench]   {}", r.summary());
+            }
+            if r.clamped > 0 {
+                eprintln!(
+                    "[simbench] FATAL: {} events clamped at n={n} shards={s} — \
+                     the conservative window protocol was violated",
+                    r.clamped
+                );
+                std::process::exit(1);
+            }
+            let speedup = match &base {
+                Some(b) => {
+                    if r.digest != b.digest {
+                        eprintln!(
+                            "[simbench] FATAL: {s}-shard digest {:016x} diverged from \
+                             1-shard digest {:016x} at n={n} — determinism bug",
+                            r.digest, b.digest
+                        );
+                        std::process::exit(1);
+                    }
+                    b.run_wall_ms.max(1) as f64 / r.run_wall_ms.max(1) as f64
+                }
+                None => 1.0,
+            };
+            entries.push(json_entry(&r, Some(speedup)));
+            if base.is_none() {
+                base = Some(r);
+            }
         }
     }
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"generated_unix\": {unix_secs},\n  \"virtual_ms\": {},\n  \
+        "{{\n  \"generated_unix\": {unix_secs},\n  \"cores\": {cores},\n  \
+         \"virtual_ms\": {},\n  \
          \"wall_s\": {},\n  \"runs\": [\n{}\n  ],\n  \"skipped\": [{}]\n}}\n",
         o.virtual_ms,
         started.elapsed().as_secs(),

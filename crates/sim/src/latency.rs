@@ -59,6 +59,21 @@ impl LatencyModel {
             }
         }
     }
+
+    /// The smallest latency [`LatencyModel::sample`] can ever return — the
+    /// conservative lookahead bound of the sharded engine: no send issued
+    /// at or after time `t` can be delivered before `t + min_ms()`, so a
+    /// shard may safely execute the window `[t, t + min_ms())` without
+    /// seeing its peers' sends from that window. Always ≥ 1 because
+    /// `sample` clamps (events must advance time).
+    pub fn min_ms(&self) -> u64 {
+        match *self {
+            LatencyModel::Constant(ms) => ms.max(1),
+            LatencyModel::Uniform { lo, .. } => lo.max(1),
+            // The normal tail is unbounded below; only the ≥ 1 clamp holds.
+            LatencyModel::LogNormal { .. } => 1,
+        }
+    }
 }
 
 /// Independent per-message loss.
@@ -128,6 +143,28 @@ mod tests {
         );
         // Tail capped.
         assert!(*samples.last().unwrap() <= 1600);
+    }
+
+    #[test]
+    fn min_ms_is_a_true_lower_bound() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let models = [
+            LatencyModel::Constant(0),
+            LatencyModel::Constant(5),
+            LatencyModel::Uniform { lo: 0, hi: 3 },
+            LatencyModel::Uniform { lo: 10, hi: 20 },
+            LatencyModel::LogNormal {
+                median_ms: 80.0,
+                sigma: 0.5,
+            },
+        ];
+        for m in models {
+            let bound = m.min_ms();
+            assert!(bound >= 1, "{m:?}: lookahead must advance time");
+            for _ in 0..2_000 {
+                assert!(m.sample(&mut rng) >= bound, "{m:?} sampled below min_ms");
+            }
+        }
     }
 
     #[test]

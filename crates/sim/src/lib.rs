@@ -47,6 +47,7 @@ pub mod net;
 pub mod obs;
 pub mod queue;
 pub mod scale;
+pub mod shard;
 pub mod soak;
 pub mod stats;
 pub mod time;
@@ -64,6 +65,7 @@ pub use net::{Actor, LinkStats, SimNet, UpcallRecord};
 pub use obs::{fleet_events, fleet_prometheus, fleet_registry};
 pub use queue::{EventQueue, SchedulerKind};
 pub use scale::{run_scale, ScaleConfig, ScaleReport};
+pub use shard::ShardedNet;
 pub use soak::{run_soak, SoakConfig, SoakOutcome, SoakReport};
 pub use stats::{imbalance_factor, percentile, rank_order, Tally};
 pub use time::SimTime;

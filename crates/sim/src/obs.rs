@@ -26,13 +26,23 @@ use crate::net::SimNet;
 /// order. The simulator's own engine counters ride along: the timer-wheel
 /// clamp count ([`SimNet::clamped_events`]) is exported zero-initialized
 /// as `sim_clamped_events_total`, so a run whose horizon never clamped
-/// still exposes the series.
+/// still exposes the series; the scheduler backlog
+/// ([`SimNet::pending_events`]) and process peak RSS
+/// ([`crate::scale::peak_rss_mib`]) export as the `sim_backlog_events` and
+/// `sim_peak_rss_mib` gauges — the same engine-health numbers
+/// `sim::scale` reports, live on the metrics plane (peak RSS reads 0
+/// where the platform does not expose `VmHWM`).
 pub fn fleet_registry(net: &SimNet<StackNode>) -> Registry {
     let mut fleet = Registry::default();
     for (_, node) in net.iter_nodes() {
         fleet.merge(&node.obs_registry());
     }
     fleet.counter_add(Key::new("sim_clamped_events_total"), net.clamped_events());
+    fleet.gauge_set(Key::new("sim_backlog_events"), net.pending_events() as f64);
+    fleet.gauge_set(
+        Key::new("sim_peak_rss_mib"),
+        crate::scale::peak_rss_mib().unwrap_or(0) as f64,
+    );
     fleet
 }
 
@@ -96,6 +106,16 @@ mod tests {
         // nothing clamped — zero-initialized series, never absent.
         assert_eq!(reg.counter_sum("sim_clamped_events_total"), 0);
         assert!(text.contains("sim_clamped_events_total 0"));
+        // Engine-health gauges: backlog mirrors the scheduler exactly;
+        // peak RSS is live (non-zero) on any platform with /proc.
+        assert_eq!(
+            reg.gauge(&Key::new("sim_backlog_events")),
+            net.pending_events() as f64
+        );
+        assert!(text.contains("sim_backlog_events"));
+        assert!(text.contains("sim_peak_rss_mib"));
+        #[cfg(target_os = "linux")]
+        assert!(reg.gauge(&Key::new("sim_peak_rss_mib")) > 0.0);
     }
 
     #[test]

@@ -26,8 +26,25 @@
 //!   matter how cascading or overflow migration interleaved insertions.
 //! * Higher-level slots are cascaded (redistributed one level down) when
 //!   the cursor enters their period, never popped directly.
-//! * Events pushed at exactly `now` go to a FIFO ready queue; their
-//!   sequence numbers are monotone, so FIFO order is `seq` order.
+//! * Events pushed at exactly `now` go to a ready queue kept in `seq`
+//!   order (auto-assigned sequence numbers are monotone, so the common
+//!   case is a plain FIFO append; keyed pushes binary-search their slot).
+//!
+//! ## The sharded backend
+//!
+//! [`SchedulerKind::Sharded`] partitions events across `n` private wheels
+//! (event → lane by `seq % n`, mirroring the engine's node → shard
+//! assignment) and merges pops deterministically: the next event is the
+//! `(at, seq)` minimum across lanes. Because every lane is itself a wheel
+//! obeying the `(at, seq)` contract, the merge only has to compare lane
+//! heads — `at` from the cached `next_at`, and, among lanes tied at the
+//! minimal `at`, the head `seq` exposed by [`Wheel::peek_key`]. Each lane
+//! keeps a private cursor that is only ever advanced to the merge winner's
+//! firing time, so no lane runs ahead of the queue's public clock and a
+//! later push can never land in a lane's past. This is the single-threaded
+//! reference for the multi-core engine in [`crate::shard`]: it proves the
+//! merge rule preserves the exact global schedule, byte for byte, for any
+//! shard count.
 
 #![deny(clippy::unwrap_used)]
 
@@ -78,6 +95,13 @@ pub enum SchedulerKind {
     Wheel,
     /// The original binary min-heap.
     Heap,
+    /// `shards` private timer wheels with a deterministic `(at, seq)`
+    /// K-way merge — the single-threaded reference for the multi-core
+    /// engine's cross-shard merge rule. `shards = 0` behaves as `1`.
+    Sharded {
+        /// Number of lanes to partition events across.
+        shards: u8,
+    },
 }
 
 /// Bits consumed per wheel level (64 slots).
@@ -133,9 +157,22 @@ impl<E> Wheel<E> {
     fn place(&mut self, now: u64, ev: Scheduled<E>) {
         let at = ev.at.0;
         if at == now {
-            // Monotone seq ⇒ FIFO append keeps the ready queue in
-            // (at, seq) order.
-            self.ready.push_back(ev);
+            // Everything in `ready` fires at exactly `now`, so ordering
+            // is by seq alone. Auto-assigned seqs are monotone and hit
+            // the push_back fast path; an explicitly keyed event (or a
+            // swept/cascaded one that was *pushed* keyed) may carry a
+            // smaller seq than entries already present and binary-
+            // searches its slot instead. Keeping the invariant here —
+            // rather than in `push` — covers every route into `ready`:
+            // direct pushes, cursor-digit sweeps, overflow migration,
+            // and cascades out of higher-level slots, whose source slot
+            // vectors hold *push* order, not seq order.
+            let pos = self.ready.partition_point(|e| e.seq < ev.seq);
+            if pos == self.ready.len() {
+                self.ready.push_back(ev);
+            } else {
+                self.ready.insert(pos, ev);
+            }
             return;
         }
         let lvl = Self::level_of(now, at);
@@ -155,6 +192,16 @@ impl<E> Wheel<E> {
         });
         self.len += 1;
         self.place(now, ev);
+    }
+
+    /// `(at, seq)` of the earliest pending event without removing it,
+    /// advancing the cursor no further than that event's firing time
+    /// (exactly what a pop would do). `None` when empty.
+    fn peek_key(&mut self, now: &mut u64) -> Option<(SimTime, u64)> {
+        if !self.refill_ready(now) {
+            return None;
+        }
+        self.ready.front().map(|e| (e.at, e.seq))
     }
 
     /// Make the ready queue non-empty if any event is pending, advancing
@@ -177,18 +224,17 @@ impl<E> Wheel<E> {
             //   cursor.
             //
             // Sweep both into place relative to the current cursor before
-            // consulting `ready`: due events join `ready`, everything
-            // else lands at slots strictly past the cursor (a re-placed
-            // event's highest digit differing from `now` is necessarily
-            // larger than the cursor's, so this single ascending pass
-            // never re-occupies a cursor-digit slot it already drained).
-            let mut due_swept = false;
+            // consulting `ready`: due events join `ready` in seq order
+            // (`place` keeps the invariant), everything else lands at
+            // slots strictly past the cursor (a re-placed event's highest
+            // digit differing from `now` is necessarily larger than the
+            // cursor's, so this single ascending pass never re-occupies a
+            // cursor-digit slot it already drained).
             while let Some(e) = self.overflow.peek() {
                 if e.at.0 != *now && Self::level_of(*now, e.at.0) >= LEVELS {
                     break;
                 }
                 if let Some(e) = self.overflow.pop() {
-                    due_swept |= e.at.0 == *now;
                     self.place(*now, e);
                 }
             }
@@ -203,15 +249,8 @@ impl<E> Wheel<E> {
                 self.occupied[lvl] &= !(1u64 << s);
                 for ev in evs {
                     debug_assert!(ev.at.0 >= *now, "pending event in the past");
-                    due_swept |= ev.at.0 == *now;
                     self.place(*now, ev);
                 }
-            }
-            if due_swept {
-                // Everything in `ready` fires at exactly `now`; swept-in
-                // events may carry smaller seqs than ones pushed after the
-                // cursor arrived here, so restore seq order.
-                self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
             }
             if !self.ready.is_empty() {
                 return true;
@@ -317,10 +356,103 @@ impl<E> Wheel<E> {
     }
 }
 
+/// One lane of the sharded backend: a private wheel plus its cursor. The
+/// cursor lags the queue's public clock (it is only advanced to the firing
+/// time of an event this lane is about to surface), so pushes relative to
+/// it are never in the lane's past.
+#[derive(Debug)]
+struct Lane<E> {
+    cursor: u64,
+    wheel: Wheel<E>,
+}
+
+/// The sharded backend: `n` wheels merged by `(at, seq)`.
+#[derive(Debug)]
+struct Lanes<E> {
+    lanes: Vec<Lane<E>>,
+}
+
+impl<E> Lanes<E> {
+    fn new(shards: usize) -> Self {
+        Lanes {
+            lanes: std::iter::repeat_with(|| Lane {
+                cursor: 0,
+                wheel: Wheel::new(),
+            })
+            .take(shards.max(1))
+            .collect(),
+        }
+    }
+
+    /// Route an event to its lane by `seq` — the analogue of the engine's
+    /// `node index % shards` assignment.
+    fn push(&mut self, ev: Scheduled<E>) {
+        let lane = (ev.seq % self.lanes.len() as u64) as usize;
+        let ln = &mut self.lanes[lane];
+        debug_assert!(ev.at.0 >= ln.cursor, "push into a lane's past");
+        ln.wheel.push(ln.cursor, ev);
+    }
+
+    fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.wheel.len).sum()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.lanes.iter().filter_map(|l| l.wheel.next_at).min()
+    }
+
+    /// The lane holding the globally minimal `(at, seq)` head, with the
+    /// tied lanes' cursors advanced to that firing time. `None` when empty.
+    ///
+    /// `at` alone comes from the exact cached `next_at`; only lanes tied
+    /// at the minimal `at` need their head's `seq` materialized, which
+    /// advances their cursor to exactly that `at` — a time the queue's
+    /// public clock is about to reach anyway (pop) or already holds
+    /// (pop_if), so the lane-cursor ≤ public-clock invariant is kept.
+    fn min_lane(&mut self) -> Option<usize> {
+        let min_at = self.peek_time()?;
+        let mut best: Option<(usize, u64)> = None;
+        for (i, ln) in self.lanes.iter_mut().enumerate() {
+            if ln.wheel.next_at != Some(min_at) {
+                continue;
+            }
+            let mut cur = ln.cursor;
+            let Some((at, seq)) = ln.wheel.peek_key(&mut cur) else {
+                continue;
+            };
+            ln.cursor = cur;
+            debug_assert_eq!(at, min_at, "cached next_at disagrees with head");
+            if best.is_none_or(|(_, s)| seq < s) {
+                best = Some((i, seq));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Pop the head of lane `i` (must have been refilled by
+    /// [`Lanes::min_lane`]).
+    fn pop_lane(&mut self, i: usize) -> Option<Scheduled<E>> {
+        let ln = &mut self.lanes[i];
+        let ev = ln.wheel.ready.pop_front()?;
+        ln.wheel.len -= 1;
+        ln.cursor = ln.cursor.max(ev.at.0);
+        let cur = ln.cursor;
+        ln.wheel.recompute_next(cur);
+        Some(ev)
+    }
+
+    fn clear(&mut self) {
+        for ln in &mut self.lanes {
+            ln.wheel.clear();
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Inner<E> {
     Wheel(Wheel<E>),
     Heap(BinaryHeap<Scheduled<E>>),
+    Sharded(Lanes<E>),
 }
 
 /// A deterministic queue of timestamped events: earliest `(at, seq)` first.
@@ -350,6 +482,7 @@ impl<E> EventQueue<E> {
             inner: match kind {
                 SchedulerKind::Wheel => Inner::Wheel(Wheel::new()),
                 SchedulerKind::Heap => Inner::Heap(BinaryHeap::new()),
+                SchedulerKind::Sharded { shards } => Inner::Sharded(Lanes::new(shards as usize)),
             },
             next_seq: 0,
             now: SimTime::ZERO,
@@ -359,9 +492,12 @@ impl<E> EventQueue<E> {
 
     /// Which scheduler backs this queue.
     pub fn scheduler(&self) -> SchedulerKind {
-        match self.inner {
+        match &self.inner {
             Inner::Wheel(_) => SchedulerKind::Wheel,
             Inner::Heap(_) => SchedulerKind::Heap,
+            Inner::Sharded(l) => SchedulerKind::Sharded {
+                shards: l.lanes.len() as u8,
+            },
         }
     }
 
@@ -375,6 +511,7 @@ impl<E> EventQueue<E> {
         match &self.inner {
             Inner::Wheel(w) => w.len,
             Inner::Heap(h) => h.len(),
+            Inner::Sharded(l) => l.len(),
         }
     }
 
@@ -401,16 +538,36 @@ impl<E> EventQueue<E> {
     /// travels backwards. Clamped events are counted in
     /// [`EventQueue::clamped_events`].
     pub fn push_at(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_at_keyed(at, seq, event);
+    }
+
+    /// Schedule `event` at `at` with a caller-assigned sequence key. The
+    /// global pop order is `(at, seq)` regardless of push order, so a
+    /// sharded engine that derives keys from per-sender counter streams
+    /// gets the exact same schedule no matter which shard pushed first.
+    /// Keys must be unique per queue. The internal counter is advanced
+    /// past `key`, so an auto push never reuses a key *already seen* —
+    /// but a caller interleaving auto pushes with out-of-order key
+    /// streams could still collide an auto seq with a slower stream's
+    /// future key; the sharded engine therefore uses keyed pushes
+    /// exclusively on its per-shard queues.
+    pub fn push_at_keyed(&mut self, at: SimTime, key: u64, event: E) {
         if at < self.now {
             self.clamped += 1;
         }
         let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let ev = Scheduled { at, seq, event };
+        self.next_seq = self.next_seq.max(key.wrapping_add(1));
+        let ev = Scheduled {
+            at,
+            seq: key,
+            event,
+        };
         match &mut self.inner {
             Inner::Wheel(w) => w.push(self.now.0, ev),
             Inner::Heap(h) => h.push(ev),
+            Inner::Sharded(l) => l.push(ev),
         }
     }
 
@@ -431,6 +588,10 @@ impl<E> EventQueue<E> {
                 ev
             }
             Inner::Heap(h) => h.pop()?,
+            Inner::Sharded(l) => {
+                let i = l.min_lane()?;
+                l.pop_lane(i)?
+            }
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
@@ -472,6 +633,19 @@ impl<E> EventQueue<E> {
                 }
                 h.pop()
             }
+            Inner::Sharded(l) => {
+                // peek_time == now (checked above), so the tied lanes'
+                // cursors advance exactly to `now` — the invariant holds
+                // even on a None return, and the clock never moves.
+                let i = l.min_lane()?;
+                let ln = &mut l.lanes[i];
+                let front = ln.wheel.ready.front()?;
+                debug_assert!(front.at == self.now);
+                if !pred(&front.event) {
+                    return None;
+                }
+                l.pop_lane(i)
+            }
         }
     }
 
@@ -480,6 +654,7 @@ impl<E> EventQueue<E> {
         match &self.inner {
             Inner::Wheel(w) => w.next_at,
             Inner::Heap(h) => h.peek().map(|e| e.at),
+            Inner::Sharded(l) => l.peek_time(),
         }
     }
 
@@ -499,6 +674,7 @@ impl<E> EventQueue<E> {
         match &mut self.inner {
             Inner::Wheel(w) => w.clear(),
             Inner::Heap(h) => h.clear(),
+            Inner::Sharded(l) => l.clear(),
         }
     }
 }
@@ -508,11 +684,15 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
-    fn both() -> [EventQueue<&'static str>; 2] {
-        [
-            EventQueue::with_scheduler(SchedulerKind::Wheel),
-            EventQueue::with_scheduler(SchedulerKind::Heap),
-        ]
+    const KINDS: [SchedulerKind; 4] = [
+        SchedulerKind::Wheel,
+        SchedulerKind::Heap,
+        SchedulerKind::Sharded { shards: 1 },
+        SchedulerKind::Sharded { shards: 3 },
+    ];
+
+    fn both() -> [EventQueue<&'static str>; 4] {
+        KINDS.map(EventQueue::with_scheduler)
     }
 
     #[test]
@@ -532,7 +712,7 @@ mod tests {
 
     #[test]
     fn ties_fire_in_insertion_order() {
-        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+        for kind in KINDS {
             let mut q = EventQueue::with_scheduler(kind);
             for i in 0..100 {
                 q.push_at(SimTime(5), i);
@@ -642,107 +822,201 @@ mod tests {
         assert_eq!(q.now(), SimTime(140));
     }
 
-    #[test]
-    fn property_wheel_equals_heap_over_randomized_schedule() {
-        // 10⁵ randomized operations against both backends in lockstep:
-        // every pop must return the same (at, seq, event) triple. The mix
-        // deliberately hammers the wheel's edge cases — equal-time bursts
-        // (FIFO among ties), far-future pushes (overflow heap + epoch
-        // migration), interleaved `advance_to` jumps (cascades into
-        // occupied periods), and conditional `pop_if` on the due head.
+    /// Drive every backend through 10⁵ randomized operations in lockstep,
+    /// with the wheel as the reference: every pop must return the same
+    /// (at, seq, event) triple. The mix deliberately hammers the edge
+    /// cases — equal-time bursts (FIFO among ties), far-future pushes
+    /// (overflow heap + epoch migration), interleaved `advance_to` jumps
+    /// (cascades into occupied periods), and conditional `pop_if` on the
+    /// due head.
+    ///
+    /// `keyed` selects the push shape: auto-assigned monotone seqs (the
+    /// SimNet shape) or caller-assigned keys from per-stream counters
+    /// (the sharded engine's shape — seqs arrive out of global order but
+    /// are unique and deterministic). The two shapes are not mixed in
+    /// one run because mixing can collide an auto seq with a slower
+    /// stream's future key (see `push_at_keyed`).
+    fn lockstep_all_backends(seed: u64, keyed: bool) {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
-        for seed in 0..4u64 {
-            let mut rng = SmallRng::seed_from_u64(0x9e3779b97f4a7c15 ^ seed);
-            let mut wheel: EventQueue<u64> = EventQueue::with_scheduler(SchedulerKind::Wheel);
-            let mut heap: EventQueue<u64> = EventQueue::with_scheduler(SchedulerKind::Heap);
-            let mut tag = 0u64;
-            for op in 0..100_000u32 {
-                match rng.random_range(0u32..100) {
-                    // Push: mostly short horizons, some equal-time bursts,
-                    // a far-future tail that only the overflow heap holds.
-                    0..=54 => {
-                        let delay = match rng.random_range(0u32..20) {
-                            0 => 0,                                // due now
-                            1..=2 => rng.random_range(1u64..4),    // tie-heavy
-                            3 => 1 << rng.random_range(30u32..40), // far future
-                            _ => rng.random_range(1u64..5_000),
-                        };
-                        let burst = if rng.random_range(0u32..10) == 0 {
-                            rng.random_range(2usize..6)
-                        } else {
-                            1
-                        };
-                        for _ in 0..burst {
-                            wheel.push_after(delay, tag);
-                            heap.push_after(delay, tag);
-                            tag += 1;
-                        }
+        let mut rng = SmallRng::seed_from_u64(0x9e3779b97f4a7c15 ^ seed);
+        let mut qs: Vec<EventQueue<u64>> = vec![
+            EventQueue::with_scheduler(SchedulerKind::Wheel),
+            EventQueue::with_scheduler(SchedulerKind::Heap),
+            EventQueue::with_scheduler(SchedulerKind::Sharded { shards: 1 }),
+            EventQueue::with_scheduler(SchedulerKind::Sharded { shards: 3 }),
+            EventQueue::with_scheduler(SchedulerKind::Sharded { shards: 7 }),
+        ];
+        let mut tag = 0u64;
+        // Keyed-push streams: 4 "senders", each with its own monotone
+        // counter; key = (ctr << 8) | sender, mirroring the engine's
+        // (counter, node-index) packing. Counters advance independently,
+        // so a later push routinely carries a *smaller* key than an
+        // earlier one — the disorder the merge rule must absorb.
+        let mut stream_ctr = [1u64; 4];
+        let mut push = |qs: &mut Vec<EventQueue<u64>>, rng: &mut SmallRng, delay: u64, tag: u64| {
+            if keyed {
+                let s = rng.random_range(0usize..4);
+                let key = (stream_ctr[s] << 8) | s as u64;
+                stream_ctr[s] += 1;
+                for q in qs.iter_mut() {
+                    let at = q.now() + delay;
+                    q.push_at_keyed(at, key, tag);
+                }
+            } else {
+                for q in qs.iter_mut() {
+                    q.push_after(delay, tag);
+                }
+            }
+        };
+        for op in 0..100_000u32 {
+            match rng.random_range(0u32..100) {
+                // Push: mostly short horizons, some equal-time bursts,
+                // a far-future tail that only the overflow heap holds.
+                0..=54 => {
+                    let delay = match rng.random_range(0u32..20) {
+                        0 => 0,                                // due now
+                        1..=2 => rng.random_range(1u64..4),    // tie-heavy
+                        3 => 1 << rng.random_range(30u32..40), // far future
+                        _ => rng.random_range(1u64..5_000),
+                    };
+                    let burst = if rng.random_range(0u32..10) == 0 {
+                        rng.random_range(2usize..6)
+                    } else {
+                        1
+                    };
+                    for _ in 0..burst {
+                        push(&mut qs, &mut rng, delay, tag);
+                        tag += 1;
                     }
-                    // Pop: both must agree on the full triple.
-                    55..=84 => {
-                        let w = wheel.pop();
-                        let h = heap.pop();
-                        match (w, h) {
-                            (None, None) => {}
-                            (Some(w), Some(h)) => {
-                                assert_eq!(
-                                    (w.at, w.seq, w.event),
-                                    (h.at, h.seq, h.event),
-                                    "pop diverged at op {op} (seed {seed})"
-                                );
-                            }
-                            (w, h) => panic!(
-                                "emptiness diverged at op {op} (seed {seed}): \
-                                 wheel {:?} heap {:?}",
-                                w.map(|e| e.event),
-                                h.map(|e| e.event)
-                            ),
-                        }
-                    }
-                    // Conditional pop of the due head (the batch-drain
-                    // primitive): same predicate, same outcome.
-                    85..=92 => {
-                        let want = tag; // never matches: pure peek path
-                        let w = wheel.pop_if(|&e| e % 3 == 0 && e != want);
-                        let h = heap.pop_if(|&e| e % 3 == 0 && e != want);
+                }
+                // Pop: all must agree on the full triple.
+                55..=84 => {
+                    let popped: Vec<_> = qs.iter_mut().map(|q| q.pop()).collect();
+                    for (i, p) in popped.iter().enumerate().skip(1) {
                         assert_eq!(
-                            w.as_ref().map(|e| (e.at, e.seq, e.event)),
-                            h.as_ref().map(|e| (e.at, e.seq, e.event)),
-                            "pop_if diverged at op {op} (seed {seed})"
+                            popped[0].as_ref().map(|e| (e.at, e.seq, e.event)),
+                            p.as_ref().map(|e| (e.at, e.seq, e.event)),
+                            "pop diverged on backend {i} at op {op} (seed {seed})"
                         );
                     }
-                    // Clock jump, occasionally far enough to cross wheel
-                    // epochs and force overflow migration.
-                    _ => {
-                        let jump = if rng.random_range(0u32..20) == 0 {
-                            1 << rng.random_range(30u32..38)
-                        } else {
-                            rng.random_range(0u64..10_000)
-                        };
-                        let target = wheel.now() + jump;
-                        let bounded = match wheel.peek_time() {
-                            Some(next) if next < target => next, // never skip events
-                            _ => target,
-                        };
-                        wheel.advance_to(bounded);
-                        heap.advance_to(bounded);
-                        assert_eq!(wheel.now(), heap.now());
+                }
+                // Conditional pop of the due head (the batch-drain
+                // primitive): same predicate, same outcome.
+                85..=92 => {
+                    let want = tag; // never matches: pure peek path
+                    let popped: Vec<_> = qs
+                        .iter_mut()
+                        .map(|q| q.pop_if(|&e| e % 3 == 0 && e != want))
+                        .collect();
+                    for (i, p) in popped.iter().enumerate().skip(1) {
+                        assert_eq!(
+                            popped[0].as_ref().map(|e| (e.at, e.seq, e.event)),
+                            p.as_ref().map(|e| (e.at, e.seq, e.event)),
+                            "pop_if diverged on backend {i} at op {op} (seed {seed})"
+                        );
                     }
                 }
-                assert_eq!(wheel.len(), heap.len(), "len diverged at op {op}");
-                assert_eq!(wheel.peek_time(), heap.peek_time());
+                // Clock jump, occasionally far enough to cross wheel
+                // epochs and force overflow migration.
+                _ => {
+                    let jump = if rng.random_range(0u32..20) == 0 {
+                        1 << rng.random_range(30u32..38)
+                    } else {
+                        rng.random_range(0u64..10_000)
+                    };
+                    let target = qs[0].now() + jump;
+                    let bounded = match qs[0].peek_time() {
+                        Some(next) if next < target => next, // never skip events
+                        _ => target,
+                    };
+                    for q in &mut qs {
+                        q.advance_to(bounded);
+                    }
+                }
             }
-            // Drain: the complete residual order must match.
-            loop {
-                match (wheel.pop(), heap.pop()) {
-                    (None, None) => break,
-                    (Some(w), Some(h)) => {
-                        assert_eq!((w.at, w.seq, w.event), (h.at, h.seq, h.event))
-                    }
-                    _ => panic!("drain length diverged (seed {seed})"),
-                }
+            for i in 1..qs.len() {
+                assert_eq!(qs[0].len(), qs[i].len(), "len diverged at op {op}");
+                assert_eq!(qs[0].peek_time(), qs[i].peek_time());
+                assert_eq!(qs[0].now(), qs[i].now());
             }
         }
+        // Drain: the complete residual order must match.
+        loop {
+            let popped: Vec<_> = qs.iter_mut().map(|q| q.pop()).collect();
+            for (i, p) in popped.iter().enumerate().skip(1) {
+                assert_eq!(
+                    popped[0].as_ref().map(|e| (e.at, e.seq, e.event)),
+                    p.as_ref().map(|e| (e.at, e.seq, e.event)),
+                    "drain diverged on backend {i} (seed {seed})"
+                );
+            }
+            if popped[0].is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn property_all_backends_agree_over_randomized_schedule() {
+        // The PR 7 harness: auto-assigned monotone seqs (SimNet's shape).
+        for seed in 0..4u64 {
+            lockstep_all_backends(seed, false);
+        }
+    }
+
+    #[test]
+    fn property_all_backends_agree_under_keyed_streams() {
+        // The sharded engine's shape: keys from independent per-sender
+        // counter streams, routinely out of global push order.
+        for seed in 0..4u64 {
+            lockstep_all_backends(seed, true);
+        }
+    }
+
+    #[test]
+    fn keyed_pushes_fire_in_key_order_not_push_order() {
+        // Two "senders" push at the same instant in opposite key order on
+        // different backends; the pop order must be the (at, key) order
+        // everywhere, including keys pushed below the current ready head.
+        for kind in KINDS {
+            let mut q: EventQueue<&'static str> = EventQueue::with_scheduler(kind);
+            q.push_at_keyed(SimTime(5), 300, "third");
+            q.push_at_keyed(SimTime(5), 100, "first");
+            q.push_at_keyed(SimTime(2), 900, "earliest");
+            q.push_at_keyed(SimTime(5), 200, "second");
+            assert_eq!(q.pop().map(|e| e.event), Some("earliest"));
+            // The queue now sits exactly at t=2; a keyed push due *now*
+            // with a small key must still sort ahead of later keys.
+            q.push_at_keyed(SimTime(5), 150, "between");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+            assert_eq!(order, vec!["first", "between", "second", "third"]);
+            // Auto-assigned seqs continue above the largest key seen.
+            q.push_at(SimTime(9), "auto");
+            let e = q.pop().expect("auto event pops");
+            assert!(e.seq > 900, "auto seq {} must not collide with keys", e.seq);
+        }
+    }
+
+    #[test]
+    fn sharded_lane_cursors_never_outrun_the_clock() {
+        // Regression shape: a pop surfaces lane A's head, lane B (tied at
+        // a later time) must not have advanced past the popped time —
+        // otherwise a subsequent push routed to B would land in B's past.
+        let mut q: EventQueue<u64> =
+            EventQueue::with_scheduler(SchedulerKind::Sharded { shards: 2 });
+        // Keys chosen so lane 0 (even keys) holds t=10 and t=1000, lane 1
+        // (odd keys) holds t=1000 only.
+        q.push_at_keyed(SimTime(10), 2, 0);
+        q.push_at_keyed(SimTime(1_000), 4, 1);
+        q.push_at_keyed(SimTime(1_000), 3, 2);
+        assert_eq!(q.pop().map(|e| e.event), Some(0));
+        assert_eq!(q.now(), SimTime(10));
+        // Push into both lanes between the popped time and the parked
+        // events — legal globally, and must stay legal per lane.
+        q.push_at_keyed(SimTime(20), 6, 3);
+        q.push_at_keyed(SimTime(20), 5, 4);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![4, 3, 2, 1]);
     }
 }

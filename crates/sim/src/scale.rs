@@ -24,6 +24,7 @@ use rand::SeedableRng;
 
 use crate::net::SimNet;
 use crate::queue::SchedulerKind;
+use crate::shard::ShardedNet;
 
 /// Parameters of one scale run.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +39,11 @@ pub struct ScaleConfig {
     pub bits: u8,
     /// Scheduler backend to drive.
     pub scheduler: SchedulerKind,
+    /// Worker shards. `0` (the default) drives the single-core
+    /// [`SimNet`] engine on `scheduler`; `1..` drives the multi-core
+    /// [`ShardedNet`] engine with that many shards, whose seeded digest
+    /// is invariant in this value (`1` and `8` fingerprint identically).
+    pub shards: usize,
 }
 
 impl Default for ScaleConfig {
@@ -48,6 +54,7 @@ impl Default for ScaleConfig {
             seed: 0x5ca1e,
             bits: 40,
             scheduler: SchedulerKind::Wheel,
+            shards: 0,
         }
     }
 }
@@ -61,6 +68,8 @@ pub struct ScaleReport {
     pub virtual_ms: u64,
     /// Scheduler backend driven.
     pub scheduler: SchedulerKind,
+    /// Worker shards driven (0 = single-core [`SimNet`] engine).
+    pub shards: usize,
     /// Wall-clock cost of building the overlay, in milliseconds.
     pub build_wall_ms: u64,
     /// Wall-clock cost of the simulated window, in milliseconds.
@@ -84,16 +93,25 @@ pub struct ScaleReport {
     /// sweeping sizes in one process, sweep ascending so each report's
     /// peak reflects its own size.
     pub peak_rss_mib: Option<u64>,
+    /// FNV-1a fingerprint of the run's observable outcome: event/drop
+    /// counts, backlog, and every node's transport counters in global
+    /// index order. A pure function of `(seed, n, virtual_ms, bits)` —
+    /// never of shard count or wall-clock — so any two sharded runs of
+    /// the same config must match bit for bit. (The single-core and
+    /// sharded engines consume randomness differently, so digests are
+    /// comparable only within one engine.)
+    pub digest: u64,
 }
 
 impl ScaleReport {
     /// One-line human rendering.
     pub fn summary(&self) -> String {
         format!(
-            "n={} sched={:?} build={}ms run={}ms events={} ({:.0}/s, {:.0} ns/event) \
-             dropped={} clamped={} backlog={} peak_rss={}",
+            "n={} sched={:?} shards={} build={}ms run={}ms events={} ({:.0}/s, {:.0} ns/event) \
+             dropped={} clamped={} backlog={} peak_rss={} digest={:016x}",
             self.n,
             self.scheduler,
+            self.shards,
             self.build_wall_ms,
             self.run_wall_ms,
             self.events,
@@ -105,7 +123,8 @@ impl ScaleReport {
             match self.peak_rss_mib {
                 Some(m) => format!("{m}MiB"),
                 None => "n/a".into(),
-            }
+            },
+            self.digest
         )
     }
 }
@@ -123,9 +142,35 @@ pub fn peak_rss_mib() -> Option<u64> {
     None
 }
 
+/// Incremental FNV-1a over little-endian `u64` words — the run digest.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
 /// Run one scale epoch: build an `n`-node pre-stabilized overlay, simulate
-/// `virtual_ms` of maintenance, measure.
+/// `virtual_ms` of maintenance, measure. `cfg.shards == 0` drives the
+/// single-core [`SimNet`]; `cfg.shards >= 1` drives the multi-core
+/// [`ShardedNet`].
 pub fn run_scale(cfg: ScaleConfig) -> ScaleReport {
+    if cfg.shards > 0 {
+        run_scale_sharded(cfg)
+    } else {
+        run_scale_simnet(cfg)
+    }
+}
+
+fn run_scale_simnet(cfg: ScaleConfig) -> ScaleReport {
     let space = IdSpace::new(cfg.bits);
     let ccfg = ChordConfig {
         space,
@@ -159,11 +204,106 @@ pub fn run_scale(cfg: ScaleConfig) -> ScaleReport {
     net.run_for(cfg.virtual_ms);
     let run_wall = run_start.elapsed();
     let events = net.events_processed() - before;
+    let mut fnv = Fnv::new();
+    fnv.word(events);
+    fnv.word(net.dropped);
+    fnv.word(net.pending_events() as u64);
+    for a in net.addrs() {
+        let s = net.link_stats(a);
+        fnv.word(a.0);
+        fnv.word(s.sent);
+        fnv.word(s.delivered);
+    }
+    finish_report(
+        cfg,
+        build_wall_ms,
+        run_wall,
+        events,
+        ReportTail {
+            dropped: net.dropped,
+            clamped: net.clamped_events(),
+            backlog: net.pending_events(),
+            digest: fnv.0,
+        },
+    )
+}
+
+/// The same workload as [`run_scale_simnet`] on the multi-core engine:
+/// identical ring build, identical per-node protocol stack, executed by
+/// `cfg.shards` worker threads under the conservative window protocol.
+fn run_scale_sharded(cfg: ScaleConfig) -> ScaleReport {
+    let space = IdSpace::new(cfg.bits);
+    let ccfg = ChordConfig {
+        space,
+        ..ChordConfig::default()
+    };
+    let build_start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let ring = StaticRing::build(space, cfg.n, IdPolicy::Random, &mut rng);
+    let book = crate::harness::addr_book(&ring);
+    let addr_of = |id| book[&id];
+    let mut net: ShardedNet<ChordNode> = ShardedNet::new(cfg.seed, cfg.shards);
+    for &id in ring.ids() {
+        let mut node = ChordNode::new(ccfg, id, addr_of(id));
+        let table = ring.table_of_with(id, ccfg.succ_list_len, &addr_of);
+        let outs = node.start_with_table(table);
+        let addr = node.me().addr;
+        net.add_node(node);
+        net.apply(addr, outs);
+    }
+    let build_wall_ms = build_start.elapsed().as_millis() as u64;
+
+    let run_start = Instant::now();
+    let before = net.events_processed();
+    net.run_for(cfg.virtual_ms);
+    let run_wall = run_start.elapsed();
+    let events = net.events_processed() - before;
+    let mut fnv = Fnv::new();
+    fnv.word(events);
+    fnv.word(net.dropped());
+    fnv.word(net.pending_events() as u64);
+    for a in net.addrs() {
+        let s = net.link_stats(a);
+        fnv.word(a.0);
+        fnv.word(s.sent);
+        fnv.word(s.delivered);
+    }
+    finish_report(
+        cfg,
+        build_wall_ms,
+        run_wall,
+        events,
+        ReportTail {
+            dropped: net.dropped(),
+            clamped: net.clamped_events(),
+            backlog: net.pending_events(),
+            digest: fnv.0,
+        },
+    )
+}
+
+/// Engine-health fields that differ per engine, bundled so the two run
+/// paths share one report constructor.
+struct ReportTail {
+    dropped: u64,
+    clamped: u64,
+    backlog: usize,
+    digest: u64,
+}
+
+fn finish_report(
+    cfg: ScaleConfig,
+    build_wall_ms: u64,
+    run_wall: std::time::Duration,
+    events: u64,
+    tail: ReportTail,
+) -> ScaleReport {
     let secs = run_wall.as_secs_f64();
     ScaleReport {
         n: cfg.n,
         virtual_ms: cfg.virtual_ms,
         scheduler: cfg.scheduler,
+        shards: cfg.shards,
         build_wall_ms,
         run_wall_ms: run_wall.as_millis() as u64,
         events,
@@ -177,10 +317,11 @@ pub fn run_scale(cfg: ScaleConfig) -> ScaleReport {
         } else {
             0.0
         },
-        dropped: net.dropped,
-        clamped: net.clamped_events(),
-        backlog: net.pending_events(),
+        dropped: tail.dropped,
+        clamped: tail.clamped,
+        backlog: tail.backlog,
         peak_rss_mib: peak_rss_mib(),
+        digest: tail.digest,
     }
 }
 
@@ -230,5 +371,48 @@ mod tests {
     #[test]
     fn peak_rss_is_readable_on_linux() {
         assert!(peak_rss_mib().is_some());
+    }
+
+    #[test]
+    fn sharded_scale_digest_is_shard_count_invariant() {
+        let cfg = |shards| ScaleConfig {
+            n: 48,
+            virtual_ms: 2_000,
+            shards,
+            ..ScaleConfig::default()
+        };
+        let base = run_scale(cfg(1));
+        assert!(base.events > 0, "maintenance must generate events");
+        assert_eq!(base.clamped, 0, "conservative window violated");
+        assert_eq!(base.shards, 1);
+        for s in [2usize, 4] {
+            let r = run_scale(cfg(s));
+            assert_eq!(r.digest, base.digest, "{s}-shard digest diverged");
+            assert_eq!(
+                (r.events, r.dropped, r.backlog),
+                (base.events, base.dropped, base.backlog)
+            );
+            assert_eq!(r.clamped, 0);
+        }
+    }
+
+    #[test]
+    fn simnet_digest_is_stable_across_runs_and_backends() {
+        let cfg = ScaleConfig {
+            n: 48,
+            virtual_ms: 2_000,
+            ..ScaleConfig::default()
+        };
+        let a = run_scale(cfg);
+        let b = run_scale(cfg);
+        assert_eq!(
+            a.digest, b.digest,
+            "same config must fingerprint identically"
+        );
+        let h = run_scale(ScaleConfig {
+            scheduler: SchedulerKind::Heap,
+            ..cfg
+        });
+        assert_eq!(a.digest, h.digest, "wheel and heap digests diverged");
     }
 }

@@ -17,7 +17,9 @@ echo "==> clippy: unwrap_used denied in self-healing + observability + health mo
 # failure detector it runs inside, and the wire-robustness layer (PR 8:
 # codec error paths, fuzz driver, corruption soak) must never panic on
 # hostile input, and the async cluster host + its bins (PR 9) must never
-# panic a 1k-node fleet; the modules opt in via
+# panic a 1k-node fleet, and the multi-core engine (PR 10) must never
+# panic a worker thread mid-barrier (a poisoned barrier deadlocks the
+# other shards); the modules opt in via
 # #![deny(clippy::unwrap_used)] and this check keeps the attribute from
 # being dropped silently.
 for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs \
@@ -26,7 +28,7 @@ for f in crates/sim/src/soak.rs crates/bench/src/experiments/degradation.rs \
          crates/sim/src/scale.rs crates/chord/src/wire.rs \
          crates/sim/src/fuzz.rs crates/sim/src/corrupt.rs \
          crates/cluster/src/lib.rs crates/cluster/src/bin/clusterd.rs \
-         crates/cluster/src/bin/clusterbench.rs; do
+         crates/cluster/src/bin/clusterbench.rs crates/sim/src/shard.rs; do
   grep -q '#!\[deny(clippy::unwrap_used)\]' "$f" \
     || { echo "missing #![deny(clippy::unwrap_used)] in $f"; exit 1; }
 done
@@ -87,6 +89,26 @@ grep -q '"events_per_sec"' "$simbench_out" \
   || { echo "simbench smoke produced no throughput figures"; exit 1; }
 rm -f "$simbench_out"
 
+echo "==> multi-shard smoke: 4-shard scale run must reproduce the 1-shard digest"
+# A ~100k-event seeded maintenance run (4096 nodes, 2 s virtual) on the
+# multi-core engine at 1 and 4 shards. simbench itself exits non-zero on
+# any digest divergence; the greps below double-check that both shard
+# counts actually ran and that the conservative window never clamped.
+shard_out="$(mktemp)"
+cargo run --release -p dat-bench --bin simbench -- \
+  --sizes 4096 --virtual-ms 2000 --shards 1,4 --quiet \
+  --out "$shard_out" \
+  || { echo "multi-shard smoke: digest divergence or engine failure"; exit 1; }
+grep -q '"shards": 1' "$shard_out" && grep -q '"shards": 4' "$shard_out" \
+  || { echo "multi-shard smoke: missing a shard-count entry"; exit 1; }
+shard_digests="$(grep '"scheduler": "sharded"' "$shard_out" \
+  | grep -o '"digest": "[0-9a-f]*"' | sort -u | wc -l)"
+[ "$shard_digests" -eq 1 ] \
+  || { echo "multi-shard smoke: shard counts disagree on the run digest"; exit 1; }
+grep -q '"clamped": 0' "$shard_out" \
+  || { echo "multi-shard smoke: conservative window clamped an event"; exit 1; }
+rm -f "$shard_out"
+
 echo "==> scale smoke: 100k-node ring, 1 s virtual, bounded wall clock"
 # The million-node engine's CI-sized proxy: build a 100k-node
 # prestabilized ring and run one virtual second through the timer wheel.
@@ -126,5 +148,27 @@ cargo run --release --example rpc_cluster -- 8
 
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+if [ "${TSAN:-0}" = "1" ]; then
+  echo "==> TSAN lane: sharded-engine tests under ThreadSanitizer (opt-in)"
+  # -Zsanitizer=thread needs nightly plus the rust-src component (std must
+  # be rebuilt instrumented). The lane is opt-in (TSAN=1) and skips
+  # gracefully where nightly is absent, so the default gate stays usable
+  # on stable-only hosts; run it before touching the barrier protocol or
+  # the cross-shard mailboxes.
+  if rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+     && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src (installed)'; then
+    tsan_target="$(rustc -vV | sed -n 's/^host: //p')"
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -Zbuild-std --target "$tsan_target" \
+      -p dat-sim --lib shard:: \
+      || { echo "TSAN lane: data race or test failure in the sharded engine"; exit 1; }
+  else
+    echo "TSAN lane: nightly toolchain with rust-src not installed; skipping"
+  fi
+else
+  echo "==> TSAN lane skipped (opt in with TSAN=1; needs nightly + rust-src)"
+fi
 
 echo "CI green."

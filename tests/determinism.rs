@@ -113,3 +113,44 @@ fn wheel_and_heap_schedulers_are_schedule_identical() {
     assert_eq!(w.2, h.2, "per-node traffic");
     assert_eq!(w.3, h.3, "root reports");
 }
+
+#[test]
+fn sharded_merge_is_schedule_identical_to_wheel() {
+    // The sharded backend's K-way `(at, seq)` merge must be a drop-in for
+    // the wheel under the full protocol stack — same fingerprint for any
+    // lane count, including lane counts that don't divide the workload
+    // evenly. This is the merge-rule half of the multi-core determinism
+    // contract, proven pop-for-pop without any threading in play.
+    let w = fingerprint_on(0xBEEF, SchedulerKind::Wheel);
+    for shards in [1u8, 2, 4, 8] {
+        let s = fingerprint_on(0xBEEF, SchedulerKind::Sharded { shards });
+        assert_eq!(w, s, "{shards}-lane merge diverged from the wheel");
+    }
+}
+
+#[test]
+fn sharded_engine_digest_is_shard_count_invariant() {
+    // The threaded engine half of the contract: the same seeded scale
+    // workload (real ChordNode maintenance) must produce a byte-identical
+    // digest whether it runs on 1 worker thread or 8.
+    use libdat::sim::{run_scale, ScaleConfig};
+    let cfg = |shards| ScaleConfig {
+        n: 192,
+        virtual_ms: 5_000,
+        shards,
+        ..ScaleConfig::default()
+    };
+    let base = run_scale(cfg(1));
+    assert!(base.events > 0, "workload generated no events");
+    assert_eq!(base.clamped, 0, "conservative window violated");
+    for s in [2usize, 4, 8] {
+        let r = run_scale(cfg(s));
+        assert_eq!(
+            r.digest, base.digest,
+            "{s}-shard digest {:016x} diverged from 1-shard {:016x}",
+            r.digest, base.digest
+        );
+        assert_eq!(r.events, base.events, "{s}-shard event count diverged");
+        assert_eq!(r.clamped, 0);
+    }
+}
